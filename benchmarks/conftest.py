@@ -1,0 +1,23 @@
+"""Shared fixtures for the benchmark harness.
+
+Every ``test_bench_*`` module regenerates one table or figure of the
+paper: the benchmark measures its runtime, the assertions pin the
+qualitative shape the paper reports, and the formatted report is
+printed so ``pytest benchmarks/ --benchmark-only -s`` doubles as the
+reproduction log (EXPERIMENTS.md records the captured output).
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run an expensive experiment exactly once under the benchmark
+    timer and hand back its result."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return _run

@@ -1,0 +1,65 @@
+"""Ablation benches — the design-choice sweeps DESIGN.md calls out."""
+
+from repro.experiments import ablations
+
+
+def test_bench_ablation_target_width(once):
+    points = once(ablations.target_width_ablation)
+    by_kind = {p.kind: p for p in points}
+    # wider comparators cost area but eliminate accidental triggers
+    assert by_kind["VC"].accidental_trigger_rate > 0.2
+    assert by_kind["Full"].accidental_trigger_rate == 0.0
+    assert by_kind["Full"].area_um2 > by_kind["VC"].area_um2
+    # measured alias rates track the analytic prediction
+    for p in points:
+        assert abs(p.accidental_trigger_rate - p.predicted_rate) < 0.02
+
+
+def test_bench_ablation_payload_states(once):
+    points = once(ablations.payload_state_ablation)
+    # more FSM states -> more distinct fault syndromes (better disguise)
+    diversities = [p.distinct_syndromes for p in points]
+    assert diversities == sorted(diversities)
+    assert points[-1].distinct_syndromes > points[0].distinct_syndromes
+    # ...at a monotone area cost
+    areas = [p.area_um2 for p in points]
+    assert areas == sorted(areas)
+
+
+def test_bench_ablation_retrans_depth(once):
+    points = once(ablations.retrans_depth_ablation)
+    onsets = {p.depth: p.cycles_to_port_stall for p in points}
+    # deeper buffers only delay the stall; every depth eventually pins
+    assert all(v < 4000 for v in onsets.values())
+    assert onsets[2] <= onsets[4] <= onsets[8] <= onsets[16]
+
+
+def test_bench_ablation_payload_weight(once):
+    points = once(ablations.payload_weight_ablation)
+    by = {p.weight: p for p in points}
+    # 1 flip: SECDED absorbs everything (silently corrected)
+    assert by[1].packets_delivered == by[1].packets_offered
+    assert by[1].corrected_faults > 0 and not by[1].deadlocked
+    # 2 flips: the paper's DoS — detected, retransmitted forever, stalled
+    assert by[2].packets_delivered == 0
+    assert by[2].deadlocked
+    assert by[2].detected_faults > 100
+    # 3 flips: traffic moves but silently corrupts (misdeliveries)
+    assert not by[3].deadlocked
+    assert by[3].misdeliveries > 0
+
+
+def test_bench_ablation_method_effectiveness(once):
+    points = once(ablations.method_effectiveness_ablation)
+    print()
+    import repro.experiments.ablations as ab
+    by = {(p.method, p.granularity): p for p in points}
+    # content transforms covering the targeted field defeat TASP
+    assert by[("invert", "full")].effective
+    assert by[("shuffle", "full")].effective
+    assert by[("scramble", "full")].effective
+    assert by[("invert", "header")].effective  # dest field is in the header
+    # payload-only obfuscation leaves the dest field exposed
+    assert not by[("invert", "payload")].effective
+    # reordering shifts timing, not content: TASP still triggers
+    assert not by[("reorder", "full")].effective

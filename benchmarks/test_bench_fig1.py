@@ -1,0 +1,28 @@
+"""Fig. 1 bench — Blackscholes traffic distributions."""
+
+from repro.experiments import fig1_traffic
+from repro.noc import PAPER_CONFIG
+
+
+def test_bench_fig1_traffic_distributions(once):
+    result = once(fig1_traffic.run, duration=1500)
+    print()
+    print(fig1_traffic.format_result(result))
+
+    # Paper shape: localization around the primary router (router 0 for
+    # Blackscholes), with load diminishing away from it.
+    assert result.primary_router == 0
+    cfg = PAPER_CONFIG
+    counts = result.source_counts
+    assert counts[0] > counts[5] > counts[15]
+
+    # matrix row/column 0 dominate (requests from/to the primary)
+    row0 = sum(result.matrix[0])
+    far_row = sum(result.matrix[15])
+    assert row0 > 2 * far_row
+
+    # link shares: a few hot links near router 0 carry a large share
+    top = result.hottest_links(5)
+    assert all(share > 0.02 for _, share in top)
+    hot_routers = {key[0] for key, _ in top}
+    assert hot_routers & {0, 1, 4, 5}

@@ -1,0 +1,35 @@
+"""Fig. 10 bench — s2s L-Ob vs rerouting across four applications."""
+
+from repro.experiments import fig10_speedup
+
+
+def test_bench_fig10_lob_vs_rerouting(once):
+    result = once(
+        fig10_speedup.run,
+        apps=("blackscholes", "facesim", "ferret", "fft"),
+        fractions=(0.0, 0.05, 0.10, 0.15),
+        duration=400,
+    )
+    print()
+    print(fig10_speedup.format_result(result))
+
+    for app in ("blackscholes", "facesim", "ferret", "fft"):
+        series = result.series(app)
+        by_frac = {p.infected_fraction: p for p in series}
+
+        # both schemes complete the workload at every point
+        assert all(p.lob_completed and p.reroute_completed for p in series)
+
+        # 0% infected: identical networks, speedup exactly 1
+        assert by_frac[0.0].speedup == 1.0
+
+        # the paper's headline: continuing to use infected links with
+        # L-Ob beats rerouting at every non-zero infection level...
+        for frac in (0.05, 0.10, 0.15):
+            assert by_frac[frac].speedup > 1.2, (
+                f"{app} @ {frac:.0%}: speedup {by_frac[frac].speedup:.2f}"
+            )
+
+        # ...and the advantage does not shrink substantially as more
+        # links are infected (rerouting loses path diversity)
+        assert by_frac[0.15].speedup >= 0.9 * by_frac[0.05].speedup

@@ -1,0 +1,37 @@
+"""Fig. 11 bench — back-pressure build-up from a single TASP."""
+
+from repro.experiments import fig11_backpressure
+
+
+def test_bench_fig11_backpressure(once):
+    result = once(fig11_backpressure.run, rate_scale=3.5)
+    print()
+    print(fig11_backpressure.format_result(result))
+
+    h = result.headline
+
+    # the trojan fired throughout the window
+    assert result.trojan_triggers > 100
+
+    # paper: within 50-100 cycles back pressure reaches ~68% (11/16) of
+    # routers; we require a majority of routers blocked quickly
+    assert h["cycles_to_half_routers_blocked"] is not None
+    assert h["cycles_to_half_routers_blocked"] <= 400
+
+    # by the end of the 1500-cycle window the attack has saturated most
+    # injection ports (paper: 81% = 13/16 routers)
+    assert h["peak_all_cores_full"] >= 10
+    assert h["peak_blocked_routers"] >= 11
+
+    # the clean run never develops chip-scale blockage
+    assert h["peak_blocked_routers_clean"] <= 6
+    assert h["peak_blocked_routers"] > 2 * h["peak_blocked_routers_clean"]
+
+    # utilization separates: attacked injection queues fill far beyond
+    # the clean run's steady state
+    attacked_final = result.attacked.samples[-1]
+    clean_final = result.clean.samples[-1]
+    assert (
+        attacked_final.injection_utilization
+        > 1.3 * clean_final.injection_utilization
+    )

@@ -1,0 +1,35 @@
+"""Fig. 12 bench — TDM containment vs the proposed s2s mitigation."""
+
+from repro.experiments import fig12_qos
+
+
+def test_bench_fig12_qos_containment(once):
+    result = once(fig12_qos.run)
+    print()
+    print(fig12_qos.format_result(result))
+
+    h = result.headline
+
+    # (a) TDM non-interference: the clean domain is unaffected by the
+    # attack (its completions match the no-attack baseline closely)...
+    assert h["tdm_clean_domain_completions"] >= 0.95 * h[
+        "tdm_clean_domain_baseline"
+    ]
+    # ...but the victim domain degrades badly (contained, not mitigated)
+    assert h["tdm_victim_domain_completions"] <= 0.7 * h[
+        "tdm_victim_domain_baseline"
+    ]
+    # victim-side back pressure: blocked cores pile up in D2 only
+    assert h["tdm_victim_blocked_cores"] > 3 * max(
+        1, h["tdm_clean_blocked_cores"]
+    ) or h["tdm_clean_blocked_cores"] <= 2
+
+    # victim buffers saturate over the window
+    d2 = [s.buffer_util[1] for s in result.tdm.samples]
+    assert d2[-1] > 3 * max(1, d2[0])
+
+    # (b) detector + L-Ob: both applications run at baseline throughput
+    assert h["mitigated_victim_completions"] >= 0.9 * h[
+        "tdm_victim_domain_baseline"
+    ]
+    assert h["mitigated_blocked_cores"] <= 2

@@ -1,0 +1,30 @@
+"""Fig. 2 bench — latency-vs-distance per fault type."""
+
+from repro.experiments import fig2_faults
+
+
+def test_bench_fig2_fault_signatures(once):
+    result = once(fig2_faults.run, packets=12)
+    print()
+    print(fig2_faults.format_result(result))
+
+    clean = result.curves["clean"]
+    transient = result.curves["transient"]
+    permanent = result.curves["permanent (rerouted)"]
+    trojan = result.curves["trojan (L-Ob)"]
+    stalled = result.curves["trojan (no mitigation)"]
+
+    for dist in clean:
+        # clean latency grows with distance
+        assert clean[dist] is not None
+        # transient: small retransmission penalty on top of clean
+        assert clean[dist] <= transient[dist] <= clean[dist] + 4
+        # permanent: rerouting costs extra hops (never cheaper)
+        assert permanent[dist] >= clean[dist]
+        # trojan + L-Ob: the paper's 1-3 cycle obfuscation penalty
+        assert clean[dist] < trojan[dist] <= clean[dist] + 3
+        # unmitigated trojan: the flow never completes
+        assert stalled[dist] is None
+
+    # rerouting hurts short paths relatively more (the +hops dominate)
+    assert permanent[1] - clean[1] >= permanent[6] - clean[6]

@@ -1,0 +1,30 @@
+"""Fig. 8 bench — TASP power/area pies."""
+
+from repro.experiments import fig8_overhead
+
+
+def test_bench_fig8_overhead_pies(benchmark):
+    report = benchmark(fig8_overhead.run)
+    print()
+    print(fig8_overhead.format_result(report))
+
+    dyn = report.router_dynamic_shares
+    # paper: buffers 71%, crossbar 18%, allocator 4%, clock 6%, TASP ~1%
+    assert 0.64 <= dyn["buffer"] <= 0.78
+    assert 0.13 <= dyn["crossbar"] <= 0.23
+    assert dyn["tasp"] < 0.01
+
+    leak = report.router_leakage_shares
+    # paper: buffers 88%, crossbar 9%, allocator 3%
+    assert 0.82 <= leak["buffer"] <= 0.92
+    assert leak["tasp"] < 0.01
+
+    area = report.noc_area_shares
+    # paper: global wire 86%, active 13%, TASP 1%
+    assert 0.80 <= area["global_wire"] <= 0.92
+    assert area["tasp"] < 0.01
+
+    worst = report.noc_dynamic_shares_all_links
+    # paper: TASP on all 48 links = 0.56% of NoC dynamic power
+    assert worst["tasp"] < 0.012
+    assert worst["routers"] > 0.988

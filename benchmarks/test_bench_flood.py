@@ -1,0 +1,24 @@
+"""Flood-DoS bench — §III-A routing comparison + flood-vs-trojan contrast."""
+
+from repro.experiments import flood_routing
+
+
+def test_bench_flood_vs_routing_and_trojan(once):
+    result = once(flood_routing.run)
+    print()
+    print(flood_routing.format_result(result))
+
+    for routing in flood_routing.ROUTINGS:
+        series = {p.flood_rate: p for p in result.series(routing)}
+        # flooding degrades latency monotonically with attacker rate
+        lat = [series[r].background_mean_latency for r in sorted(series)]
+        assert lat[0] < lat[-1]
+        # but a pure bandwidth-depletion attack cannot stall delivery
+        assert all(p.background_completion > 0.95 for p in series.values())
+
+    # contrast: trojans on the victim's ingress links, with zero
+    # attacker bandwidth, starve the victim region outright
+    c = result.tasp_contrast
+    assert c.victim_flows_completed < 0.3 * c.victim_flows_offered
+    # and the back-pressure tree damages bystanders too
+    assert c.background_completed < c.background_offered

@@ -1,0 +1,90 @@
+"""Load-latency validation bench + attack energy amplification."""
+
+from repro.core import TargetSpec, TaspTrojan, build_mitigated_network
+from repro.experiments import load_curve
+from repro.noc import Network, NoCConfig, Packet
+from repro.noc.topology import Direction
+from repro.power.energy import amplification, energy_report
+
+
+def test_bench_load_latency_curves(once):
+    result = once(load_curve.run)
+    print()
+    print(load_curve.format_result(result))
+
+    for routing in ("xy", "west-first"):
+        series = result.series(routing)
+        lats = [p.mean_latency for p in series]
+        # canonical shape: monotone latency growth with offered load
+        assert all(a <= b * 1.05 for a, b in zip(lats, lats[1:]))
+        # zero-load latency is the pipeline-limited floor
+        assert lats[0] < 25
+
+    # the §III-A comparison: past saturation, deterministic xy sustains
+    # more throughput than adaptive west-first under uniform traffic
+    assert result.sustained_throughput("xy") > result.sustained_throughput(
+        "west-first"
+    )
+    # both saturate somewhere in the sweep
+    assert result.saturation_load("xy") is not None
+    assert result.saturation_load("west-first") is not None
+    assert (
+        result.saturation_load("west-first")
+        <= result.saturation_load("xy")
+    )
+
+
+def test_bench_attack_energy_amplification(once):
+    def load(net):
+        for pid in range(25):
+            net.add_packet(
+                Packet(pkt_id=pid, src_core=0, dst_core=63,
+                       vc_class=pid % 4, payload=[0xAB], created_cycle=0)
+            )
+
+    def trojaned(net):
+        trojan = TaspTrojan(TargetSpec.for_dest(15))
+        trojan.enable()
+        net.attach_tamperer((0, Direction.EAST), trojan)
+
+    def run_all():
+        clean_net = build_mitigated_network(NoCConfig())
+        load(clean_net)
+        clean_net.run_until_drained(10000, stall_limit=2500)
+
+        mit_net = build_mitigated_network(NoCConfig())
+        trojaned(mit_net)
+        load(mit_net)
+        mit_net.run_until_drained(10000, stall_limit=2500)
+
+        raw_net = Network(NoCConfig())
+        trojaned(raw_net)
+        load(raw_net)
+        raw_net.run(2500)  # deadlocked: fixed window
+        return (
+            energy_report(clean_net),
+            energy_report(mit_net),
+            energy_report(raw_net),
+        )
+
+    clean, mitigated, unmitigated = once(run_all)
+    amp = amplification(mitigated, clean)
+    print(f"\nenergy/pJ-per-flit: clean {clean.pj_per_delivered_flit:.1f}, "
+          f"mitigated+attack {mitigated.pj_per_delivered_flit:.1f} "
+          f"({amp:.3f}x), unmitigated+attack "
+          f"{unmitigated.pj_per_delivered_flit} "
+          f"({unmitigated.retransmission_traversals} retransmissions, "
+          f"{unmitigated.total_pj:.0f} pJ burned)")
+
+    # mitigated: same delivery, small energy premium (the few faulted
+    # tries before the flow log takes over)
+    assert mitigated.flits_delivered == clean.flits_delivered
+    assert mitigated.retransmission_traversals > clean.retransmission_traversals
+    assert 1.0 < amp < 2.0
+
+    # unmitigated: the trojan converts the link into a pure energy sink —
+    # hundreds of retransmission traversals, nothing delivered
+    assert unmitigated.flits_delivered == 0
+    assert unmitigated.pj_per_delivered_flit == float("inf")
+    assert unmitigated.retransmission_traversals > 300
+    assert unmitigated.total_pj > 0.25 * clean.total_pj

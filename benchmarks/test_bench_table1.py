@@ -1,0 +1,31 @@
+"""Table I / Fig. 9 bench — TASP target-variant area/power/timing."""
+
+import pytest
+
+from repro.experiments import table1_tasp
+from repro.power import PAPER_TABLE1
+
+
+def test_bench_table1_tasp_variants(benchmark):
+    result = benchmark(table1_tasp.run)
+    print()
+    print(table1_tasp.format_result(result))
+
+    # calibration anchor is exact
+    dest = result.row("Dest").budget
+    assert dest.area_um2 == pytest.approx(PAPER_TABLE1["Dest"][0], rel=1e-3)
+
+    # predicted variants land near the paper (area within 10%)
+    for kind in ("Full", "Mem", "VC", "Dest_Src"):
+        got = result.row(kind).budget.area_um2
+        assert got == pytest.approx(PAPER_TABLE1[kind][0], rel=0.10)
+
+    # Fig. 9 ordering: Full > Mem > Dest_Src > Dest = Src > VC
+    areas = {r.kind: r.budget.area_um2 for r in result.rows}
+    assert (
+        areas["Full"] > areas["Mem"] > areas["Dest_Src"]
+        > areas["Dest"] == areas["Src"] > areas["VC"]
+    )
+
+    # every variant fits the LT window at 2 GHz
+    assert all(r.meets_timing for r in result.rows)

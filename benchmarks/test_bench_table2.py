@@ -1,0 +1,25 @@
+"""Table II bench — mitigation (threat detector + L-Ob) overhead."""
+
+from repro.experiments import table2_mitigation
+
+
+def test_bench_table2_mitigation_overhead(benchmark):
+    result = benchmark(table2_mitigation.run)
+    print()
+    print(table2_mitigation.format_result(result))
+
+    total = result.total
+    # paper: "only 2% and 6% increase in area and power consumption"
+    assert 1.0 < total.pct_router_area < 4.0
+    assert 3.5 < total.pct_router_dynamic < 8.0
+
+    # both modules fit the 2 GHz clock
+    assert all(r.meets_timing for r in result.rows)
+
+    # the detector is shared per router; the four L-Ob datapaths
+    # dominate the added area
+    rows = {r.name: r for r in result.rows}
+    assert (
+        rows["L-Ob (4 ports)"].budget.area_um2
+        > rows["Threat detector"].budget.area_um2
+    )

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""The attacker's notebook (paper §III-A).
+
+An attacker with foundry access studies the victim application's
+traffic distribution (Fig. 1), then solves their design problem:
+
+  * which links to infect — as few as possible ("fewer HTs reduces the
+    probability of detection") while covering the victim's flows;
+  * which target comparator to build — narrow is cheap but aliases on
+    payload bits; wide is quiet but a larger side-channel footprint.
+
+The script plans campaigns for several target choices, prints the
+cost/stealth table, then actually implants the chosen plan in the
+simulator and verifies the predicted disruption.
+
+Run:  python examples/attacker_design_space.py
+"""
+
+from repro import Network, NoCConfig, PROFILES, TargetSpec, TaspTrojan
+from repro.core.attacker import compare_targets, plan_attack
+from repro.traffic import AppTraceSource, TraceReplaySource, record_trace
+from repro.traffic.apps import traffic_weights
+
+
+def main() -> None:
+    cfg = NoCConfig()
+
+    # -- reconnaissance: the victim's traffic structure ----------------------
+    weights = traffic_weights(cfg, PROFILES["blackscholes"])
+    victim_router = PROFILES["blackscholes"].primary_routers[0][0]
+    victim_flows = [
+        (s, d, w) for (s, d), w in weights.items() if d == victim_router
+    ]
+    print(f"victim: blackscholes, primary router {victim_router}; "
+          f"{len(victim_flows)} flows toward it\n")
+
+    # -- the design table -----------------------------------------------------
+    plans = compare_targets(
+        cfg,
+        victim_flows,
+        {
+            "Dest(4b)": TargetSpec.for_dest(victim_router),
+            "Dest+head(6b)": TargetSpec(dst=victim_router, head_only=True),
+            "Full(42b)": TargetSpec.full(0, victim_router, 0, 0x1000_0000),
+        },
+        coverage_goal=1.0,
+    )
+    print(f"{'target':>14} {'implants':>9} {'coverage':>9} "
+          f"{'area um2':>9} {'dyn uW':>7} {'vs router':>10} {'alias rate':>11}")
+    for name, plan in plans.items():
+        print(f"{name:>14} {plan.num_implants:9d} {plan.coverage:8.0%} "
+              f"{plan.footprint.area_um2:9.1f} "
+              f"{plan.footprint.dynamic_uw:7.2f} "
+              f"{plan.footprint_vs_router:9.2%} "
+              f"{plan.accidental_trigger_rate:11.5f}")
+
+    chosen = plans["Dest+head(6b)"]
+    print(f"\nchosen: Dest+head — {chosen.num_implants} implants on "
+          + ", ".join(f"{r}->{d.name}" for r, d in chosen.links)
+          + " (no payload aliasing on head gate + tiny footprint)")
+
+    # -- execute the plan ------------------------------------------------------
+    trace = record_trace(
+        AppTraceSource(cfg, PROFILES["blackscholes"], seed=5, duration=600),
+        cfg, 600, "bs",
+    )
+    net = Network(cfg)
+    trojans = []
+    for link in chosen.links:
+        trojan = TaspTrojan(chosen.target)
+        trojan.enable()
+        net.attach_tamperer(link, trojan)
+        trojans.append(trojan)
+    net.set_traffic(TraceReplaySource(trace))
+    net.run_until_drained(8000, stall_limit=2000)
+
+    victim_ids = {
+        p.pkt_id for p in trace.packets
+        if cfg.router_of_core(p.dst_core) == victim_router
+    }
+    victim_done = sum(
+        1 for pid in victim_ids if net.stats.packets[pid].complete
+    )
+    other_done = sum(
+        1 for pid, rec in net.stats.packets.items()
+        if pid not in victim_ids and rec.complete
+    )
+    other_total = len(net.stats.packets) - len(victim_ids)
+    print(f"\nexecution: victim flows delivered "
+          f"{victim_done}/{len(victim_ids)} "
+          f"(predicted coverage {chosen.coverage:.0%}); "
+          f"bystander flows {other_done}/{other_total} "
+          f"(collateral from back pressure); "
+          f"{sum(t.triggers for t in trojans)} triggers")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Compare every defense the paper discusses on one workload.
+
+The same Ferret-like trace is run against a NoC with 3 infected links
+under five configurations:
+
+  * no defense                    -> the flow starves (deadlock)
+  * e2e obfuscation (Fort-NoCs)   -> still starves (header in clear)
+  * TDM QoS (SurfNoC)             -> contained to the victim domain
+  * rerouting (Ariadne, up*/down*)-> completes, but pays extra hops
+  * threat detector + s2s L-Ob    -> completes with 1-3 cycle penalties
+
+Run:  python examples/mitigation_comparison.py
+"""
+
+import dataclasses
+
+from repro import (
+    E2EObfuscator,
+    Network,
+    NoCConfig,
+    PROFILES,
+    TargetSpec,
+    TaspTrojan,
+    TdmConfig,
+    TdmPolicy,
+    TraceReplaySource,
+    apply_rerouting,
+    build_mitigated_network,
+    updown_table,
+)
+from repro.experiments.common import (
+    attach_trojans,
+    make_app_trace,
+    pick_infected_links,
+)
+
+MAX_CYCLES = 25000
+
+
+def make_workload(cfg: NoCConfig):
+    profile = dataclasses.replace(
+        PROFILES["ferret"],
+        injection_rate=PROFILES["ferret"].injection_rate * 4,
+    )
+    trace_profile = dataclasses.replace(profile, name="ferret")
+    from repro.traffic.apps import AppTraceSource
+    from repro.traffic.trace import record_trace
+
+    source = AppTraceSource(cfg, trace_profile, seed=11, duration=400)
+    return record_trace(source, cfg, 400, "ferret")
+
+
+def report(name: str, net: Network, drained: bool, extra: str = "") -> None:
+    s = net.stats
+    lat = s.mean_total_latency()
+    lat_text = f"{lat:7.1f}" if lat is not None else "      -"
+    print(f"{name:28s} delivered {s.packets_completed:4d}/"
+          f"{s.packets_injected:4d}  cycles {net.cycle:6d}  "
+          f"mean latency {lat_text}  "
+          f"{'OK' if drained else 'DEADLOCK'}  {extra}")
+
+
+def main() -> None:
+    cfg = NoCConfig()
+    trace = make_workload(cfg)
+    target = TargetSpec.for_dest(PROFILES["ferret"].primary_routers[0][0])
+    infected = pick_infected_links(cfg, trace, 3, seed=2)
+    print(f"workload: {len(trace)} ferret-like packets; "
+          f"{len(infected)} infected links: "
+          + ", ".join(f"{r}->{d.name}" for r, d in infected) + "\n")
+
+    # 1. no defense
+    net = Network(cfg)
+    attach_trojans(net, infected, target)
+    net.set_traffic(TraceReplaySource(trace))
+    drained = net.run_until_drained(MAX_CYCLES, stall_limit=2000)
+    report("no defense", net, drained)
+
+    # 2. e2e obfuscation
+    net = Network(cfg, e2e=E2EObfuscator())
+    attach_trojans(net, infected, target)
+    net.set_traffic(TraceReplaySource(trace))
+    drained = net.run_until_drained(MAX_CYCLES, stall_limit=2000)
+    report("e2e obfuscation (Fort-NoCs)", net, drained,
+           "header fields stay cleartext")
+
+    # 3. TDM QoS: put the victim flows in domain 1
+    policy = TdmPolicy(TdmConfig(num_domains=2), cfg.num_vcs)
+    net = Network(cfg, policy=policy)
+    attach_trojans(net, infected, target)
+    tdm_trace = dataclasses.replace(
+        trace,
+        packets=[
+            dataclasses.replace(
+                p,
+                domain=p.src_core % 2,
+                vc_class=policy.vc_for(p.src_core % 2, p.vc_class),
+            )
+            for p in trace.packets
+        ],
+    )
+    net.set_traffic(TraceReplaySource(tdm_trace))
+    drained = net.run_until_drained(MAX_CYCLES, stall_limit=2000)
+    d0 = sum(1 for pid, r in net.stats.packets.items()
+             if r.src_core % 2 == 0 and r.complete)
+    d1 = sum(1 for pid, r in net.stats.packets.items()
+             if r.src_core % 2 == 1 and r.complete)
+    report("TDM QoS (SurfNoC)", net, drained,
+           f"per-domain completions D1={d0} D2={d1}")
+
+    # 4. rerouting
+    net = Network(dataclasses.replace(cfg, routing="table"),
+                  routing_table=updown_table(cfg, infected))
+    apply_rerouting(net, infected)
+    attach_trojans(net, infected, target)
+    net.set_traffic(TraceReplaySource(trace))
+    drained = net.run_until_drained(MAX_CYCLES, stall_limit=2000)
+    report("rerouting (Ariadne)", net, drained,
+           "infected links unused")
+
+    # 5. the paper's mitigation
+    net = build_mitigated_network(cfg)
+    attach_trojans(net, infected, target)
+    net.set_traffic(TraceReplaySource(trace))
+    drained = net.run_until_drained(MAX_CYCLES, stall_limit=2000)
+    verdicts = [
+        net.receiver_of(key).detector.verdict.value for key in infected
+    ]
+    report("threat detector + s2s L-Ob", net, drained,
+           f"link verdicts: {verdicts}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Detect, then migrate: the OS-level response (paper §IV-B).
+
+The paper notes that once the threat detector narrows a trojan to a
+link, more aggressive responses become possible, "such as rerouting
+packets or invoking the OS to migrate processes from one network region
+to another which can be used to complement our proposed design."
+
+This walkthrough runs that full pipeline:
+
+  1. a victim process on core 0 talks to a service on router 1; a TASP
+     on link 0->EAST starves the flow;
+  2. the mitigated network's threat detector localizes and classifies
+     the link (verdict: trojan) while L-Ob keeps traffic moving;
+  3. the OS consumes the verdict, plans a migration of the victim
+     process to a clean router (paying a downtime window for the state
+     copy), after which the flow avoids the infected link entirely —
+     even on a network with no L-Ob at all.
+
+Run:  python examples/os_migration.py
+"""
+
+from repro import (
+    Direction,
+    LinkVerdict,
+    Network,
+    NoCConfig,
+    Packet,
+    TargetSpec,
+    TaspTrojan,
+    build_mitigated_network,
+)
+from repro.core import MigratedSource, plan_migration
+
+INFECTED = (0, Direction.EAST)
+VICTIM_CORE, SERVICE_CORE = 0, 7  # router 0 -> router 1
+
+
+class SteadyFlow:
+    """One packet every few cycles from the victim to the service."""
+
+    def __init__(self, count, spacing=8, start=0):
+        self.count = count
+        self.spacing = spacing
+        self.start = start
+        self._emitted = 0
+
+    def generate(self, cycle):
+        if (
+            self._emitted < self.count
+            and cycle >= self.start
+            and (cycle - self.start) % self.spacing == 0
+        ):
+            self._emitted += 1
+            return [
+                Packet(
+                    pkt_id=self._emitted,
+                    src_core=VICTIM_CORE,
+                    dst_core=SERVICE_CORE,
+                    vc_class=self._emitted % 4,
+                    created_cycle=cycle,
+                )
+            ]
+        return []
+
+    def done(self, cycle):
+        return self._emitted >= self.count
+
+
+def fresh_trojan():
+    trojan = TaspTrojan(TargetSpec.for_dest(1))
+    trojan.enable()
+    return trojan
+
+
+def main() -> None:
+    cfg = NoCConfig()
+
+    # -- 1. the attack on an undefended network -----------------------------
+    net = Network(cfg)
+    net.attach_tamperer(INFECTED, fresh_trojan())
+    net.set_traffic(SteadyFlow(20))
+    drained = net.run_until_drained(4000, stall_limit=800)
+    print(f"[1] undefended: {net.stats.packets_completed}/20 delivered, "
+          f"drained={drained}  -> the flow is held hostage")
+
+    # -- 2. detection on the mitigated network ------------------------------
+    net = build_mitigated_network(cfg)
+    net.attach_tamperer(INFECTED, fresh_trojan())
+    net.set_traffic(SteadyFlow(20))
+    net.run_until_drained(6000, stall_limit=1500)
+    detector = net.receiver_of(INFECTED).detector
+    print(f"[2] with detector+L-Ob: {net.stats.packets_completed}/20 "
+          f"delivered while classifying the link; verdict = "
+          f"{detector.verdict.value}")
+    assert detector.verdict in (LinkVerdict.TROJAN, LinkVerdict.PERMANENT)
+
+    # -- 3. the OS migrates the victim process ------------------------------
+    condemned = [INFECTED]
+    plan = plan_migration(
+        cfg,
+        flows=[(VICTIM_CORE, SERVICE_CORE)],
+        condemned=condemned,
+        movable_cores=[VICTIM_CORE],
+        spare_cores=[16, 17, 60],  # free cores the OS can use
+    )
+    new_home = plan.remap(VICTIM_CORE)
+    print(f"[3] OS migration plan: core {VICTIM_CORE} -> core {new_home} "
+          f"(router {cfg.router_of_core(new_home)}), "
+          f"downtime {plan.downtime_cycles} cycles for the state copy")
+
+    net = Network(cfg)  # NO L-Ob needed any more
+    trojan = fresh_trojan()
+    net.attach_tamperer(INFECTED, trojan)
+    net.set_traffic(
+        MigratedSource(SteadyFlow(20, start=0), plan, effective_cycle=0)
+    )
+    drained = net.run_until_drained(6000, stall_limit=1500)
+    print(f"    after migration: {net.stats.packets_completed}/"
+          f"{net.stats.packets_injected} delivered, drained={drained}, "
+          f"trojan triggers={trojan.triggers} (its target never passes by)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper in 60 seconds.
+
+Builds the paper's 64-core NoC, plants a TASP hardware trojan on a
+link, and shows the three-act story:
+
+  1. a clean network delivers the traffic;
+  2. the same traffic with an enabled trojan (and no mitigation)
+     deadlocks — the trojan farms SECDED retransmissions until
+     back pressure pins the network;
+  3. with the threat detector + L-Ob switch-to-switch obfuscation the
+     traffic flows again at a few cycles' cost, and the detector
+     correctly classifies the link as trojan-infected.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Direction,
+    Network,
+    NoCConfig,
+    Packet,
+    TargetSpec,
+    TaspTrojan,
+    build_mitigated_network,
+)
+
+INFECTED_LINK = (0, Direction.EAST)  # router 0's eastward link
+
+
+def victim_traffic(net: Network, count: int = 30) -> None:
+    """A flow from core 0 to core 63 — it must cross the infected link
+    (xy routing goes east along the bottom row first)."""
+    for pid in range(count):
+        net.add_packet(
+            Packet(
+                pkt_id=pid,
+                src_core=0,
+                dst_core=63,
+                vc_class=pid % 4,
+                mem_addr=0x1000 + pid,
+                payload=[0xC0FFEE, 0xBEEF],
+            )
+        )
+
+
+def fresh_trojan() -> TaspTrojan:
+    # Target: any packet heading for router 15 (where core 63 lives).
+    trojan = TaspTrojan(TargetSpec.for_dest(15))
+    trojan.enable()  # throw the external kill switch
+    return trojan
+
+
+def act1_clean() -> None:
+    net = Network(NoCConfig())
+    victim_traffic(net)
+    net.run_until_drained(5000)
+    s = net.stats
+    print(f"[1] clean network  : {s.packets_completed}/{s.packets_injected} "
+          f"packets delivered, mean latency "
+          f"{s.mean_total_latency():.1f} cycles")
+
+
+def act2_attacked() -> None:
+    net = Network(NoCConfig())
+    trojan = fresh_trojan()
+    net.attach_tamperer(INFECTED_LINK, trojan)
+    victim_traffic(net)
+    drained = net.run_until_drained(5000, stall_limit=1000)
+    s = net.stats
+    print(f"[2] TASP, no defense: {s.packets_completed}/{s.packets_injected} "
+          f"packets delivered, drained={drained} "
+          f"(trojan triggered {trojan.triggers}x -> DoS)")
+
+
+def act3_mitigated() -> None:
+    net = build_mitigated_network(NoCConfig())
+    trojan = fresh_trojan()
+    net.attach_tamperer(INFECTED_LINK, trojan)
+    victim_traffic(net)
+    net.run_until_drained(8000, stall_limit=2000)
+    s = net.stats
+    detector = net.receiver_of(INFECTED_LINK).detector
+    lob = net.output_port_of(INFECTED_LINK).lob
+    obfuscated = sum(lob.obfuscated_sends.values())
+    print(f"[3] detector + L-Ob : {s.packets_completed}/{s.packets_injected} "
+          f"packets delivered, mean latency "
+          f"{s.mean_total_latency():.1f} cycles")
+    print(f"    link verdict: {detector.verdict.value} "
+          f"(BIST scans: {detector.bist_scans}, "
+          f"obfuscated traversals: {obfuscated}, "
+          f"preemptive: {lob.preemptive_sends})")
+
+
+if __name__ == "__main__":
+    act1_clean()
+    act2_attacked()
+    act3_mitigated()

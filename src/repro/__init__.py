@@ -1,0 +1,128 @@
+"""repro — reproduction of Boraten & Kodi, *Mitigation of Denial of
+Service Attack with Hardware Trojans in NoC Architectures* (IPDPS 2016).
+
+The package builds, from scratch, everything the paper's evaluation
+needs:
+
+* :mod:`repro.noc` — a cycle-accurate concentrated-mesh NoC simulator
+  (5-stage VC routers, credits, SECDED links, selective-repeat
+  retransmission);
+* :mod:`repro.core` — the paper's contribution: the TASP hardware
+  trojan, the threat source detector, and L-Ob switch-to-switch
+  obfuscation;
+* :mod:`repro.ecc`, :mod:`repro.faults` — SECDED codec, fault models
+  and BIST;
+* :mod:`repro.baselines` — e2e obfuscation, TDM QoS, Ariadne-style
+  rerouting;
+* :mod:`repro.traffic` — synthetic patterns and PARSEC/SPLASH-like
+  application profiles;
+* :mod:`repro.power` — an analytic TSMC-40nm-class area/power/timing
+  model;
+* :mod:`repro.experiments` — one module per table/figure of the paper.
+
+Quickstart::
+
+    from repro import (NoCConfig, Network, Packet, TargetSpec,
+                       TaspTrojan, build_mitigated_network, Direction)
+
+    net = build_mitigated_network(NoCConfig())
+    trojan = TaspTrojan(TargetSpec.for_dest(15))
+    trojan.enable()
+    net.attach_tamperer((0, Direction.EAST), trojan)
+    net.add_packet(Packet(pkt_id=1, src_core=0, dst_core=63))
+    net.run_until_drained(5000)
+    print(net.stats.summary())
+"""
+
+from repro.baselines import (
+    E2EConfig,
+    E2EObfuscator,
+    TdmConfig,
+    TdmPolicy,
+    apply_rerouting,
+    updown_table,
+)
+from repro.core import (
+    DetectorConfig,
+    Granularity,
+    LinkVerdict,
+    MitigationConfig,
+    ObMethod,
+    TargetSpec,
+    TaspConfig,
+    TaspState,
+    TaspTrojan,
+    ThreatDetector,
+    build_mitigated_network,
+)
+from repro.ecc import SECDED_72_64, DecodeStatus, Secded
+from repro.faults import (
+    BistScanner,
+    BistVerdict,
+    PermanentFault,
+    StuckAtKind,
+    TransientFaultModel,
+)
+from repro.noc import (
+    Direction,
+    Flit,
+    FlitType,
+    Network,
+    NoCConfig,
+    Packet,
+    PAPER_CONFIG,
+)
+from repro.traffic import (
+    AppTraceSource,
+    PROFILES,
+    SyntheticConfig,
+    SyntheticSource,
+    Trace,
+    TraceReplaySource,
+    record_trace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "E2EConfig",
+    "E2EObfuscator",
+    "TdmConfig",
+    "TdmPolicy",
+    "apply_rerouting",
+    "updown_table",
+    "DetectorConfig",
+    "Granularity",
+    "LinkVerdict",
+    "MitigationConfig",
+    "ObMethod",
+    "TargetSpec",
+    "TaspConfig",
+    "TaspState",
+    "TaspTrojan",
+    "ThreatDetector",
+    "build_mitigated_network",
+    "SECDED_72_64",
+    "DecodeStatus",
+    "Secded",
+    "BistScanner",
+    "BistVerdict",
+    "PermanentFault",
+    "StuckAtKind",
+    "TransientFaultModel",
+    "Direction",
+    "Flit",
+    "FlitType",
+    "Network",
+    "NoCConfig",
+    "Packet",
+    "PAPER_CONFIG",
+    "AppTraceSource",
+    "PROFILES",
+    "SyntheticConfig",
+    "SyntheticSource",
+    "Trace",
+    "TraceReplaySource",
+    "record_trace",
+    "__version__",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro`` — shortcut to the experiment runner."""
+
+from repro.experiments.runner import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

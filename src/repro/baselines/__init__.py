@@ -1,0 +1,27 @@
+"""Comparison systems the paper evaluates against.
+
+* :mod:`repro.baselines.e2e` — Fort-NoCs-style end-to-end obfuscation
+  (fails against header-targeting link trojans, Fig. 11a);
+* :mod:`repro.baselines.tdm` — SurfNoC-style TDM QoS (contains but does
+  not stop the attack, Fig. 12a);
+* :mod:`repro.baselines.reroute` — Ariadne-style disable-and-reroute
+  (works but sacrifices bandwidth/path diversity, Fig. 10).
+"""
+
+from repro.baselines.e2e import E2EConfig, E2EObfuscator
+from repro.baselines.reroute import (
+    UnroutableError,
+    apply_rerouting,
+    updown_table,
+)
+from repro.baselines.tdm import TdmConfig, TdmPolicy
+
+__all__ = [
+    "E2EConfig",
+    "E2EObfuscator",
+    "UnroutableError",
+    "apply_rerouting",
+    "updown_table",
+    "TdmConfig",
+    "TdmPolicy",
+]

@@ -1,0 +1,155 @@
+"""Fort-NoCs-style end-to-end protection (the [19] baseline).
+
+Fort-NoCs layers three defenses at the network interfaces:
+
+1. **data scrambling** — packet data is XOR-scrambled with a
+   per-(source, destination) key before injection and unscrambled at
+   ejection.  The crucial limitation the paper exploits (Fig. 11a,
+   "when e2e obfuscation fails"): routing needs the
+   source/destination/VC header fields in the clear at every hop, so an
+   e2e scheme cannot hide them — a link trojan whose target block taps
+   exactly those fields still triggers.  We scramble the memory-address
+   field of head flits and the payload of body/tail flits.
+2. **packet certification** — a keyed checksum appended to the packet
+   (one extra flit of bandwidth) lets the receiving NI detect silent
+   data corruption and misdelivery end-to-end.  This catches what a
+   miscorrecting (3-bit) trojan payload does, but detection at the
+   endpoint cannot *prevent* the DoS the paper's 2-bit payload causes.
+3. *node obfuscation* — periodic logical-to-physical placement changes;
+   modelled separately by :mod:`repro.core.migration`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.noc.flit import Flit, MEM_FIELD, Packet
+from repro.util.bits import extract_field, insert_field, mask
+from repro.util.rng import derive_seed
+
+
+@dataclass(frozen=True)
+class E2EConfig:
+    #: root key the NIs share (distributed at boot in Fort-NoCs)
+    key_seed: int = 0xE2E
+    scramble_mem: bool = True
+    scramble_payload: bool = True
+    #: append a keyed certificate flit to every packet (layer 2)
+    certify: bool = False
+
+
+@dataclass(slots=True)
+class CertificateFailure:
+    """One end-to-end integrity violation caught at the receiving NI."""
+
+    pkt_id: int
+    cycle: int
+    at_core: int
+    reason: str
+
+
+class E2EObfuscator:
+    """Installed on a :class:`repro.noc.network.Network` via the ``e2e``
+    constructor argument; the network calls :meth:`prepare_packet` at
+    packet submission, :meth:`encode_flit` per injected flit and
+    :meth:`decode_flit` per ejected flit."""
+
+    def __init__(self, config: E2EConfig = E2EConfig()):
+        self.config = config
+        self.flits_encoded = 0
+        self.certificates_issued = 0
+        self.certificates_verified = 0
+        self.certificate_failures: list[CertificateFailure] = []
+        self._key_cache: dict[tuple[int, int], int] = {}
+        #: receiver-side reassembly for certificate checking
+        self._rx_words: dict[int, list[int]] = {}
+        self._expected: dict[int, tuple[int, int, int, int]] = {}
+
+    def _key(self, src_router: int, dst_router: int) -> int:
+        pair = (src_router, dst_router)
+        key = self._key_cache.get(pair)
+        if key is None:
+            key = derive_seed(self.config.key_seed, pair)
+            self._key_cache[pair] = key
+        return key
+
+    # -- certification (layer 2) -------------------------------------------
+    def _certificate(
+        self, src_core: int, dst_core: int, mem: int, payload: list[int]
+    ) -> int:
+        return derive_seed(
+            self.config.key_seed,
+            "cert",
+            src_core,
+            dst_core,
+            mem,
+            tuple(payload),
+        ) & mask(64)
+
+    def prepare_packet(self, packet: Packet) -> None:
+        """NI-side packet processing before flit construction."""
+        if not self.config.certify:
+            return
+        cert = self._certificate(
+            packet.src_core, packet.dst_core, packet.mem_addr, packet.payload
+        )
+        packet.payload = list(packet.payload) + [cert]
+        self.certificates_issued += 1
+        self._expected[packet.pkt_id] = (
+            packet.src_core,
+            packet.dst_core,
+            packet.mem_addr,
+            packet.num_flits(),
+        )
+
+    def _verify_on_tail(self, flit: Flit, cycle: int, at_core: int) -> None:
+        meta = self._expected.get(flit.pkt_id)
+        if meta is None:
+            return
+        words = self._rx_words.pop(flit.pkt_id, [])
+        src_core, dst_core, mem, num_flits = meta
+        del self._expected[flit.pkt_id]
+        failure = None
+        if at_core != dst_core:
+            failure = "misdelivered"
+        elif len(words) != num_flits - 1:
+            failure = "flit count mismatch"
+        else:
+            *payload, cert = words
+            expected = self._certificate(src_core, at_core, mem, payload)
+            if cert != expected:
+                failure = "certificate mismatch"
+        if failure is None:
+            self.certificates_verified += 1
+        else:
+            self.certificate_failures.append(
+                CertificateFailure(flit.pkt_id, cycle, at_core, failure)
+            )
+
+    # -- network hooks ----------------------------------------------------
+    def encode_flit(self, flit: Flit) -> None:
+        self._apply(flit)
+        self.flits_encoded += 1
+
+    def decode_flit(
+        self, flit: Flit, cycle: int = 0, at_core: int = -1
+    ) -> None:
+        # XOR scrambling is an involution.
+        self._apply(flit)
+        if not self.config.certify:
+            return
+        if not flit.is_head:
+            self._rx_words.setdefault(flit.pkt_id, []).append(flit.data)
+        if flit.is_tail:
+            self._verify_on_tail(flit, cycle, at_core)
+
+    def _apply(self, flit: Flit) -> None:
+        key = self._key(flit.src_router, flit.dst_router)
+        if flit.is_head:
+            if self.config.scramble_mem:
+                mem = extract_field(flit.data, *MEM_FIELD)
+                mem ^= key & mask(MEM_FIELD[1])
+                flit.data = insert_field(flit.data, *MEM_FIELD, mem)
+                flit.mem_addr = mem
+        elif self.config.scramble_payload:
+            flit.data ^= key & mask(64)

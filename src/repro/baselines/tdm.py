@@ -1,0 +1,83 @@
+"""SurfNoC-style TDM QoS baseline (the [14] comparison, Fig. 12a).
+
+The NoC is partitioned into time-division domains: crossbar and link
+cycles alternate between domains, and each domain owns a disjoint slice
+of the VCs, so traffic in one domain can neither occupy the other's
+buffers nor steal its cycles (non-interference).
+
+Against TASP this *contains* the attack — the targeted domain's
+resources saturate, but the other domain keeps running at its
+provisioned rate — yet deadlock still occurs inside the victim domain,
+which is the paper's argument that QoS alone is not a mitigation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.noc.flit import Flit
+from repro.noc.router import SchedulingPolicy
+
+
+@dataclass(frozen=True)
+class TdmConfig:
+    num_domains: int = 2
+
+    def __post_init__(self) -> None:
+        if self.num_domains < 2:
+            raise ValueError("TDM needs at least two domains")
+
+
+class TdmPolicy(SchedulingPolicy):
+    """Time-division scheduling: domain ``d`` owns cycles where
+    ``cycle % num_domains == d`` and VCs ``[d * num_vcs/D, ...)``."""
+
+    def __init__(self, config: TdmConfig, num_vcs: int):
+        if num_vcs % config.num_domains != 0:
+            raise ValueError(
+                "num_vcs must divide evenly across TDM domains"
+            )
+        self.config = config
+        self.num_vcs = num_vcs
+        self.vcs_per_domain = num_vcs // config.num_domains
+
+    # -- domain/VC mapping ---------------------------------------------
+    def vc_partition(self, domain: int) -> range:
+        base = domain * self.vcs_per_domain
+        return range(base, base + self.vcs_per_domain)
+
+    def vc_for(self, domain: int, index: int = 0) -> int:
+        """A VC belonging to ``domain`` (for traffic generators)."""
+        return domain * self.vcs_per_domain + index % self.vcs_per_domain
+
+    def domain_of_vc(self, vc: int) -> int:
+        return vc // self.vcs_per_domain
+
+    def _owns_cycle(self, flit: Flit, cycle: int) -> bool:
+        return cycle % self.config.num_domains == flit.domain
+
+    # -- SchedulingPolicy hooks ---------------------------------------------
+    def flit_may_use_switch(self, flit: Flit, cycle: int) -> bool:
+        return self._owns_cycle(flit, cycle)
+
+    def flit_may_use_link(self, flit: Flit, cycle: int) -> bool:
+        return self._owns_cycle(flit, cycle)
+
+    def allowed_out_vcs(self, flit: Flit, num_vcs: int) -> range:
+        return self.vc_partition(flit.domain)
+
+    def may_inject(self, flit: Flit, cycle: int) -> bool:
+        if flit.vc_class not in self.vc_partition(flit.domain):
+            raise ValueError(
+                f"flit of domain {flit.domain} injected on vc "
+                f"{flit.vc_class} outside its TDM partition"
+            )
+        return True
+
+    def may_admit_retrans(self, flit: Flit, retrans) -> bool:
+        """Partition retransmission-buffer slots per domain: a domain may
+        hold at most ``depth / num_domains`` entries, so a trojan pinning
+        the victim domain's slots never starves the other domain."""
+        quota = retrans.depth // self.config.num_domains
+        held = sum(1 for entry in retrans if entry.flit.domain == flit.domain)
+        return held < quota

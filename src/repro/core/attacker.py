@@ -1,0 +1,160 @@
+"""Attacker-side planning (paper §III-A).
+
+The paper devotes a section to the *attacker's* design space: where to
+implant TASP, how many instances, and which target to compare —
+balancing attack potency against the risks of side-channel detection
+(area/power footprint) and accidental triggering:
+
+* "choosing a few links in x-dimension or y-dimension a few hops away
+  from the targeted core(s) should be sufficient to disrupt execution";
+* "the number of TASP HT injections should be minimized to circumvent
+  side-channel detection, but enough to achieve the desired disruption";
+* narrow targets are cheap but risk "masking an unintended target".
+
+:func:`plan_attack` turns that analysis into an optimizer: given the
+victim's traffic structure it selects the smallest link set covering the
+victim's flows and reports the implant's silicon footprint and stealth
+metrics, so the trade-offs of Table I / Fig. 9 can be explored as an
+attacker would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.core.targets import TargetSpec
+from repro.core.tasp import TaspConfig
+from repro.noc.config import NoCConfig
+from repro.noc.topology import LinkKey, links_on_xy_path
+from repro.power.blocks import router_breakdown, tasp_budget
+from repro.power.gates import Budget
+
+
+@dataclass(frozen=True)
+class AttackPlan:
+    """A concrete implant proposal with its cost/stealth accounting."""
+
+    target: TargetSpec
+    links: tuple[LinkKey, ...]
+    #: fraction of the victim's flow volume crossing at least one
+    #: infected link (the probability a victim packet gets corrupted)
+    coverage: float
+    #: total silicon footprint of all implants
+    footprint: Budget
+    #: implant dynamic power as a fraction of one router's
+    footprint_vs_router: float
+    #: probability a random payload word mis-triggers the comparator
+    accidental_trigger_rate: float
+
+    @property
+    def num_implants(self) -> int:
+        return len(self.links)
+
+
+def victim_flow_volumes(
+    cfg: NoCConfig,
+    flows: Sequence[tuple[int, int, float]],
+) -> dict[LinkKey, float]:
+    """Per-link victim-flow volume under xy routing.
+
+    ``flows`` are (src_router, dst_router, weight) triples — e.g. the
+    rows/columns of the Fig. 1 traffic matrix belonging to the victim
+    application.
+    """
+    loads: dict[LinkKey, float] = {}
+    for src, dst, weight in flows:
+        for key in links_on_xy_path(cfg, src, dst):
+            loads[key] = loads.get(key, 0.0) + weight
+    return loads
+
+
+def plan_attack(
+    cfg: NoCConfig,
+    flows: Sequence[tuple[int, int, float]],
+    target: TargetSpec,
+    coverage_goal: float = 0.9,
+    max_implants: int = 8,
+    tasp_config: TaspConfig = TaspConfig(),
+    forbidden_links: Iterable[LinkKey] = (),
+) -> AttackPlan:
+    """Greedy minimum-implant plan reaching ``coverage_goal``.
+
+    Classic set-cover greedy: repeatedly infect the link carrying the
+    most not-yet-covered victim volume.  Raises ``ValueError`` when the
+    goal is unreachable within ``max_implants`` (e.g. the victim's
+    flows are too spread out — the paper's argument for why localized
+    applications like Blackscholes are the attractive victims).
+    """
+    if not flows:
+        raise ValueError("need at least one victim flow")
+    if not 0.0 < coverage_goal <= 1.0:
+        raise ValueError("coverage_goal must be in (0, 1]")
+    forbidden = set(forbidden_links)
+
+    total = sum(weight for _, _, weight in flows)
+    if total <= 0:
+        raise ValueError("victim flows carry no volume")
+    remaining = [
+        (src, dst, weight)
+        for src, dst, weight in flows
+        if src != dst and weight > 0
+    ]
+    chosen: list[LinkKey] = []
+    covered = total - sum(w for _, _, w in remaining)
+
+    while remaining and covered / total < coverage_goal - 1e-9:
+        if len(chosen) >= max_implants:
+            raise ValueError(
+                f"coverage goal {coverage_goal:.0%} unreachable with "
+                f"{max_implants} implants (got {covered / total:.0%})"
+            )
+        loads = victim_flow_volumes(cfg, remaining)
+        for key in forbidden | set(chosen):
+            loads.pop(key, None)
+        if not loads:
+            raise ValueError("remaining flows traverse no usable link")
+        best = max(loads, key=loads.get)
+        chosen.append(best)
+        still = []
+        for src, dst, weight in remaining:
+            if best in links_on_xy_path(cfg, src, dst):
+                covered += weight
+            else:
+                still.append((src, dst, weight))
+        remaining = still
+
+    per_implant = tasp_budget(target, tasp_config)
+    footprint = Budget()
+    for _ in chosen:
+        footprint.add(per_implant.scaled(1.0))
+    footprint.delay_ns = per_implant.delay_ns
+    router = router_breakdown(cfg).total
+    return AttackPlan(
+        target=target,
+        links=tuple(chosen),
+        coverage=covered / total,
+        footprint=footprint,
+        footprint_vs_router=(
+            footprint.dynamic_uw / router.dynamic_uw if chosen else 0.0
+        ),
+        accidental_trigger_rate=target.random_match_probability(),
+    )
+
+
+def compare_targets(
+    cfg: NoCConfig,
+    flows: Sequence[tuple[int, int, float]],
+    targets: dict[str, TargetSpec],
+    coverage_goal: float = 0.9,
+    max_implants: int = 8,
+) -> dict[str, AttackPlan]:
+    """Plan the same campaign under several target choices (the
+    attacker's Table I study)."""
+    plans = {}
+    for name, target in targets.items():
+        plans[name] = plan_attack(
+            cfg, flows, target,
+            coverage_goal=coverage_goal, max_implants=max_implants,
+        )
+    return plans

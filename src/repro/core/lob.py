@@ -1,0 +1,259 @@
+"""L-Ob: switch-to-switch link obfuscation (paper §IV-A).
+
+Three data transforms — *invert*, *shuffle*, *scramble* — plus
+*flit reordering*, selectable on demand for the entire flit, the header,
+or the payload.  Adjacent routers share the (design-time) shuffle
+permutation as a link secret; the scramble transform XORs the targeted
+flit with another in-flight flit (Fig. 7: flit #2 becomes (2+4)), which
+works through SECDED because the code is linear.
+
+The upstream encoder also keeps the paper's *method log*: "Once a
+obfuscation method succeeds, it is logged for future attempts", so later
+flits of the same flow skip the escalation ladder.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Sequence, TYPE_CHECKING
+
+from repro.noc.flit import FULL_WINDOW, HEADER_WINDOW, PAYLOAD_WINDOW
+from repro.util.bits import BitPermutation, mask
+from repro.util.records import BoundedTable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.noc.retrans import RetransEntry
+
+
+class ObMethod(enum.Enum):
+    INVERT = "invert"
+    SHUFFLE = "shuffle"
+    SCRAMBLE = "scramble"
+    REORDER = "reorder"
+
+
+class Granularity(enum.Enum):
+    FULL = "full"
+    HEADER = "header"
+    PAYLOAD = "payload"
+
+
+_WINDOWS = {
+    Granularity.FULL: (0, 64),
+    Granularity.HEADER: HEADER_WINDOW,
+    Granularity.PAYLOAD: PAYLOAD_WINDOW,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class ObDescriptor:
+    """Sideband description of how a transmission was obfuscated.
+
+    Travels on the s2s control wires, which the link trojan does not tap
+    (it inspects the data wires only) — the same trust assumption the
+    paper makes for the ACK/NACK wires.
+    """
+
+    method: ObMethod
+    granularity: Granularity = Granularity.FULL
+    #: link tag of the scramble partner flit
+    partner_tag: Optional[int] = None
+
+
+#: Default escalation ladder; the threat detector advances one step per
+#: failed (re-triggered) attempt.
+DEFAULT_METHOD_SEQUENCE: tuple[tuple[ObMethod, Granularity], ...] = (
+    (ObMethod.INVERT, Granularity.FULL),
+    (ObMethod.SHUFFLE, Granularity.FULL),
+    (ObMethod.SCRAMBLE, Granularity.FULL),
+    (ObMethod.INVERT, Granularity.HEADER),
+    (ObMethod.SHUFFLE, Granularity.HEADER),
+    (ObMethod.INVERT, Granularity.PAYLOAD),
+    (ObMethod.SHUFFLE, Granularity.PAYLOAD),
+)
+
+#: Paper §IV: undoing obfuscation costs 1 cycle (invert/shuffle) or 1–2
+#: cycles (scramble: wait for the partner, then un-XOR).
+PENALTY_CYCLES = {
+    ObMethod.INVERT: 1,
+    ObMethod.SHUFFLE: 1,
+    ObMethod.SCRAMBLE: 2,
+    ObMethod.REORDER: 0,
+}
+
+
+class LObCodec:
+    """The data transforms, shared by both ends of one link.
+
+    Each link gets its own shuffle permutations derived from a seed
+    (the design-time link secret), so learning one link's permutation
+    does not compromise another's.
+    """
+
+    _GRAN_SALT = {
+        Granularity.FULL: 0x5EED_0001,
+        Granularity.HEADER: 0x5EED_0002,
+        Granularity.PAYLOAD: 0x5EED_0003,
+    }
+
+    def __init__(self, flit_bits: int = 64, seed: int = 0):
+        self.flit_bits = flit_bits
+        self._perms: dict[Granularity, BitPermutation] = {}
+        for gran, (off, width) in _WINDOWS.items():
+            width = min(width, flit_bits - off)
+            self._perms[gran] = BitPermutation.from_seed(
+                width, seed ^ self._GRAN_SALT[gran]
+            )
+
+    def _window(self, gran: Granularity) -> tuple[int, int]:
+        off, width = _WINDOWS[gran]
+        return off, min(width, self.flit_bits - off)
+
+    def apply(self, data: int, method: ObMethod, gran: Granularity) -> int:
+        """Obfuscate ``data`` (scramble/reorder are handled by the
+        encoder, not here)."""
+        off, width = self._window(gran)
+        window_mask = mask(width) << off
+        field = (data >> off) & mask(width)
+        if method is ObMethod.INVERT:
+            field ^= mask(width)
+        elif method is ObMethod.SHUFFLE:
+            field = self._perms[gran].apply(field)
+        else:
+            raise ValueError(f"{method} is not a pure data transform")
+        return (data & ~window_mask) | (field << off)
+
+    def undo(self, data: int, method: ObMethod, gran: Granularity) -> int:
+        off, width = self._window(gran)
+        window_mask = mask(width) << off
+        field = (data >> off) & mask(width)
+        if method is ObMethod.INVERT:
+            field ^= mask(width)
+        elif method is ObMethod.SHUFFLE:
+            field = self._perms[gran].invert(field)
+        else:
+            raise ValueError(f"{method} is not a pure data transform")
+        return (data & ~window_mask) | (field << off)
+
+
+class LObEncoder:
+    """The upstream half of L-Ob, attached to one output port.
+
+    ``select_and_encode`` is called by the router's link-launch stage
+    with the launchable retransmission entries (oldest first) and
+    returns which entry to send and with what wire data.
+    """
+
+    def __init__(
+        self,
+        codec: LObCodec,
+        method_sequence: Sequence[tuple[ObMethod, Granularity]] = DEFAULT_METHOD_SEQUENCE,
+        flow_log_capacity: int = 16,
+        reorder_window: int = 4,
+    ):
+        if not method_sequence:
+            raise ValueError("method sequence must not be empty")
+        self.codec = codec
+        self.method_sequence = tuple(method_sequence)
+        #: flow signature -> index into method_sequence that worked
+        self.flow_log: BoundedTable = BoundedTable(flow_log_capacity)
+        self.reorder_window = reorder_window
+        #: becomes True on the first obfuscation request; from then on
+        #: flows with a logged method are pre-obfuscated
+        self.link_suspicious = False
+        # -- counters -----------------------------------------------------
+        self.obfuscated_sends: dict[ObMethod, int] = {m: 0 for m in ObMethod}
+        self.preemptive_sends = 0
+        self.reorders = 0
+
+    # ------------------------------------------------------------------
+    def _method_for(self, index: int) -> tuple[ObMethod, Granularity]:
+        return self.method_sequence[index % len(self.method_sequence)]
+
+    def _logged_index(self, flow_signature: tuple) -> Optional[int]:
+        return self.flow_log.get(flow_signature)
+
+    def select_and_encode(
+        self, candidates: list["RetransEntry"], cycle: int
+    ) -> Optional[tuple["RetransEntry", int, Optional[ObDescriptor]]]:
+        """Choose the entry to launch and produce its wire data.
+
+        Returns ``None`` to idle the link this cycle (e.g. the only
+        candidate is being reorder-deferred).
+        """
+        for position, entry in enumerate(candidates):
+            advice = entry.ob_advice
+            method_index: Optional[int] = None
+            preemptive = False
+            if advice is not None and advice.enable_obfuscation:
+                self.link_suspicious = True
+                method_index = advice.method_index
+            elif self.link_suspicious:
+                logged = self._logged_index(entry.flit.flow_signature)
+                if logged is not None:
+                    method_index = logged
+                    preemptive = True
+
+            if method_index is None:
+                return entry, entry.flit.data, None
+
+            method, gran = self._method_for(method_index)
+
+            if method is ObMethod.REORDER:
+                # Deprioritize this flit; try the next candidate.
+                entry.defer_until = cycle + self.reorder_window
+                self.reorders += 1
+                continue
+
+            if method is ObMethod.SCRAMBLE:
+                partner = self._pick_partner(candidates, position)
+                if partner is None:
+                    # No partner in the buffer: fall back to the next
+                    # method in the ladder for this send.
+                    method, gran = self._method_for(method_index + 1)
+                    if method in (ObMethod.SCRAMBLE, ObMethod.REORDER):
+                        method, gran = ObMethod.INVERT, Granularity.FULL
+                else:
+                    data = entry.flit.data ^ partner.flit.data
+                    self.obfuscated_sends[ObMethod.SCRAMBLE] += 1
+                    if preemptive:
+                        self.preemptive_sends += 1
+                    desc = ObDescriptor(
+                        ObMethod.SCRAMBLE,
+                        Granularity.FULL,
+                        partner_tag=partner.tag,
+                    )
+                    return entry, data, desc
+
+            data = self.codec.apply(entry.flit.data, method, gran)
+            self.obfuscated_sends[method] += 1
+            if preemptive:
+                self.preemptive_sends += 1
+            return entry, data, ObDescriptor(method, gran)
+        return None
+
+    @staticmethod
+    def _pick_partner(
+        candidates: list["RetransEntry"], position: int
+    ) -> Optional["RetransEntry"]:
+        """A partner must itself be launchable and un-advised (it will
+        traverse the link in the clear after the scrambled word)."""
+        for i, entry in enumerate(candidates):
+            if i == position:
+                continue
+            if entry.ob_advice is None or not entry.ob_advice.enable_obfuscation:
+                return entry
+        return None
+
+    # ------------------------------------------------------------------
+    def record_success(self, flow_signature: tuple, descriptor: ObDescriptor) -> None:
+        """Downstream confirmed this method got the flit across; log it
+        for future flits of the flow (paper Fig. 6, final step)."""
+        try:
+            index = self.method_sequence.index(
+                (descriptor.method, descriptor.granularity)
+            )
+        except ValueError:
+            return
+        self.flow_log.put(flow_signature, index)

@@ -1,0 +1,193 @@
+"""OS-level process migration (paper §IV-B).
+
+"Shrinking the scope may help determine if more aggressive approaches
+need to be taken, such as rerouting packets or **invoking the OS to
+migrate processes from one network region to another** which can be
+used to complement our proposed design."
+
+This module implements that complementary response: once the threat
+detector condemns links, the OS can relocate the victim application's
+processes so their flows no longer traverse the infected region.
+Migration is modelled at the traffic level — a core remapping plus a
+downtime window during which the migrated processes inject nothing
+(architectural state is moving).
+
+The planner is a greedy placement search: victim cores are re-homed,
+nearest-first, onto spare cores whose xy paths to every (remapped) peer
+avoid all condemned links.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.noc.config import NoCConfig
+from repro.noc.flit import Packet
+from repro.noc.network import TrafficSource
+from repro.noc.topology import LinkKey, links_on_xy_path
+
+#: flits of architectural state to copy per migrated process — sets the
+#: downtime the OS pays (cache + register state over the NoC)
+STATE_FLITS_PER_CORE = 256
+
+
+class MigrationError(RuntimeError):
+    """No placement avoids the condemned links."""
+
+
+@dataclass(frozen=True)
+class MigrationPlan:
+    """A core remapping plus its modelled cost."""
+
+    mapping: dict[int, int]
+    condemned: tuple[LinkKey, ...]
+    #: cycles the migrated processes are frozen while state moves
+    downtime_cycles: int
+
+    def remap(self, core: int) -> int:
+        return self.mapping.get(core, core)
+
+    @property
+    def moved_cores(self) -> list[int]:
+        return [c for c, t in self.mapping.items() if c != t]
+
+
+def _path_is_clean(
+    cfg: NoCConfig, src_core: int, dst_core: int, condemned: set[LinkKey]
+) -> bool:
+    src = cfg.router_of_core(src_core)
+    dst = cfg.router_of_core(dst_core)
+    return not any(
+        key in condemned for key in links_on_xy_path(cfg, src, dst)
+    )
+
+
+def plan_migration(
+    cfg: NoCConfig,
+    flows: Sequence[tuple[int, int]],
+    condemned: Iterable[LinkKey],
+    movable_cores: Iterable[int],
+    spare_cores: Iterable[int],
+    state_flits_per_core: int = STATE_FLITS_PER_CORE,
+) -> MigrationPlan:
+    """Place the movable cores so every flow avoids the condemned links.
+
+    ``flows`` are (src_core, dst_core) pairs of the victim application;
+    endpoints not in ``movable_cores`` are pinned (e.g. memory
+    controllers).  Raises :class:`MigrationError` when no placement
+    works.
+    """
+    condemned = set(condemned)
+    movable = list(dict.fromkeys(movable_cores))
+    spares = list(dict.fromkeys(spare_cores))
+    if any(s in movable for s in spares):
+        raise ValueError("spare cores must be disjoint from movable cores")
+
+    # keep cores that already see only clean paths where they are
+    mapping: dict[int, int] = {}
+    order = sorted(
+        movable,
+        key=lambda c: sum(
+            1
+            for s, d in flows
+            if (s == c or d == c)
+            and not _path_is_clean(cfg, s, d, condemned)
+        ),
+        reverse=True,
+    )
+
+    def flows_of(core: int) -> list[tuple[int, int]]:
+        return [(s, d) for s, d in flows if s == core or d == core]
+
+    def placement_ok(core: int, target: int) -> bool:
+        trial = dict(mapping)
+        trial[core] = target
+        for s, d in flows_of(core):
+            rs = trial.get(s, s)
+            rd = trial.get(d, d)
+            if rs == rd:
+                continue
+            if not _path_is_clean(cfg, rs, rd, condemned):
+                return False
+        return True
+
+    used: set[int] = set()
+    for core in order:
+        # staying put is best (no state copy) if all its flows are clean
+        if placement_ok(core, core):
+            mapping[core] = core
+            continue
+        home = cfg.router_of_core(core)
+        candidates = sorted(
+            (s for s in spares if s not in used),
+            key=lambda s: cfg.hop_distance(home, cfg.router_of_core(s)),
+        )
+        for target in candidates:
+            if placement_ok(core, target):
+                mapping[core] = target
+                used.add(target)
+                break
+        else:
+            raise MigrationError(
+                f"no clean placement for core {core} "
+                f"(condemned: {sorted(condemned)})"
+            )
+
+    moved = sum(1 for c, t in mapping.items() if c != t)
+    # state of all moved processes is copied serially over the NoC
+    downtime = moved * state_flits_per_core // max(1, cfg.concentration)
+    return MigrationPlan(
+        mapping=mapping,
+        condemned=tuple(sorted(condemned)),
+        downtime_cycles=downtime,
+    )
+
+
+class MigratedSource(TrafficSource):
+    """Wrap a traffic source with a migration plan.
+
+    Until ``effective_cycle + downtime`` the *moved* processes inject
+    nothing (they are being copied); afterwards all their packets carry
+    remapped endpoints.
+    """
+
+    def __init__(
+        self,
+        inner: TrafficSource,
+        plan: MigrationPlan,
+        effective_cycle: int = 0,
+    ):
+        self.inner = inner
+        self.plan = plan
+        self.effective_cycle = effective_cycle
+        self.packets_dropped_in_downtime = 0
+
+    @property
+    def resume_cycle(self) -> int:
+        return self.effective_cycle + self.plan.downtime_cycles
+
+    def generate(self, cycle: int) -> list[Packet]:
+        packets = self.inner.generate(cycle)
+        if cycle < self.effective_cycle:
+            return packets
+        moved = set(self.plan.moved_cores)
+        out: list[Packet] = []
+        for pkt in packets:
+            involves_moved = pkt.src_core in moved or pkt.dst_core in moved
+            if involves_moved and cycle < self.resume_cycle:
+                # the process is frozen mid-copy: its traffic pauses
+                self.packets_dropped_in_downtime += 1
+                continue
+            if pkt.src_core in self.plan.mapping or pkt.dst_core in self.plan.mapping:
+                pkt = copy.copy(pkt)
+                pkt.src_core = self.plan.remap(pkt.src_core)
+                pkt.dst_core = self.plan.remap(pkt.dst_core)
+                if pkt.src_core == pkt.dst_core:
+                    continue
+            out.append(pkt)
+        return out
+
+    def done(self, cycle: int) -> bool:
+        return self.inner.done(cycle)

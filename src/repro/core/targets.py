@@ -1,0 +1,163 @@
+"""TASP target specifications.
+
+The trojan's *target block* (paper Fig. 3) is a bank of comparators
+"tuned to identify packet information such as source, destination,
+virtual channel (VC), process or thread ID, and memory address in any
+combination or ranges.  To minimize overhead of the target block, only
+a fraction of the link width is compared."
+
+A :class:`TargetSpec` captures which fields are compared and against
+what; its :attr:`compare_width` is the number of wire bits tapped —
+the quantity that drives the trojan's area/power in Table I and Fig. 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.noc.flit import DST_FIELD, MEM_FIELD, SRC_FIELD, TYPE_FIELD, VC_FIELD
+from repro.util.bits import extract_field, mask
+
+
+@dataclass(frozen=True)
+class TargetSpec:
+    """Fields the trojan compares; ``None`` means "don't care".
+
+    ``mem_mask`` restricts the memory-address compare to selected bits,
+    which models the paper's "ranges" (e.g. match a whole page by
+    masking the offset bits).
+    """
+
+    src: Optional[int] = None
+    dst: Optional[int] = None
+    vc: Optional[int] = None
+    mem: Optional[int] = None
+    mem_mask: int = mask(32)
+    #: additionally require the flit-type field to read HEAD/SINGLE.
+    #: Without this gate a narrow comparator aliases on body-flit
+    #: payload bits (the paper's "masking an unintended target" risk) —
+    #: the ablation bench quantifies that trade-off.
+    head_only: bool = False
+
+    def __post_init__(self) -> None:
+        if self.src is not None and not 0 <= self.src < 16:
+            raise ValueError("src target must fit 4 bits")
+        if self.dst is not None and not 0 <= self.dst < 16:
+            raise ValueError("dst target must fit 4 bits")
+        if self.vc is not None and not 0 <= self.vc < 4:
+            raise ValueError("vc target must fit 2 bits")
+        if self.mem is not None and not 0 <= self.mem <= mask(32):
+            raise ValueError("mem target must fit 32 bits")
+        if not 0 <= self.mem_mask <= mask(32):
+            raise ValueError("mem_mask must fit 32 bits")
+        if (
+            self.src is None
+            and self.dst is None
+            and self.vc is None
+            and self.mem is None
+        ):
+            raise ValueError("target must compare at least one field")
+
+    # -- constructors matching the paper's variants ----------------------
+    @classmethod
+    def for_src(cls, src: int) -> "TargetSpec":
+        return cls(src=src)
+
+    @classmethod
+    def for_dest(cls, dst: int) -> "TargetSpec":
+        return cls(dst=dst)
+
+    @classmethod
+    def for_dest_src(cls, src: int, dst: int) -> "TargetSpec":
+        return cls(src=src, dst=dst)
+
+    @classmethod
+    def for_vc(cls, vc: int) -> "TargetSpec":
+        return cls(vc=vc)
+
+    @classmethod
+    def for_mem(cls, mem: int, mem_mask: int = mask(32)) -> "TargetSpec":
+        return cls(mem=mem, mem_mask=mem_mask)
+
+    @classmethod
+    def full(cls, src: int, dst: int, vc: int, mem: int) -> "TargetSpec":
+        return cls(src=src, dst=dst, vc=vc, mem=mem)
+
+    # -- classification ----------------------------------------------------
+    @property
+    def kind(self) -> str:
+        """The paper's variant name for this spec (Table I columns)."""
+        fields = (
+            self.src is not None,
+            self.dst is not None,
+            self.vc is not None,
+            self.mem is not None,
+        )
+        if fields == (True, True, True, True):
+            return "Full"
+        if fields == (True, True, False, False):
+            return "Dest_Src"
+        if fields == (True, False, False, False):
+            return "Src"
+        if fields == (False, True, False, False):
+            return "Dest"
+        if fields == (False, False, True, False):
+            return "VC"
+        if fields == (False, False, False, True):
+            return "Mem"
+        return "Custom"
+
+    @property
+    def compare_width(self) -> int:
+        """Wire bits tapped by the comparator (Table I: full 42, dest 4,
+        src 4, dest_src 8, mem 32, vc 2)."""
+        width = 0
+        if self.src is not None:
+            width += SRC_FIELD[1]
+        if self.dst is not None:
+            width += DST_FIELD[1]
+        if self.vc is not None:
+            width += VC_FIELD[1]
+        if self.mem is not None:
+            width += bin(self.mem_mask).count("1")
+        if self.head_only:
+            width += TYPE_FIELD[1]
+        return width
+
+    # -- matching -------------------------------------------------------------
+    def matches(self, wire_image: int) -> bool:
+        """Deep-packet-inspect a 64-bit wire image.
+
+        The trojan taps raw link wires, so a body flit's payload bits are
+        compared exactly as header bits would be — accidental triggers on
+        payload data are possible by design.
+        """
+        if self.head_only:
+            ftype = extract_field(wire_image, *TYPE_FIELD)
+            if ftype not in (0, 3):  # FlitType.HEAD / FlitType.SINGLE
+                return False
+        if self.src is not None and extract_field(wire_image, *SRC_FIELD) != self.src:
+            return False
+        if self.dst is not None and extract_field(wire_image, *DST_FIELD) != self.dst:
+            return False
+        if self.vc is not None and extract_field(wire_image, *VC_FIELD) != self.vc:
+            return False
+        if self.mem is not None:
+            got = extract_field(wire_image, *MEM_FIELD) & self.mem_mask
+            if got != self.mem & self.mem_mask:
+                return False
+        return True
+
+    def random_match_probability(self) -> float:
+        """Probability a uniform random word matches — the accidental
+        trigger rate on body flits and BIST patterns (ablation input).
+
+        The head-only gate compares 2 type bits but accepts two of the
+        four values (HEAD and SINGLE), so it contributes a factor of
+        1/2 rather than 1/4.
+        """
+        p = 2.0 ** (-self.compare_width)
+        if self.head_only:
+            p *= 2.0  # two accepted type encodings
+        return p

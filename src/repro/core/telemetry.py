@@ -1,0 +1,138 @@
+"""Chip-level security telemetry.
+
+Aggregates every per-link threat detector and L-Ob encoder into one
+security posture report — what a runtime monitor (or the OS deciding
+between L-Ob, rerouting and migration) would consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.detector import LinkVerdict
+from repro.core.lob import ObMethod
+from repro.core.mitigation import DetectingReceiver
+from repro.noc.network import Network
+from repro.noc.topology import LinkKey
+
+
+@dataclass(frozen=True)
+class LinkSecurityStatus:
+    """One link's security posture."""
+
+    link: LinkKey
+    verdict: LinkVerdict
+    faults_observed: int
+    obfuscation_successes: int
+    bist_scans: int
+    #: corrupted traversals seen on the wire (ground truth the monitor
+    #: does not have in hardware; exposed for evaluation)
+    corrupted_traversals: int
+
+
+@dataclass(frozen=True)
+class SecurityReport:
+    """Chip-wide aggregate."""
+
+    links: dict[LinkKey, LinkSecurityStatus]
+    obfuscated_sends: dict[ObMethod, int]
+    preemptive_sends: int
+
+    @property
+    def suspicious_links(self) -> list[LinkKey]:
+        return sorted(
+            key
+            for key, status in self.links.items()
+            if status.verdict in (LinkVerdict.TROJAN, LinkVerdict.PERMANENT)
+        )
+
+    @property
+    def trojan_links(self) -> list[LinkKey]:
+        return sorted(
+            key
+            for key, status in self.links.items()
+            if status.verdict is LinkVerdict.TROJAN
+        )
+
+    @property
+    def permanent_links(self) -> list[LinkKey]:
+        return sorted(
+            key
+            for key, status in self.links.items()
+            if status.verdict is LinkVerdict.PERMANENT
+        )
+
+    @property
+    def total_faults(self) -> int:
+        return sum(s.faults_observed for s in self.links.values())
+
+    def summary(self) -> str:
+        lines = [
+            f"security report: {len(self.links)} monitored links, "
+            f"{self.total_faults} faults observed",
+        ]
+        for key in self.suspicious_links:
+            status = self.links[key]
+            lines.append(
+                f"  link {key[0]:2d}->{key[1].name:5s}: "
+                f"{status.verdict.value:9s} "
+                f"({status.faults_observed} faults, "
+                f"{status.obfuscation_successes} obfuscation successes, "
+                f"{status.bist_scans} BIST scans)"
+            )
+        if not self.suspicious_links:
+            lines.append("  no condemned links")
+        ob_total = sum(self.obfuscated_sends.values())
+        if ob_total:
+            methods = ", ".join(
+                f"{m.value}={n}"
+                for m, n in self.obfuscated_sends.items()
+                if n
+            )
+            lines.append(
+                f"  L-Ob traffic: {ob_total} obfuscated sends "
+                f"({methods}); {self.preemptive_sends} preemptive"
+            )
+        return "\n".join(lines)
+
+
+def security_report(network: Network) -> SecurityReport:
+    """Collect the posture of a mitigated network.
+
+    Raises ``ValueError`` when the network has no threat detectors
+    (built without :func:`repro.core.build_mitigated_network`).
+    """
+    links: dict[LinkKey, LinkSecurityStatus] = {}
+    ob_sends: dict[ObMethod, int] = {m: 0 for m in ObMethod}
+    preemptive = 0
+    saw_detector = False
+    for key, link in network.links.items():
+        receiver = network.receiver_of(key)
+        if not isinstance(receiver, DetectingReceiver):
+            continue
+        saw_detector = True
+        detector = receiver.detector
+        links[key] = LinkSecurityStatus(
+            link=key,
+            verdict=detector.verdict,
+            faults_observed=detector.faults_observed,
+            obfuscation_successes=detector.obfuscation_successes,
+            bist_scans=detector.bist_scans,
+            corrupted_traversals=link.corrupted_traversals,
+        )
+        lob = network.output_port_of(key).lob
+        if lob is not None:
+            for method, count in lob.obfuscated_sends.items():
+                ob_sends[method] += count
+            preemptive += lob.preemptive_sends
+    if not saw_detector:
+        raise ValueError(
+            "network has no threat detectors; build it with "
+            "build_mitigated_network()"
+        )
+    return SecurityReport(
+        links=links,
+        obfuscated_sends=ob_sends,
+        preemptive_sends=preemptive,
+    )

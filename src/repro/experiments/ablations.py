@@ -1,0 +1,341 @@
+"""Ablations over the design choices the paper discusses (§III/§IV).
+
+1. **Target width vs stealth** — a narrower comparator is cheaper but
+   aliases on body-flit payloads and BIST patterns ("masking an
+   unintended target"): we measure accidental-trigger rates.
+2. **Payload-counter states vs disguise** — more payload states spread
+   the injected faults over more wire pairs, making the trojan look
+   more like transients (distinct syndromes) at a flip-flop cost.
+3. **Retransmission-buffer depth vs deadlock onset** — deeper buffers
+   only delay the pinch: we measure cycles until the infected output
+   port stalls.
+4. **Obfuscation-method effectiveness** — which L-Ob methods actually
+   stop TASP (reorder does not: it shifts timing, not content).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.core import (
+    Granularity,
+    MitigationConfig,
+    ObMethod,
+    TargetSpec,
+    TaspConfig,
+    TaspTrojan,
+    build_mitigated_network,
+)
+from repro.ecc import SECDED_72_64
+from repro.experiments.common import format_table
+from repro.noc.config import NoCConfig, PAPER_CONFIG
+from repro.noc.flit import Packet
+from repro.noc.network import Network
+from repro.noc.topology import Direction
+from repro.power import tasp_budget
+from repro.util.rng import SeededStream
+
+INFECTED = (0, Direction.EAST)
+
+
+# ----------------------------------------------------------------------
+# 1. target width vs accidental triggers
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TargetWidthPoint:
+    kind: str
+    compare_width: int
+    area_um2: float
+    #: measured accidental trigger rate on random body-flit payloads
+    accidental_trigger_rate: float
+    #: analytic rate (2^-width)
+    predicted_rate: float
+
+
+def target_width_ablation(
+    samples: int = 20000, seed: int = 0
+) -> list[TargetWidthPoint]:
+    stream = SeededStream(seed, "ablation-width")
+    specs = {
+        "VC": TargetSpec.for_vc(2),
+        "Dest": TargetSpec.for_dest(15),
+        "Dest_Src": TargetSpec.for_dest_src(3, 15),
+        "Dest+VC(head)": TargetSpec(dst=15, vc=2, head_only=True),
+        "Mem": TargetSpec.for_mem(0x1234_5678),
+        "Full": TargetSpec.full(3, 15, 2, 0x1234_5678),
+    }
+    points = []
+    for kind, spec in specs.items():
+        hits = sum(
+            1 for _ in range(samples) if spec.matches(stream.bits(64))
+        )
+        points.append(
+            TargetWidthPoint(
+                kind=kind,
+                compare_width=spec.compare_width,
+                area_um2=tasp_budget(spec).area_um2,
+                accidental_trigger_rate=hits / samples,
+                predicted_rate=spec.random_match_probability(),
+            )
+        )
+    return points
+
+
+# ----------------------------------------------------------------------
+# 2. payload states vs fault diversity
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PayloadStatePoint:
+    num_states: int
+    distinct_syndromes: int
+    area_um2: float
+
+
+def payload_state_ablation(
+    state_counts=(1, 2, 4, 8, 16), seed: int = 0
+) -> list[PayloadStatePoint]:
+    from repro.noc.flit import FlitType, pack_header
+
+    word = pack_header(0, 15, 0, 0x100, FlitType.SINGLE, 1)
+    cw = SECDED_72_64.encode(word)
+    points = []
+    for n in state_counts:
+        cfg = TaspConfig(y_bits=8, num_payload_states=n, seed=seed)
+        trojan = TaspTrojan(TargetSpec.for_dest(15), cfg)
+        trojan.enable()
+        syndromes = set()
+        for i in range(4 * n):
+            corrupted = trojan.tamper(cw, i)
+            syndromes.add(SECDED_72_64.decode(corrupted).syndrome)
+        points.append(
+            PayloadStatePoint(
+                num_states=n,
+                distinct_syndromes=len(syndromes),
+                area_um2=tasp_budget(TargetSpec.for_dest(15), cfg).area_um2,
+            )
+        )
+    return points
+
+
+# ----------------------------------------------------------------------
+# 3. retransmission depth vs deadlock onset
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RetransDepthPoint:
+    depth: int
+    #: cycles after enable until the infected output port stalls
+    cycles_to_port_stall: int
+
+
+def retrans_depth_ablation(
+    depths=(2, 4, 8, 16), max_cycles: int = 4000, seed: int = 0
+) -> list[RetransDepthPoint]:
+    points = []
+    for depth in depths:
+        cfg = dataclasses.replace(PAPER_CONFIG, retrans_depth=depth)
+        net = Network(cfg)
+        trojan = TaspTrojan(TargetSpec.for_dest(15))
+        trojan.enable()
+        net.attach_tamperer(INFECTED, trojan)
+        for pid in range(80):
+            net.add_packet(
+                Packet(pkt_id=pid, src_core=0, dst_core=63,
+                       vc_class=pid % 4, created_cycle=0)
+            )
+        stall_at = max_cycles
+        out = net.output_port_of(INFECTED)
+        for _ in range(max_cycles):
+            net.step()
+            if out.is_blocked(net.cycle):
+                stall_at = net.cycle
+                break
+        points.append(
+            RetransDepthPoint(depth=depth, cycles_to_port_stall=stall_at)
+        )
+    return points
+
+
+# ----------------------------------------------------------------------
+# 4. obfuscation-method effectiveness
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class MethodPoint:
+    method: str
+    granularity: str
+    packets_delivered: int
+    packets_offered: int
+
+    @property
+    def effective(self) -> bool:
+        return self.packets_delivered == self.packets_offered
+
+
+def method_effectiveness_ablation(
+    packets: int = 10, max_cycles: int = 6000, seed: int = 0
+) -> list[MethodPoint]:
+    ladder = [
+        (ObMethod.INVERT, Granularity.FULL),
+        (ObMethod.INVERT, Granularity.HEADER),
+        (ObMethod.INVERT, Granularity.PAYLOAD),
+        (ObMethod.SHUFFLE, Granularity.FULL),
+        (ObMethod.SHUFFLE, Granularity.HEADER),
+        (ObMethod.SCRAMBLE, Granularity.FULL),
+        (ObMethod.REORDER, Granularity.FULL),
+    ]
+    points = []
+    for method, gran in ladder:
+        mcfg = MitigationConfig(method_sequence=((method, gran),))
+        net = build_mitigated_network(PAPER_CONFIG, mcfg)
+        trojan = TaspTrojan(TargetSpec.for_dest(15))
+        trojan.enable()
+        net.attach_tamperer(INFECTED, trojan)
+        for pid in range(packets):
+            net.add_packet(
+                Packet(pkt_id=pid, src_core=0, dst_core=63,
+                       vc_class=pid % 4, mem_addr=0x77,
+                       payload=[0xAAAA], created_cycle=0)
+            )
+        net.run_until_drained(max_cycles, stall_limit=1200)
+        points.append(
+            MethodPoint(
+                method=method.value,
+                granularity=gran.value,
+                packets_delivered=net.stats.packets_completed,
+                packets_offered=packets,
+            )
+        )
+    return points
+
+
+# ----------------------------------------------------------------------
+# 5. payload weight: why the attacker flips exactly two bits
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PayloadWeightPoint:
+    """Outcome of a targeted flow under a trojan flipping ``weight``
+    bits per trigger (paper Fig. 2 discussion: 1 flip is corrected, 2
+    flips farm retransmissions, 3+ flips risk silent miscorrection)."""
+
+    weight: int
+    packets_delivered: int
+    packets_offered: int
+    misdeliveries: int
+    corrected_faults: int
+    detected_faults: int
+    deadlocked: bool
+
+
+def payload_weight_ablation(
+    weights=(1, 2, 3), packets: int = 12, max_cycles: int = 5000,
+    seed: int = 0,
+) -> list[PayloadWeightPoint]:
+    points = []
+    for weight in weights:
+        net = Network(PAPER_CONFIG)
+        trojan = TaspTrojan(
+            TargetSpec.for_dest(15),
+            TaspConfig(payload_weight=weight, num_payload_states=4,
+                       seed=seed),
+        )
+        trojan.enable()
+        net.attach_tamperer(INFECTED, trojan)
+        for pid in range(packets):
+            net.add_packet(
+                Packet(pkt_id=pid, src_core=0, dst_core=63,
+                       vc_class=pid % 4, mem_addr=0x55, created_cycle=0)
+            )
+        drained = net.run_until_drained(max_cycles, stall_limit=1200)
+        receiver = net.receiver_of(INFECTED)
+        points.append(
+            PayloadWeightPoint(
+                weight=weight,
+                packets_delivered=net.stats.packets_completed,
+                packets_offered=packets,
+                misdeliveries=net.stats.misdeliveries,
+                corrected_faults=receiver.flits_corrected,
+                detected_faults=receiver.faults_detected,
+                deadlocked=not drained,
+            )
+        )
+    return points
+
+
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class AblationResult:
+    target_width: list[TargetWidthPoint]
+    payload_states: list[PayloadStatePoint]
+    retrans_depth: list[RetransDepthPoint]
+    methods: list[MethodPoint]
+    payload_weight: list[PayloadWeightPoint]
+
+
+def run(seed: int = 0) -> AblationResult:
+    return AblationResult(
+        target_width=target_width_ablation(seed=seed),
+        payload_states=payload_state_ablation(seed=seed),
+        retrans_depth=retrans_depth_ablation(seed=seed),
+        methods=method_effectiveness_ablation(seed=seed),
+        payload_weight=payload_weight_ablation(seed=seed),
+    )
+
+
+def format_result(result: AblationResult) -> str:
+    lines = ["Ablations", "", "1. target width vs accidental triggers:"]
+    lines.append(format_table(
+        ["target", "bits", "area um2", "measured alias rate", "2^-k"],
+        [
+            [p.kind, p.compare_width, f"{p.area_um2:.1f}",
+             f"{p.accidental_trigger_rate:.5f}", f"{p.predicted_rate:.5f}"]
+            for p in result.target_width
+        ],
+    ))
+    lines.append("")
+    lines.append("2. payload states vs fault-position diversity:")
+    lines.append(format_table(
+        ["states", "distinct syndromes", "area um2"],
+        [
+            [p.num_states, p.distinct_syndromes, f"{p.area_um2:.1f}"]
+            for p in result.payload_states
+        ],
+    ))
+    lines.append("")
+    lines.append("3. retransmission-buffer depth vs port-stall onset:")
+    lines.append(format_table(
+        ["depth", "cycles to stall"],
+        [[p.depth, p.cycles_to_port_stall] for p in result.retrans_depth],
+    ))
+    lines.append("")
+    lines.append("4. obfuscation-method effectiveness vs TASP:")
+    lines.append(format_table(
+        ["method", "granularity", "delivered", "effective"],
+        [
+            [p.method, p.granularity,
+             f"{p.packets_delivered}/{p.packets_offered}",
+             "yes" if p.effective else "NO"]
+            for p in result.methods
+        ],
+    ))
+    lines.append("")
+    lines.append("5. payload weight (why the attacker flips exactly 2 bits):")
+    lines.append(format_table(
+        ["weight", "delivered", "misdelivered", "corrected", "detected",
+         "outcome"],
+        [
+            [p.weight,
+             f"{p.packets_delivered}/{p.packets_offered}",
+             p.misdeliveries, p.corrected_faults, p.detected_faults,
+             ("deadlock (DoS)" if p.deadlocked
+              else "silent corruption" if p.misdeliveries
+              else "absorbed by ECC")]
+            for p in result.payload_weight
+        ],
+    ))
+    return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""Structured export of experiment results.
+
+Every experiment returns a (nested) dataclass; :func:`to_jsonable`
+walks it into plain JSON types so results can be archived, diffed
+across runs, or plotted elsewhere.  Enum values become their names,
+mesh directions become strings, and dict keys that are tuples (link
+keys) are flattened to ``"router->DIRECTION"`` strings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.noc.topology import Direction
+
+
+def _key_to_str(key: Any) -> str:
+    if isinstance(key, tuple):
+        return "->".join(_key_to_str(k) for k in key)
+    if isinstance(key, enum.Enum):
+        return key.name
+    return str(key)
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert an experiment result to JSON-safe types."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: to_jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return value.name
+    if isinstance(value, dict):
+        return {_key_to_str(k): to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    # last resort: a readable representation (e.g. Flit in a trace)
+    return repr(value)
+
+
+def save_result(result: Any, path: str | Path, experiment: str = "") -> Path:
+    """Serialize a result to a JSON file; returns the path written."""
+    path = Path(path)
+    payload = {
+        "experiment": experiment,
+        "result": to_jsonable(result),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def load_result(path: str | Path) -> dict:
+    """Load a previously saved result (as plain dicts/lists)."""
+    return json.loads(Path(path).read_text())

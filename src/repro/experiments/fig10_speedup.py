@@ -1,0 +1,146 @@
+"""Fig. 10 — keep using infected links (s2s L-Ob) vs rerouting (Ariadne).
+
+For each application trace and each infected-link percentage, the same
+workload is run twice:
+
+* **L-Ob arm** — trojans sit on the infected links; the mitigated
+  network keeps using them, paying 1–3 cycles per obfuscated traversal;
+* **Rerouting arm** — the infected links are condemned and traffic is
+  rerouted with a reconfigured up*/down* table (Ariadne-style), paying
+  extra hops and lost path diversity on every packet.
+
+Speedup is the ratio of workload completion times (reroute / L-Ob):
+above 1.0 means continuing to use the infected link wins.  The paper
+shows the advantage growing with the infected percentage.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.baselines.reroute import apply_rerouting, updown_table
+from repro.core import TargetSpec, build_mitigated_network
+from repro.experiments.common import (
+    attach_trojans,
+    format_table,
+    make_app_trace,
+    pick_infected_links,
+    run_to_completion,
+)
+from repro.noc.config import NoCConfig, PAPER_CONFIG
+from repro.noc.network import Network
+from repro.traffic.apps import PROFILES
+from repro.traffic.trace import TraceReplaySource
+
+DEFAULT_APPS = ("blackscholes", "facesim", "ferret", "fft")
+DEFAULT_FRACTIONS = (0.0, 0.05, 0.10, 0.15)
+
+
+@dataclass(frozen=True)
+class Fig10Point:
+    app: str
+    infected_fraction: float
+    infected_links: int
+    lob_cycles: int
+    reroute_cycles: int
+    lob_completed: bool
+    reroute_completed: bool
+
+    @property
+    def speedup(self) -> float:
+        """Completion-time ratio: >1 means L-Ob beats rerouting."""
+        return self.reroute_cycles / self.lob_cycles
+
+
+@dataclass(frozen=True)
+class Fig10Result:
+    points: list[Fig10Point]
+    trace_packets: dict[str, int]
+
+    def series(self, app: str) -> list[Fig10Point]:
+        return [p for p in self.points if p.app == app]
+
+
+def run(
+    cfg: NoCConfig = PAPER_CONFIG,
+    apps: Sequence[str] = DEFAULT_APPS,
+    fractions: Sequence[float] = DEFAULT_FRACTIONS,
+    duration: int = 500,
+    rate_scale: float = 8.0,
+    seed: int = 0,
+    max_cycles: int = 30000,
+) -> Fig10Result:
+    """``rate_scale`` multiplies the profile injection rates so the
+    workload is throughput-bound (completion time then measures network
+    capacity, which is what the two mitigations trade off)."""
+    points: list[Fig10Point] = []
+    trace_packets: dict[str, int] = {}
+    table_cfg = dataclasses.replace(cfg, routing="table")
+
+    for app in apps:
+        profile = dataclasses.replace(
+            PROFILES[app],
+            injection_rate=PROFILES[app].injection_rate * rate_scale,
+        )
+        trace = make_app_trace(cfg, profile, duration, seed=seed)
+        trace_packets[app] = len(trace)
+        # the attacker targets the application's primary router
+        target = TargetSpec.for_dest(profile.primary_routers[0][0])
+
+        for fraction in fractions:
+            count = round(fraction * cfg.num_links)
+            links = pick_infected_links(cfg, trace, count, seed=seed)
+
+            # -- L-Ob arm: keep using the infected links -----------------
+            lob_net = build_mitigated_network(cfg)
+            attach_trojans(lob_net, links, target)
+            lob_net.set_traffic(TraceReplaySource(trace))
+            lob = run_to_completion(lob_net, max_cycles)
+
+            # -- Rerouting arm: condemn the links ------------------------
+            if count == 0:
+                rr_net = Network(cfg)  # nothing failed: xy baseline
+            else:
+                rr_net = Network(
+                    table_cfg, routing_table=updown_table(cfg, links)
+                )
+                apply_rerouting(rr_net, links)
+            attach_trojans(rr_net, links, target)  # disabled links: inert
+            rr_net.set_traffic(TraceReplaySource(trace))
+            rr = run_to_completion(rr_net, max_cycles)
+
+            points.append(
+                Fig10Point(
+                    app=app,
+                    infected_fraction=fraction,
+                    infected_links=count,
+                    lob_cycles=lob.cycles,
+                    reroute_cycles=rr.cycles,
+                    lob_completed=lob.completed,
+                    reroute_completed=rr.completed,
+                )
+            )
+    return Fig10Result(points=points, trace_packets=trace_packets)
+
+
+def format_result(result: Fig10Result) -> str:
+    headers = [
+        "app", "infected", "links", "L-Ob cycles", "reroute cycles",
+        "speedup (L-Ob vs reroute)",
+    ]
+    rows = []
+    for p in result.points:
+        rows.append([
+            p.app,
+            f"{100 * p.infected_fraction:.0f}%",
+            p.infected_links,
+            f"{p.lob_cycles}{'' if p.lob_completed else ' (!)'} ",
+            f"{p.reroute_cycles}{'' if p.reroute_completed else ' (!)'}",
+            f"{p.speedup:.2f}x",
+        ])
+    return (
+        "Fig. 10 — workload completion: s2s L-Ob vs rerouting (Ariadne)\n"
+        + format_table(headers, rows)
+    )

@@ -1,0 +1,182 @@
+"""Fig. 11 — back-pressure build-up from a single TASP trojan.
+
+The scenario of §V-B2: a Blackscholes-like application runs for a
+warm-up period with the trojan dormant; the kill switch is then thrown,
+the trojan starts corrupting the targeted flow, and the retransmission
+storm converts into credit exhaustion and spreading deadlock.  The
+plotted series are buffer utilizations and three router classifications:
+at least one output port blocked, >50 % of a router's cores blocked at
+injection, all cores blocked.
+
+(a) runs with e2e obfuscation installed (which cannot hide the header
+fields the trojan targets — "when e2e obfuscation fails") and no s2s
+mitigation; (b) is the identical network without the trojan.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.baselines.e2e import E2EObfuscator
+from repro.core import TargetSpec, TaspTrojan
+from repro.experiments.common import format_table, xy_link_loads
+from repro.noc.config import NoCConfig, PAPER_CONFIG
+from repro.noc.network import Network
+from repro.noc.stats import Sample
+from repro.noc.topology import Direction, LinkKey
+from repro.traffic.apps import PROFILES, AppTraceSource
+from repro.traffic.trace import record_trace
+
+
+@dataclass(frozen=True)
+class Fig11Series:
+    """One run's sampled time series (cycles relative to TASP enable)."""
+
+    label: str
+    samples: list[Sample]
+
+    def relative(self, enable_cycle: int) -> list[tuple[int, Sample]]:
+        return [(s.cycle - enable_cycle, s) for s in self.samples]
+
+    def peak(self, attr: str) -> int:
+        return max(getattr(s, attr) for s in self.samples) if self.samples else 0
+
+    def first_cycle_reaching(
+        self, attr: str, threshold: int, enable_cycle: int
+    ) -> Optional[int]:
+        for s in self.samples:
+            if s.cycle >= enable_cycle and getattr(s, attr) >= threshold:
+                return s.cycle - enable_cycle
+        return None
+
+
+@dataclass(frozen=True)
+class Fig11Result:
+    attacked: Fig11Series
+    clean: Fig11Series
+    enable_cycle: int
+    trojan_triggers: int
+    infected_link: LinkKey
+    headline: dict
+
+
+def _hot_incoming_link(cfg: NoCConfig, app: str, seed: int) -> LinkKey:
+    """The busiest link feeding the app's primary router."""
+    profile = PROFILES[app]
+    src = AppTraceSource(cfg, profile, seed=seed, duration=400)
+    trace = record_trace(src, cfg, 400, app)
+    loads = xy_link_loads(cfg, trace)
+    primary = profile.primary_routers[0][0]
+    candidates = {
+        key: load
+        for key, load in loads.items()
+        if key[0] != primary  # link INTO the neighborhood
+    }
+    return max(candidates, key=candidates.get)
+
+
+def _run_one(
+    cfg: NoCConfig,
+    app: str,
+    warmup: int,
+    window: int,
+    rate_scale: float,
+    sample_every: int,
+    seed: int,
+    with_trojan: bool,
+) -> tuple[Fig11Series, Optional[TaspTrojan], LinkKey]:
+    profile = dataclasses.replace(
+        PROFILES[app], injection_rate=PROFILES[app].injection_rate * rate_scale
+    )
+    net = Network(cfg, e2e=E2EObfuscator())
+    net.sample_interval = sample_every
+    net.set_traffic(
+        AppTraceSource(cfg, profile, seed=seed, duration=warmup + window)
+    )
+    link = _hot_incoming_link(cfg, app, seed)
+    trojan = None
+    if with_trojan:
+        target_router = PROFILES[app].primary_routers[0][0]
+        trojan = TaspTrojan(TargetSpec.for_dest(target_router))
+        net.attach_tamperer(link, trojan)  # dormant during warm-up
+    net.run(warmup)
+    if trojan is not None:
+        trojan.enable()
+    net.run(window)
+    label = "single active TASP (e2e failed)" if with_trojan else "no HT"
+    return Fig11Series(label, list(net.stats.samples)), trojan, link
+
+
+def run(
+    cfg: NoCConfig = PAPER_CONFIG,
+    app: str = "blackscholes",
+    warmup: int = 1500,
+    window: int = 1500,
+    rate_scale: float = 3.5,
+    sample_every: int = 25,
+    seed: int = 0,
+) -> Fig11Result:
+    attacked, trojan, link = _run_one(
+        cfg, app, warmup, window, rate_scale, sample_every, seed, True
+    )
+    clean, _, _ = _run_one(
+        cfg, app, warmup, window, rate_scale, sample_every, seed, False
+    )
+    half = cfg.num_routers // 2
+    headline = {
+        "peak_blocked_routers": attacked.peak("routers_with_blocked_port"),
+        "peak_blocked_routers_clean": clean.peak("routers_with_blocked_port"),
+        "cycles_to_half_routers_blocked": attacked.first_cycle_reaching(
+            "routers_with_blocked_port", half, warmup
+        ),
+        "peak_all_cores_full": attacked.peak("routers_all_cores_full"),
+        "peak_half_cores_full": attacked.peak("routers_half_cores_full"),
+        "trojan_triggers": trojan.triggers if trojan else 0,
+    }
+    return Fig11Result(
+        attacked=attacked,
+        clean=clean,
+        enable_cycle=warmup,
+        trojan_triggers=trojan.triggers if trojan else 0,
+        infected_link=link,
+        headline=headline,
+    )
+
+
+def format_result(result: Fig11Result) -> str:
+    headers = [
+        "t(rel)", "in-util", "out-util", "inj-util", ">=1 port blk",
+        ">50% cores", "all cores",
+    ]
+
+    def rows_for(series: Fig11Series):
+        rows = []
+        for rel, s in series.relative(result.enable_cycle):
+            if rel < -200 or rel % 100:
+                continue
+            rows.append([
+                rel, s.input_utilization, s.output_utilization,
+                s.injection_utilization, s.routers_with_blocked_port,
+                s.routers_half_cores_full, s.routers_all_cores_full,
+            ])
+        return rows
+
+    lines = [
+        "Fig. 11 — back-pressure from a single TASP "
+        f"(infected link {result.infected_link[0]}->"
+        f"{result.infected_link[1].name}, "
+        f"{result.trojan_triggers} triggers)",
+        "",
+        f"(a) {result.attacked.label}:",
+        format_table(headers, rows_for(result.attacked)),
+        "",
+        f"(b) {result.clean.label}:",
+        format_table(headers, rows_for(result.clean)),
+        "",
+        "headline: " + ", ".join(
+            f"{k}={v}" for k, v in result.headline.items()
+        ),
+    ]
+    return "\n".join(lines)

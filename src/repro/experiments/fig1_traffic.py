@@ -1,0 +1,100 @@
+"""Fig. 1 — Blackscholes traffic distributions on the 64-core NoC.
+
+Three views of the same workload:
+
+(a) router-to-router request matrix (who talks to whom),
+(b) geographic source hot spots (requests sourced per router position),
+(c) percentage of traffic crossing each link (xy-routed, measured on
+    the simulator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import format_table, make_app_trace
+from repro.noc.config import NoCConfig, PAPER_CONFIG
+from repro.noc.network import Network
+from repro.noc.topology import LinkKey
+from repro.traffic.apps import PROFILES
+from repro.traffic.trace import TraceReplaySource
+
+
+@dataclass(frozen=True)
+class Fig1Result:
+    app: str
+    #: (a) matrix[src_router][dst_router] = request packets
+    matrix: list[list[int]]
+    #: (b) packets sourced per router
+    source_counts: list[int]
+    #: (c) share of flit traversals per link (sums to 1)
+    link_share: dict[LinkKey, float]
+    total_packets: int
+
+    @property
+    def primary_router(self) -> int:
+        return max(range(len(self.source_counts)),
+                   key=lambda r: self.source_counts[r])
+
+    def hottest_links(self, count: int = 10) -> list[tuple[LinkKey, float]]:
+        ranked = sorted(
+            self.link_share.items(), key=lambda kv: kv[1], reverse=True
+        )
+        return ranked[:count]
+
+
+def run(
+    cfg: NoCConfig = PAPER_CONFIG,
+    app: str = "blackscholes",
+    duration: int = 1500,
+    seed: int = 0,
+) -> Fig1Result:
+    trace = make_app_trace(cfg, PROFILES[app], duration, seed=seed)
+    matrix = trace.router_matrix(cfg)
+    source_counts = trace.source_counts(cfg)
+
+    # (c) measured on the simulator: replay and count link traversals
+    net = Network(cfg)
+    net.set_traffic(TraceReplaySource(trace))
+    net.run_until_drained(max_cycles=duration * 20)
+    loads = net.link_load()
+    total = sum(loads.values()) or 1
+    link_share = {key: count / total for key, count in loads.items()}
+
+    return Fig1Result(
+        app=app,
+        matrix=matrix,
+        source_counts=source_counts,
+        link_share=link_share,
+        total_packets=len(trace),
+    )
+
+
+def format_result(result: Fig1Result, cfg: NoCConfig = PAPER_CONFIG) -> str:
+    lines = [
+        f"Fig. 1 — {result.app} traffic distribution "
+        f"({result.total_packets} packets)",
+        "",
+        "(a) router-to-router request matrix (rows: src, cols: dst):",
+    ]
+    headers = ["src\\dst"] + [str(d) for d in range(cfg.num_routers)]
+    rows = [
+        [str(s)] + [str(v) for v in row] for s, row in enumerate(result.matrix)
+    ]
+    lines.append(format_table(headers, rows))
+    lines.append("")
+    lines.append("(b) geographic source hot spots (y rows, north at top):")
+    for y in reversed(range(cfg.mesh_height)):
+        row = [
+            f"{result.source_counts[cfg.router_at(x, y)]:6d}"
+            for x in range(cfg.mesh_width)
+        ]
+        lines.append("  " + " ".join(row))
+    lines.append(f"  primary router: {result.primary_router}")
+    lines.append("")
+    lines.append("(c) hottest links by share of flit traversals:")
+    for (router, direction), share in result.hottest_links():
+        lines.append(
+            f"  link {router:2d} -> {direction.name:5s}: {100 * share:5.2f}%"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,135 @@
+"""Fig. 2 — latency-vs-distance signature of each fault type.
+
+The paper's conceptual figure contrasts how a single faulty link shows
+up in latency as a function of hop distance:
+
+* **transient** faults cost an occasional retransmission (1–3 cycles
+  amortized);
+* **permanent** faults force rerouting (+hops for every packet);
+* a **TASP trojan** adds its trojan-defined delay when mitigated with
+  L-Ob — and stalls the flow entirely when not.
+
+We measure all four curves on the simulator with the faulty/infected
+link on the path's first hop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.baselines.reroute import apply_rerouting, updown_table
+from repro.core import TargetSpec, TaspTrojan, build_mitigated_network
+from repro.experiments.common import format_table
+from repro.faults import TransientFaultModel
+from repro.noc.config import NoCConfig, PAPER_CONFIG
+from repro.noc.flit import Packet
+from repro.noc.network import Network
+from repro.noc.topology import Direction
+from repro.util.rng import SeededStream
+
+#: the faulted link: first hop eastwards out of router 0
+FAULT_LINK = (0, Direction.EAST)
+
+#: destination routers at hop distance 1..6 whose xy path crosses it
+DISTANCE_DESTS = {1: 1, 2: 2, 3: 3, 4: 7, 5: 11, 6: 15}
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    #: scenario -> {distance: mean latency}; None = flow never completed
+    curves: dict[str, dict[int, Optional[float]]]
+    packets_per_point: int
+
+
+def _measure(net: Network, dst_router: int, packets: int,
+             spacing: int = 40, max_cycles: int = 6000) -> Optional[float]:
+    cfg = net.cfg
+    for i in range(packets):
+        net.add_packet(
+            Packet(
+                pkt_id=i,
+                src_core=0,
+                dst_core=cfg.core_of(dst_router, 1),
+                mem_addr=0x100,
+                created_cycle=i * spacing,
+            )
+        )
+        net.run(spacing)
+    drained = net.run_until_drained(max_cycles, stall_limit=1500)
+    if not drained or net.stats.packets_completed < packets:
+        return None
+    return net.stats.mean_network_latency()
+
+
+def run(
+    cfg: NoCConfig = PAPER_CONFIG,
+    packets: int = 12,
+    seed: int = 0,
+) -> Fig2Result:
+    curves: dict[str, dict[int, Optional[float]]] = {
+        "clean": {},
+        "transient": {},
+        "permanent (rerouted)": {},
+        "trojan (L-Ob)": {},
+        "trojan (no mitigation)": {},
+    }
+
+    for dist, dst in DISTANCE_DESTS.items():
+        # clean baseline
+        net = Network(cfg)
+        curves["clean"][dist] = _measure(net, dst, packets)
+
+        # transient: occasional double-bit fault -> retransmission
+        net = Network(cfg)
+        net.attach_tamperer(
+            FAULT_LINK,
+            TransientFaultModel(
+                net.codec.codeword_bits, 0.15,
+                SeededStream(seed, "fig2", dist), double_fraction=1.0,
+            ),
+        )
+        curves["transient"][dist] = _measure(net, dst, packets)
+
+        # permanent: the link is dead; reroute around it
+        net = Network(
+            NoCConfig(routing="table"), routing_table=updown_table(cfg, [])
+        )
+        apply_rerouting(net, [FAULT_LINK])
+        curves["permanent (rerouted)"][dist] = _measure(net, dst, packets)
+
+        # trojan with s2s L-Ob: keep using the link at 1-3 cycles cost
+        net = build_mitigated_network(cfg)
+        trojan = TaspTrojan(TargetSpec.for_dest(dst))
+        trojan.enable()
+        net.attach_tamperer(FAULT_LINK, trojan)
+        curves["trojan (L-Ob)"][dist] = _measure(net, dst, packets)
+
+        # trojan without mitigation: the flow stalls
+        net = Network(cfg)
+        trojan = TaspTrojan(TargetSpec.for_dest(dst))
+        trojan.enable()
+        net.attach_tamperer(FAULT_LINK, trojan)
+        curves["trojan (no mitigation)"][dist] = _measure(
+            net, dst, packets, max_cycles=2500
+        )
+
+    return Fig2Result(curves=curves, packets_per_point=packets)
+
+
+def format_result(result: Fig2Result) -> str:
+    dists = sorted(DISTANCE_DESTS)
+    headers = ["scenario"] + [f"d={d}" for d in dists]
+    rows = []
+    for name, curve in result.curves.items():
+        rows.append(
+            [name]
+            + [
+                f"{curve[d]:.1f}" if curve[d] is not None else "stall"
+                for d in dists
+            ]
+        )
+    return (
+        "Fig. 2 — mean network latency (cycles) vs hop distance, "
+        "faulty link on first hop\n" + format_table(headers, rows)
+    )

@@ -1,0 +1,36 @@
+"""Fig. 8 — TASP power/area relative to a router and the whole NoC.
+
+Four pies: router dynamic power, router leakage power, NoC area, and
+NoC dynamic power in the worst case of a TASP on all 48 links.
+"""
+
+from __future__ import annotations
+
+from repro.noc.config import NoCConfig, PAPER_CONFIG
+from repro.power import Fig8Report, fig8_report
+
+
+def run(cfg: NoCConfig = PAPER_CONFIG) -> Fig8Report:
+    return fig8_report(cfg)
+
+
+def _pie(title: str, shares: dict[str, float]) -> list[str]:
+    lines = [title]
+    for name, share in sorted(shares.items(), key=lambda kv: -kv[1]):
+        lines.append(f"  {name:12s} {100 * share:6.2f}%")
+    return lines
+
+
+def format_result(report: Fig8Report) -> str:
+    lines = ["Fig. 8 — TASP overhead pies", ""]
+    lines += _pie("Router dynamic power:", report.router_dynamic_shares)
+    lines.append("")
+    lines += _pie("Router leakage power:", report.router_leakage_shares)
+    lines.append("")
+    lines += _pie("NoC area:", report.noc_area_shares)
+    lines.append("")
+    lines += _pie(
+        "NoC dynamic power (TASP on all 48 links):",
+        report.noc_dynamic_shares_all_links,
+    )
+    return "\n".join(lines)

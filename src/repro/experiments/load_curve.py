@@ -1,0 +1,133 @@
+"""Load-latency curves: the simulator's own validation study.
+
+Every credible NoC simulator must produce the canonical curve — flat
+zero-load latency, a knee, then saturation — and the paper's §III-A
+reasoning about injection rates only makes sense against it.  This
+experiment sweeps offered load under uniform-random traffic for the
+available routing algorithms, reporting latency and delivered
+throughput per point, and doubles as the energy-accounting demo: the
+attack experiment can cite pJ/flit from the same machinery.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.experiments.common import format_table
+from repro.noc.config import NoCConfig, PAPER_CONFIG
+from repro.noc.network import Network
+from repro.power.energy import EnergyReport, energy_report
+from repro.traffic.synthetic import (
+    SyntheticConfig,
+    SyntheticSource,
+    uniform_random,
+)
+
+
+@dataclass(frozen=True)
+class LoadPoint:
+    routing: str
+    #: offered load, packets per core per cycle
+    offered: float
+    mean_latency: Optional[float]
+    p99_latency: Optional[int]
+    #: delivered flits per cycle during the measurement window
+    throughput: float
+    completed_fraction: float
+    energy: EnergyReport
+
+
+@dataclass(frozen=True)
+class LoadCurveResult:
+    points: list[LoadPoint]
+    duration: int
+
+    def series(self, routing: str) -> list[LoadPoint]:
+        return [p for p in self.points if p.routing == routing]
+
+    def saturation_load(
+        self, routing: str, knee_factor: float = 5.0
+    ) -> Optional[float]:
+        """First offered load whose mean latency exceeds ``knee_factor``
+        times the series' zero-load latency (the classic knee)."""
+        series = self.series(routing)
+        if not series or series[0].mean_latency is None:
+            return None
+        base = series[0].mean_latency
+        for p in series:
+            if p.mean_latency is not None and p.mean_latency > knee_factor * base:
+                return p.offered
+        return None
+
+    def sustained_throughput(self, routing: str) -> float:
+        """Peak delivered flits/cycle across the sweep."""
+        return max(p.throughput for p in self.series(routing))
+
+
+def run(
+    cfg: NoCConfig = PAPER_CONFIG,
+    loads: Sequence[float] = (0.005, 0.02, 0.08, 0.15, 0.25),
+    routings: Sequence[str] = ("xy", "west-first"),
+    duration: int = 500,
+    drain_cycles: int = 4000,
+    payload_words: int = 1,
+    seed: int = 0,
+) -> LoadCurveResult:
+    points: list[LoadPoint] = []
+    for routing in routings:
+        net_cfg = dataclasses.replace(cfg, routing=routing)
+        for load in loads:
+            net = Network(net_cfg)
+            net.set_traffic(
+                SyntheticSource(
+                    net_cfg,
+                    uniform_random,
+                    SyntheticConfig(
+                        injection_rate=load,
+                        payload_words=payload_words,
+                        duration=duration,
+                    ),
+                    seed=seed,
+                )
+            )
+            net.run_until_drained(drain_cycles, stall_limit=2000)
+            stats = net.stats
+            completed = (
+                stats.packets_completed / stats.packets_injected
+                if stats.packets_injected
+                else 1.0
+            )
+            points.append(
+                LoadPoint(
+                    routing=routing,
+                    offered=load,
+                    mean_latency=stats.mean_total_latency(),
+                    p99_latency=stats.latency_percentile(0.99),
+                    throughput=stats.flits_ejected / max(1, net.cycle),
+                    completed_fraction=completed,
+                    energy=energy_report(net),
+                )
+            )
+    return LoadCurveResult(points=points, duration=duration)
+
+
+def format_result(result: LoadCurveResult) -> str:
+    headers = ["routing", "offered", "mean lat", "p99 lat", "thr f/cyc",
+               "done", "pJ/flit"]
+    rows = []
+    for p in result.points:
+        rows.append([
+            p.routing,
+            f"{p.offered:.3f}",
+            f"{p.mean_latency:.1f}" if p.mean_latency else "-",
+            p.p99_latency if p.p99_latency is not None else "-",
+            f"{p.throughput:.3f}",
+            f"{100 * p.completed_fraction:.0f}%",
+            f"{p.energy.pj_per_delivered_flit:.1f}",
+        ])
+    return (
+        "Load-latency curves (uniform random traffic)\n"
+        + format_table(headers, rows)
+    )

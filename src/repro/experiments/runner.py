@@ -1,0 +1,99 @@
+"""Command-line entry point for the experiment harness.
+
+Usage::
+
+    python -m repro.experiments.runner list
+    python -m repro.experiments.runner fig11
+    python -m repro.experiments.runner all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    ablations,
+    flood_routing,
+    fig1_traffic,
+    fig2_faults,
+    fig8_overhead,
+    fig10_speedup,
+    fig11_backpressure,
+    fig12_qos,
+    load_curve,
+    table1_tasp,
+    table2_mitigation,
+)
+
+EXPERIMENTS = {
+    "fig1": (fig1_traffic, "Blackscholes traffic distributions"),
+    "fig2": (fig2_faults, "latency vs distance per fault type"),
+    "fig8": (fig8_overhead, "TASP power/area pies"),
+    "fig9": (table1_tasp, "TASP target-variant areas (same data as Table I)"),
+    "fig10": (fig10_speedup, "L-Ob vs rerouting speedup"),
+    "fig11": (fig11_backpressure, "back-pressure build-up under attack"),
+    "fig12": (fig12_qos, "TDM containment vs proposed mitigation"),
+    "table1": (table1_tasp, "TASP variant area/power/timing"),
+    "table2": (table2_mitigation, "mitigation overhead"),
+    "ablations": (ablations, "design-choice ablations"),
+    "flood": (flood_routing, "flood DoS vs routing algorithms; flood vs trojan"),
+    "load": (load_curve, "load-latency curves; xy vs adaptive saturation"),
+}
+
+
+def run_experiment(name: str, json_path: str | None = None) -> str:
+    module, _ = EXPERIMENTS[name]
+    started = time.time()
+    result = module.run()
+    report = module.format_result(result)
+    elapsed = time.time() - started
+    if json_path:
+        from repro.experiments.export import save_result
+
+        save_result(result, json_path, experiment=name)
+        report += f"\n[result saved to {json_path}]"
+    return f"{report}\n\n[{name} completed in {elapsed:.1f}s]"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Reproduce the paper's tables and figures."
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (see 'list'), or 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        help="also save the structured result to this JSON file",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name, (_, desc) in EXPERIMENTS.items():
+            print(f"{name:10s} {desc}")
+        return 0
+
+    if args.experiment == "all":
+        seen = set()
+        for name, (module, _) in EXPERIMENTS.items():
+            if module in seen:
+                continue
+            seen.add(module)
+            print(run_experiment(name))
+            print("\n" + "=" * 72 + "\n")
+        return 0
+
+    if args.experiment not in EXPERIMENTS:
+        print(f"unknown experiment {args.experiment!r}; try 'list'",
+              file=sys.stderr)
+        return 2
+    print(run_experiment(args.experiment, json_path=args.json))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,53 @@
+"""Table I / Fig. 9 — area, power, timing for each TASP target variant.
+
+Fig. 9 is the area column of Table I drawn as a bar chart; both come
+from the same rows here.  The Dest/Src variants are the calibration
+anchors (they match the paper exactly); the others are predictions of
+the structural model, reported next to the published values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.tasp import TaspConfig
+from repro.experiments.common import format_table
+from repro.power import PAPER_TABLE1, VariantRow, table1_rows
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    rows: list[VariantRow]
+
+    def row(self, kind: str) -> VariantRow:
+        return next(r for r in self.rows if r.kind == kind)
+
+
+def run(config: TaspConfig = TaspConfig()) -> Table1Result:
+    return Table1Result(rows=table1_rows(config))
+
+
+def format_result(result: Table1Result) -> str:
+    headers = [
+        "variant", "k(bits)", "area um2", "(paper)", "dyn uW", "(paper)",
+        "leak nW", "(paper)", "t ns", "ok@2GHz",
+    ]
+    rows = []
+    for r in result.rows:
+        paper = PAPER_TABLE1[r.kind]
+        rows.append([
+            r.kind,
+            r.compare_width,
+            f"{r.budget.area_um2:.2f}",
+            f"{paper[0]:.2f}",
+            f"{r.budget.dynamic_uw:.2f}",
+            f"{paper[1]:.2f}",
+            f"{r.budget.leakage_nw:.2f}",
+            f"{paper[2]:.2f}",
+            f"{r.budget.delay_ns:.3f}",
+            "yes" if r.meets_timing else "NO",
+        ])
+    return (
+        "Table I / Fig. 9 — TASP variants (model vs paper)\n"
+        + format_table(headers, rows)
+    )

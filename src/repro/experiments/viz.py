@@ -1,0 +1,130 @@
+"""ASCII mesh visualization.
+
+Terminal-renderable views of the NoC used by the experiment reports and
+examples: a link-load heatmap (Fig. 1c as a picture) and a router
+status grid (the Fig. 11 back-pressure map).
+
+Layout: routers are drawn at their mesh coordinates, north at the top::
+
+    [12]--[13]--[14]--[15]
+      |     |     |     |
+    [ 8]--[ 9]--[10]--[11]
+      ...
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Optional
+
+from repro.noc.config import NoCConfig
+from repro.noc.network import Network
+from repro.noc.topology import Direction, LinkKey
+
+#: glyph ramp from idle to saturated
+HEAT_RAMP = " .:-=+*#%@"
+
+
+def _heat_glyph(value: float, peak: float) -> str:
+    if peak <= 0:
+        return HEAT_RAMP[0]
+    idx = min(len(HEAT_RAMP) - 1, int(value / peak * (len(HEAT_RAMP) - 1)))
+    return HEAT_RAMP[idx]
+
+
+def render_link_heatmap(
+    cfg: NoCConfig,
+    loads: Mapping[LinkKey, float],
+    title: str = "link load",
+) -> str:
+    """Draw the mesh with each link's glyph scaled to its load.
+
+    Horizontal links show the eastbound load left of the westbound one
+    (``>g1 <g2``); vertical links stack northbound over southbound.
+    """
+    peak = max(loads.values(), default=0.0)
+
+    def h_seg(router: int) -> str:
+        east = loads.get((router, Direction.EAST), 0.0)
+        west_src = router + 1
+        west = loads.get((west_src, Direction.WEST), 0.0)
+        return f">{_heat_glyph(east, peak)}<{_heat_glyph(west, peak)}"
+
+    def v_seg(router: int) -> str:
+        north = loads.get((router, Direction.NORTH), 0.0)
+        south_src = router + cfg.mesh_width
+        south = loads.get((south_src, Direction.SOUTH), 0.0)
+        return f"^{_heat_glyph(north, peak)}v{_heat_glyph(south, peak)}"
+
+    lines = [f"{title} (peak={peak:.4g}, ramp '{HEAT_RAMP}')"]
+    for y in reversed(range(cfg.mesh_height)):
+        row = []
+        for x in range(cfg.mesh_width):
+            router = cfg.router_at(x, y)
+            row.append(f"[{router:2d}]")
+            if x < cfg.mesh_width - 1:
+                row.append(h_seg(router))
+        lines.append(" ".join(row))
+        if y > 0:
+            vrow = []
+            for x in range(cfg.mesh_width):
+                below = cfg.router_at(x, y - 1)
+                vrow.append(f" {v_seg(below)}")
+            lines.append("  ".join(vrow))
+    return "\n".join(lines)
+
+
+def render_router_grid(
+    cfg: NoCConfig,
+    classify: Callable[[int], str],
+    title: str = "router status",
+    legend: Optional[str] = None,
+) -> str:
+    """Draw the mesh with one glyph per router from ``classify(rid)``."""
+    lines = [title]
+    for y in reversed(range(cfg.mesh_height)):
+        row = []
+        for x in range(cfg.mesh_width):
+            rid = cfg.router_at(x, y)
+            row.append(f"[{classify(rid):^3s}]")
+        lines.append(" ".join(row))
+    if legend:
+        lines.append(legend)
+    return "\n".join(lines)
+
+
+def render_backpressure_map(net: Network, title: str = "") -> str:
+    """The Fig. 11 view of a live network: per-router blockage state."""
+    cfg = net.cfg
+
+    def classify(rid: int) -> str:
+        router = net.routers[rid]
+        cores = [
+            cfg.core_of(rid, local) for local in range(cfg.concentration)
+        ]
+        full = sum(1 for core in cores if net.core_blocked(core))
+        if full == cfg.concentration:
+            return "XXX"
+        if router.any_output_blocked(net.cycle):
+            return " ! "
+        if full > cfg.concentration / 2:
+            return " x "
+        return " . "
+
+    return render_router_grid(
+        cfg,
+        classify,
+        title or f"back pressure @ cycle {net.cycle}",
+        legend=(
+            "legend: '.' healthy  'x' >50% cores blocked  "
+            "'!' output port stalled  'XXX' all cores blocked"
+        ),
+    )
+
+
+def render_network_link_heatmap(net: Network, title: str = "") -> str:
+    """Heatmap of measured link traversals on a live network."""
+    return render_link_heatmap(
+        net.cfg,
+        {k: float(v) for k, v in net.link_load().items()},
+        title or f"link traversals @ cycle {net.cycle}",
+    )

@@ -1,0 +1,31 @@
+"""Fault substrate: the three ways link bits go wrong (paper Fig. 2).
+
+* :class:`TransientFaultModel` — soft errors: rare, randomly-placed
+  single (occasionally multi) bit flips.
+* :class:`PermanentFault` — stuck-at wires that corrupt every traversal
+  whose payload disagrees with the stuck value.
+* Hardware-trojan faults are injected by :class:`repro.core.tasp.TaspTrojan`,
+  which implements the same :class:`LinkTamperer` interface.
+
+:class:`repro.faults.bist.BistScanner` probes a link with test patterns to
+tell permanent faults apart from trojans (trojans are target-activated and
+move their fault positions, so scans come back clean or inconsistent).
+"""
+
+from repro.faults.models import (
+    LinkTamperer,
+    PermanentFault,
+    StuckAtKind,
+    TransientFaultModel,
+)
+from repro.faults.bist import BistReport, BistScanner, BistVerdict
+
+__all__ = [
+    "LinkTamperer",
+    "PermanentFault",
+    "StuckAtKind",
+    "TransientFaultModel",
+    "BistReport",
+    "BistScanner",
+    "BistVerdict",
+]

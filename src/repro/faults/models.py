@@ -1,0 +1,155 @@
+"""Link fault models.
+
+Every entity that can corrupt bits in flight — soft-error processes,
+stuck-at wires and the TASP trojan itself — implements the
+:class:`LinkTamperer` protocol and is attached to a
+:class:`repro.noc.link.Link`.  At launch time the link folds the tamper
+chain over the outgoing codeword, so faults compose (a trojan can coexist
+with background transient noise, which is exactly the camouflage TASP
+relies on).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Protocol, runtime_checkable
+
+from repro.util.bits import mask
+from repro.util.rng import SeededStream
+
+
+@runtime_checkable
+class LinkTamperer(Protocol):
+    """Anything that may alter a codeword crossing a link."""
+
+    def tamper(self, codeword: int, cycle: int) -> int:
+        """Return the (possibly corrupted) codeword seen downstream."""
+        ...
+
+
+class TransientFaultModel:
+    """Memoryless soft-error process on one link.
+
+    Parameters
+    ----------
+    width:
+        Codeword width in bits (fault positions are uniform over it).
+    flip_probability:
+        Per-traversal probability that at least one bit flips.
+    double_fraction:
+        Conditional probability that a fault event flips two bits instead
+        of one (two flips defeat SECDED and force a retransmission, just
+        like the trojan — which is why the threat detector needs history,
+        not a single observation, to tell them apart).
+    stream:
+        Seeded random stream.
+    """
+
+    __slots__ = ("width", "flip_probability", "double_fraction", "_stream",
+                 "events", "bits_flipped")
+
+    def __init__(
+        self,
+        width: int,
+        flip_probability: float,
+        stream: SeededStream,
+        double_fraction: float = 0.05,
+    ):
+        if not 0.0 <= flip_probability <= 1.0:
+            raise ValueError("flip_probability must be in [0, 1]")
+        if not 0.0 <= double_fraction <= 1.0:
+            raise ValueError("double_fraction must be in [0, 1]")
+        self.width = width
+        self.flip_probability = flip_probability
+        self.double_fraction = double_fraction
+        self._stream = stream
+        self.events = 0
+        self.bits_flipped = 0
+
+    def tamper(self, codeword: int, cycle: int) -> int:
+        if not self._stream.chance(self.flip_probability):
+            return codeword
+        self.events += 1
+        flips = 2 if self._stream.chance(self.double_fraction) else 1
+        fault = 0
+        while fault.bit_count() < flips:
+            fault |= 1 << self._stream.randint(0, self.width - 1)
+        self.bits_flipped += fault.bit_count()
+        return codeword ^ fault
+
+
+class StuckAtKind(enum.Enum):
+    ZERO = 0
+    ONE = 1
+
+
+class PermanentFault:
+    """Stuck-at fault on one or more wires of a link.
+
+    A stuck wire always presents the stuck value downstream; it corrupts
+    a traversal only when the transmitted bit disagrees, which is why the
+    paper's BIST uses complementary test patterns (walking ones *and*
+    zeros) to expose both polarities.
+    """
+
+    __slots__ = ("width", "stuck_mask", "stuck_value", "activations")
+
+    def __init__(self, width: int, positions: dict[int, StuckAtKind]):
+        if not positions:
+            raise ValueError("need at least one stuck position")
+        stuck_mask = 0
+        stuck_value = 0
+        for pos, kind in positions.items():
+            if not 0 <= pos < width:
+                raise ValueError(f"stuck position {pos} outside link width")
+            stuck_mask |= 1 << pos
+            if kind is StuckAtKind.ONE:
+                stuck_value |= 1 << pos
+        self.width = width
+        self.stuck_mask = stuck_mask
+        self.stuck_value = stuck_value
+        self.activations = 0
+
+    @classmethod
+    def single(
+        cls, width: int, position: int, kind: StuckAtKind = StuckAtKind.ZERO
+    ) -> "PermanentFault":
+        return cls(width, {position: kind})
+
+    def tamper(self, codeword: int, cycle: int) -> int:
+        forced = (codeword & ~self.stuck_mask) | self.stuck_value
+        if forced != codeword:
+            self.activations += 1
+        return forced
+
+    @property
+    def positions(self) -> list[int]:
+        """Stuck wire indices, ascending."""
+        out = []
+        m = self.stuck_mask
+        idx = 0
+        while m:
+            if m & 1:
+                out.append(idx)
+            m >>= 1
+            idx += 1
+        return out
+
+
+class CompositeTamperer:
+    """Apply a sequence of tamperers in order (wire order on the link)."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: list[LinkTamperer]):
+        self.parts = list(parts)
+
+    def tamper(self, codeword: int, cycle: int) -> int:
+        for part in self.parts:
+            codeword = part.tamper(codeword, cycle)
+        return codeword
+
+
+def random_codeword(width: int, stream: SeededStream) -> int:
+    """Uniform test word for BIST random probing."""
+    return stream.bits(width) & mask(width)

@@ -1,0 +1,72 @@
+"""Cycle-accurate NoC simulator substrate.
+
+This package implements the evaluation platform of the paper from
+scratch: a 64-core concentrated 4x4 mesh with 4 VCs/port, 4-deep 64-bit
+VC buffers, a 5-stage router pipeline, xy routing, round-robin
+arbitration, switch-to-switch SECDED links with selective-repeat
+retransmission buffers after the crossbar, and credit-based flow
+control.
+"""
+
+from repro.noc.adaptive import AdaptiveRouting
+from repro.noc.config import NoCConfig, PAPER_CONFIG
+from repro.noc.invariants import InvariantViolation, NetworkValidator
+from repro.noc.tracing import EventKind, FlitTracer, TraceEvent
+from repro.noc.flit import Flit, FlitType, Packet, pack_header, unpack_header
+from repro.noc.link import AckMessage, Link, Transmission
+from repro.noc.network import Network, TrafficSource
+from repro.noc.receiver import EccReceiver
+from repro.noc.retrans import EntryState, NackAdvice, RetransBuffer
+from repro.noc.router import Router, SchedulingPolicy
+from repro.noc.routing import TableRouting, make_route_fn, xy_route, yx_route
+from repro.noc.stats import NetworkStats, PacketRecord, Sample
+from repro.noc.topology import (
+    Direction,
+    OPPOSITE,
+    all_links,
+    link_endpoints,
+    links_on_xy_path,
+    neighbor,
+    neighbors,
+)
+
+__all__ = [
+    "AdaptiveRouting",
+    "InvariantViolation",
+    "NetworkValidator",
+    "EventKind",
+    "FlitTracer",
+    "TraceEvent",
+    "NoCConfig",
+    "PAPER_CONFIG",
+    "Flit",
+    "FlitType",
+    "Packet",
+    "pack_header",
+    "unpack_header",
+    "AckMessage",
+    "Link",
+    "Transmission",
+    "Network",
+    "TrafficSource",
+    "EccReceiver",
+    "EntryState",
+    "NackAdvice",
+    "RetransBuffer",
+    "Router",
+    "SchedulingPolicy",
+    "TableRouting",
+    "make_route_fn",
+    "xy_route",
+    "yx_route",
+    "NetworkStats",
+    "PacketRecord",
+    "Sample",
+    "Direction",
+    "OPPOSITE",
+    "all_links",
+    "link_endpoints",
+    "links_on_xy_path",
+    "neighbor",
+    "neighbors",
+]

@@ -1,0 +1,92 @@
+"""Arbiters and allocators (paper: round-robin arbitration).
+
+The router uses a *separable input-first* allocator built from
+round-robin arbiters for both VC allocation and switch allocation —
+the standard light-weight scheme for 5-stage VC routers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+
+class RoundRobinArbiter:
+    """Rotating-priority arbiter over ``size`` requesters.
+
+    After a grant, priority moves to the requester *after* the winner,
+    which guarantees starvation freedom under persistent requests.
+    """
+
+    __slots__ = ("size", "_pointer", "grants")
+
+    def __init__(self, size: int):
+        if size <= 0:
+            raise ValueError("arbiter size must be positive")
+        self.size = size
+        self._pointer = 0
+        self.grants = 0
+
+    def grant(self, requests: Sequence[bool]) -> Optional[int]:
+        """Grant one of the asserted ``requests``; ``None`` if none."""
+        if len(requests) != self.size:
+            raise ValueError("request vector width mismatch")
+        for offset in range(self.size):
+            idx = (self._pointer + offset) % self.size
+            if requests[idx]:
+                self._pointer = (idx + 1) % self.size
+                self.grants += 1
+                return idx
+        return None
+
+    def grant_indices(self, indices: Iterable[int]) -> Optional[int]:
+        """Grant among a sparse set of requesting indices."""
+        requests = [False] * self.size
+        any_req = False
+        for i in indices:
+            requests[i] = True
+            any_req = True
+        if not any_req:
+            return None
+        return self.grant(requests)
+
+    def peek_priority(self) -> int:
+        """Current priority pointer (exposed for tests)."""
+        return self._pointer
+
+
+class MatrixArbiter:
+    """Least-recently-granted matrix arbiter (provided for the ablation
+    comparing arbitration schemes; the paper's routers use round-robin).
+    """
+
+    __slots__ = ("size", "_matrix", "grants")
+
+    def __init__(self, size: int):
+        if size <= 0:
+            raise ValueError("arbiter size must be positive")
+        self.size = size
+        # _matrix[i][j] True means i has priority over j.
+        self._matrix = [[i < j for j in range(size)] for i in range(size)]
+        self.grants = 0
+
+    def grant(self, requests: Sequence[bool]) -> Optional[int]:
+        if len(requests) != self.size:
+            raise ValueError("request vector width mismatch")
+        winner = None
+        for i in range(self.size):
+            if not requests[i]:
+                continue
+            if all(
+                not (requests[j] and self._matrix[j][i])
+                for j in range(self.size)
+                if j != i
+            ):
+                winner = i
+                break
+        if winner is not None:
+            for j in range(self.size):
+                if j != winner:
+                    self._matrix[winner][j] = False
+                    self._matrix[j][winner] = True
+            self.grants += 1
+        return winner

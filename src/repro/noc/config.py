@@ -1,0 +1,133 @@
+"""NoC configuration.
+
+Defaults mirror the paper's evaluation platform (§V): a 64-core,
+16-router concentrated 2-D mesh (4 cores per router), two unidirectional
+links between adjacent routers, 4 VCs per port with four 64-bit buffer
+slots per VC, a 5-stage router pipeline (BW/RC, VA, SA, ST, LT), xy
+dimension-order routing, round-robin arbitration, and retransmission
+buffers located after the crossbar (the paper's stated worst case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class NoCConfig:
+    """All microarchitectural parameters of the simulated NoC."""
+
+    #: mesh dimensions in routers
+    mesh_width: int = 4
+    mesh_height: int = 4
+    #: cores per router ("concentration")
+    concentration: int = 4
+    #: virtual channels per port
+    num_vcs: int = 4
+    #: flit slots per VC buffer
+    vc_depth: int = 4
+    #: flit payload width on the wire (before ECC check bits)
+    flit_bits: int = 64
+    #: slots in the per-output retransmission buffer (after the crossbar)
+    retrans_depth: int = 8
+    #: ejection queue depth per core (drained one flit/cycle by the core)
+    ejection_depth: int = 2
+    #: link traversal latency in cycles
+    link_latency: int = 1
+    #: cycles for an ACK/NACK to travel back upstream
+    ack_latency: int = 1
+    #: cycles for a returned credit to become visible upstream
+    credit_latency: int = 1
+    #: routing algorithm: "xy", "yx", "table", "west-first" or "odd-even"
+    routing: str = "xy"
+    #: maximum packet length in flits (head + payload)
+    max_packet_flits: int = 5
+    #: root seed for all stochastic components
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mesh_width < 1 or self.mesh_height < 1:
+            raise ValueError("mesh dimensions must be at least 1x1")
+        if self.num_routers > 16:
+            # The wire-image header carries 4-bit router ids (the paper's
+            # field widths).  Larger meshes would silently alias.
+            raise ValueError(
+                "header layout carries 4-bit router ids; at most 16 routers"
+            )
+        if self.concentration < 1:
+            raise ValueError("concentration must be at least 1")
+        if self.num_vcs < 1 or self.num_vcs > 4:
+            raise ValueError("num_vcs must be 1..4 (2-bit VC field)")
+        if self.vc_depth < 1:
+            raise ValueError("vc_depth must be at least 1")
+        if self.retrans_depth < 2:
+            raise ValueError(
+                "retrans_depth must be >= 2 (scramble needs a partner slot)"
+            )
+        if self.routing not in ("xy", "yx", "table", "west-first", "odd-even"):
+            raise ValueError(f"unknown routing {self.routing!r}")
+        if self.max_packet_flits < 1:
+            raise ValueError("packets need at least one flit")
+        if self.link_latency < 1 or self.ack_latency < 0:
+            raise ValueError("latencies out of range")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_routers(self) -> int:
+        return self.mesh_width * self.mesh_height
+
+    @property
+    def num_cores(self) -> int:
+        return self.num_routers * self.concentration
+
+    @property
+    def num_links(self) -> int:
+        """Unidirectional router-to-router links (48 for a 4x4 mesh)."""
+        horizontal = (self.mesh_width - 1) * self.mesh_height
+        vertical = self.mesh_width * (self.mesh_height - 1)
+        return 2 * (horizontal + vertical)
+
+    # -- id mapping ----------------------------------------------------
+    def router_xy(self, router: int) -> tuple[int, int]:
+        """Coordinates of ``router`` (x grows east, y grows north)."""
+        self._check_router(router)
+        return router % self.mesh_width, router // self.mesh_width
+
+    def router_at(self, x: int, y: int) -> int:
+        if not (0 <= x < self.mesh_width and 0 <= y < self.mesh_height):
+            raise ValueError(f"({x},{y}) outside the mesh")
+        return y * self.mesh_width + x
+
+    def router_of_core(self, core: int) -> int:
+        self._check_core(core)
+        return core // self.concentration
+
+    def local_index(self, core: int) -> int:
+        """Index of ``core`` among its router's local ports."""
+        self._check_core(core)
+        return core % self.concentration
+
+    def core_of(self, router: int, local_index: int) -> int:
+        self._check_router(router)
+        if not 0 <= local_index < self.concentration:
+            raise ValueError("local index out of range")
+        return router * self.concentration + local_index
+
+    def hop_distance(self, router_a: int, router_b: int) -> int:
+        """Minimal mesh hop count between two routers."""
+        ax, ay = self.router_xy(router_a)
+        bx, by = self.router_xy(router_b)
+        return abs(ax - bx) + abs(ay - by)
+
+    # ------------------------------------------------------------------
+    def _check_router(self, router: int) -> None:
+        if not 0 <= router < self.num_routers:
+            raise ValueError(f"router {router} out of range")
+
+    def _check_core(self, core: int) -> None:
+        if not 0 <= core < self.num_cores:
+            raise ValueError(f"core {core} out of range")
+
+
+#: The paper's evaluation platform.
+PAPER_CONFIG = NoCConfig()

@@ -1,0 +1,181 @@
+"""Runtime invariant checking for the simulator.
+
+A :class:`NetworkValidator` audits a live network for the conservation
+laws the microarchitecture must uphold no matter what faults or trojans
+are active.  The test suite runs it inside fault-injection campaigns;
+users can attach it while debugging their own extensions::
+
+    validator = NetworkValidator(net)
+    for _ in range(1000):
+        net.step()
+        validator.check()   # raises InvariantViolation with a report
+
+Checked invariants:
+
+* **credit conservation** — for every (link, VC): visible upstream
+  credits + in-flight credit returns + downstream occupancy (buffered or
+  staged) + not-yet-accepted retransmission entries == VC depth;
+* **buffer bounds** — no VC buffer, ejection queue or retransmission
+  buffer ever exceeds its capacity;
+* **holder consistency** — every held output VC refers to a real input
+  VC whose allocation agrees;
+* **flit conservation** — every injected flit is ejected, dropped, or
+  findable exactly once inside the network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.noc.network import Network
+from repro.noc.topology import OPPOSITE
+
+
+class InvariantViolation(AssertionError):
+    """A conservation law broke — the report names where."""
+
+
+@dataclass
+class ValidationReport:
+    checks: int = 0
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+class NetworkValidator:
+    """Audits a network's conservation laws."""
+
+    def __init__(self, network: Network):
+        self.net = network
+        self.report = ValidationReport()
+
+    # ------------------------------------------------------------------
+    def check(self, raise_on_violation: bool = True) -> ValidationReport:
+        self.report.checks += 1
+        self._check_credit_conservation()
+        self._check_buffer_bounds()
+        self._check_holders()
+        self._check_flit_conservation()
+        if raise_on_violation and not self.report.ok:
+            raise InvariantViolation("; ".join(self.report.violations[-5:]))
+        return self.report
+
+    def _fail(self, message: str) -> None:
+        self.report.violations.append(message)
+
+    # ------------------------------------------------------------------
+    def _check_credit_conservation(self) -> None:
+        net = self.net
+        for key, link in net.links.items():
+            out = net.output_port_of(key)
+            receiver = net.receiver_of(key)
+            in_port = net.routers[link.dst_router].inputs[OPPOSITE[key[1]]]
+            for vc in range(net.cfg.num_vcs):
+                visible = out.credits.available(vc)
+                pending = sum(
+                    1 for _, v in out.credits._pending if v == vc
+                )
+                store = receiver._staging[vc]
+                expected = receiver._expected_seq[vc]
+                # an entry's reserved slot becomes *occupancy* once the
+                # downstream receiver accepts it (staged or delivered)
+                unaccepted = sum(
+                    1
+                    for entry in out.retrans
+                    if entry.out_vc == vc
+                    and entry.vc_seq >= expected
+                    and entry.vc_seq not in store
+                )
+                occupancy = in_port.vcs[vc].occupancy + len(store)
+                total = visible + pending + unaccepted + occupancy
+                if total != net.cfg.vc_depth:
+                    self._fail(
+                        f"credit conservation on link {key} vc {vc}: "
+                        f"visible={visible} pending={pending} "
+                        f"unaccepted={unaccepted} occupancy={occupancy} "
+                        f"!= depth {net.cfg.vc_depth}"
+                    )
+
+    def _check_buffer_bounds(self) -> None:
+        net = self.net
+        for router in net.routers:
+            for pkey, port in router.inputs.items():
+                for vc_idx, vc in enumerate(port.vcs):
+                    if vc.occupancy > vc.capacity:
+                        self._fail(
+                            f"router {router.id} input {pkey} vc {vc_idx} "
+                            f"over capacity: {vc.occupancy}>{vc.capacity}"
+                        )
+            for direction, out in router.outputs.items():
+                if out.retrans.occupancy > out.retrans.depth:
+                    self._fail(
+                        f"router {router.id} output {direction.name} "
+                        "retransmission buffer over depth"
+                    )
+            for local, eject in router.ejects.items():
+                if len(eject.queue) > eject.capacity:
+                    self._fail(
+                        f"router {router.id} eject {local} over capacity"
+                    )
+
+    def _check_holders(self) -> None:
+        net = self.net
+        for router in net.routers:
+            for direction, out in router.outputs.items():
+                for out_vc, holder in enumerate(out.holders):
+                    if holder is None:
+                        continue
+                    in_key, vc_idx = holder
+                    port = router.inputs.get(in_key)
+                    if port is None:
+                        self._fail(
+                            f"router {router.id} output {direction.name} "
+                            f"vc {out_vc} held by unknown port {in_key}"
+                        )
+                        continue
+                    vc = port.vcs[vc_idx]
+                    if vc.out_vc == out_vc:
+                        continue  # active allocation agrees
+                    # otherwise the held packet's tail must already have
+                    # switched out and be awaiting its ACK in the
+                    # retransmission buffer (the holder clears on tail
+                    # ACK); the input VC may even have started a new
+                    # packet on a different out VC by then
+                    tail_pending = any(
+                        entry.out_vc == out_vc and entry.flit.is_tail
+                        for entry in out.retrans
+                    )
+                    if not tail_pending:
+                        self._fail(
+                            f"router {router.id}: holder mismatch on "
+                            f"{direction.name} vc {out_vc}"
+                        )
+
+    def _check_flit_conservation(self) -> None:
+        net = self.net
+        ids: set[int] = set()
+        for router in net.routers:
+            for port in router.inputs.values():
+                for vc in port.vcs:
+                    ids.update(id(f) for f in vc.buffer)
+            for out in router.outputs.values():
+                ids.update(id(e.flit) for e in out.retrans)
+            for eject in router.ejects.values():
+                ids.update(id(f) for f in eject.queue)
+        for key in net.links:
+            receiver = net.receiver_of(key)
+            for store in receiver._staging.values():
+                ids.update(id(s.flit) for s in store.values())
+        in_network = len(ids)
+        accounted = (
+            net.stats.flits_ejected + in_network + net.stats.dropped_flits
+        )
+        if accounted != net.stats.flits_injected:
+            self._fail(
+                f"flit conservation: injected={net.stats.flits_injected} "
+                f"ejected={net.stats.flits_ejected} in_network={in_network} "
+                f"dropped={net.stats.dropped_flits}"
+            )

@@ -1,0 +1,148 @@
+"""Unidirectional router-to-router links.
+
+A link carries ECC codewords and is the attack surface: every tamperer
+attached to it (transient noise, stuck-at wires, a TASP trojan) sees and
+may alter each codeword in flight.  The reverse ACK/NACK wires of the
+link are modelled as a separate delayed queue — per the paper's threat
+model the trojan taps the forward data wires only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, TYPE_CHECKING
+
+from repro.noc.retrans import NackAdvice
+from repro.noc.topology import Direction
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.lob import ObDescriptor
+    from repro.noc.flit import Flit
+
+
+@dataclass(slots=True)
+class Transmission:
+    """One codeword in flight on a link."""
+
+    tag: int
+    vc: int
+    #: per-(link, VC) sequence number for receiver-side resequencing
+    vc_seq: int
+    codeword: int
+    flit: "Flit"
+    ob: Optional["ObDescriptor"]
+    launch_cycle: int
+
+
+@dataclass(slots=True)
+class AckMessage:
+    """ACK/NACK travelling on the reverse wires."""
+
+    tag: int
+    ok: bool
+    advice: Optional[NackAdvice] = None
+    #: obfuscation method that succeeded (for upstream method logging)
+    ob_success: Optional["ObDescriptor"] = None
+    flow_signature: Optional[tuple] = None
+
+
+class Link:
+    """One unidirectional link between adjacent routers."""
+
+    __slots__ = (
+        "src_router",
+        "direction",
+        "dst_router",
+        "latency",
+        "ack_latency",
+        "tamperers",
+        "launch_hooks",
+        "ack_hooks",
+        "_in_flight",
+        "_acks",
+        "traversals",
+        "corrupted_traversals",
+        "disabled",
+    )
+
+    def __init__(
+        self,
+        src_router: int,
+        direction: Direction,
+        dst_router: int,
+        latency: int = 1,
+        ack_latency: int = 1,
+    ):
+        self.src_router = src_router
+        self.direction = direction
+        self.dst_router = dst_router
+        self.latency = latency
+        self.ack_latency = ack_latency
+        self.tamperers: list = []
+        #: callbacks (tx, cycle, original_codeword) after tampering
+        self.launch_hooks: list = []
+        #: callbacks (ack, cycle, flit) fired when the upstream router
+        #: processes an ACK/NACK (wired by FlitTracer)
+        self.ack_hooks: list = []
+        self._in_flight: list[tuple[int, Transmission]] = []
+        self._acks: list[tuple[int, AckMessage]] = []
+        self.traversals = 0
+        self.corrupted_traversals = 0
+        #: set by rerouting mitigation when the link is taken out of service
+        self.disabled = False
+
+    @property
+    def key(self) -> tuple[int, Direction]:
+        return (self.src_router, self.direction)
+
+    # -- forward data wires ---------------------------------------------
+    def apply_tamper(self, codeword: int, cycle: int) -> int:
+        """Fold the tamper chain over a codeword (also used by BIST)."""
+        for tamperer in self.tamperers:
+            codeword = tamperer.tamper(codeword, cycle)
+        return codeword
+
+    def launch(self, tx: Transmission, cycle: int) -> None:
+        """Put a transmission on the wire; tampering happens here."""
+        original = tx.codeword
+        tx.codeword = self.apply_tamper(tx.codeword, cycle)
+        self.traversals += 1
+        if tx.codeword != original:
+            self.corrupted_traversals += 1
+        self._in_flight.append((cycle + self.latency, tx))
+        for hook in self.launch_hooks:
+            hook(tx, cycle, original)
+
+    def pop_arrivals(self, cycle: int) -> list[Transmission]:
+        """Transmissions reaching the downstream router at ``cycle``."""
+        if not self._in_flight:
+            return []
+        arrived = [tx for when, tx in self._in_flight if when <= cycle]
+        if arrived:
+            self._in_flight = [
+                (when, tx) for when, tx in self._in_flight if when > cycle
+            ]
+        return arrived
+
+    # -- reverse ACK wires ------------------------------------------------
+    def send_ack(self, ack: AckMessage, cycle: int) -> None:
+        self._acks.append((cycle + self.ack_latency, ack))
+
+    def pop_acks(self, cycle: int) -> list[AckMessage]:
+        if not self._acks:
+            return []
+        ready = [ack for when, ack in self._acks if when <= cycle]
+        if ready:
+            self._acks = [(when, ack) for when, ack in self._acks if when > cycle]
+        return ready
+
+    # ---------------------------------------------------------------------
+    @property
+    def idle(self) -> bool:
+        return not self._in_flight and not self._acks
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Link({self.src_router}--{self.direction.name}-->"
+            f"{self.dst_router})"
+        )

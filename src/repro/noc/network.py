@@ -1,0 +1,336 @@
+"""Top-level network: topology wiring and the cycle loop.
+
+One :meth:`Network.step` call advances the whole NoC by one clock.
+Phases run in sink-to-source order each cycle; per-flit/per-VC cycle
+guards inside the router enforce the 5-stage pipeline timing, so the
+ordering is about *consistency* (no flit is processed twice), not about
+granting extra speed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from repro.ecc import SECDED_72_64, Secded
+from repro.noc.config import NoCConfig
+from repro.noc.flit import Flit, Packet
+from repro.noc.link import Link
+from repro.noc.receiver import EccReceiver
+from repro.noc.router import Router, SchedulingPolicy
+from repro.noc.routing import TableRouting, make_route_fn
+from repro.noc.stats import NetworkStats, PacketRecord, Sample
+from repro.noc.topology import (
+    Direction,
+    LinkKey,
+    OPPOSITE,
+    all_links,
+    link_endpoints,
+)
+
+#: Builds the receive pipeline for one direction input port.
+ReceiverFactory = Callable[[NoCConfig, Link], EccReceiver]
+#: Builds the (optional) L-Ob encoder for one direction output port.
+LobFactory = Callable[[NoCConfig, Link], object]
+
+
+class TrafficSource:
+    """Protocol for traffic generators: called once per cycle."""
+
+    def generate(self, cycle: int) -> list[Packet]:  # pragma: no cover
+        raise NotImplementedError
+
+    def done(self, cycle: int) -> bool:
+        """True when the source will never emit again (drain checks)."""
+        return False
+
+
+class Network:
+    """A concentrated-mesh NoC instance."""
+
+    def __init__(
+        self,
+        cfg: NoCConfig,
+        *,
+        policy: Optional[SchedulingPolicy] = None,
+        receiver_factory: Optional[ReceiverFactory] = None,
+        lob_factory: Optional[LobFactory] = None,
+        routing_table: Optional[TableRouting] = None,
+        e2e=None,
+        codec: Secded = SECDED_72_64,
+    ):
+        self.cfg = cfg
+        self.codec = codec
+        self.policy = policy or SchedulingPolicy()
+        self.e2e = e2e
+        self.routing_table = routing_table
+        self.route_fn = make_route_fn(cfg, routing_table)
+        receiver_factory = receiver_factory or EccReceiver
+
+        self.routers = [
+            Router(cfg, rid, self.route_fn, self.policy)
+            for rid in range(cfg.num_routers)
+        ]
+        self.links: dict[LinkKey, Link] = {}
+        for key in all_links(cfg):
+            src, dst = link_endpoints(cfg, key)
+            link = Link(
+                src, key[1], dst, cfg.link_latency, cfg.ack_latency
+            )
+            self.links[key] = link
+            out_port = self.routers[src].add_link_output(key[1], link)
+            in_port = self.routers[dst].add_link_input(OPPOSITE[key[1]])
+            in_port.receiver = receiver_factory(cfg, link)
+            in_port.upstream_credits = out_port.credits
+            if lob_factory is not None:
+                out_port.lob = lob_factory(cfg, link)
+        for router in self.routers:
+            router.finish_wiring()
+
+        self._backlogs: list[deque[Flit]] = [
+            deque() for _ in range(cfg.num_cores)
+        ]
+        self.stats = NetworkStats()
+        self.cycle = 0
+        self.traffic: Optional[TrafficSource] = None
+        self.sample_interval = 10
+        #: invoked with (flit, cycle, core) on every ejection
+        self.ejection_hooks: list[Callable] = []
+        #: invoked with (flit, cycle) on every injection (BW entry)
+        self.injection_hooks: list[Callable] = []
+
+    # -- wiring helpers ------------------------------------------------------
+    def attach_tamperer(self, key: LinkKey, tamperer) -> None:
+        """Attach a fault model or trojan to a link."""
+        self.links[key].tamperers.append(tamperer)
+
+    def set_route_fn(self, fn) -> None:
+        self.route_fn = fn
+        for router in self.routers:
+            router.route_fn = fn
+
+    def disable_link(self, key: LinkKey) -> None:
+        """Take a link out of service (rerouting mitigation).
+
+        Intended for *static* fault configurations set up before traffic
+        runs (the Fig. 10 infected-link sweeps).  Any flits already
+        pinned in the retransmission buffer are dropped and counted —
+        the price of disabling hardware mid-flight.
+        """
+        link = self.links[key]
+        link.disabled = True
+        out = self.routers[key[0]].outputs[key[1]]
+        dropped = out.retrans.occupancy
+        if dropped:
+            self.stats.dropped_flits += dropped
+            for entry in list(out.retrans):
+                out.retrans.on_ack(entry.tag)
+        out.holders = [None] * self.cfg.num_vcs
+
+    def receiver_of(self, key: LinkKey) -> EccReceiver:
+        """The receive pipeline at the downstream end of ``key``."""
+        link = self.links[key]
+        return self.routers[link.dst_router].inputs[
+            OPPOSITE[key[1]]
+        ].receiver
+
+    def output_port_of(self, key: LinkKey):
+        return self.routers[key[0]].outputs[key[1]]
+
+    # -- traffic --------------------------------------------------------------
+    def set_traffic(self, source: TrafficSource) -> None:
+        self.traffic = source
+
+    def add_packet(self, packet: Packet) -> None:
+        """Queue a packet at its source core's network interface."""
+        if self.e2e is not None and hasattr(self.e2e, "prepare_packet"):
+            self.e2e.prepare_packet(packet)
+        flits = packet.build_flits(self.cfg)
+        if self.e2e is not None:
+            for flit in flits:
+                self.e2e.encode_flit(flit)
+        record = PacketRecord(
+            pkt_id=packet.pkt_id,
+            src_core=packet.src_core,
+            dst_core=packet.dst_core,
+            num_flits=packet.num_flits(),
+            created_cycle=packet.created_cycle,
+        )
+        self.stats.on_packet_created(record)
+        self._backlogs[packet.src_core].extend(flits)
+
+    def backlog_depth(self, core: int) -> int:
+        return len(self._backlogs[core])
+
+    # -- cycle loop -------------------------------------------------------------
+    def step(self) -> None:
+        cycle = self.cycle
+
+        if self.traffic is not None:
+            for packet in self.traffic.generate(cycle):
+                self.add_packet(packet)
+
+        # Credit returns become visible.
+        for router in self.routers:
+            for out in router.outputs.values():
+                out.credits.tick(cycle)
+
+        # ACK/NACK processing (reverse wires).
+        for router in self.routers:
+            router.process_acks(cycle)
+
+        # Link arrivals -> receive pipeline (ECC + detection).
+        for key, link in self.links.items():
+            arrivals = link.pop_arrivals(cycle)
+            if not arrivals:
+                continue
+            receiver = self.receiver_of(key)
+            for tx in arrivals:
+                receiver.process(tx, cycle)
+
+        # Staged flits drop into their VC buffers.
+        for key, link in self.links.items():
+            receiver = self.receiver_of(key)
+            in_port = self.routers[link.dst_router].inputs[OPPOSITE[key[1]]]
+            for vc, flit in receiver.take_deliveries(cycle):
+                in_port.vcs[vc].push(flit)
+
+        # Ejection: cores consume.
+        for router in self.routers:
+            for flit in router.drain_ejects(cycle):
+                core = router.ejects[
+                    flit.dst_core % self.cfg.concentration
+                ].core
+                if self.e2e is not None:
+                    self.e2e.decode_flit(flit, cycle, core)
+                self.stats.on_flit_ejected(flit, cycle, core)
+                for hook in self.ejection_hooks:
+                    hook(flit, cycle, core)
+
+        # LT launch, ST, VA, RC.
+        for router in self.routers:
+            router.launch_links(cycle, self.codec)
+        for router in self.routers:
+            router.switch_traverse(cycle)
+        for router in self.routers:
+            router.vc_allocate(cycle)
+        for router in self.routers:
+            router.route_compute(cycle)
+
+        # Injection: one flit per core per cycle.
+        self._inject(cycle)
+
+        if self.sample_interval and cycle % self.sample_interval == 0:
+            self.collect_sample()
+
+        self.cycle = cycle + 1
+
+    def _inject(self, cycle: int) -> None:
+        cfg = self.cfg
+        for core, backlog in enumerate(self._backlogs):
+            if not backlog:
+                continue
+            flit = backlog[0]
+            if not self.policy.may_inject(flit, cycle):
+                continue
+            router = self.routers[cfg.router_of_core(core)]
+            port = router.inputs[("inj", cfg.local_index(core))]
+            vc = port.vcs[flit.vc_class]
+            if vc.is_full:
+                continue
+            backlog.popleft()
+            flit.injected_cycle = cycle
+            flit.last_move_cycle = cycle
+            vc.push(flit)
+            self.stats.on_flit_injected(flit, cycle)
+            for hook in self.injection_hooks:
+                hook(flit, cycle)
+
+    # -- measurement --------------------------------------------------------
+    def core_blocked(self, core: int) -> bool:
+        """The core cannot inject: pending traffic faces a full VC."""
+        backlog = self._backlogs[core]
+        if not backlog:
+            return False
+        cfg = self.cfg
+        router = self.routers[cfg.router_of_core(core)]
+        port = router.inputs[("inj", cfg.local_index(core))]
+        return port.vcs[backlog[0].vc_class].is_full
+
+    def collect_sample(self) -> Sample:
+        cfg = self.cfg
+        input_util = sum(r.link_input_occupancy() for r in self.routers)
+        output_util = sum(r.output_occupancy() for r in self.routers)
+        injection_util = sum(r.injection_occupancy() for r in self.routers)
+        blocked = sum(
+            1 for r in self.routers if r.any_output_blocked(self.cycle)
+        )
+        all_full = 0
+        half_full = 0
+        for rid in range(cfg.num_routers):
+            cores = [
+                cfg.core_of(rid, local) for local in range(cfg.concentration)
+            ]
+            full = sum(1 for c in cores if self.core_blocked(c))
+            if full == cfg.concentration:
+                all_full += 1
+            if full > cfg.concentration / 2:
+                half_full += 1
+        sample = Sample(
+            cycle=self.cycle,
+            input_utilization=input_util,
+            output_utilization=output_util,
+            injection_utilization=injection_util,
+            routers_with_blocked_port=blocked,
+            routers_all_cores_full=all_full,
+            routers_half_cores_full=half_full,
+        )
+        self.stats.samples.append(sample)
+        return sample
+
+    # -- run helpers ------------------------------------------------------------
+    def run(self, cycles: int) -> None:
+        for _ in range(cycles):
+            self.step()
+
+    @property
+    def drained(self) -> bool:
+        """No traffic anywhere in the NoC."""
+        if any(self._backlogs):
+            return False
+        if self.traffic is not None and not self.traffic.done(self.cycle):
+            return False
+        for router in self.routers:
+            if any(p.occupancy for p in router.inputs.values()):
+                return False
+            if any(not o.retrans.is_empty for o in router.outputs.values()):
+                return False
+            if any(e.queue for e in router.ejects.values()):
+                return False
+            for key, port in router.inputs.items():
+                if port.receiver is not None and port.receiver.staged_count:
+                    return False
+        return all(link.idle for link in self.links.values())
+
+    def run_until_drained(
+        self, max_cycles: int, stall_limit: Optional[int] = None
+    ) -> bool:
+        """Run until all traffic is delivered.
+
+        Returns True on drain; False when ``max_cycles`` elapsed or the
+        network made no delivery for ``stall_limit`` cycles (deadlock).
+        """
+        for _ in range(max_cycles):
+            if self.drained:
+                return True
+            self.step()
+            if (
+                stall_limit is not None
+                and self.stats.stalled_for(self.cycle) > stall_limit
+            ):
+                return False
+        return self.drained
+
+    def link_load(self) -> dict[LinkKey, int]:
+        """Traversal counts per link (paper Fig. 1c)."""
+        return {key: link.traversals for key, link in self.links.items()}

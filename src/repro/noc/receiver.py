@@ -1,0 +1,186 @@
+"""Receive pipeline of a direction input port: ECC decode + ACK/NACK.
+
+:class:`EccReceiver` is the baseline fault-tolerant receiver every NoC
+in the paper has: SECDED decode, correct single faults, NACK
+uncorrectable ones.  The mitigation's threat detector
+(:class:`repro.core.mitigation.DetectingReceiver`) subclasses it to add
+fault classification and L-Ob handling.
+
+Accepted flits pass through a per-VC **resequencing stage** before they
+are written into the VC buffers: selective-repeat retransmission lets a
+younger flit cross the link while an older one is being retried (paper
+Fig. 7: flit #3 passes the corrupted flit #2), so the receiver restores
+per-VC order using the link-level ``vc_seq`` numbers.  Deobfuscation
+penalties (1–3 cycles, paper §IV) are modelled as delayed release from
+this stage, and a flit blocked on its scramble partner simply blocks
+its VC — matching the walkthrough where flit #4 stalls behind the
+scrambled flit (2+4).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.ecc import SECDED_72_64, DecodeResult, DecodeStatus, Secded
+from repro.noc.flit import unpack_header
+from repro.noc.link import AckMessage, Link, Transmission
+from repro.noc.retrans import NackAdvice
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.noc.config import NoCConfig
+    from repro.noc.flit import Flit
+
+
+class StagedFlit:
+    """A flit accepted off the link but not yet written to its VC buffer."""
+
+    __slots__ = ("flit", "vc", "vc_seq", "release_cycle", "waiting_for_tag",
+                 "own_tag")
+
+    def __init__(
+        self,
+        flit: "Flit",
+        vc: int,
+        vc_seq: int,
+        release_cycle: Optional[int],
+        waiting_for_tag: Optional[int] = None,
+        own_tag: Optional[int] = None,
+    ):
+        self.flit = flit
+        self.vc = vc
+        self.vc_seq = vc_seq
+        #: None while blocked on a scramble partner
+        self.release_cycle = release_cycle
+        self.waiting_for_tag = waiting_for_tag
+        #: link tag of this flit (so a resolved waiter can itself feed
+        #: scramble chains: its recovered data is cached under this tag)
+        self.own_tag = own_tag
+
+
+class EccReceiver:
+    """Baseline switch-to-switch ECC receive pipeline."""
+
+    def __init__(self, cfg: "NoCConfig", link: Link, codec: Secded = SECDED_72_64):
+        self.cfg = cfg
+        self.link = link
+        self.codec = codec
+        #: per-VC resequencing store: vc -> {vc_seq: StagedFlit}
+        self._staging: dict[int, dict[int, StagedFlit]] = {
+            vc: {} for vc in range(cfg.num_vcs)
+        }
+        #: next vc_seq expected to be delivered, per VC
+        self._expected_seq = [0] * cfg.num_vcs
+        # -- counters ----------------------------------------------------
+        self.flits_accepted = 0
+        self.flits_corrected = 0
+        self.faults_detected = 0
+        self.nacks_sent = 0
+        self.deob_stall_cycles = 0
+
+    # ------------------------------------------------------------------
+    def process(self, tx: Transmission, cycle: int) -> None:
+        """Handle one arriving transmission."""
+        if tx.vc_seq in self._staging[tx.vc]:
+            # Duplicate of a flit already accepted (a stale
+            # retransmission); re-ACK and drop.
+            self._send_ok(tx, cycle)
+            return
+        result = self.codec.decode(tx.codeword)
+        if result.status is DecodeStatus.DETECTED:
+            self._reject(tx, cycle, result)
+        else:
+            self._accept(tx, cycle, result)
+
+    # -- reject path ------------------------------------------------------
+    def _reject(self, tx: Transmission, cycle: int, result: DecodeResult) -> None:
+        self.faults_detected += 1
+        self.nacks_sent += 1
+        advice = self._advice_for(tx, cycle, result)
+        self.link.send_ack(
+            AckMessage(tag=tx.tag, ok=False, advice=advice), cycle
+        )
+
+    def _advice_for(
+        self, tx: Transmission, cycle: int, result: DecodeResult
+    ) -> Optional[NackAdvice]:
+        """Baseline receivers only ever ask for a plain retransmission."""
+        return None
+
+    # -- accept path --------------------------------------------------------
+    def _accept(self, tx: Transmission, cycle: int, result: DecodeResult) -> None:
+        if result.status is DecodeStatus.CORRECTED:
+            self.flits_corrected += 1
+        if tx.ob is not None:
+            self._accept_obfuscated(tx, cycle, result)
+            return
+        self._deliver_plain(tx, cycle, result)
+
+    def _deliver_plain(
+        self, tx: Transmission, cycle: int, result: DecodeResult
+    ) -> None:
+        self._finalize_flit(tx.flit, result.data)
+        self._stage(StagedFlit(tx.flit, tx.vc, tx.vc_seq, cycle))
+        self._send_ok(tx, cycle)
+
+    def _accept_obfuscated(
+        self, tx: Transmission, cycle: int, result: DecodeResult
+    ) -> None:
+        """Baseline networks never launch obfuscated flits; receiving one
+        without mitigation support is a protocol violation."""
+        raise RuntimeError(
+            "obfuscated transmission reached a receiver without a threat "
+            "detector / L-Ob decoder; install mitigation on both ends"
+        )
+
+    def _send_ok(self, tx: Transmission, cycle: int) -> None:
+        self.flits_accepted += 1
+        self.link.send_ack(
+            AckMessage(
+                tag=tx.tag,
+                ok=True,
+                ob_success=tx.ob,
+                flow_signature=tx.flit.flow_signature,
+            ),
+            cycle,
+        )
+
+    def _finalize_flit(self, flit: "Flit", data: int) -> None:
+        """Adopt the decoded wire image; hardware trusts the wire, so
+        silent data corruption on a head flit re-routes the packet."""
+        flit.data = data
+        if flit.is_head:
+            fields = unpack_header(data)
+            flit.src_router = fields["src_router"]
+            flit.dst_router = fields["dst_router"]
+            flit.mem_addr = fields["mem_addr"]
+
+    # -- staging ----------------------------------------------------------
+    def _stage(self, staged: StagedFlit) -> None:
+        self._staging[staged.vc][staged.vc_seq] = staged
+
+    def take_deliveries(self, cycle: int) -> list[tuple[int, "Flit"]]:
+        """Flits ready to be written into the input VC buffers this
+        cycle, strictly in per-VC ``vc_seq`` order."""
+        out: list[tuple[int, "Flit"]] = []
+        for vc, store in self._staging.items():
+            while True:
+                expected = self._expected_seq[vc]
+                staged = store.get(expected)
+                if staged is None:
+                    break
+                if staged.release_cycle is None or staged.release_cycle > cycle:
+                    break
+                del store[expected]
+                self._expected_seq[vc] = expected + 1
+                staged.flit.last_move_cycle = cycle
+                staged.flit.hops += 1
+                out.append((vc, staged.flit))
+        return out
+
+    @property
+    def staged_count(self) -> int:
+        return sum(len(store) for store in self._staging.values())
+
+    @property
+    def idle(self) -> bool:
+        return self.staged_count == 0

@@ -1,0 +1,184 @@
+"""Per-output retransmission buffers (selective repeat).
+
+The paper evaluates the worst-case microarchitecture where
+retransmission buffers sit after the crossbar, before link traversal
+(Fig. 5 / §V).  Each output port keeps the flits it has launched until
+the downstream ECC acknowledges them; a NACK re-arms the entry for
+another launch.  Delivery is *selective repeat*: in the Fig. 7
+walkthrough flit #3 overtakes the corrupted flit #2 while #2 waits for
+its retransmission slot.
+
+A flit the trojan corrupts on every traversal therefore pins its slot
+forever; once every slot is pinned the output port stalls — the seed of
+the deadlock the attack farms.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.noc.flit import Flit
+
+
+class EntryState(enum.Enum):
+    READY = "ready"          # needs (re)transmission
+    IN_FLIGHT = "in_flight"  # launched, awaiting ACK/NACK
+
+
+@dataclass(slots=True)
+class NackAdvice:
+    """Obfuscation advice piggybacked on a NACK by the threat detector
+    (the downstream router telling the upstream L-Ob what to try next)."""
+
+    enable_obfuscation: bool = False
+    #: index into the mitigation's obfuscation-method sequence
+    method_index: int = 0
+
+
+class RetransEntry:
+    """One retransmission-buffer slot."""
+
+    __slots__ = (
+        "tag",
+        "flit",
+        "out_vc",
+        "vc_seq",
+        "state",
+        "send_count",
+        "admitted_cycle",
+        "last_send_cycle",
+        "ob_advice",
+        "defer_until",
+    )
+
+    def __init__(self, tag: int, flit: "Flit", out_vc: int, cycle: int):
+        self.tag = tag
+        self.flit = flit
+        self.out_vc = out_vc
+        #: per-(link, VC) sequence number; the downstream resequencing
+        #: stage delivers flits of a VC strictly in this order, so
+        #: selective repeat cannot reorder flits within a packet
+        self.vc_seq = -1
+        self.state = EntryState.READY
+        self.send_count = 0
+        self.admitted_cycle = cycle
+        self.last_send_cycle = -1
+        #: advice from the last NACK; consumed by the L-Ob encoder
+        self.ob_advice: Optional[NackAdvice] = None
+        #: reorder obfuscation: do not launch before this cycle
+        self.defer_until = -1
+
+    def sendable(self, cycle: int) -> bool:
+        return self.state is EntryState.READY and self.defer_until <= cycle
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"RetransEntry(tag={self.tag}, {self.state.value}, "
+            f"sends={self.send_count}, flit={self.flit!r})"
+        )
+
+
+class RetransBuffer:
+    """Selective-repeat retransmission buffer for one output port."""
+
+    __slots__ = ("depth", "_entries", "_order", "_next_tag",
+                 "acks_received", "nacks_received", "admitted_total")
+
+    def __init__(self, depth: int):
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        self.depth = depth
+        self._entries: dict[int, RetransEntry] = {}
+        self._order: list[int] = []  # admission order, oldest first
+        self._next_tag = 0
+        self.acks_received = 0
+        self.nacks_received = 0
+        self.admitted_total = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.depth
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._entries
+
+    def __iter__(self) -> Iterator[RetransEntry]:
+        return (self._entries[tag] for tag in self._order)
+
+    def get(self, tag: int) -> Optional[RetransEntry]:
+        return self._entries.get(tag)
+
+    # ------------------------------------------------------------------
+    def admit(self, flit: "Flit", out_vc: int, cycle: int) -> Optional[int]:
+        """Accept a flit from the crossbar; returns its link tag, or
+        ``None`` when the buffer is full (the output port stalls)."""
+        if self.is_full:
+            return None
+        tag = self._next_tag
+        self._next_tag += 1
+        entry = RetransEntry(tag, flit, out_vc, cycle)
+        self._entries[tag] = entry
+        self._order.append(tag)
+        self.admitted_total += 1
+        return tag
+
+    def pick_ready(self, cycle: int) -> Optional[RetransEntry]:
+        """Oldest entry eligible for (re)launch this cycle."""
+        for tag in self._order:
+            entry = self._entries[tag]
+            if entry.sendable(cycle):
+                return entry
+        return None
+
+    def ready_entries(self, cycle: int) -> list[RetransEntry]:
+        """All launchable entries, oldest first (used by L-Ob to pick
+        scramble partners and implement reordering)."""
+        return [
+            self._entries[tag]
+            for tag in self._order
+            if self._entries[tag].sendable(cycle)
+        ]
+
+    def mark_launched(self, tag: int, cycle: int) -> None:
+        entry = self._entries[tag]
+        if entry.state is not EntryState.READY:
+            raise RuntimeError(f"launching tag {tag} twice")
+        entry.state = EntryState.IN_FLIGHT
+        entry.send_count += 1
+        entry.last_send_cycle = cycle
+
+    def on_ack(self, tag: int) -> Optional[RetransEntry]:
+        """Positive acknowledgement: retire the entry, free the slot."""
+        entry = self._entries.pop(tag, None)
+        if entry is None:
+            return None
+        self._order.remove(tag)
+        self.acks_received += 1
+        return entry
+
+    def on_nack(self, tag: int, advice: Optional[NackAdvice] = None) -> None:
+        """Negative acknowledgement: re-arm for retransmission."""
+        entry = self._entries.get(tag)
+        if entry is None:
+            return
+        entry.state = EntryState.READY
+        entry.flit.retransmissions += 1
+        if advice is not None:
+            entry.ob_advice = advice
+        self.nacks_received += 1
+
+    def oldest_wait(self, cycle: int) -> int:
+        """Age in cycles of the oldest unretired entry (0 if empty) —
+        a back-pressure signal used by deadlock monitors."""
+        if not self._order:
+            return 0
+        return cycle - self._entries[self._order[0]].admitted_cycle

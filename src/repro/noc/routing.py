@@ -1,0 +1,138 @@
+"""Routing functions.
+
+``xy`` dimension-order routing is the paper's baseline (deadlock-free on
+a mesh).  ``yx`` is provided for symmetry, and :class:`TableRouting`
+supports arbitrary per-hop tables — the substrate the Ariadne-style
+rerouting baseline programs after disabling infected links (see
+:mod:`repro.baselines.reroute`).
+
+A routing function returns the :class:`Direction` of the next hop, or
+``None`` when the flit has reached its destination router (eject).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.noc.config import NoCConfig
+from repro.noc.topology import Direction, neighbor
+
+#: route(cur_router, dst_router, src_router=None, router=None)
+RouteFn = Callable[..., Optional[Direction]]
+
+
+def xy_route(cfg: NoCConfig, cur: int, dst: int) -> Optional[Direction]:
+    """Dimension-order routing: correct x first, then y."""
+    cx, cy = cfg.router_xy(cur)
+    dx, dy = cfg.router_xy(dst)
+    if cx < dx:
+        return Direction.EAST
+    if cx > dx:
+        return Direction.WEST
+    if cy < dy:
+        return Direction.NORTH
+    if cy > dy:
+        return Direction.SOUTH
+    return None
+
+
+def yx_route(cfg: NoCConfig, cur: int, dst: int) -> Optional[Direction]:
+    """Dimension-order routing, y first."""
+    cx, cy = cfg.router_xy(cur)
+    dx, dy = cfg.router_xy(dst)
+    if cy < dy:
+        return Direction.NORTH
+    if cy > dy:
+        return Direction.SOUTH
+    if cx < dx:
+        return Direction.EAST
+    if cx > dx:
+        return Direction.WEST
+    return None
+
+
+class TableRouting:
+    """Per-(current, destination) next-hop table.
+
+    The table must be *complete* for every pair that traffic will use;
+    :meth:`route` raises on a missing entry so misprogrammed tables fail
+    loudly rather than silently dropping flits.
+    """
+
+    def __init__(self, cfg: NoCConfig, table: dict[tuple[int, int], Direction]):
+        self.cfg = cfg
+        self._table = dict(table)
+        self._validate()
+
+    def _validate(self) -> None:
+        for (cur, dst), direction in self._table.items():
+            if cur == dst:
+                raise ValueError(f"table routes ({cur},{dst}) at destination")
+            if neighbor(self.cfg, cur, direction) is None:
+                raise ValueError(
+                    f"table sends ({cur}->{dst}) off the mesh via {direction}"
+                )
+
+    def route(
+        self, cur: int, dst: int, src=None, router=None
+    ) -> Optional[Direction]:
+        if cur == dst:
+            return None
+        try:
+            return self._table[(cur, dst)]
+        except KeyError:
+            raise KeyError(
+                f"routing table has no entry for current={cur} dest={dst}"
+            ) from None
+
+    def next_router(self, cur: int, dst: int) -> int:
+        direction = self.route(cur, dst)
+        if direction is None:
+            return cur
+        nxt = neighbor(self.cfg, cur, direction)
+        assert nxt is not None
+        return nxt
+
+    def path(self, src: int, dst: int, max_hops: int | None = None) -> list[int]:
+        """Router sequence from ``src`` to ``dst`` (inclusive)."""
+        limit = max_hops if max_hops is not None else 4 * self.cfg.num_routers
+        path = [src]
+        cur = src
+        for _ in range(limit):
+            if cur == dst:
+                return path
+            cur = self.next_router(cur, dst)
+            path.append(cur)
+        raise RuntimeError(
+            f"table routing loops between {src} and {dst}: {path[:12]}..."
+        )
+
+    @classmethod
+    def from_xy(cls, cfg: NoCConfig) -> "TableRouting":
+        """Table equivalent of xy routing (useful as a starting point)."""
+        table: dict[tuple[int, int], Direction] = {}
+        for cur in range(cfg.num_routers):
+            for dst in range(cfg.num_routers):
+                if cur == dst:
+                    continue
+                direction = xy_route(cfg, cur, dst)
+                assert direction is not None
+                table[(cur, dst)] = direction
+        return cls(cfg, table)
+
+
+def make_route_fn(cfg: NoCConfig, table: TableRouting | None = None) -> RouteFn:
+    """Resolve the configured routing algorithm to a callable."""
+    if cfg.routing == "xy":
+        return lambda cur, dst, src=None, router=None: xy_route(cfg, cur, dst)
+    if cfg.routing == "yx":
+        return lambda cur, dst, src=None, router=None: yx_route(cfg, cur, dst)
+    if cfg.routing == "table":
+        if table is None:
+            raise ValueError("routing='table' requires a TableRouting")
+        return table.route
+    if cfg.routing in ("west-first", "odd-even"):
+        from repro.noc.adaptive import AdaptiveRouting
+
+        return AdaptiveRouting(cfg, cfg.routing).route
+    raise ValueError(f"unknown routing {cfg.routing!r}")

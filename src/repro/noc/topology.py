@@ -1,0 +1,98 @@
+"""Concentrated 2-D mesh topology helpers."""
+
+from __future__ import annotations
+
+import enum
+
+from repro.noc.config import NoCConfig
+
+
+class Direction(enum.IntEnum):
+    """Mesh link directions; also the direction-port indices of a router."""
+
+    NORTH = 0
+    EAST = 1
+    SOUTH = 2
+    WEST = 3
+
+
+OPPOSITE = {
+    Direction.NORTH: Direction.SOUTH,
+    Direction.SOUTH: Direction.NORTH,
+    Direction.EAST: Direction.WEST,
+    Direction.WEST: Direction.EAST,
+}
+
+#: (dx, dy) per direction; y grows to the north
+DELTA = {
+    Direction.NORTH: (0, 1),
+    Direction.EAST: (1, 0),
+    Direction.SOUTH: (0, -1),
+    Direction.WEST: (-1, 0),
+}
+
+#: A unidirectional link is identified by its source router and the
+#: direction it leaves through.
+LinkKey = tuple[int, Direction]
+
+
+def neighbor(cfg: NoCConfig, router: int, direction: Direction) -> int | None:
+    """Adjacent router in ``direction`` or ``None`` at the mesh edge."""
+    x, y = cfg.router_xy(router)
+    dx, dy = DELTA[direction]
+    nx, ny = x + dx, y + dy
+    if 0 <= nx < cfg.mesh_width and 0 <= ny < cfg.mesh_height:
+        return cfg.router_at(nx, ny)
+    return None
+
+
+def neighbors(cfg: NoCConfig, router: int) -> dict[Direction, int]:
+    """All adjacent routers of ``router``."""
+    out: dict[Direction, int] = {}
+    for direction in Direction:
+        n = neighbor(cfg, router, direction)
+        if n is not None:
+            out[direction] = n
+    return out
+
+
+def all_links(cfg: NoCConfig) -> list[LinkKey]:
+    """Every unidirectional router-to-router link, in a canonical order.
+
+    For the paper's 4x4 mesh this enumerates the 48 links an attacker
+    could infect.
+    """
+    links: list[LinkKey] = []
+    for router in range(cfg.num_routers):
+        for direction in Direction:
+            if neighbor(cfg, router, direction) is not None:
+                links.append((router, direction))
+    return links
+
+
+def link_endpoints(cfg: NoCConfig, key: LinkKey) -> tuple[int, int]:
+    """(source router, destination router) of a link."""
+    src, direction = key
+    dst = neighbor(cfg, src, direction)
+    if dst is None:
+        raise ValueError(f"{key} is not a valid link")
+    return src, dst
+
+
+def links_on_xy_path(cfg: NoCConfig, src: int, dst: int) -> list[LinkKey]:
+    """The links an xy-routed packet traverses from ``src`` to ``dst``."""
+    path: list[LinkKey] = []
+    cur = src
+    cx, cy = cfg.router_xy(cur)
+    dx, dy = cfg.router_xy(dst)
+    while cx != dx:
+        direction = Direction.EAST if dx > cx else Direction.WEST
+        path.append((cur, direction))
+        cur = neighbor(cfg, cur, direction)
+        cx, cy = cfg.router_xy(cur)
+    while cy != dy:
+        direction = Direction.NORTH if dy > cy else Direction.SOUTH
+        path.append((cur, direction))
+        cur = neighbor(cfg, cur, direction)
+        cx, cy = cfg.router_xy(cur)
+    return path

@@ -1,0 +1,171 @@
+"""Flit-level event tracing.
+
+Attach a :class:`FlitTracer` to a network to record the life of every
+flit (or a filtered subset) as structured events: injection, link
+launches, corruption, NACKs, deliveries, ejection.  This is the
+debugging view that makes attack forensics legible::
+
+    tracer = FlitTracer.attach(net, pkt_ids={7})
+    net.run(500)
+    print(tracer.render(pkt_id=7))
+
+Events are captured through the network's public hook points plus a
+launch callback on each link, so tracing composes with any mitigation
+or policy configuration.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, TYPE_CHECKING
+
+from repro.noc.network import Network
+from repro.noc.topology import LinkKey
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.noc.flit import Flit
+    from repro.noc.link import Transmission
+
+
+class EventKind(enum.Enum):
+    INJECTED = "injected"
+    LAUNCHED = "launched"
+    CORRUPTED = "corrupted"
+    NACKED = "nacked"
+    ACKED = "acked"
+    EJECTED = "ejected"
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    cycle: int
+    kind: EventKind
+    pkt_id: int
+    seq: int
+    #: link the event happened on (None for inject/eject)
+    link: Optional[LinkKey] = None
+    detail: str = ""
+
+    def __str__(self) -> str:
+        where = (
+            f"link {self.link[0]}->{self.link[1].name}" if self.link else "NI"
+        )
+        tail = f" {self.detail}" if self.detail else ""
+        return (
+            f"[{self.cycle:6d}] pkt {self.pkt_id} flit {self.seq}: "
+            f"{self.kind.value:9s} @ {where}{tail}"
+        )
+
+
+class FlitTracer:
+    """Collects :class:`TraceEvent`s for selected packets."""
+
+    def __init__(
+        self,
+        pkt_ids: Optional[Iterable[int]] = None,
+        capacity: int = 100_000,
+    ):
+        self.pkt_ids = set(pkt_ids) if pkt_ids is not None else None
+        self.capacity = capacity
+        self.events: list[TraceEvent] = []
+        self.truncated = False
+
+    # -- wiring -----------------------------------------------------------
+    @classmethod
+    def attach(
+        cls,
+        network: Network,
+        pkt_ids: Optional[Iterable[int]] = None,
+        capacity: int = 100_000,
+    ) -> "FlitTracer":
+        tracer = cls(pkt_ids, capacity)
+
+        network.injection_hooks.append(tracer._on_inject)
+        network.ejection_hooks.append(tracer._on_eject)
+        for key, link in network.links.items():
+            link.launch_hooks.append(
+                lambda tx, cycle, original, k=key: tracer._on_launch(
+                    k, tx, cycle, original
+                )
+            )
+            link.ack_hooks.append(
+                lambda ack, cycle, flit, k=key: tracer._on_ack(
+                    k, ack, cycle, flit
+                )
+            )
+        return tracer
+
+    # -- capture ------------------------------------------------------------
+    def _wants(self, pkt_id: int) -> bool:
+        return self.pkt_ids is None or pkt_id in self.pkt_ids
+
+    def _record(self, event: TraceEvent) -> None:
+        if len(self.events) >= self.capacity:
+            self.truncated = True
+            return
+        self.events.append(event)
+
+    def _on_inject(self, flit: "Flit", cycle: int) -> None:
+        if self._wants(flit.pkt_id):
+            self._record(
+                TraceEvent(cycle, EventKind.INJECTED, flit.pkt_id, flit.seq)
+            )
+
+    def _on_eject(self, flit: "Flit", cycle: int, core: int) -> None:
+        if self._wants(flit.pkt_id):
+            self._record(
+                TraceEvent(
+                    cycle, EventKind.EJECTED, flit.pkt_id, flit.seq,
+                    detail=f"core {core}",
+                )
+            )
+
+    def _on_launch(
+        self, key: LinkKey, tx: "Transmission", cycle: int, original: int
+    ) -> None:
+        if not self._wants(tx.flit.pkt_id):
+            return
+        ob = f" ob={tx.ob.method.value}" if tx.ob is not None else ""
+        self._record(
+            TraceEvent(
+                cycle, EventKind.LAUNCHED, tx.flit.pkt_id, tx.flit.seq,
+                link=key, detail=f"tag {tx.tag}{ob}",
+            )
+        )
+        if tx.codeword != original:
+            flipped = bin(tx.codeword ^ original).count("1")
+            self._record(
+                TraceEvent(
+                    cycle, EventKind.CORRUPTED, tx.flit.pkt_id, tx.flit.seq,
+                    link=key, detail=f"{flipped} bit(s) flipped",
+                )
+            )
+
+    def _on_ack(self, key: LinkKey, ack, cycle: int, flit) -> None:
+        if flit is None or not self._wants(flit.pkt_id):
+            return
+        kind = EventKind.ACKED if ack.ok else EventKind.NACKED
+        detail = ""
+        if not ack.ok and ack.advice is not None and ack.advice.enable_obfuscation:
+            detail = f"advice: obfuscate (method {ack.advice.method_index})"
+        self._record(
+            TraceEvent(cycle, kind, flit.pkt_id, flit.seq, link=key,
+                       detail=detail)
+        )
+
+    # -- views -------------------------------------------------------------
+    def for_packet(self, pkt_id: int) -> list[TraceEvent]:
+        return [e for e in self.events if e.pkt_id == pkt_id]
+
+    def count(self, kind: EventKind) -> int:
+        return sum(1 for e in self.events if e.kind is kind)
+
+    def render(self, pkt_id: Optional[int] = None) -> str:
+        events = (
+            self.for_packet(pkt_id) if pkt_id is not None else self.events
+        )
+        lines = [str(e) for e in events]
+        if self.truncated:
+            lines.append("... trace truncated at capacity ...")
+        return "\n".join(lines)

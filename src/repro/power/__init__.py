@@ -1,0 +1,66 @@
+"""Analytic area/power/timing substrate (Synopsys DC + TSMC 40 nm
+substitute — see DESIGN.md §2 and :mod:`repro.power.gates`)."""
+
+from repro.power.blocks import (
+    NoCBudget,
+    RouterBreakdown,
+    buffer_budget,
+    crossbar_budget,
+    global_wire_area,
+    lob_budget,
+    noc_budget,
+    router_breakdown,
+    tasp_budget,
+    threat_detector_budget,
+)
+from repro.power.energy import EnergyReport, amplification, energy_report
+from repro.power.gates import (
+    Budget,
+    Cell,
+    CLOCK_GHZ,
+    CLOCK_PERIOD_NS,
+    GateLibrary,
+    LIB,
+    SUPPLY_V,
+)
+from repro.power.noc_power import (
+    Fig8Report,
+    MitigationRow,
+    PAPER_TABLE1,
+    PAPER_TARGETS,
+    VariantRow,
+    fig8_report,
+    table1_rows,
+    table2_rows,
+)
+
+__all__ = [
+    "EnergyReport",
+    "amplification",
+    "energy_report",
+    "NoCBudget",
+    "RouterBreakdown",
+    "buffer_budget",
+    "crossbar_budget",
+    "global_wire_area",
+    "lob_budget",
+    "noc_budget",
+    "router_breakdown",
+    "tasp_budget",
+    "threat_detector_budget",
+    "Budget",
+    "Cell",
+    "CLOCK_GHZ",
+    "CLOCK_PERIOD_NS",
+    "GateLibrary",
+    "LIB",
+    "SUPPLY_V",
+    "Fig8Report",
+    "MitigationRow",
+    "PAPER_TABLE1",
+    "PAPER_TARGETS",
+    "VariantRow",
+    "fig8_report",
+    "table1_rows",
+    "table2_rows",
+]

@@ -1,0 +1,336 @@
+"""Structural area/power/timing models of every hardware block.
+
+Each model composes standard cells from :mod:`repro.power.gates` into a
+:class:`Budget`.  The TASP models are anchored to the paper's published
+Dest variant (Table I) through a single calibration factor per metric;
+every other variant is then a prediction of the structure (and
+EXPERIMENTS.md reports how far each lands from the paper).
+
+The router model reproduces the classic breakdown the paper shows in
+Fig. 8: flip-flop-based VC buffers dominate dynamic (~71 %) and leakage
+(~88 %) power, the crossbar is next, allocators and the clock tree make
+up the rest, and a TASP is well under 1 % of a router.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.targets import TargetSpec
+from repro.core.tasp import TaspConfig
+from repro.noc.config import NoCConfig
+from repro.power.gates import (
+    Budget,
+    CLOCK_PERIOD_NS,
+    LIB,
+    LINK_LENGTH_UM,
+    WIRE_PITCH_UM,
+)
+
+#: wire-load / layout margin applied to structural critical paths
+TIMING_MARGIN = 1.12
+
+#: toggle probability assumed per compared field (header routing fields
+#: toggle with traffic; memory addresses have locality; VC ids change
+#: rarely)
+FIELD_ACTIVITY = {"src": 0.5, "dst": 0.5, "vc": 0.3, "mem": 0.15}
+
+
+# ----------------------------------------------------------------------
+# TASP trojan
+# ----------------------------------------------------------------------
+
+def _tasp_raw(target: TargetSpec, config: TaspConfig) -> Budget:
+    """Uncalibrated structural budget of one TASP instance."""
+    b = Budget()
+
+    # target block: one macro compare bit per tapped wire
+    fields: list[tuple[str, int]] = []
+    if target.src is not None:
+        fields.append(("src", 4))
+    if target.dst is not None:
+        fields.append(("dst", 4))
+    if target.vc is not None:
+        fields.append(("vc", 2))
+    if target.mem is not None:
+        fields.append(("mem", bin(target.mem_mask).count("1")))
+    for name, width in fields:
+        b.add_cells(LIB.CMP_BIT, width, FIELD_ACTIVITY[name])
+        b.add_cells(LIB.AND2, 1, FIELD_ACTIVITY[name])  # field enable
+    if target.head_only:
+        # the flit-type gate: two more compare bits (type toggles with
+        # the head/body mix on the link)
+        b.add_cells(LIB.CMP_BIT, 2, 0.5)
+        b.add_cells(LIB.AND2, 1, 0.5)
+
+    # payload counter FSM: log2(states) flops + decode + next-state
+    state_bits = max(1, math.ceil(math.log2(config.num_payload_states)))
+    b.add_cells(LIB.DFF, state_bits, 0.01)  # holds between triggers
+    b.add_cells(LIB.AND2, config.num_payload_states, 0.01)
+    b.add_cells(LIB.NAND2, 2 * state_bits, 0.01)
+
+    # XOR tree on the tapped wires (in the data path: toggles with data)
+    b.add_cells(LIB.XOR2, config.y_bits, 0.25)
+
+    # trigger/kill-switch gating + target-seen latch
+    b.add_cells(LIB.AND2, 2, 0.1)
+    b.add_cells(LIB.DFF, 1, 0.1)
+
+    # critical path: compare bit -> AND reduction tree -> trigger -> XOR
+    compare_width = max(target.compare_width, 2)
+    depth = math.ceil(math.log2(compare_width))
+    delay = (
+        LIB.DFF.delay_ns
+        + LIB.CMP_BIT.delay_ns
+        + depth * LIB.NAND2.delay_ns
+        + LIB.AND2.delay_ns
+        + LIB.XOR2.delay_ns
+    ) * TIMING_MARGIN
+    return b.with_delay(delay)
+
+
+def _tasp_calibration() -> tuple[float, float, float]:
+    """Per-metric factors anchoring the Dest variant to Table I
+    (area 33.516 um^2, dynamic 9.9263 uW, leakage 16.2355 nW)."""
+    raw = _tasp_raw(TargetSpec.for_dest(0), TaspConfig())
+    return (
+        33.516 / raw.area_um2,
+        9.9263 / raw.dynamic_uw,
+        16.2355 / raw.leakage_nw,
+    )
+
+
+_AREA_CAL, _DYN_CAL, _LEAK_CAL = _tasp_calibration()
+
+
+def tasp_budget(
+    target: TargetSpec, config: TaspConfig = TaspConfig()
+) -> Budget:
+    """Calibrated area/power/timing of one TASP instance (Table I)."""
+    raw = _tasp_raw(target, config)
+    return Budget(
+        area_um2=raw.area_um2 * _AREA_CAL,
+        dynamic_uw=raw.dynamic_uw * _DYN_CAL,
+        leakage_nw=raw.leakage_nw * _LEAK_CAL,
+        delay_ns=raw.delay_ns,
+    )
+
+
+# ----------------------------------------------------------------------
+# Router components (Fig. 8 pies)
+# ----------------------------------------------------------------------
+
+def _buffer_bits(cfg: NoCConfig) -> int:
+    in_ports = 4 + cfg.concentration
+    input_bits = in_ports * cfg.num_vcs * cfg.vc_depth * cfg.flit_bits
+    retrans_bits = 4 * cfg.retrans_depth * cfg.flit_bits
+    eject_bits = cfg.concentration * cfg.ejection_depth * cfg.flit_bits
+    return input_bits + retrans_bits + eject_bits
+
+
+def buffer_budget(cfg: NoCConfig) -> Budget:
+    """Flip-flop based VC buffers: the router's power hog."""
+    bits = _buffer_bits(cfg)
+    b = Budget()
+    # data flops, clock-gated: only written slots toggle
+    b.add_cells(LIB.DFF, bits, 0.125)
+    return b.with_delay(LIB.DFF.delay_ns * TIMING_MARGIN)
+
+
+def crossbar_budget(cfg: NoCConfig) -> Budget:
+    """A mux tree per output bit: (in_ports-1) MUX2 per bit."""
+    in_ports = 4 + cfg.concentration
+    out_ports = 4 + cfg.concentration
+    muxes = out_ports * cfg.flit_bits * (in_ports - 1)
+    b = Budget()
+    b.add_cells(LIB.MUX2, muxes, 0.35)
+    depth = math.ceil(math.log2(in_ports))
+    return b.with_delay(depth * LIB.MUX2.delay_ns * TIMING_MARGIN)
+
+
+def allocator_budget(cfg: NoCConfig) -> Budget:
+    """VC + switch allocators: round-robin arbiters per port."""
+    in_ports = 4 + cfg.concentration
+    out_ports = 4 + cfg.concentration
+    # per output: an in_ports-wide round-robin arbiter (~priority logic)
+    sa_gates = out_ports * in_ports * 12
+    # per input: a num_vcs-wide arbiter
+    in_gates = in_ports * cfg.num_vcs * 12
+    # VC allocator: per direction output, (in_ports*num_vcs) requesters
+    va_gates = 4 * in_ports * cfg.num_vcs * 6
+    b = Budget()
+    b.add_cells(LIB.AND2, sa_gates + in_gates + va_gates, 0.2)
+    b.add_cells(LIB.DFF, (out_ports + in_ports) * 4, 0.2)
+    return b.with_delay(6 * LIB.AND2.delay_ns * TIMING_MARGIN)
+
+
+def clock_budget(cfg: NoCConfig) -> Budget:
+    """Clock distribution: proportional to the flop population."""
+    bits = _buffer_bits(cfg)
+    b = Budget()
+    # clock pin load of every flop plus the local tree buffers
+    b.add_cells(LIB.INV, bits // 16, 0.8)
+    b.dynamic_uw += bits * 0.009  # clock pin switching (never gated)
+    return b
+
+
+@dataclass(frozen=True)
+class RouterBreakdown:
+    buffer: Budget
+    crossbar: Budget
+    allocator: Budget
+    clock: Budget
+
+    @property
+    def total(self) -> Budget:
+        return self.buffer + self.crossbar + self.allocator + self.clock
+
+    def dynamic_shares(self) -> dict[str, float]:
+        total = self.total.dynamic_uw
+        return {
+            "buffer": self.buffer.dynamic_uw / total,
+            "crossbar": self.crossbar.dynamic_uw / total,
+            "allocator": self.allocator.dynamic_uw / total,
+            "clock": self.clock.dynamic_uw / total,
+        }
+
+    def leakage_shares(self) -> dict[str, float]:
+        total = self.total.leakage_nw
+        return {
+            "buffer": self.buffer.leakage_nw / total,
+            "crossbar": self.crossbar.leakage_nw / total,
+            "allocator": self.allocator.leakage_nw / total,
+            "clock": self.clock.leakage_nw / total,
+        }
+
+
+def router_breakdown(cfg: NoCConfig) -> RouterBreakdown:
+    return RouterBreakdown(
+        buffer=buffer_budget(cfg),
+        crossbar=crossbar_budget(cfg),
+        allocator=allocator_budget(cfg),
+        clock=clock_budget(cfg),
+    )
+
+
+# ----------------------------------------------------------------------
+# Mitigation hardware (Table II)
+# ----------------------------------------------------------------------
+
+def threat_detector_budget(
+    cfg: NoCConfig, history_entries: int = 8, ports: int = 1
+) -> Budget:
+    """Threat source detectors: one per link input port.
+
+    The detector is shared across the router's link inputs (one box in
+    the paper's Fig. 5), holding a small fault-history CAM (tag,
+    syndrome, flow signature, counters ~= 32 bits/entry), the Fig. 6
+    decision FSM, and the NACK advice encoder.
+    """
+    per_port = Budget()
+    entry_bits = 32
+    per_port.add_cells(LIB.RAM_BIT, history_entries * entry_bits, 0.5)
+    per_port.add_cells(LIB.AND2, 60, 0.1)   # decision FSM + match logic
+    per_port.add_cells(LIB.DFF, 8, 0.1)     # verdict/state flops
+    per_port.with_delay(
+        (LIB.RAM_BIT.delay_ns + 5 * LIB.AND2.delay_ns + LIB.DFF.delay_ns)
+        * TIMING_MARGIN
+    )
+    total = Budget()
+    for _ in range(ports):
+        total.add(per_port.scaled(1.0))
+    total.delay_ns = per_port.delay_ns
+    return total
+
+
+def lob_budget(cfg: NoCConfig, ports: int = 4) -> Budget:
+    """L-Ob datapaths: one per link output port.
+
+    Per flit bit: an XOR (invert/scramble) and a 2:1 mux pair selecting
+    between straight-through and the shuffle wiring; plus method-select
+    control and the flow-method log.
+    """
+    per_port = Budget()
+    per_port.add_cells(LIB.XOR2, cfg.flit_bits, 0.6)
+    per_port.add_cells(LIB.MUX2, cfg.flit_bits, 0.6)
+    per_port.add_cells(LIB.AND2, 20, 0.1)           # method control
+    per_port.add_cells(LIB.RAM_BIT, 16 * 8, 0.05)   # flow-method log
+    per_port.with_delay(
+        (LIB.XOR2.delay_ns + 2 * LIB.MUX2.delay_ns) * TIMING_MARGIN
+    )
+    total = Budget()
+    for _ in range(ports):
+        total.add(per_port.scaled(1.0))
+    total.delay_ns = per_port.delay_ns
+    return total
+
+
+# ----------------------------------------------------------------------
+# NoC roll-up (Fig. 8 right)
+# ----------------------------------------------------------------------
+
+def global_wire_area(cfg: NoCConfig) -> float:
+    """Area of the inter-router links (dominates NoC area, Fig. 8)."""
+    wires_per_link = 72  # SECDED codeword width
+    return cfg.num_links * wires_per_link * LINK_LENGTH_UM * WIRE_PITCH_UM
+
+
+@dataclass(frozen=True)
+class NoCBudget:
+    """Chip-level totals."""
+
+    router: Budget
+    num_routers: int
+    wire_area_um2: float
+    tasp: Budget
+    num_tasps: int
+
+    @property
+    def active_area_um2(self) -> float:
+        return self.router.area_um2 * self.num_routers
+
+    @property
+    def total_area_um2(self) -> float:
+        return (
+            self.active_area_um2
+            + self.wire_area_um2
+            + self.tasp.area_um2 * self.num_tasps
+        )
+
+    @property
+    def total_dynamic_uw(self) -> float:
+        return (
+            self.router.dynamic_uw * self.num_routers
+            + self.tasp.dynamic_uw * self.num_tasps
+        )
+
+    def area_shares(self) -> dict[str, float]:
+        total = self.total_area_um2
+        return {
+            "global_wire": self.wire_area_um2 / total,
+            "active": self.active_area_um2 / total,
+            "tasp": self.tasp.area_um2 * self.num_tasps / total,
+        }
+
+    def dynamic_shares(self) -> dict[str, float]:
+        total = self.total_dynamic_uw
+        return {
+            "routers": self.router.dynamic_uw * self.num_routers / total,
+            "tasp": self.tasp.dynamic_uw * self.num_tasps / total,
+        }
+
+
+def noc_budget(
+    cfg: NoCConfig,
+    target: TargetSpec | None = None,
+    num_tasps: int = 1,
+) -> NoCBudget:
+    target = target or TargetSpec.for_dest(0)
+    return NoCBudget(
+        router=router_breakdown(cfg).total,
+        num_routers=cfg.num_routers,
+        wire_area_um2=global_wire_area(cfg),
+        tasp=tasp_budget(target),
+        num_tasps=num_tasps,
+    )

@@ -1,0 +1,107 @@
+"""Energy accounting from simulation counters.
+
+The paper repeatedly ties faults to energy: ECC correction "consumes
+more energy at the receiver", retransmissions have "both performance
+and power penalties".  This module converts a finished simulation's
+counters into dynamic energy, so the *energy amplification* of an
+attack (every retransmission re-pays link + ECC + buffer energy) can be
+quantified next to its performance damage.
+
+Per-event energies are derived from the same 40 nm-class constants as
+the area/power model (see :mod:`repro.power.gates`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.noc.network import Network
+from repro.power.gates import LINK_LENGTH_UM
+
+#: wire capacitance per um (40 nm intermediate metal, incl. repeaters)
+_WIRE_CAP_FF_PER_UM = 0.2
+#: supply voltage
+_VDD = 1.0
+#: average switching activity of a codeword on the wire
+_WIRE_ACTIVITY = 0.25
+#: energy per 72-bit link traversal (pJ): C * V^2 * bits * activity
+LINK_TRAVERSAL_PJ = (
+    _WIRE_CAP_FF_PER_UM * LINK_LENGTH_UM * 1e-3  # fF -> pF
+    * _VDD**2
+    * 72
+    * _WIRE_ACTIVITY
+)
+#: SECDED decode (syndrome + correct) energy per flit, pJ
+ECC_DECODE_PJ = 0.9
+#: extra energy when the decoder actually corrects a bit, pJ
+ECC_CORRECTION_PJ = 0.6
+#: 64-bit buffer write+read energy, pJ
+BUFFER_ACCESS_PJ = 1.4
+#: crossbar traversal energy per flit, pJ
+CROSSBAR_PJ = 0.5
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Dynamic energy consumed by a finished run (picojoules)."""
+
+    link_pj: float
+    ecc_pj: float
+    correction_pj: float
+    buffer_pj: float
+    crossbar_pj: float
+    #: traversals that were retransmissions (wasted if the run is clean)
+    retransmission_traversals: int
+    flits_delivered: int
+
+    @property
+    def total_pj(self) -> float:
+        return (
+            self.link_pj
+            + self.ecc_pj
+            + self.correction_pj
+            + self.buffer_pj
+            + self.crossbar_pj
+        )
+
+    @property
+    def pj_per_delivered_flit(self) -> float:
+        if not self.flits_delivered:
+            return float("inf")
+        return self.total_pj / self.flits_delivered
+
+
+def energy_report(net: Network) -> EnergyReport:
+    """Roll a network's counters up into dynamic energy."""
+    traversals = sum(link.traversals for link in net.links.values())
+    corrections = 0
+    decodes = 0
+    for key in net.links:
+        receiver = net.receiver_of(key)
+        corrections += receiver.flits_corrected
+        decodes += receiver.flits_accepted + receiver.faults_detected
+
+    retransmissions = sum(
+        out.retrans.nacks_received
+        for router in net.routers
+        for out in router.outputs.values()
+    )
+    switched = sum(router.flits_switched for router in net.routers)
+
+    return EnergyReport(
+        link_pj=traversals * LINK_TRAVERSAL_PJ,
+        ecc_pj=decodes * ECC_DECODE_PJ,
+        correction_pj=corrections * ECC_CORRECTION_PJ,
+        buffer_pj=switched * BUFFER_ACCESS_PJ,
+        crossbar_pj=switched * CROSSBAR_PJ,
+        retransmission_traversals=retransmissions,
+        flits_delivered=net.stats.flits_ejected,
+    )
+
+
+def amplification(attacked: EnergyReport, clean: EnergyReport) -> float:
+    """Energy-per-delivered-flit ratio: how much more the chip pays per
+    useful flit while under attack."""
+    if not clean.flits_delivered:
+        raise ValueError("clean run delivered nothing")
+    return attacked.pj_per_delivered_flit / clean.pj_per_delivered_flit

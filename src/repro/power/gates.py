@@ -1,0 +1,134 @@
+"""A 40 nm-class standard-cell library for analytic area/power/timing.
+
+**Substitution notice (DESIGN.md §2).**  The paper synthesizes its RTL
+with Synopsys Design Compiler against TSMC 40 nm libraries (1.0 V,
+2 GHz).  Neither tool nor library is redistributable, so this module
+provides an analytic gate-level estimator: each block is composed
+structurally from standard cells, and a handful of macro-cell constants
+are calibrated so the *anchor points* the paper publishes (the Dest and
+Full TASP variants of Table I) land on the reported values.  All other
+numbers are then genuine predictions of the structural model — that is
+what EXPERIMENTS.md compares against the paper.
+
+Units: area um^2, dynamic power uW (at 2 GHz, activity given per use),
+leakage nW, delay ns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One standard cell (per-instance numbers)."""
+
+    name: str
+    area_um2: float
+    #: dynamic power at 2 GHz if the cell toggled every cycle
+    dynamic_uw: float
+    leakage_nw: float
+    delay_ns: float
+
+
+@dataclass(frozen=True)
+class GateLibrary:
+    """40 nm-class cells @ 1.0 V; representative of TSMC 40 nm LP."""
+
+    INV: Cell = Cell("INV", 0.53, 0.40, 0.40, 0.010)
+    NAND2: Cell = Cell("NAND2", 0.79, 0.55, 0.55, 0.015)
+    AND2: Cell = Cell("AND2", 1.06, 0.60, 0.60, 0.020)
+    OR2: Cell = Cell("OR2", 1.06, 0.60, 0.60, 0.020)
+    XOR2: Cell = Cell("XOR2", 1.58, 1.10, 0.90, 0.025)
+    XNOR2: Cell = Cell("XNOR2", 1.58, 1.10, 0.90, 0.025)
+    MUX2: Cell = Cell("MUX2", 1.32, 0.80, 0.70, 0.020)
+    DFF: Cell = Cell("DFF", 4.50, 3.00, 2.50, 0.040)
+    #: register-file/SRAM bit with read/write ports (buffer arrays)
+    RAM_BIT: Cell = Cell("RAM_BIT", 0.60, 0.055, 0.16, 0.0)
+
+    # -- calibrated macro cells (anchored to Table I, see module doc) -----
+    #: one comparator bit of the trojan's (heavily optimized) target
+    #: block: area slope between the Dest (4-bit) and Full (42-bit)
+    #: variants of Table I
+    CMP_BIT: Cell = Cell("CMP_BIT", 0.446, 0.82, 0.369, 0.012)
+
+    def cells(self) -> dict[str, Cell]:
+        return {
+            name: getattr(self, name)
+            for name in (
+                "INV",
+                "NAND2",
+                "AND2",
+                "OR2",
+                "XOR2",
+                "XNOR2",
+                "MUX2",
+                "DFF",
+                "RAM_BIT",
+                "CMP_BIT",
+            )
+        }
+
+
+#: shared default library
+LIB = GateLibrary()
+
+#: operating point (matches the paper's synthesis corner)
+SUPPLY_V = 1.0
+CLOCK_GHZ = 2.0
+#: the clock period available to any logic on the LT path
+CLOCK_PERIOD_NS = 1.0 / CLOCK_GHZ
+
+#: global-wire geometry for the NoC area roll-up (Fig. 8):
+#: per-hop link length and effective wire pitch (incl. spacing/shielding)
+LINK_LENGTH_UM = 2000.0
+WIRE_PITCH_UM = 0.85
+
+
+@dataclass(slots=True)
+class Budget:
+    """Accumulated area/power/timing of a composed block."""
+
+    area_um2: float = 0.0
+    dynamic_uw: float = 0.0
+    leakage_nw: float = 0.0
+    delay_ns: float = 0.0
+
+    def add_cells(
+        self, cell: Cell, count: float, activity: float = 1.0
+    ) -> "Budget":
+        """Add ``count`` instances of ``cell`` toggling with probability
+        ``activity`` per cycle."""
+        if count < 0 or not 0.0 <= activity <= 1.0:
+            raise ValueError("bad count/activity")
+        self.area_um2 += cell.area_um2 * count
+        self.dynamic_uw += cell.dynamic_uw * count * activity
+        self.leakage_nw += cell.leakage_nw * count
+        return self
+
+    def add(self, other: "Budget") -> "Budget":
+        self.area_um2 += other.area_um2
+        self.dynamic_uw += other.dynamic_uw
+        self.leakage_nw += other.leakage_nw
+        self.delay_ns = max(self.delay_ns, other.delay_ns)
+        return self
+
+    def with_delay(self, delay_ns: float) -> "Budget":
+        self.delay_ns = max(self.delay_ns, delay_ns)
+        return self
+
+    def scaled(self, factor: float) -> "Budget":
+        return Budget(
+            area_um2=self.area_um2 * factor,
+            dynamic_uw=self.dynamic_uw * factor,
+            leakage_nw=self.leakage_nw * factor,
+            delay_ns=self.delay_ns,
+        )
+
+    def __add__(self, other: "Budget") -> "Budget":
+        return Budget(
+            self.area_um2 + other.area_um2,
+            self.dynamic_uw + other.dynamic_uw,
+            self.leakage_nw + other.leakage_nw,
+            max(self.delay_ns, other.delay_ns),
+        )

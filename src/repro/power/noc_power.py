@@ -1,0 +1,145 @@
+"""Roll-ups and report builders for the area/power evaluation.
+
+These produce the rows/series of Table I, Table II, Fig. 8 and Fig. 9
+in a printable (and testable) structured form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.targets import TargetSpec
+from repro.core.tasp import TaspConfig
+from repro.noc.config import NoCConfig
+from repro.power.blocks import (
+    lob_budget,
+    noc_budget,
+    router_breakdown,
+    tasp_budget,
+    threat_detector_budget,
+)
+from repro.power.gates import Budget, CLOCK_PERIOD_NS
+
+#: the paper's six TASP variants (Table I / Fig. 9) with representative
+#: field values — area/power depend only on the compared widths
+PAPER_TARGETS: dict[str, TargetSpec] = {
+    "Full": TargetSpec.full(0, 15, 2, 0x100),
+    "Dest": TargetSpec.for_dest(15),
+    "Src": TargetSpec.for_src(0),
+    "Dest_Src": TargetSpec.for_dest_src(0, 15),
+    "Mem": TargetSpec.for_mem(0x100),
+    "VC": TargetSpec.for_vc(2),
+}
+
+#: Table I as published (area um^2, dynamic uW, leakage nW, timing ns)
+PAPER_TABLE1: dict[str, tuple[float, float, float, float]] = {
+    "Full": (50.45, 25.5304, 30.2694, 0.21),
+    "Dest": (33.516, 9.9263, 16.2355, 0.21),
+    "Src": (33.516, 9.9263, 16.2355, 0.21),
+    "Dest_Src": (37.044, 10.9416, 16.2498, 0.21),
+    "Mem": (44.4528, 10.1997, 17.0468, 0.21),
+    "VC": (31.9284, 10.5953, 15.0765, 0.21),
+}
+
+
+@dataclass(frozen=True)
+class VariantRow:
+    """One Table I column: a TASP target variant."""
+
+    kind: str
+    compare_width: int
+    budget: Budget
+
+    @property
+    def meets_timing(self) -> bool:
+        """Fits within the LT stage at 2 GHz (paper: 0.5 ns window)."""
+        return self.budget.delay_ns <= CLOCK_PERIOD_NS
+
+
+def table1_rows(config: TaspConfig = TaspConfig()) -> list[VariantRow]:
+    """Our model's Table I."""
+    return [
+        VariantRow(
+            kind=kind,
+            compare_width=spec.compare_width,
+            budget=tasp_budget(spec, config),
+        )
+        for kind, spec in PAPER_TARGETS.items()
+    ]
+
+
+@dataclass(frozen=True)
+class MitigationRow:
+    """One Table II row: a mitigation module."""
+
+    name: str
+    budget: Budget
+    pct_router_area: float
+    pct_router_dynamic: float
+
+    @property
+    def meets_timing(self) -> bool:
+        return self.budget.delay_ns <= CLOCK_PERIOD_NS
+
+
+def table2_rows(cfg: NoCConfig) -> list[MitigationRow]:
+    """Our model's Table II: threat detector + L-Ob overhead."""
+    router = router_breakdown(cfg).total
+    rows = []
+    for name, budget in (
+        ("Threat detector", threat_detector_budget(cfg)),
+        ("L-Ob (4 ports)", lob_budget(cfg)),
+    ):
+        rows.append(
+            MitigationRow(
+                name=name,
+                budget=budget,
+                pct_router_area=100 * budget.area_um2 / router.area_um2,
+                pct_router_dynamic=100 * budget.dynamic_uw / router.dynamic_uw,
+            )
+        )
+    total = threat_detector_budget(cfg) + lob_budget(cfg)
+    rows.append(
+        MitigationRow(
+            name="Total mitigation",
+            budget=total,
+            pct_router_area=100 * total.area_um2 / router.area_um2,
+            pct_router_dynamic=100 * total.dynamic_uw / router.dynamic_uw,
+        )
+    )
+    return rows
+
+
+@dataclass(frozen=True)
+class Fig8Report:
+    """All four pies of Fig. 8."""
+
+    router_dynamic_shares: dict[str, float]
+    router_leakage_shares: dict[str, float]
+    noc_area_shares: dict[str, float]
+    noc_dynamic_shares_all_links: dict[str, float]
+
+
+def fig8_report(cfg: NoCConfig) -> Fig8Report:
+    breakdown = router_breakdown(cfg)
+    tasp = tasp_budget(PAPER_TARGETS["Dest"])
+    router = breakdown.total
+
+    def with_tasp(shares: dict[str, float], tasp_value: float, total: float):
+        scaled = {k: v * total / (total + tasp_value) for k, v in shares.items()}
+        scaled["tasp"] = tasp_value / (total + tasp_value)
+        return scaled
+
+    dyn = with_tasp(
+        breakdown.dynamic_shares(), tasp.dynamic_uw, router.dynamic_uw
+    )
+    leak = with_tasp(
+        breakdown.leakage_shares(), tasp.leakage_nw, router.leakage_nw
+    )
+    chip = noc_budget(cfg, num_tasps=cfg.num_links)
+    return Fig8Report(
+        router_dynamic_shares=dyn,
+        router_leakage_shares=leak,
+        noc_area_shares=chip.area_shares(),
+        noc_dynamic_shares_all_links=chip.dynamic_shares(),
+    )

@@ -1,0 +1,46 @@
+"""Workload substrate: synthetic patterns and application-like traces.
+
+Real PARSEC/SPLASH-2 traces are replaced by seeded synthetic profiles
+with the same structural properties (see DESIGN.md §2 and
+:mod:`repro.traffic.apps`).
+"""
+
+from repro.traffic.flood import FloodConfig, FloodSource, MergedSource
+from repro.traffic.apps import (
+    AppProfile,
+    AppTraceSource,
+    PROFILES,
+    traffic_weights,
+)
+from repro.traffic.synthetic import (
+    PATTERNS,
+    SyntheticConfig,
+    SyntheticSource,
+    bit_complement,
+    hotspot,
+    neighbor,
+    transpose,
+    uniform_random,
+)
+from repro.traffic.trace import Trace, TraceReplaySource, record_trace
+
+__all__ = [
+    "FloodConfig",
+    "FloodSource",
+    "MergedSource",
+    "AppProfile",
+    "AppTraceSource",
+    "PROFILES",
+    "traffic_weights",
+    "PATTERNS",
+    "SyntheticConfig",
+    "SyntheticSource",
+    "bit_complement",
+    "hotspot",
+    "neighbor",
+    "transpose",
+    "uniform_random",
+    "Trace",
+    "TraceReplaySource",
+    "record_trace",
+]

@@ -1,0 +1,110 @@
+"""Flood-based DoS attack traffic (the prior-work threat model).
+
+The related work the paper positions against ([12], [14]) uses *rogue
+threads* that flood the network with junk traffic toward a victim
+region to deplete bandwidth.  This module provides that attacker so the
+benches can contrast it with the trojan-based DoS: a flood needs
+compromised software and saturates links gradually; TASP needs two bit
+flips per targeted flit and converts the network's own fault tolerance
+into a hard stall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.noc.config import NoCConfig
+from repro.noc.flit import Packet
+from repro.noc.network import TrafficSource
+from repro.util.rng import SeededStream
+
+
+@dataclass(frozen=True)
+class FloodConfig:
+    """One flood attack: who floods whom, how hard, and when."""
+
+    #: cores running the rogue threads
+    rogue_cores: tuple[int, ...]
+    #: cores being flooded (chosen uniformly per packet)
+    victim_cores: tuple[int, ...]
+    #: packets per rogue core per cycle (1.0 = inject at line rate)
+    rate: float = 1.0
+    payload_words: int = 3
+    start_cycle: int = 0
+    stop_cycle: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.rogue_cores:
+            raise ValueError("need at least one rogue core")
+        if not self.victim_cores:
+            raise ValueError("need at least one victim core")
+        if not 0.0 < self.rate <= 1.0:
+            raise ValueError("rate must be in (0, 1]")
+
+
+class FloodSource(TrafficSource):
+    """Bandwidth-depletion attacker."""
+
+    def __init__(self, cfg: NoCConfig, flood: FloodConfig, seed: int = 0,
+                 pkt_id_base: int = 10_000_000):
+        self.cfg = cfg
+        self.flood = flood
+        self.stream = SeededStream(seed, "flood")
+        self._next_pkt_id = pkt_id_base
+        self.packets_generated = 0
+
+    def generate(self, cycle: int) -> list[Packet]:
+        flood = self.flood
+        if cycle < flood.start_cycle:
+            return []
+        if flood.stop_cycle is not None and cycle >= flood.stop_cycle:
+            return []
+        out: list[Packet] = []
+        for core in flood.rogue_cores:
+            if not self.stream.chance(flood.rate):
+                continue
+            victim = self.stream.choice(flood.victim_cores)
+            if victim == core:
+                continue
+            out.append(
+                Packet(
+                    pkt_id=self._next_pkt_id,
+                    src_core=core,
+                    dst_core=victim,
+                    vc_class=self.stream.randint(0, self.cfg.num_vcs - 1),
+                    mem_addr=self.stream.bits(32),
+                    payload=[
+                        self.stream.bits(self.cfg.flit_bits)
+                        for _ in range(flood.payload_words)
+                    ],
+                    created_cycle=cycle,
+                )
+            )
+            self._next_pkt_id += 1
+            self.packets_generated += 1
+        return out
+
+    def done(self, cycle: int) -> bool:
+        return (
+            self.flood.stop_cycle is not None
+            and cycle >= self.flood.stop_cycle
+        )
+
+
+class MergedSource(TrafficSource):
+    """Superpose several traffic sources (e.g. application + flood)."""
+
+    def __init__(self, sources: Sequence[TrafficSource]):
+        if not sources:
+            raise ValueError("need at least one source")
+        self.sources = list(sources)
+
+    def generate(self, cycle: int) -> list[Packet]:
+        out: list[Packet] = []
+        for source in self.sources:
+            out.extend(source.generate(cycle))
+        return out
+
+    def done(self, cycle: int) -> bool:
+        return all(source.done(cycle) for source in self.sources)

@@ -1,0 +1,125 @@
+"""Small bounded containers used for runtime bookkeeping.
+
+Hardware tables are finite; the threat detector's fault-history store and
+the L-Ob method log are modelled with these bounded structures so the
+simulated hardware cannot accumulate unbounded state.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generic, Iterator, TypeVar
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+
+class RingLog(Generic[V]):
+    """Fixed-capacity append-only log; oldest entries are evicted first."""
+
+    __slots__ = ("capacity", "_items", "_dropped")
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._items: list[V] = []
+        self._dropped = 0
+
+    def append(self, item: V) -> None:
+        self._items.append(item)
+        if len(self._items) > self.capacity:
+            del self._items[0]
+            self._dropped += 1
+
+    @property
+    def dropped(self) -> int:
+        """Entries evicted so far."""
+        return self._dropped
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[V]:
+        return iter(self._items)
+
+    def __getitem__(self, idx: int) -> V:
+        return self._items[idx]
+
+    def clear(self) -> None:
+        self._items.clear()
+
+
+class BoundedTable(Generic[K, V]):
+    """LRU-evicting key/value table modelling a small hardware CAM."""
+
+    __slots__ = ("capacity", "_table")
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._table: OrderedDict[K, V] = OrderedDict()
+
+    def get(self, key: K, default: V | None = None) -> V | None:
+        if key in self._table:
+            self._table.move_to_end(key)
+            return self._table[key]
+        return default
+
+    def put(self, key: K, value: V) -> None:
+        if key in self._table:
+            self._table.move_to_end(key)
+        self._table[key] = value
+        if len(self._table) > self.capacity:
+            self._table.popitem(last=False)
+
+    def pop(self, key: K, default: V | None = None) -> V | None:
+        return self._table.pop(key, default)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._table
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def items(self):
+        return self._table.items()
+
+    def clear(self) -> None:
+        self._table.clear()
+
+
+class SaturatingCounter:
+    """An ``n``-bit saturating up/down counter (hardware idiom)."""
+
+    __slots__ = ("maximum", "value")
+
+    def __init__(self, bits: int, initial: int = 0):
+        if bits <= 0:
+            raise ValueError("bits must be positive")
+        self.maximum = (1 << bits) - 1
+        if not 0 <= initial <= self.maximum:
+            raise ValueError("initial value out of range")
+        self.value = initial
+
+    def up(self, amount: int = 1) -> int:
+        self.value = min(self.maximum, self.value + amount)
+        return self.value
+
+    def down(self, amount: int = 1) -> int:
+        self.value = max(0, self.value - amount)
+        return self.value
+
+    @property
+    def saturated(self) -> bool:
+        return self.value == self.maximum
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SaturatingCounter(value={self.value}, max={self.maximum})"

@@ -1,0 +1,227 @@
+"""Tests for turn-model adaptive routing and the flood-DoS attacker."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.noc import Network, NoCConfig, Packet, PAPER_CONFIG
+from repro.noc.adaptive import (
+    AdaptiveRouting,
+    odd_even_candidates,
+    west_first_candidates,
+)
+from repro.noc.topology import Direction, neighbor
+from repro.traffic import (
+    FloodConfig,
+    FloodSource,
+    MergedSource,
+    SyntheticConfig,
+    SyntheticSource,
+    uniform_random,
+)
+
+CFG = PAPER_CONFIG
+ROUTERS = st.integers(min_value=0, max_value=15)
+
+
+class TestWestFirst:
+    def test_westbound_is_deterministic(self):
+        # dst west of cur: the only candidate is WEST
+        assert west_first_candidates(CFG, 7, 4) == [Direction.WEST]
+
+    def test_eastbound_is_adaptive(self):
+        # cur=0, dst=15: east and north both admissible
+        cands = west_first_candidates(CFG, 0, 15)
+        assert set(cands) == {Direction.EAST, Direction.NORTH}
+
+    def test_at_destination_empty(self):
+        assert west_first_candidates(CFG, 9, 9) == []
+
+    @given(ROUTERS, ROUTERS)
+    def test_candidates_are_productive(self, cur, dst):
+        # every candidate strictly reduces the hop distance
+        for d in west_first_candidates(CFG, cur, dst):
+            nxt = neighbor(CFG, cur, d)
+            assert nxt is not None
+            assert CFG.hop_distance(nxt, dst) == CFG.hop_distance(cur, dst) - 1
+
+    @given(ROUTERS, ROUTERS)
+    def test_no_west_after_nonwest(self, cur, dst):
+        # once a non-west candidate exists, WEST is never among them
+        cands = west_first_candidates(CFG, cur, dst)
+        if Direction.WEST in cands:
+            assert cands == [Direction.WEST]
+
+
+class TestOddEven:
+    @given(ROUTERS, ROUTERS, ROUTERS)
+    def test_candidates_are_productive(self, cur, dst, src):
+        for d in odd_even_candidates(CFG, cur, dst, src):
+            nxt = neighbor(CFG, cur, d)
+            assert nxt is not None
+            assert CFG.hop_distance(nxt, dst) == CFG.hop_distance(cur, dst) - 1
+
+    @given(ROUTERS, ROUTERS)
+    def test_never_empty_unless_arrived(self, cur, dst):
+        if cur != dst:
+            assert odd_even_candidates(CFG, cur, dst, cur)
+
+    @given(ROUTERS, ROUTERS)
+    def test_any_greedy_walk_terminates(self, src, dst):
+        # whichever candidate a selection function picks, the packet
+        # arrives (turn models only restrict, never strand)
+        cur = src
+        hops = 0
+        while cur != dst:
+            cands = odd_even_candidates(CFG, cur, dst, src)
+            assert cands, f"stranded at {cur} heading to {dst}"
+            cur = neighbor(CFG, cur, cands[-1])
+            hops += 1
+            assert hops <= 6
+        assert hops == CFG.hop_distance(src, dst)
+
+
+class TestAdaptiveRoutingClass:
+    def test_invalid_model(self):
+        with pytest.raises(ValueError):
+            AdaptiveRouting(CFG, "fully-adaptive")
+
+    def test_route_without_router_handle(self):
+        ar = AdaptiveRouting(CFG, "west-first")
+        assert ar.route(0, 15) in (Direction.EAST, Direction.NORTH)
+        assert ar.route(5, 5) is None
+
+    def test_congestion_steering(self):
+        # a network where one admissible output is credit-starved must
+        # pick the other
+        net = Network(NoCConfig(routing="west-first"))
+        router = net.routers[0]
+        ar = AdaptiveRouting(CFG, "west-first")
+        east = router.outputs[Direction.EAST]
+        for vc in range(CFG.num_vcs):
+            while east.credits.available(vc) > 0:
+                east.credits.consume(vc)
+        assert ar.route(0, 15, 0, router) == Direction.NORTH
+
+    @pytest.mark.parametrize("model", ["west-first", "odd-even"])
+    def test_all_pairs_deliver_on_network(self, model):
+        net = Network(NoCConfig(routing=model))
+        pid = 0
+        for s in range(0, 64, 13):
+            for d in range(0, 64, 11):
+                if s != d:
+                    net.add_packet(
+                        Packet(pkt_id=pid, src_core=s, dst_core=d,
+                               payload=[pid])
+                    )
+                    pid += 1
+        assert net.run_until_drained(5000)
+        assert net.stats.packets_completed == pid
+        assert net.stats.misdeliveries == 0
+
+    @pytest.mark.parametrize("model", ["west-first", "odd-even"])
+    def test_heavy_load_no_deadlock(self, model):
+        net = Network(NoCConfig(routing=model))
+        net.set_traffic(
+            SyntheticSource(
+                CFG, uniform_random,
+                SyntheticConfig(injection_rate=0.04, duration=300,
+                                payload_words=2),
+                seed=9,
+            )
+        )
+        assert net.run_until_drained(8000, stall_limit=2000)
+
+
+class TestFloodSource:
+    def _flood(self, **kw):
+        defaults = dict(
+            rogue_cores=(0, 63), victim_cores=(21, 22), rate=1.0
+        )
+        defaults.update(kw)
+        return FloodSource(CFG, FloodConfig(**defaults), seed=1)
+
+    def test_rate_one_injects_every_cycle(self):
+        src = self._flood()
+        for cycle in range(10):
+            assert len(src.generate(cycle)) == 2
+
+    def test_window_respected(self):
+        src = self._flood(start_cycle=5, stop_cycle=10)
+        assert src.generate(4) == []
+        assert len(src.generate(5)) == 2
+        assert src.generate(10) == []
+        assert src.done(10)
+
+    def test_targets_victims_only(self):
+        src = self._flood()
+        for cycle in range(20):
+            for pkt in src.generate(cycle):
+                assert pkt.dst_core in (21, 22)
+                assert pkt.src_core in (0, 63)
+
+    def test_pkt_ids_disjoint_from_background(self):
+        src = self._flood()
+        pkt = src.generate(0)[0]
+        assert pkt.pkt_id >= 10_000_000
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FloodConfig(rogue_cores=(), victim_cores=(1,))
+        with pytest.raises(ValueError):
+            FloodConfig(rogue_cores=(0,), victim_cores=(1,), rate=0.0)
+
+    def test_merged_source(self):
+        bg = SyntheticSource(
+            CFG, uniform_random,
+            SyntheticConfig(injection_rate=0.5, duration=5), seed=2,
+        )
+        merged = MergedSource([bg, self._flood(stop_cycle=5)])
+        total = sum(len(merged.generate(c)) for c in range(5))
+        assert total > 10
+        assert merged.done(5)
+
+    def test_flood_degrades_latency_not_delivery(self):
+        # the related-work attack: bandwidth depletion raises latency but
+        # (unlike TASP) everything still arrives
+        def run(with_flood):
+            bg = SyntheticSource(
+                CFG, uniform_random,
+                SyntheticConfig(injection_rate=0.01, duration=300,
+                                payload_words=1),
+                seed=3,
+            )
+            sources = [bg]
+            if with_flood:
+                sources.append(self._flood(stop_cycle=300))
+            net = Network(CFG)
+            net.set_traffic(MergedSource(sources))
+            net.run_until_drained(6000, stall_limit=2500)
+            bg_ids = [p for p in net.stats.packets if p < 10_000_000]
+            done = [p for p in bg_ids if net.stats.packets[p].complete]
+            lat = sum(
+                net.stats.packets[p].total_latency for p in done
+            ) / len(done)
+            return len(done) / len(bg_ids), lat
+
+        clean_rate, clean_lat = run(False)
+        flood_rate, flood_lat = run(True)
+        assert clean_rate == 1.0
+        assert flood_rate > 0.95
+        assert flood_lat > 1.5 * clean_lat
+
+
+class TestFloodExperiment:
+    def test_small_run(self):
+        from repro.experiments import flood_routing
+
+        result = flood_routing.run(
+            flood_rates=(0.0, 1.0), duration=250, drain_cycles=4000
+        )
+        for routing in flood_routing.ROUTINGS:
+            series = {p.flood_rate: p for p in result.series(routing)}
+            assert series[1.0].background_mean_latency > series[
+                0.0
+            ].background_mean_latency
+        c = result.tasp_contrast
+        assert c.victim_flows_completed < 0.5 * c.victim_flows_offered
+        assert "contrast" in flood_routing.format_result(result)

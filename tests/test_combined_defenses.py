@@ -1,0 +1,143 @@
+"""Composed defense configurations.
+
+The paper argues the defenses are complementary ("QoS non-interference
+techniques ... could be complemented with other trigger prevention
+techniques"; e2e certification constrains what L-Ob cannot see).  These
+tests run the combinations and pin that composing them never breaks
+either property.
+"""
+
+import pytest
+
+from repro.baselines import E2EConfig, E2EObfuscator, TdmConfig, TdmPolicy
+from repro.core import (
+    TargetSpec,
+    TaspConfig,
+    TaspTrojan,
+    build_mitigated_network,
+)
+from repro.noc import NoCConfig, Packet, PAPER_CONFIG
+from repro.noc.topology import Direction
+
+CFG = PAPER_CONFIG
+INFECTED = (0, Direction.EAST)
+
+
+def targeted(net, count=16, vcs=(0, 1, 2, 3), domain_of=lambda pid: 0):
+    for pid in range(count):
+        net.add_packet(
+            Packet(pkt_id=pid, src_core=domain_of(pid), dst_core=63,
+                   vc_class=vcs[pid % len(vcs)], mem_addr=0x321,
+                   payload=[0xCC], domain=domain_of(pid),
+                   created_cycle=0)
+        )
+
+
+class TestTdmPlusMitigation:
+    def test_tdm_with_lob_delivers_both_domains(self):
+        # SurfNoC non-interference AND the paper's s2s mitigation, at
+        # the same time: the victim domain is no longer just contained —
+        # it is mitigated, without giving up the TDM isolation.
+        policy = TdmPolicy(TdmConfig(num_domains=2), CFG.num_vcs)
+        net = build_mitigated_network(CFG, policy=policy)
+        trojan = TaspTrojan(TargetSpec(vc=2, head_only=True))
+        trojan.enable()
+        net.attach_tamperer(INFECTED, trojan)
+
+        def domain_of(pid):
+            return pid % 2
+
+        for pid in range(16):
+            domain = domain_of(pid)
+            net.add_packet(
+                Packet(pkt_id=pid, src_core=domain, dst_core=63,
+                       vc_class=policy.vc_for(domain), domain=domain,
+                       created_cycle=0)
+            )
+        assert net.run_until_drained(20000, stall_limit=5000)
+        assert net.stats.packets_completed == 16
+        assert trojan.triggers > 0  # the attack did fire
+
+    def test_tdm_lob_preserves_cycle_ownership(self):
+        policy = TdmPolicy(TdmConfig(num_domains=2), CFG.num_vcs)
+        net = build_mitigated_network(CFG, policy=policy)
+        launches = []
+        for link in net.links.values():
+            link.launch_hooks.append(
+                lambda tx, cycle, orig: launches.append(
+                    (cycle % 2, tx.flit.domain)
+                )
+            )
+        for pid in range(12):
+            domain = pid % 2
+            net.add_packet(
+                Packet(pkt_id=pid, src_core=domain, dst_core=63,
+                       vc_class=policy.vc_for(domain), domain=domain,
+                       created_cycle=0)
+            )
+        net.run_until_drained(10000)
+        assert launches
+        assert all(parity == domain for parity, domain in launches)
+
+
+class TestE2ePlusMitigation:
+    def test_stacked_e2e_and_s2s(self):
+        # e2e scrambling+certification at the NIs AND the s2s detector +
+        # L-Ob on the links: everything delivers, certificates verify.
+        e2e = E2EObfuscator(E2EConfig(certify=True))
+        net = build_mitigated_network(CFG, e2e=e2e)
+        trojan = TaspTrojan(TargetSpec.for_dest(15))
+        trojan.enable()
+        net.attach_tamperer(INFECTED, trojan)
+        targeted(net, count=14)
+        assert net.run_until_drained(20000, stall_limit=5000)
+        assert net.stats.packets_completed == 14
+        assert e2e.certificate_failures == []
+        assert e2e.certificates_verified == 14
+
+    def test_e2e_hides_mem_while_lob_hides_header(self):
+        # a full-window trojan needs BOTH the header and the address to
+        # match; e2e alone already defeats it (scrambled mem), and the
+        # stack keeps working when the trojan falls back to dest-only
+        e2e = E2EObfuscator(E2EConfig(certify=False))
+        net = build_mitigated_network(CFG, e2e=e2e)
+        full = TaspTrojan(TargetSpec.full(0, 15, 0, 0x321))
+        full.enable()
+        dest_only = TaspTrojan(TargetSpec.for_dest(15))
+        dest_only.enable()
+        net.attach_tamperer(INFECTED, full)
+        net.attach_tamperer((1, Direction.EAST), dest_only)
+        targeted(net, count=10, vcs=(0,))
+        assert net.run_until_drained(20000, stall_limit=5000)
+        assert net.stats.packets_completed == 10
+        assert full.triggers == 0        # e2e scrambled its mem field
+        assert dest_only.triggers > 0    # ...but L-Ob had to step in here
+
+
+class TestEverythingAtOnce:
+    def test_full_stack_under_multi_vector_attack(self):
+        from repro.faults import TransientFaultModel
+        from repro.util.rng import SeededStream
+
+        policy = TdmPolicy(TdmConfig(num_domains=2), CFG.num_vcs)
+        e2e = E2EObfuscator(E2EConfig(certify=True))
+        net = build_mitigated_network(CFG, policy=policy, e2e=e2e)
+        trojan = TaspTrojan(TargetSpec(vc=2, head_only=True))
+        trojan.enable()
+        net.attach_tamperer(INFECTED, trojan)
+        net.attach_tamperer(
+            (2, Direction.EAST),
+            TransientFaultModel(
+                net.codec.codeword_bits, 0.05, SeededStream(9, "x"),
+            ),
+        )
+        for pid in range(12):
+            domain = pid % 2
+            net.add_packet(
+                Packet(pkt_id=pid, src_core=domain, dst_core=63,
+                       vc_class=policy.vc_for(domain), domain=domain,
+                       mem_addr=0x77, payload=[0xDD], created_cycle=0)
+            )
+        assert net.run_until_drained(25000, stall_limit=6000)
+        assert net.stats.packets_completed == 12
+        assert e2e.certificate_failures == []

@@ -1,0 +1,127 @@
+"""Tests for the attacker-side planner (§III-A link selection)."""
+
+import pytest
+
+from repro.core import TargetSpec
+from repro.core.attacker import (
+    compare_targets,
+    plan_attack,
+    victim_flow_volumes,
+)
+from repro.noc import PAPER_CONFIG
+from repro.noc.topology import Direction, links_on_xy_path
+from repro.traffic import PROFILES, traffic_weights
+
+CFG = PAPER_CONFIG
+
+
+def victim_flows_to_router0():
+    """All flows toward router 0 weighted by the blackscholes matrix."""
+    weights = traffic_weights(CFG, PROFILES["blackscholes"])
+    return [(s, 0, w) for (s, d), w in weights.items() if d == 0]
+
+
+class TestVictimFlowVolumes:
+    def test_single_flow(self):
+        loads = victim_flow_volumes(CFG, [(0, 3, 2.0)])
+        assert loads[(0, Direction.EAST)] == 2.0
+        assert loads[(1, Direction.EAST)] == 2.0
+        assert loads[(2, Direction.EAST)] == 2.0
+        assert len(loads) == 3
+
+    def test_volumes_accumulate(self):
+        loads = victim_flow_volumes(CFG, [(0, 2, 1.0), (1, 2, 3.0)])
+        assert loads[(1, Direction.EAST)] == 4.0
+
+
+class TestPlanAttack:
+    def test_full_coverage_of_one_destination(self):
+        # all traffic INTO router 0 funnels through 2 ingress links
+        plan = plan_attack(
+            CFG, victim_flows_to_router0(), TargetSpec.for_dest(0),
+            coverage_goal=1.0,
+        )
+        assert plan.coverage == pytest.approx(1.0)
+        assert plan.num_implants == 2
+        assert set(plan.links) == {
+            (1, Direction.WEST), (4, Direction.SOUTH),
+        }
+
+    def test_greedy_picks_heaviest_first(self):
+        plan = plan_attack(
+            CFG, victim_flows_to_router0(), TargetSpec.for_dest(0),
+            coverage_goal=0.5,
+        )
+        assert plan.num_implants == 1
+
+    def test_few_links_suffice_for_localized_victim(self):
+        # the paper's claim: a few links a few hops from the primary
+        # core cover most of a localized application's traffic
+        plan = plan_attack(
+            CFG, victim_flows_to_router0(), TargetSpec.for_dest(0),
+            coverage_goal=0.9,
+        )
+        assert plan.num_implants <= 2
+
+    def test_spread_victim_needs_more_implants(self):
+        weights = traffic_weights(CFG, PROFILES["fft"])
+        flows = [(s, d, w) for (s, d), w in weights.items()]
+        with pytest.raises(ValueError):
+            plan_attack(CFG, flows, TargetSpec.for_dest(0),
+                        coverage_goal=0.95, max_implants=3)
+
+    def test_forbidden_links_respected(self):
+        plan = plan_attack(
+            CFG, victim_flows_to_router0(), TargetSpec.for_dest(0),
+            coverage_goal=0.5,
+            forbidden_links=[(1, Direction.WEST)],
+        )
+        assert (1, Direction.WEST) not in plan.links
+
+    def test_footprint_accounting(self):
+        plan = plan_attack(
+            CFG, victim_flows_to_router0(), TargetSpec.for_dest(0),
+            coverage_goal=1.0,
+        )
+        from repro.power import tasp_budget
+
+        single = tasp_budget(TargetSpec.for_dest(0))
+        assert plan.footprint.area_um2 == pytest.approx(
+            2 * single.area_um2
+        )
+        assert plan.footprint_vs_router < 0.01  # stays under 1% of router
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_attack(CFG, [], TargetSpec.for_dest(0))
+        with pytest.raises(ValueError):
+            plan_attack(CFG, [(0, 1, 1.0)], TargetSpec.for_dest(0),
+                        coverage_goal=0.0)
+        with pytest.raises(ValueError):
+            plan_attack(CFG, [(0, 1, 0.0)], TargetSpec.for_dest(0))
+
+    def test_planned_links_actually_cover(self):
+        flows = victim_flows_to_router0()
+        plan = plan_attack(CFG, flows, TargetSpec.for_dest(0),
+                           coverage_goal=1.0)
+        for src, dst, _ in flows:
+            path = links_on_xy_path(CFG, src, dst)
+            assert any(link in path for link in plan.links)
+
+
+class TestCompareTargets:
+    def test_wide_targets_cost_more_but_alias_less(self):
+        flows = victim_flows_to_router0()
+        plans = compare_targets(
+            CFG, flows,
+            {
+                "Dest": TargetSpec.for_dest(0),
+                "Full": TargetSpec.full(0, 0, 0, 0x100),
+            },
+            coverage_goal=1.0,
+        )
+        dest, full = plans["Dest"], plans["Full"]
+        assert full.footprint.area_um2 > dest.footprint.area_um2
+        assert full.accidental_trigger_rate < dest.accidental_trigger_rate
+        # same links either way: placement depends on traffic, not target
+        assert set(full.links) == set(dest.links)

@@ -1,0 +1,180 @@
+"""Unit tests for the threat source detector (paper Fig. 6)."""
+
+import pytest
+
+from repro.core import (
+    DetectorConfig,
+    Granularity,
+    LinkVerdict,
+    ObDescriptor,
+    ObMethod,
+    TargetSpec,
+    TaspConfig,
+    TaspTrojan,
+    ThreatDetector,
+)
+from repro.ecc import SECDED_72_64, DecodeStatus
+from repro.faults import BistScanner, PermanentFault, StuckAtKind
+from repro.noc import PAPER_CONFIG, Packet
+from repro.noc.link import Link, Transmission
+from repro.noc.topology import Direction
+from repro.util.rng import SeededStream
+
+
+def make_link(tamperer=None):
+    link = Link(0, Direction.EAST, 1)
+    if tamperer is not None:
+        link.tamperers.append(tamperer)
+    return link
+
+
+def make_tx(tag=0, ob=None, dst=60):
+    flit = Packet(pkt_id=tag, src_core=0, dst_core=dst, mem_addr=0x5).build_flits(
+        PAPER_CONFIG
+    )[0]
+    return Transmission(
+        tag=tag, vc=0, vc_seq=tag, codeword=SECDED_72_64.encode(flit.data),
+        flit=flit, ob=ob, launch_cycle=0,
+    )
+
+
+def detected_result(tx, flips=0b11):
+    return SECDED_72_64.decode(tx.codeword ^ flips)
+
+
+def make_detector(link=None, bist=True, **cfg_kw):
+    link = link or make_link()
+    scanner = (
+        BistScanner(72, SeededStream(1, "bist")) if bist else None
+    )
+    return ThreatDetector(DetectorConfig(**cfg_kw), link, scanner)
+
+
+class TestFirstFault:
+    def test_first_fault_plain_retransmission(self):
+        det = make_detector()
+        tx = make_tx()
+        advice = det.on_fault(tx, 10, detected_result(tx))
+        assert not advice.enable_obfuscation
+        assert det.verdict is LinkVerdict.UNKNOWN
+
+    def test_fault_history_recorded(self):
+        det = make_detector()
+        tx = make_tx(tag=7)
+        det.on_fault(tx, 10, detected_result(tx))
+        rec = det.history.get(7)
+        assert rec.fault_count == 1
+        assert rec.flow_signature == tx.flit.flow_signature
+        assert rec.first_cycle == 10
+
+
+class TestRepeatFault:
+    def test_second_fault_enables_obfuscation(self):
+        det = make_detector()
+        tx = make_tx()
+        det.on_fault(tx, 10, detected_result(tx))
+        advice = det.on_fault(tx, 14, detected_result(tx))
+        assert advice.enable_obfuscation
+        assert advice.method_index == 0
+
+    def test_second_fault_triggers_bist_once(self):
+        det = make_detector()
+        tx = make_tx()
+        det.on_fault(tx, 10, detected_result(tx))
+        det.on_fault(tx, 14, detected_result(tx))
+        det.on_fault(tx, 18, detected_result(tx))
+        assert det.bist_scans == 1
+
+    def test_obfuscated_fault_advances_method(self):
+        det = make_detector()
+        tx = make_tx()
+        det.on_fault(tx, 10, detected_result(tx))
+        det.on_fault(tx, 14, detected_result(tx))
+        tx_ob = make_tx(ob=ObDescriptor(ObMethod.INVERT, Granularity.FULL))
+        advice = det.on_fault(tx_ob, 18, detected_result(tx_ob))
+        assert advice.method_index == 1
+
+
+class TestClassification:
+    def test_moving_faults_bist_clean_is_trojan(self):
+        tasp = TaspTrojan(TargetSpec.for_dest(15), TaspConfig(seed=3))
+        tasp.enable()
+        det = make_detector(make_link(tasp))
+        tx = make_tx(dst=60)  # dst router 15: targeted
+        # two retries with different payload states -> distinct syndromes
+        r1 = SECDED_72_64.decode(tasp.tamper(tx.codeword, 0))
+        det.on_fault(tx, 10, r1)
+        r2 = SECDED_72_64.decode(tasp.tamper(tx.codeword, 1))
+        det.on_fault(tx, 14, r2)
+        assert det.verdict is LinkVerdict.TROJAN
+
+    def test_stuck_wires_classified_permanent(self):
+        tx = make_tx()
+        # pick stuck polarities that disagree with this codeword so both
+        # wires corrupt every traversal
+        zero_bit = next(i for i in range(72) if not tx.codeword >> i & 1)
+        one_bit = next(i for i in range(72) if tx.codeword >> i & 1)
+        fault = PermanentFault(
+            72, {zero_bit: StuckAtKind.ONE, one_bit: StuckAtKind.ZERO}
+        )
+        det = make_detector(make_link(fault))
+        res = SECDED_72_64.decode(fault.tamper(tx.codeword, 0))
+        assert res.status is DecodeStatus.DETECTED
+        det.on_fault(tx, 10, res)
+        det.on_fault(tx, 14, res)
+        assert det.verdict is LinkVerdict.PERMANENT
+
+    def test_resolved_fault_classified_transient(self):
+        det = make_detector()
+        tx = make_tx()
+        det.on_fault(tx, 10, detected_result(tx))
+        det.on_clean(tx, 14)  # retry passed untouched
+        assert det.verdict is LinkVerdict.TRANSIENT
+        assert det.transient_resolutions == 1
+        assert det.history.get(tx.tag) is None
+
+    def test_obfuscation_success_counted(self):
+        det = make_detector()
+        tx = make_tx(ob=ObDescriptor(ObMethod.INVERT, Granularity.FULL))
+        det.on_clean(tx, 5)
+        assert det.obfuscation_successes == 1
+
+    def test_bist_disabled_configuration(self):
+        det = make_detector(bist_enabled=False)
+        tx = make_tx()
+        det.on_fault(tx, 10, detected_result(tx))
+        det.on_fault(tx, 14, detected_result(tx))
+        assert det.bist_scans == 0
+
+    def test_permanent_verdict_sticky(self):
+        fault = PermanentFault(
+            72, {11: StuckAtKind.ONE, 40: StuckAtKind.ZERO}
+        )
+        det = make_detector(make_link(fault))
+        tx = make_tx()
+        res = detected_result(tx)
+        det.on_fault(tx, 10, res)
+        det.on_fault(tx, 14, res)
+        assert det.verdict is LinkVerdict.PERMANENT
+        # later moving faults do not downgrade the verdict
+        det.on_fault(tx, 18, detected_result(tx, flips=0b101))
+        assert det.verdict is LinkVerdict.PERMANENT
+
+
+class TestHistoryBounds:
+    def test_history_is_bounded(self):
+        det = make_detector(history_capacity=4)
+        for tag in range(10):
+            tx = make_tx(tag=tag)
+            det.on_fault(tx, tag, detected_result(tx))
+        assert len(det.history) <= 4
+
+    def test_repeat_threshold_configurable(self):
+        det = make_detector(repeat_threshold=3, bist=False, bist_enabled=False)
+        tx = make_tx()
+        a1 = det.on_fault(tx, 1, detected_result(tx))
+        a2 = det.on_fault(tx, 2, detected_result(tx))
+        a3 = det.on_fault(tx, 3, detected_result(tx))
+        assert not a1.enable_obfuscation
+        assert not a2.enable_obfuscation
+        assert a3.enable_obfuscation

@@ -1,0 +1,183 @@
+"""Tests for OS-level process migration (paper §IV-B complement)."""
+
+import pytest
+
+from repro.core import (
+    MigratedSource,
+    MigrationError,
+    MigrationPlan,
+    TargetSpec,
+    TaspTrojan,
+    plan_migration,
+)
+from repro.noc import Network, Packet, PAPER_CONFIG
+from repro.noc.topology import Direction, links_on_xy_path
+
+CFG = PAPER_CONFIG
+INFECTED = (0, Direction.EAST)
+
+
+class TestPlanMigration:
+    def test_clean_flows_stay_put(self):
+        # flow 16->31 (router 4 -> router 7) never crosses (0, EAST)
+        plan = plan_migration(
+            CFG, flows=[(16, 31)], condemned=[INFECTED],
+            movable_cores=[16], spare_cores=[60],
+        )
+        assert plan.mapping == {16: 16}
+        assert plan.moved_cores == []
+        assert plan.downtime_cycles == 0
+
+    def test_dirty_flow_relocated(self):
+        # flow 0->7 (router 0 -> router 1) crosses (0, EAST)
+        plan = plan_migration(
+            CFG, flows=[(0, 7)], condemned=[INFECTED],
+            movable_cores=[0], spare_cores=[16, 60],
+        )
+        assert plan.mapping[0] != 0
+        new_src = plan.mapping[0]
+        path = links_on_xy_path(
+            CFG, CFG.router_of_core(new_src), CFG.router_of_core(7)
+        )
+        assert INFECTED not in path
+
+    def test_nearest_spare_preferred(self):
+        plan = plan_migration(
+            CFG, flows=[(0, 7)], condemned=[INFECTED],
+            movable_cores=[0], spare_cores=[60, 16],
+        )
+        # core 16 (router 4, 1 hop from home) beats core 60 (router 15)
+        assert plan.mapping[0] == 16
+
+    def test_downtime_scales_with_moves(self):
+        one = plan_migration(
+            CFG, flows=[(0, 7)], condemned=[INFECTED],
+            movable_cores=[0], spare_cores=[16, 17],
+        )
+        two = plan_migration(
+            CFG, flows=[(0, 7), (1, 7)], condemned=[INFECTED],
+            movable_cores=[0, 1], spare_cores=[16, 17],
+        )
+        assert two.downtime_cycles > one.downtime_cycles > 0
+
+    def test_impossible_placement_raises(self):
+        # condemn every link leaving the destination column toward core 3
+        condemned = [
+            (0, Direction.EAST), (1, Direction.EAST), (2, Direction.EAST),
+            (7, Direction.SOUTH), (4, Direction.EAST), (5, Direction.EAST),
+            (6, Direction.EAST),
+        ]
+        with pytest.raises(MigrationError):
+            plan_migration(
+                CFG, flows=[(0, 12)], condemned=condemned,
+                movable_cores=[0], spare_cores=[1, 2],
+            )
+
+    def test_spares_overlapping_movable_rejected(self):
+        with pytest.raises(ValueError):
+            plan_migration(CFG, flows=[(0, 7)], condemned=[INFECTED],
+                           movable_cores=[0], spare_cores=[0, 16])
+
+    def test_two_movable_endpoints(self):
+        # both ends movable: planner may move either side
+        plan = plan_migration(
+            CFG, flows=[(0, 7)], condemned=[INFECTED],
+            movable_cores=[0, 7], spare_cores=[16, 17, 60],
+        )
+        s, d = plan.remap(0), plan.remap(7)
+        path = links_on_xy_path(
+            CFG, CFG.router_of_core(s), CFG.router_of_core(d)
+        )
+        assert INFECTED not in path
+
+
+class _ListSource:
+    def __init__(self, packets):
+        self.packets = packets
+
+    def generate(self, cycle):
+        return [p for p in self.packets if p.created_cycle == cycle]
+
+    def done(self, cycle):
+        return cycle > max((p.created_cycle for p in self.packets), default=0)
+
+
+class TestMigratedSource:
+    def _plan(self):
+        return plan_migration(
+            CFG, flows=[(0, 7)], condemned=[INFECTED],
+            movable_cores=[0], spare_cores=[16],
+        )
+
+    def test_remaps_endpoints_after_downtime(self):
+        plan = self._plan()
+        pkt = Packet(pkt_id=1, src_core=0, dst_core=7,
+                     created_cycle=plan.downtime_cycles + 5)
+        src = MigratedSource(_ListSource([pkt]), plan, effective_cycle=0)
+        out = src.generate(plan.downtime_cycles + 5)
+        assert out[0].src_core == 16
+        assert out[0].dst_core == 7
+
+    def test_downtime_freezes_moved_process(self):
+        plan = self._plan()
+        pkt = Packet(pkt_id=1, src_core=0, dst_core=7, created_cycle=1)
+        src = MigratedSource(_ListSource([pkt]), plan, effective_cycle=0)
+        assert src.generate(1) == []
+        assert src.packets_dropped_in_downtime == 1
+
+    def test_unrelated_traffic_unaffected(self):
+        plan = self._plan()
+        pkt = Packet(pkt_id=2, src_core=20, dst_core=40, created_cycle=1)
+        src = MigratedSource(_ListSource([pkt]), plan, effective_cycle=0)
+        out = src.generate(1)
+        assert out[0].src_core == 20 and out[0].dst_core == 40
+
+    def test_before_effective_cycle_passthrough(self):
+        plan = self._plan()
+        pkt = Packet(pkt_id=1, src_core=0, dst_core=7, created_cycle=3)
+        src = MigratedSource(_ListSource([pkt]), plan, effective_cycle=100)
+        out = src.generate(3)
+        assert out[0].src_core == 0
+
+    def test_original_packet_not_mutated(self):
+        plan = self._plan()
+        pkt = Packet(pkt_id=1, src_core=0, dst_core=7,
+                     created_cycle=plan.downtime_cycles + 1)
+        src = MigratedSource(_ListSource([pkt]), plan, effective_cycle=0)
+        src.generate(plan.downtime_cycles + 1)
+        assert pkt.src_core == 0
+
+
+class TestEndToEndMigration:
+    def test_migration_restores_throughput_without_lob(self):
+        # attacked flow on a plain (unmitigated) network: starved.
+        trojan = TaspTrojan(TargetSpec.for_dest(1))
+        trojan.enable()
+        net = Network(CFG)
+        net.attach_tamperer(INFECTED, trojan)
+        for pid in range(10):
+            net.add_packet(Packet(pkt_id=pid, src_core=0, dst_core=7,
+                                  vc_class=pid % 4, created_cycle=0))
+        assert not net.run_until_drained(3000, stall_limit=800)
+
+        # OS migrates the victim process off router 0; same trojan, same
+        # plain network, flows now avoid the infected link entirely.
+        plan = plan_migration(
+            CFG, flows=[(0, 7)], condemned=[INFECTED],
+            movable_cores=[0], spare_cores=[16],
+        )
+        trojan2 = TaspTrojan(TargetSpec.for_dest(1))
+        trojan2.enable()
+        net2 = Network(CFG)
+        net2.attach_tamperer(INFECTED, trojan2)
+        packets = [
+            Packet(pkt_id=pid, src_core=0, dst_core=7, vc_class=pid % 4,
+                   created_cycle=plan.downtime_cycles + pid)
+            for pid in range(10)
+        ]
+        net2.set_traffic(
+            MigratedSource(_ListSource(packets), plan, effective_cycle=0)
+        )
+        assert net2.run_until_drained(4000)
+        assert net2.stats.packets_completed == 10
+        assert trojan2.triggers == 0

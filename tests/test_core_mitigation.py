@@ -1,0 +1,252 @@
+"""Integration tests: TASP attack + detector + L-Ob on the full NoC.
+
+These exercise the paper's end-to-end claims:
+
+* an enabled TASP on one link starves the targeted flow and builds
+  back pressure (DoS) when no mitigation is present;
+* the threat detector classifies the link as trojan-infected;
+* L-Ob obfuscation gets the targeted flow across the infected link with
+  only a few cycles of added latency (graceful degradation).
+"""
+
+import pytest
+
+from repro.core import (
+    DEFAULT_METHOD_SEQUENCE,
+    Granularity,
+    LinkVerdict,
+    MitigationConfig,
+    ObMethod,
+    TargetSpec,
+    TaspConfig,
+    TaspTrojan,
+    build_mitigated_network,
+)
+from repro.core.detector import DetectorConfig
+from repro.noc import Network, NoCConfig, Packet
+from repro.noc.topology import Direction
+
+CFG = NoCConfig()
+INFECTED = (0, Direction.EAST)  # on the xy path from router 0 eastwards
+
+
+def targeted_traffic(net, count=20, dst_core=63, payload=2):
+    for pid in range(count):
+        net.add_packet(
+            Packet(
+                pkt_id=pid,
+                src_core=0,
+                dst_core=dst_core,
+                vc_class=pid % 4,
+                mem_addr=0x100,
+                payload=[0xBEEF] * payload,
+                created_cycle=0,
+            )
+        )
+
+
+def enabled_tasp(target=None, **cfg_kw):
+    tasp = TaspTrojan(target or TargetSpec.for_dest(15), TaspConfig(**cfg_kw))
+    tasp.enable()
+    return tasp
+
+
+class TestAttackWithoutMitigation:
+    def test_targeted_flow_starves(self):
+        net = Network(CFG)
+        tasp = enabled_tasp()
+        net.attach_tamperer(INFECTED, tasp)
+        targeted_traffic(net)
+        drained = net.run_until_drained(4000, stall_limit=800)
+        assert not drained
+        assert net.stats.packets_completed == 0
+        assert tasp.triggers > 10
+
+    def test_back_pressure_builds(self):
+        net = Network(CFG)
+        net.attach_tamperer(INFECTED, enabled_tasp())
+        targeted_traffic(net, count=60)
+        net.run(1500)
+        sample = net.collect_sample()
+        assert sample.routers_with_blocked_port >= 1
+        assert sample.injection_utilization > 0
+
+    def test_non_targeted_flows_unharmed_before_saturation(self):
+        net = Network(CFG)
+        net.attach_tamperer(INFECTED, enabled_tasp())
+        # targeted flow plus a flow avoiding the infected link entirely
+        targeted_traffic(net, count=5)
+        for pid in range(100, 110):
+            net.add_packet(
+                Packet(pkt_id=pid, src_core=20, dst_core=56, created_cycle=0)
+            )
+        net.run(2000)
+        others = [
+            rec
+            for pid, rec in net.stats.packets.items()
+            if pid >= 100
+        ]
+        assert all(rec.complete for rec in others)
+
+    def test_dormant_trojan_is_harmless(self):
+        net = Network(CFG)
+        tasp = TaspTrojan(TargetSpec.for_dest(15))  # kill switch off
+        net.attach_tamperer(INFECTED, tasp)
+        targeted_traffic(net)
+        assert net.run_until_drained(4000)
+        assert net.stats.packets_completed == 20
+        assert tasp.flits_inspected == 0
+
+
+class TestAttackWithMitigation:
+    def test_targeted_flow_delivered(self):
+        net = build_mitigated_network(CFG)
+        tasp = enabled_tasp()
+        net.attach_tamperer(INFECTED, tasp)
+        targeted_traffic(net)
+        assert net.run_until_drained(8000, stall_limit=2000)
+        assert net.stats.packets_completed == 20
+        assert net.stats.misdeliveries == 0
+
+    def test_link_classified_trojan(self):
+        net = build_mitigated_network(CFG)
+        net.attach_tamperer(INFECTED, enabled_tasp())
+        targeted_traffic(net)
+        net.run_until_drained(8000, stall_limit=2000)
+        detector = net.receiver_of(INFECTED).detector
+        assert detector.verdict is LinkVerdict.TROJAN
+        assert detector.bist_scans == 1
+
+    def test_bist_does_not_condemn_the_link(self):
+        from repro.faults import BistVerdict
+
+        net = build_mitigated_network(CFG)
+        net.attach_tamperer(INFECTED, enabled_tasp())
+        targeted_traffic(net)
+        net.run_until_drained(8000, stall_limit=2000)
+        report = net.receiver_of(INFECTED).detector.bist_report
+        assert report is not None
+        assert report.verdict is not BistVerdict.PERMANENT
+
+    def test_graceful_degradation_latency(self):
+        # Attack latency should be within a small factor of clean latency
+        # (the paper: 1-3 cycle penalty per obfuscated traversal).
+        clean = build_mitigated_network(CFG)
+        targeted_traffic(clean)
+        assert clean.run_until_drained(8000)
+        clean_lat = clean.stats.mean_total_latency()
+
+        attacked = build_mitigated_network(CFG)
+        attacked.attach_tamperer(INFECTED, enabled_tasp())
+        targeted_traffic(attacked)
+        assert attacked.run_until_drained(12000, stall_limit=2000)
+        attacked_lat = attacked.stats.mean_total_latency()
+        assert attacked_lat < clean_lat * 3
+
+    def test_method_log_short_circuits_later_flits(self):
+        net = build_mitigated_network(CFG)
+        net.attach_tamperer(INFECTED, enabled_tasp())
+        targeted_traffic(net, count=30)
+        net.run_until_drained(12000, stall_limit=2000)
+        lob = net.output_port_of(INFECTED).lob
+        assert lob.preemptive_sends > 0
+
+    def test_retransmissions_bounded_per_packet(self):
+        net = build_mitigated_network(CFG)
+        net.attach_tamperer(INFECTED, enabled_tasp())
+        targeted_traffic(net, count=10)
+        net.run_until_drained(8000, stall_limit=2000)
+        for rec in net.stats.packets.values():
+            # first flit needs ~2 faulted tries before L-Ob engages; with
+            # the flow log later packets need none
+            assert rec.retransmissions <= 6
+
+    def test_mitigated_clean_network_no_overhead(self):
+        plain = Network(CFG)
+        targeted_traffic(plain)
+        plain.run_until_drained(6000)
+        mitigated = build_mitigated_network(CFG)
+        targeted_traffic(mitigated)
+        mitigated.run_until_drained(6000)
+        assert (
+            mitigated.stats.mean_total_latency()
+            == plain.stats.mean_total_latency()
+        )
+
+    def test_scramble_method_works_end_to_end(self):
+        # Force the ladder to start at scramble.
+        mcfg = MitigationConfig(
+            method_sequence=(
+                (ObMethod.SCRAMBLE, Granularity.FULL),
+                (ObMethod.INVERT, Granularity.FULL),
+            )
+        )
+        net = build_mitigated_network(CFG, mcfg)
+        net.attach_tamperer(INFECTED, enabled_tasp())
+        targeted_traffic(net, count=20)
+        assert net.run_until_drained(12000, stall_limit=3000)
+        assert net.stats.packets_completed == 20
+        lob = net.output_port_of(INFECTED).lob
+        receiver = net.receiver_of(INFECTED)
+        assert lob.obfuscated_sends[ObMethod.SCRAMBLE] > 0
+        assert receiver.scrambles_resolved > 0
+
+    def test_reorder_method_fails_against_tasp(self):
+        # Flit reordering changes timing, not content: a pattern-matching
+        # trojan still triggers, so reorder alone cannot save the flow.
+        mcfg = MitigationConfig(
+            method_sequence=((ObMethod.REORDER, Granularity.FULL),)
+        )
+        net = build_mitigated_network(CFG, mcfg)
+        net.attach_tamperer(INFECTED, enabled_tasp())
+        targeted_traffic(net, count=10)
+        drained = net.run_until_drained(4000, stall_limit=1000)
+        assert not drained
+        assert net.stats.packets_completed < 10
+
+
+class TestTargetVariants:
+    @pytest.mark.parametrize(
+        "target",
+        [
+            TargetSpec.for_dest(15),
+            TargetSpec.for_src(0),
+            TargetSpec.for_vc(2),
+            TargetSpec.for_mem(0x100),
+            TargetSpec.for_dest_src(0, 15),
+            TargetSpec.full(0, 15, 2, 0x100),
+        ],
+        ids=lambda t: t.kind,
+    )
+    def test_every_target_variant_mitigated(self, target):
+        net = build_mitigated_network(CFG)
+        net.attach_tamperer(INFECTED, enabled_tasp(target))
+        targeted_traffic(net, count=8)
+        assert net.run_until_drained(10000, stall_limit=2500)
+        assert net.stats.packets_completed == 8
+
+
+class TestMultipleTrojans:
+    def test_two_infected_links_mitigated(self):
+        net = build_mitigated_network(CFG)
+        net.attach_tamperer((0, Direction.EAST), enabled_tasp())
+        net.attach_tamperer((2, Direction.EAST), enabled_tasp())
+        targeted_traffic(net, count=10)
+        assert net.run_until_drained(12000, stall_limit=3000)
+        assert net.stats.packets_completed == 10
+
+    def test_trojan_plus_transient_noise(self):
+        from repro.faults import TransientFaultModel
+        from repro.util.rng import SeededStream
+
+        net = build_mitigated_network(CFG)
+        net.attach_tamperer(INFECTED, enabled_tasp())
+        net.attach_tamperer(
+            (1, Direction.EAST),
+            TransientFaultModel(
+                net.codec.codeword_bits, 0.05, SeededStream(5, "noise")
+            ),
+        )
+        targeted_traffic(net, count=10)
+        assert net.run_until_drained(12000, stall_limit=3000)
+        assert net.stats.packets_completed == 10

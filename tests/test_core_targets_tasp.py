@@ -1,0 +1,221 @@
+"""Unit + property tests for TASP target specs and the trojan FSM."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import TargetSpec, TaspConfig, TaspState, TaspTrojan
+from repro.ecc import SECDED_72_64, DecodeStatus
+from repro.noc.flit import FlitType, pack_header
+from repro.util.bits import mask
+
+
+def header(src=0, dst=15, vc=0, mem=0x100, pid=1):
+    return pack_header(src, dst, vc, mem, FlitType.SINGLE, pid)
+
+
+class TestTargetSpec:
+    def test_paper_compare_widths(self):
+        # Table I target widths: src 4, dest 4, vc 2, dest_src 8,
+        # mem 32, full 42.
+        assert TargetSpec.for_src(1).compare_width == 4
+        assert TargetSpec.for_dest(1).compare_width == 4
+        assert TargetSpec.for_vc(1).compare_width == 2
+        assert TargetSpec.for_dest_src(1, 2).compare_width == 8
+        assert TargetSpec.for_mem(0xABC).compare_width == 32
+        assert TargetSpec.full(1, 2, 3, 4).compare_width == 42
+
+    def test_kind_names(self):
+        assert TargetSpec.for_dest(3).kind == "Dest"
+        assert TargetSpec.for_src(3).kind == "Src"
+        assert TargetSpec.for_dest_src(1, 2).kind == "Dest_Src"
+        assert TargetSpec.for_vc(1).kind == "VC"
+        assert TargetSpec.for_mem(5).kind == "Mem"
+        assert TargetSpec.full(1, 2, 3, 4).kind == "Full"
+
+    def test_dest_match(self):
+        spec = TargetSpec.for_dest(15)
+        assert spec.matches(header(dst=15))
+        assert not spec.matches(header(dst=14))
+
+    def test_src_match(self):
+        spec = TargetSpec.for_src(3)
+        assert spec.matches(header(src=3))
+        assert not spec.matches(header(src=4))
+
+    def test_vc_match(self):
+        spec = TargetSpec.for_vc(2)
+        assert spec.matches(header(vc=2))
+        assert not spec.matches(header(vc=1))
+
+    def test_mem_match(self):
+        spec = TargetSpec.for_mem(0xDEAD)
+        assert spec.matches(header(mem=0xDEAD))
+        assert not spec.matches(header(mem=0xBEEF))
+
+    def test_mem_range_via_mask(self):
+        # match a 256-byte "page": ignore low 8 bits
+        spec = TargetSpec.for_mem(0xAB00, mem_mask=mask(32) ^ 0xFF)
+        assert spec.matches(header(mem=0xAB42))
+        assert not spec.matches(header(mem=0xAC00))
+        assert spec.compare_width == 24
+
+    def test_full_requires_all_fields(self):
+        spec = TargetSpec.full(src=1, dst=2, vc=3, mem=0x99)
+        assert spec.matches(header(src=1, dst=2, vc=3, mem=0x99))
+        assert not spec.matches(header(src=0, dst=2, vc=3, mem=0x99))
+        assert not spec.matches(header(src=1, dst=2, vc=0, mem=0x99))
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ValueError):
+            TargetSpec()
+
+    def test_field_range_validation(self):
+        with pytest.raises(ValueError):
+            TargetSpec.for_dest(16)
+        with pytest.raises(ValueError):
+            TargetSpec.for_vc(4)
+
+    def test_random_match_probability(self):
+        assert TargetSpec.for_dest(1).random_match_probability() == 1 / 16
+        assert TargetSpec.for_vc(1).random_match_probability() == 1 / 4
+
+    @given(st.integers(min_value=0, max_value=mask(64)))
+    def test_dest_match_rate_on_random_words(self, word):
+        # a dest target matches exactly when bits 4..7 equal the target
+        spec = TargetSpec.for_dest(7)
+        assert spec.matches(word) == ((word >> 4 & 0xF) == 7)
+
+
+class TestTaspConfig:
+    def test_defaults_valid(self):
+        TaspConfig()
+
+    def test_too_many_states_rejected(self):
+        with pytest.raises(ValueError):
+            TaspConfig(y_bits=3, num_payload_states=4)
+
+    def test_wrong_wire_count_rejected(self):
+        with pytest.raises(ValueError):
+            TaspConfig(y_bits=4, wires=(1, 2, 3))
+
+    def test_tiny_counter_rejected(self):
+        with pytest.raises(ValueError):
+            TaspConfig(y_bits=1)
+
+
+class TestTaspTrojan:
+    def _cw(self, **kw):
+        return SECDED_72_64.encode(header(**kw))
+
+    def test_idle_until_kill_switch(self):
+        tasp = TaspTrojan(TargetSpec.for_dest(15))
+        assert tasp.state is TaspState.IDLE
+        cw = self._cw(dst=15)
+        assert tasp.tamper(cw, 0) == cw  # dormant: no inspection
+        assert tasp.flits_inspected == 0
+
+    def test_active_after_enable(self):
+        tasp = TaspTrojan(TargetSpec.for_dest(15))
+        tasp.enable()
+        assert tasp.state is TaspState.ACTIVE
+
+    def test_non_target_passes_clean(self):
+        tasp = TaspTrojan(TargetSpec.for_dest(15))
+        tasp.enable()
+        cw = self._cw(dst=3)
+        assert tasp.tamper(cw, 0) == cw
+        assert tasp.flits_inspected == 1
+        assert tasp.triggers == 0
+
+    def test_target_gets_exactly_two_flips(self):
+        tasp = TaspTrojan(TargetSpec.for_dest(15))
+        tasp.enable()
+        cw = self._cw(dst=15)
+        out = tasp.tamper(cw, 0)
+        assert bin(cw ^ out).count("1") == 2
+        assert tasp.state is TaspState.ATTACKING
+
+    def test_payload_defeats_secded(self):
+        # the whole point: injected faults are detected-uncorrectable
+        tasp = TaspTrojan(TargetSpec.for_dest(15))
+        tasp.enable()
+        for _ in range(10):
+            out = tasp.tamper(self._cw(dst=15), 0)
+            assert SECDED_72_64.decode(out).status is DecodeStatus.DETECTED
+
+    def test_payload_positions_shift_between_triggers(self):
+        tasp = TaspTrojan(
+            TargetSpec.for_dest(15), TaspConfig(num_payload_states=4)
+        )
+        tasp.enable()
+        cw = self._cw(dst=15)
+        patterns = {cw ^ tasp.tamper(cw, i) for i in range(4)}
+        assert len(patterns) == 4  # moving faults (transient disguise)
+
+    def test_payload_cycles_through_states(self):
+        tasp = TaspTrojan(
+            TargetSpec.for_dest(15), TaspConfig(num_payload_states=3)
+        )
+        tasp.enable()
+        cw = self._cw(dst=15)
+        first_round = [cw ^ tasp.tamper(cw, i) for i in range(3)]
+        second_round = [cw ^ tasp.tamper(cw, i) for i in range(3)]
+        assert first_round == second_round  # periodic FSM
+
+    def test_state_held_between_triggers(self):
+        # non-target traffic between triggers must not advance the FSM
+        tasp = TaspTrojan(TargetSpec.for_dest(15))
+        tasp.enable()
+        cw_t = self._cw(dst=15)
+        fault1 = cw_t ^ tasp.tamper(cw_t, 0)
+        tasp2 = TaspTrojan(TargetSpec.for_dest(15))
+        tasp2.enable()
+        for i in range(50):
+            tasp2.tamper(self._cw(dst=3), i)  # non-targets
+        fault2 = cw_t ^ tasp2.tamper(cw_t, 51)
+        assert fault1 == fault2
+
+    def test_disable_returns_to_idle(self):
+        tasp = TaspTrojan(TargetSpec.for_dest(15))
+        tasp.enable()
+        tasp.tamper(self._cw(dst=15), 0)
+        tasp.disable()
+        assert tasp.state is TaspState.IDLE
+        cw = self._cw(dst=15)
+        assert tasp.tamper(cw, 1) == cw
+
+    def test_payload_wires_within_link(self):
+        tasp = TaspTrojan(TargetSpec.for_dest(1), TaspConfig(y_bits=8))
+        assert all(0 <= w < 72 for w in tasp.payload_wires)
+        assert len(set(tasp.payload_wires)) == 8
+
+    def test_explicit_wires_respected(self):
+        cfg = TaspConfig(y_bits=2, num_payload_states=1, wires=(5, 9))
+        tasp = TaspTrojan(TargetSpec.for_dest(15), cfg)
+        tasp.enable()
+        cw = self._cw(dst=15)
+        assert cw ^ tasp.tamper(cw, 0) == (1 << 5) | (1 << 9)
+
+    def test_out_of_range_wire_rejected(self):
+        with pytest.raises(ValueError):
+            TaspTrojan(
+                TargetSpec.for_dest(1),
+                TaspConfig(y_bits=2, num_payload_states=1, wires=(5, 100)),
+            )
+
+    def test_deterministic_given_seed(self):
+        a = TaspTrojan(TargetSpec.for_dest(15), TaspConfig(seed=7))
+        b = TaspTrojan(TargetSpec.for_dest(15), TaspConfig(seed=7))
+        assert a.payload_masks == b.payload_masks
+
+    @given(st.integers(min_value=0, max_value=mask(64)))
+    def test_trigger_iff_target_matches(self, word):
+        spec = TargetSpec.for_dest(9)
+        tasp = TaspTrojan(spec)
+        tasp.enable()
+        cw = SECDED_72_64.encode(word)
+        out = tasp.tamper(cw, 0)
+        if spec.matches(word):
+            assert out != cw
+        else:
+            assert out == cw

@@ -1,0 +1,91 @@
+"""Tests for chip-level security telemetry."""
+
+import pytest
+
+from repro.core import (
+    LinkVerdict,
+    TargetSpec,
+    TaspTrojan,
+    build_mitigated_network,
+)
+from repro.core.telemetry import security_report
+from repro.faults import PermanentFault, StuckAtKind
+from repro.noc import Network, NoCConfig, Packet, PAPER_CONFIG
+from repro.noc.topology import Direction
+
+
+def attack_and_run(net, count=15):
+    for pid in range(count):
+        net.add_packet(
+            Packet(pkt_id=pid, src_core=0, dst_core=63, vc_class=pid % 4,
+                   mem_addr=0x11, payload=[0xEE], created_cycle=0)
+        )
+    net.run_until_drained(8000, stall_limit=2000)
+
+
+class TestSecurityReport:
+    def test_clean_network_reports_no_suspects(self):
+        net = build_mitigated_network(PAPER_CONFIG)
+        attack_and_run(net)
+        report = security_report(net)
+        assert len(report.links) == 48
+        assert report.suspicious_links == []
+        assert "no condemned links" in report.summary()
+
+    def test_trojan_link_identified(self):
+        net = build_mitigated_network(PAPER_CONFIG)
+        trojan = TaspTrojan(TargetSpec.for_dest(15))
+        trojan.enable()
+        net.attach_tamperer((0, Direction.EAST), trojan)
+        attack_and_run(net)
+        report = security_report(net)
+        assert report.trojan_links == [(0, Direction.EAST)]
+        assert report.permanent_links == []
+        status = report.links[(0, Direction.EAST)]
+        assert status.verdict is LinkVerdict.TROJAN
+        assert status.corrupted_traversals > 0
+        assert report.total_faults > 0
+
+    def test_permanent_link_identified(self):
+        net = build_mitigated_network(PAPER_CONFIG)
+        # stuck wires chosen against a real codeword
+        flit = Packet(pkt_id=0, src_core=0, dst_core=63).build_flits(
+            PAPER_CONFIG
+        )[0]
+        cw = net.codec.encode(flit.data)
+        zero = next(i for i in range(72) if not cw >> i & 1)
+        one = next(i for i in range(72) if cw >> i & 1)
+        net.attach_tamperer(
+            (0, Direction.EAST),
+            PermanentFault(
+                72, {zero: StuckAtKind.ONE, one: StuckAtKind.ZERO}
+            ),
+        )
+        attack_and_run(net, count=5)
+        report = security_report(net)
+        assert (0, Direction.EAST) in report.permanent_links
+
+    def test_lob_traffic_aggregated(self):
+        net = build_mitigated_network(PAPER_CONFIG)
+        trojan = TaspTrojan(TargetSpec.for_dest(15))
+        trojan.enable()
+        net.attach_tamperer((0, Direction.EAST), trojan)
+        attack_and_run(net, count=25)
+        report = security_report(net)
+        assert sum(report.obfuscated_sends.values()) > 0
+        assert report.preemptive_sends > 0
+        assert "L-Ob traffic" in report.summary()
+
+    def test_two_suspects_both_listed(self):
+        net = build_mitigated_network(PAPER_CONFIG)
+        for key in ((0, Direction.EAST), (2, Direction.EAST)):
+            trojan = TaspTrojan(TargetSpec.for_dest(15))
+            trojan.enable()
+            net.attach_tamperer(key, trojan)
+        attack_and_run(net, count=15)
+        report = security_report(net)
+        assert len(report.suspicious_links) == 2
+
+    def test_unmitigated_network_rejected(self):
+        with pytest.raises(ValueError):
+            security_report(Network(PAPER_CONFIG))

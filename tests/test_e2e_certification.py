@@ -1,0 +1,142 @@
+"""Tests for the Fort-NoCs packet-certification layer."""
+
+import pytest
+
+from repro.baselines import E2EConfig, E2EObfuscator
+from repro.core import TargetSpec, TaspConfig, TaspTrojan
+from repro.faults import TransientFaultModel
+from repro.noc import Network, NoCConfig, Packet, PAPER_CONFIG
+from repro.noc.topology import Direction
+from repro.util.rng import SeededStream
+
+
+def certified_network(**cfg_kw):
+    e2e = E2EObfuscator(E2EConfig(certify=True))
+    return Network(NoCConfig(**cfg_kw), e2e=e2e), e2e
+
+
+class TestCleanCertification:
+    def test_every_packet_verified(self):
+        net, e2e = certified_network()
+        for pid in range(10):
+            net.add_packet(
+                Packet(pkt_id=pid, src_core=0, dst_core=63,
+                       mem_addr=0x40 + pid, payload=[pid, pid * 7])
+            )
+        assert net.run_until_drained(3000)
+        assert e2e.certificates_issued == 10
+        assert e2e.certificates_verified == 10
+        assert e2e.certificate_failures == []
+
+    def test_certificate_costs_one_flit(self):
+        net, e2e = certified_network()
+        net.add_packet(Packet(pkt_id=1, src_core=0, dst_core=4))
+        assert net.run_until_drained(500)
+        # single-flit packet grew to head + certificate
+        assert net.stats.packets[1].num_flits == 2
+
+    def test_certificate_word_is_scrambled_on_the_wire(self):
+        # the certificate flit travels through the payload scrambler like
+        # any other word
+        e2e = E2EObfuscator(E2EConfig(certify=True))
+        pkt = Packet(pkt_id=1, src_core=0, dst_core=63, payload=[0xAA])
+        e2e.prepare_packet(pkt)
+        cert_plain = pkt.payload[-1]
+        flits = pkt.build_flits(PAPER_CONFIG)
+        e2e.encode_flit(flits[-1])
+        assert flits[-1].data != cert_plain
+
+    def test_single_flit_packets_supported(self):
+        net, e2e = certified_network()
+        net.add_packet(Packet(pkt_id=1, src_core=5, dst_core=50))
+        assert net.run_until_drained(500)
+        assert e2e.certificates_verified == 1
+
+
+class TestSdcDetection:
+    def test_weight3_trojan_sdc_caught_end_to_end(self):
+        # a 3-bit payload miscorrects into silent corruption that s2s
+        # SECDED cannot see; the e2e certificate catches every instance
+        net, e2e = certified_network()
+        trojan = TaspTrojan(
+            TargetSpec.for_dest(15), TaspConfig(payload_weight=3)
+        )
+        trojan.enable()
+        net.attach_tamperer((0, Direction.EAST), trojan)
+        for pid in range(12):
+            net.add_packet(
+                Packet(pkt_id=pid, src_core=0, dst_core=63,
+                       vc_class=pid % 4, mem_addr=0x9, payload=[0x1234],
+                       created_cycle=0)
+            )
+        net.run_until_drained(4000, stall_limit=1200)
+        corrupted = net.stats.misdeliveries
+        assert corrupted > 0
+        assert len(e2e.certificate_failures) >= corrupted
+        assert (
+            e2e.certificates_verified + len(e2e.certificate_failures) == 12
+        )
+
+    def test_failure_reasons_recorded(self):
+        net, e2e = certified_network()
+        trojan = TaspTrojan(
+            TargetSpec.for_dest(15), TaspConfig(payload_weight=3)
+        )
+        trojan.enable()
+        net.attach_tamperer((0, Direction.EAST), trojan)
+        for pid in range(10):
+            net.add_packet(
+                Packet(pkt_id=pid, src_core=0, dst_core=63,
+                       vc_class=pid % 4, payload=[0xF00], created_cycle=0)
+            )
+        net.run_until_drained(4000, stall_limit=1200)
+        reasons = {f.reason for f in e2e.certificate_failures}
+        assert reasons <= {
+            "misdelivered", "certificate mismatch", "flit count mismatch",
+        }
+        assert reasons
+
+    def test_transient_faults_do_not_false_positive(self):
+        # s2s SECDED corrects/retransmits transients before the NI sees
+        # them: certification must stay silent
+        net, e2e = certified_network()
+        net.attach_tamperer(
+            (0, Direction.EAST),
+            TransientFaultModel(
+                net.codec.codeword_bits, 0.2,
+                SeededStream(3, "t"), double_fraction=0.5,
+            ),
+        )
+        for pid in range(10):
+            net.add_packet(
+                Packet(pkt_id=pid, src_core=0, dst_core=63,
+                       payload=[pid], created_cycle=0)
+            )
+        assert net.run_until_drained(4000)
+        assert e2e.certificate_failures == []
+        assert e2e.certificates_verified == 10
+
+    def test_certification_cannot_prevent_the_dos(self):
+        # the paper's point: the 2-bit payload never reaches the NI at
+        # all — endpoint integrity checking is powerless against it
+        net, e2e = certified_network()
+        trojan = TaspTrojan(TargetSpec.for_dest(15))  # weight 2
+        trojan.enable()
+        net.attach_tamperer((0, Direction.EAST), trojan)
+        for pid in range(10):
+            net.add_packet(
+                Packet(pkt_id=pid, src_core=0, dst_core=63,
+                       vc_class=pid % 4, created_cycle=0)
+            )
+        drained = net.run_until_drained(3000, stall_limit=800)
+        assert not drained
+        assert net.stats.packets_completed == 0
+        assert e2e.certificate_failures == []  # nothing ever arrived
+
+
+class TestCertificationOffByDefault:
+    def test_default_config_does_not_certify(self):
+        net = Network(NoCConfig(), e2e=E2EObfuscator())
+        net.add_packet(Packet(pkt_id=1, src_core=0, dst_core=4))
+        assert net.run_until_drained(500)
+        assert net.stats.packets[1].num_flits == 1

@@ -1,0 +1,197 @@
+"""Unit + property tests for the SECDED codec.
+
+The trojan's entire attack rests on three codec properties, all proven
+here over random words:
+
+1. round-trip identity for clean words;
+2. every 1-bit error is corrected to the original data;
+3. every 2-bit error is detected but NOT corrected (forces retransmission).
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ecc import SECDED_72_64, DecodeStatus, Secded
+from repro.util.bits import mask, parity
+
+WORDS = st.integers(min_value=0, max_value=mask(64))
+
+
+class TestConstruction:
+    def test_codeword_width(self):
+        assert SECDED_72_64.codeword_bits == 72
+
+    def test_check_bits(self):
+        assert SECDED_72_64.check_bits == 7
+
+    def test_small_code(self):
+        c = Secded(8)
+        # 8 data bits need 4 Hamming checks + extended bit = 13.
+        assert c.codeword_bits == 13
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            Secded(0)
+
+    def test_encode_out_of_range(self):
+        with pytest.raises(ValueError):
+            SECDED_72_64.encode(1 << 64)
+
+    def test_decode_out_of_range(self):
+        with pytest.raises(ValueError):
+            SECDED_72_64.decode(1 << 72)
+
+
+class TestCleanPath:
+    @given(WORDS)
+    def test_roundtrip(self, data):
+        cw = SECDED_72_64.encode(data)
+        res = SECDED_72_64.decode(cw)
+        assert res.status is DecodeStatus.CLEAN
+        assert res.data == data
+        assert res.syndrome == 0
+
+    @given(WORDS)
+    def test_codeword_has_even_parity(self, data):
+        assert parity(SECDED_72_64.encode(data)) == 0
+
+    @given(WORDS)
+    def test_extract_matches_encode(self, data):
+        assert SECDED_72_64.extract(SECDED_72_64.encode(data)) == data
+
+    def test_zero_word(self):
+        assert SECDED_72_64.encode(0) == 0
+
+    def test_encoding_is_linear(self):
+        # Linearity is what makes L-Ob's scramble (XOR of two flits)
+        # land on a valid codeword of the XOR of the payloads.
+        a, b = 0xDEADBEEFCAFEF00D, 0x0123456789ABCDEF
+        ea, eb = SECDED_72_64.encode(a), SECDED_72_64.encode(b)
+        assert ea ^ eb == SECDED_72_64.encode(a ^ b)
+
+    @given(WORDS, WORDS)
+    def test_linearity_property(self, a, b):
+        c = SECDED_72_64
+        assert c.encode(a) ^ c.encode(b) == c.encode(a ^ b)
+
+
+class TestSingleErrorCorrection:
+    @given(WORDS, st.integers(min_value=0, max_value=71))
+    def test_any_single_flip_corrected(self, data, pos):
+        cw = SECDED_72_64.encode(data) ^ (1 << pos)
+        res = SECDED_72_64.decode(cw)
+        assert res.status is DecodeStatus.CORRECTED
+        assert res.data == data
+        assert res.corrected_bit == pos
+
+    def test_extended_parity_bit_flip(self):
+        data = 0x5555AAAA5555AAAA
+        cw = SECDED_72_64.encode(data) ^ (1 << 71)
+        res = SECDED_72_64.decode(cw)
+        assert res.status is DecodeStatus.CORRECTED
+        assert res.data == data
+        assert res.corrected_bit == 71
+
+    def test_exhaustive_single_errors_on_one_word(self):
+        data = 0xFEEDFACEDEADBEEF
+        cw = SECDED_72_64.encode(data)
+        for pos in range(72):
+            res = SECDED_72_64.decode(cw ^ (1 << pos))
+            assert res.status is DecodeStatus.CORRECTED
+            assert res.data == data
+
+
+class TestDoubleErrorDetection:
+    @given(
+        WORDS,
+        st.integers(min_value=0, max_value=71),
+        st.integers(min_value=0, max_value=71),
+    )
+    def test_any_double_flip_detected(self, data, p1, p2):
+        if p1 == p2:
+            return
+        cw = SECDED_72_64.encode(data) ^ (1 << p1) ^ (1 << p2)
+        res = SECDED_72_64.decode(cw)
+        assert res.status is DecodeStatus.DETECTED
+        assert res.needs_retransmission
+
+    @settings(max_examples=20)
+    @given(WORDS)
+    def test_exhaustive_adjacent_double_errors(self, data):
+        cw = SECDED_72_64.encode(data)
+        for pos in range(71):
+            corrupted = cw ^ (0b11 << pos)
+            assert (
+                SECDED_72_64.decode(corrupted).status is DecodeStatus.DETECTED
+            )
+
+    def test_all_pairs_on_small_code(self):
+        c = Secded(8)
+        cw = c.encode(0xA7)
+        for p1, p2 in itertools.combinations(range(c.codeword_bits), 2):
+            res = c.decode(cw ^ (1 << p1) ^ (1 << p2))
+            assert res.status is DecodeStatus.DETECTED
+
+
+class TestTripleErrors:
+    def test_triple_error_not_flagged_clean(self):
+        # Triple errors may miscorrect (SDC) but must never decode CLEAN
+        # to the original codeword silently claiming zero errors AND
+        # original data.
+        data = 0x0F0F0F0F0F0F0F0F
+        cw = SECDED_72_64.encode(data)
+        corrupted = cw ^ 0b111
+        res = SECDED_72_64.decode(corrupted)
+        if res.status is DecodeStatus.CLEAN:
+            # would require the error to be a codeword, impossible for
+            # weight-3 in a distance-4 code
+            pytest.fail("triple error decoded as CLEAN")
+
+    def test_triple_error_may_miscorrect(self):
+        # Documenting (not just tolerating) SDC behaviour: at least one
+        # triple error on this word miscorrects to wrong data.
+        data = 0x1234567812345678
+        cw = SECDED_72_64.encode(data)
+        saw_sdc = False
+        for pos in range(0, 69):
+            res = SECDED_72_64.decode(cw ^ (0b111 << pos))
+            if res.status is DecodeStatus.CORRECTED and res.data != data:
+                saw_sdc = True
+                break
+        assert saw_sdc
+
+
+class TestSyndromes:
+    @given(WORDS, st.integers(min_value=0, max_value=70))
+    def test_single_error_syndrome_is_position(self, data, pos):
+        cw = SECDED_72_64.encode(data) ^ (1 << pos)
+        res = SECDED_72_64.decode(cw)
+        assert res.syndrome == pos + 1
+
+    @given(WORDS)
+    def test_clean_zero_syndrome(self, data):
+        assert SECDED_72_64.syndrome(SECDED_72_64.encode(data)) == 0
+
+    def test_double_error_syndrome_is_xor_of_positions(self):
+        data = 0xCAFE
+        cw = SECDED_72_64.encode(data)
+        p1, p2 = 5, 9
+        res = SECDED_72_64.decode(cw ^ (1 << p1) ^ (1 << p2))
+        assert res.syndrome == (p1 + 1) ^ (p2 + 1)
+
+
+class TestDataPositionMapping:
+    def test_mapping_is_consistent_with_extract(self):
+        c = SECDED_72_64
+        for data_idx in (0, 1, 31, 63):
+            cw_idx = c.data_index_to_codeword_index(data_idx)
+            cw = c.encode(1 << data_idx)
+            assert cw >> cw_idx & 1 == 1
+
+    def test_positions_skip_powers_of_two(self):
+        c = SECDED_72_64
+        check_indices = {0, 1, 3, 7, 15, 31, 63}
+        for data_idx in range(64):
+            assert c.data_index_to_codeword_index(data_idx) not in check_indices

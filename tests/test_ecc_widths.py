@@ -1,0 +1,90 @@
+"""SECDED property tests across codec widths.
+
+The library defaults to SECDED(72,64) but supports any data width —
+these properties must hold for all of them.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ecc import DecodeStatus, Secded
+from repro.util.bits import mask
+
+WIDTHS = [4, 8, 16, 32, 64, 128]
+CODECS = {w: Secded(w) for w in WIDTHS}
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+class TestPerWidth:
+    def test_check_bit_count_is_minimal(self, width):
+        codec = CODECS[width]
+        r = codec.check_bits
+        # Hamming bound: 2^r >= width + r + 1, and r-1 must not suffice
+        assert 2**r >= width + r + 1
+        assert 2 ** (r - 1) < width + (r - 1) + 1
+
+    def test_roundtrip_all_ones(self, width):
+        codec = CODECS[width]
+        data = mask(width)
+        assert codec.decode(codec.encode(data)).data == data
+
+    def test_single_error_exhaustive(self, width):
+        codec = CODECS[width]
+        data = 0x5A5A5A5A5A5A5A5A5A5A5A5A5A5A5A5A & mask(width)
+        cw = codec.encode(data)
+        for pos in range(codec.codeword_bits):
+            res = codec.decode(cw ^ (1 << pos))
+            assert res.status is DecodeStatus.CORRECTED
+            assert res.data == data
+
+    def test_adjacent_double_errors_detected(self, width):
+        codec = CODECS[width]
+        cw = codec.encode(0x33 & mask(width))
+        for pos in range(codec.codeword_bits - 1):
+            res = codec.decode(cw ^ (0b11 << pos))
+            assert res.status is DecodeStatus.DETECTED
+
+
+class TestCrossWidthProperties:
+    @settings(max_examples=60)
+    @given(
+        st.sampled_from(WIDTHS),
+        st.data(),
+    )
+    def test_roundtrip_property(self, width, data):
+        codec = CODECS[width]
+        value = data.draw(st.integers(min_value=0, max_value=mask(width)))
+        res = codec.decode(codec.encode(value))
+        assert res.status is DecodeStatus.CLEAN
+        assert res.data == value
+
+    @settings(max_examples=60)
+    @given(st.sampled_from(WIDTHS), st.data())
+    def test_linearity_property(self, width, data):
+        codec = CODECS[width]
+        a = data.draw(st.integers(min_value=0, max_value=mask(width)))
+        b = data.draw(st.integers(min_value=0, max_value=mask(width)))
+        assert codec.encode(a) ^ codec.encode(b) == codec.encode(a ^ b)
+
+    @settings(max_examples=60)
+    @given(st.sampled_from(WIDTHS), st.data())
+    def test_random_double_error_detected_property(self, width, data):
+        codec = CODECS[width]
+        value = data.draw(st.integers(min_value=0, max_value=mask(width)))
+        p1 = data.draw(
+            st.integers(min_value=0, max_value=codec.codeword_bits - 1)
+        )
+        p2 = data.draw(
+            st.integers(min_value=0, max_value=codec.codeword_bits - 1)
+        )
+        if p1 == p2:
+            return
+        cw = codec.encode(value) ^ (1 << p1) ^ (1 << p2)
+        assert codec.decode(cw).status is DecodeStatus.DETECTED
+
+    def test_overhead_shrinks_relatively_with_width(self):
+        # check-bit overhead fraction decreases with data width
+        fractions = [
+            CODECS[w].check_bits / w for w in WIDTHS
+        ]
+        assert fractions == sorted(fractions, reverse=True)

@@ -1,0 +1,76 @@
+"""Tests for structured result export."""
+
+import dataclasses
+import enum
+import json
+
+import pytest
+
+from repro.experiments import fig8_overhead, table1_tasp, table2_mitigation
+from repro.experiments.export import load_result, save_result, to_jsonable
+from repro.noc.topology import Direction
+
+
+class Color(enum.Enum):
+    RED = "red"
+
+
+@dataclasses.dataclass
+class Inner:
+    value: int
+    tag: Color
+
+
+@dataclasses.dataclass
+class Outer:
+    name: str
+    items: list
+    table: dict
+
+
+class TestToJsonable:
+    def test_nested_dataclasses(self):
+        out = to_jsonable(Outer("x", [Inner(1, Color.RED)], {"a": 2}))
+        assert out == {
+            "name": "x",
+            "items": [{"value": 1, "tag": "RED"}],
+            "table": {"a": 2},
+        }
+
+    def test_enum_values(self):
+        assert to_jsonable(Color.RED) == "RED"
+        assert to_jsonable(Direction.EAST) == "EAST"
+
+    def test_tuple_keys_flattened(self):
+        out = to_jsonable({(0, Direction.EAST): 5})
+        assert out == {"0->EAST": 5}
+
+    def test_tuples_become_lists(self):
+        assert to_jsonable((1, 2, 3)) == [1, 2, 3]
+
+    def test_none_and_scalars(self):
+        assert to_jsonable(None) is None
+        assert to_jsonable(3.5) == 3.5
+
+    def test_everything_json_serializable(self):
+        for module in (table1_tasp, table2_mitigation, fig8_overhead):
+            json.dumps(to_jsonable(module.run()))
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        result = table1_tasp.run()
+        path = save_result(result, tmp_path / "t1.json", "table1")
+        data = load_result(path)
+        assert data["experiment"] == "table1"
+        kinds = [row["kind"] for row in data["result"]["rows"]]
+        assert "Full" in kinds and "Dest" in kinds
+
+    def test_runner_json_flag(self, tmp_path, capsys):
+        from repro.experiments.runner import main
+
+        out_file = tmp_path / "fig8.json"
+        assert main(["fig8", "--json", str(out_file)]) == 0
+        assert out_file.exists()
+        data = load_result(out_file)
+        assert "router_dynamic_shares" in data["result"]

@@ -1,0 +1,150 @@
+"""Unit tests for fault models and BIST classification."""
+
+import pytest
+
+from repro.ecc import SECDED_72_64, DecodeStatus
+from repro.faults import (
+    BistScanner,
+    BistVerdict,
+    PermanentFault,
+    StuckAtKind,
+    TransientFaultModel,
+)
+from repro.faults.models import CompositeTamperer
+from repro.util.rng import SeededStream
+
+
+class TestTransientFaultModel:
+    def test_zero_probability_never_flips(self):
+        model = TransientFaultModel(72, 0.0, SeededStream(1))
+        for cycle in range(100):
+            assert model.tamper(0xABCD, cycle) == 0xABCD
+        assert model.events == 0
+
+    def test_certain_probability_always_flips(self):
+        model = TransientFaultModel(72, 1.0, SeededStream(2), double_fraction=0.0)
+        for cycle in range(50):
+            out = model.tamper(0, cycle)
+            assert bin(out).count("1") == 1
+        assert model.events == 50
+
+    def test_double_fraction_yields_two_flips(self):
+        model = TransientFaultModel(72, 1.0, SeededStream(3), double_fraction=1.0)
+        out = model.tamper(0, 0)
+        assert bin(out).count("1") == 2
+
+    def test_rate_statistics(self):
+        model = TransientFaultModel(72, 0.1, SeededStream(4))
+        for cycle in range(10_000):
+            model.tamper(0, cycle)
+        assert 800 < model.events < 1200
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            TransientFaultModel(72, 1.5, SeededStream(1))
+
+    def test_single_flip_is_correctable_by_secded(self):
+        model = TransientFaultModel(72, 1.0, SeededStream(5), double_fraction=0.0)
+        data = 0xDEADBEEF12345678
+        cw = SECDED_72_64.encode(data)
+        res = SECDED_72_64.decode(model.tamper(cw, 0))
+        assert res.status is DecodeStatus.CORRECTED
+        assert res.data == data
+
+
+class TestPermanentFault:
+    def test_stuck_at_zero_forces_zero(self):
+        fault = PermanentFault.single(72, 5, StuckAtKind.ZERO)
+        assert fault.tamper(1 << 5, 0) == 0
+        assert fault.tamper(0, 0) == 0
+
+    def test_stuck_at_one_forces_one(self):
+        fault = PermanentFault.single(72, 3, StuckAtKind.ONE)
+        assert fault.tamper(0, 0) == 1 << 3
+
+    def test_only_manifests_on_disagreement(self):
+        fault = PermanentFault.single(72, 7, StuckAtKind.ZERO)
+        fault.tamper(0, 0)  # agrees, no corruption
+        assert fault.activations == 0
+        fault.tamper(1 << 7, 0)
+        assert fault.activations == 1
+
+    def test_positions_listing(self):
+        fault = PermanentFault(
+            72, {3: StuckAtKind.ZERO, 10: StuckAtKind.ONE}
+        )
+        assert fault.positions == [3, 10]
+
+    def test_out_of_range_position(self):
+        with pytest.raises(ValueError):
+            PermanentFault.single(8, 9)
+
+    def test_empty_positions(self):
+        with pytest.raises(ValueError):
+            PermanentFault(72, {})
+
+    def test_stuck_wire_triggers_retransmission_path(self):
+        # A single stuck wire yields at most a single-bit error per word:
+        # corrected, not retransmitted -- unlike the trojan's 2-bit payload.
+        fault = PermanentFault.single(72, 11, StuckAtKind.ZERO)
+        data = (1 << 64) - 1
+        cw = SECDED_72_64.encode(data)
+        res = SECDED_72_64.decode(fault.tamper(cw, 0))
+        assert res.status in (DecodeStatus.CORRECTED, DecodeStatus.CLEAN)
+
+
+class TestCompositeTamperer:
+    def test_applies_in_order(self):
+        f1 = PermanentFault.single(8, 0, StuckAtKind.ONE)
+        f2 = PermanentFault.single(8, 1, StuckAtKind.ONE)
+        chain = CompositeTamperer([f1, f2])
+        assert chain.tamper(0, 0) == 0b11
+
+    def test_empty_chain_is_identity(self):
+        assert CompositeTamperer([]).tamper(0x55, 0) == 0x55
+
+
+class TestBist:
+    def _scanner(self, seed=9):
+        return BistScanner(72, SeededStream(seed))
+
+    def test_clean_link(self):
+        report = self._scanner().scan(lambda cw, cyc: cw)
+        assert report.verdict is BistVerdict.CLEAN
+        assert report.patterns_failed == 0
+        assert report.permanent_positions == ()
+
+    def test_detects_stuck_at_zero(self):
+        fault = PermanentFault.single(72, 17, StuckAtKind.ZERO)
+        report = self._scanner().scan(fault.tamper)
+        assert report.verdict is BistVerdict.PERMANENT
+        assert 17 in report.permanent_positions
+
+    def test_detects_stuck_at_one(self):
+        fault = PermanentFault.single(72, 40, StuckAtKind.ONE)
+        report = self._scanner().scan(fault.tamper)
+        assert report.verdict is BistVerdict.PERMANENT
+        assert 40 in report.permanent_positions
+
+    def test_detects_multiple_stuck_wires(self):
+        fault = PermanentFault(
+            72, {2: StuckAtKind.ZERO, 33: StuckAtKind.ONE, 70: StuckAtKind.ZERO}
+        )
+        report = self._scanner().scan(fault.tamper)
+        assert report.verdict is BistVerdict.PERMANENT
+        assert set(report.permanent_positions) == {2, 33, 70}
+
+    def test_transient_storm_reported_inconsistent(self):
+        model = TransientFaultModel(72, 0.8, SeededStream(10))
+        report = self._scanner().scan(model.tamper)
+        assert report.verdict is BistVerdict.INCONSISTENT
+
+    def test_duration_accounts_for_patterns(self):
+        report = self._scanner().scan(lambda cw, cyc: cw)
+        assert report.duration_cycles >= report.patterns_sent
+
+    def test_scan_counter(self):
+        scanner = self._scanner()
+        scanner.scan(lambda cw, cyc: cw)
+        scanner.scan(lambda cw, cyc: cw)
+        assert scanner.scans_run == 2

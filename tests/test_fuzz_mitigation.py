@@ -1,0 +1,117 @@
+"""Property fuzz: the mitigation's delivery guarantee.
+
+For any trojan target, any infected link, and any (modest) workload
+that the clean network can deliver, the mitigated network must deliver
+it too — that is the paper's graceful-degradation contract.  Hypothesis
+explores the configuration space; each example is a full simulation.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import (
+    TargetSpec,
+    TaspConfig,
+    TaspTrojan,
+    build_mitigated_network,
+)
+from repro.noc import Network, NoCConfig, Packet, PAPER_CONFIG
+from repro.noc.topology import all_links
+from repro.util.rng import SeededStream
+
+LINKS = all_links(PAPER_CONFIG)
+
+target_specs = st.one_of(
+    st.integers(min_value=0, max_value=15).map(TargetSpec.for_dest),
+    st.integers(min_value=0, max_value=15).map(TargetSpec.for_src),
+    st.integers(min_value=0, max_value=3).map(TargetSpec.for_vc),
+    st.tuples(
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=0, max_value=15),
+    ).map(lambda sd: TargetSpec.for_dest_src(*sd)),
+    st.integers(min_value=0, max_value=(1 << 32) - 1).map(
+        TargetSpec.for_mem
+    ),
+)
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    target=target_specs,
+    link_idx=st.integers(min_value=0, max_value=len(LINKS) - 1),
+    seed=st.integers(min_value=0, max_value=10_000),
+    payload_states=st.integers(min_value=1, max_value=8),
+)
+def test_mitigated_network_always_delivers(
+    target, link_idx, seed, payload_states
+):
+    stream = SeededStream(seed, "fuzz")
+    net = build_mitigated_network(PAPER_CONFIG)
+    trojan = TaspTrojan(
+        target,
+        TaspConfig(num_payload_states=payload_states, seed=seed),
+    )
+    trojan.enable()
+    net.attach_tamperer(LINKS[link_idx], trojan)
+
+    offered = 0
+    for pid in range(12):
+        src = stream.randint(0, 63)
+        dst = stream.randint(0, 63)
+        if src == dst:
+            continue
+        net.add_packet(
+            Packet(
+                pkt_id=pid,
+                src_core=src,
+                dst_core=dst,
+                vc_class=stream.randint(0, 3),
+                mem_addr=stream.bits(32),
+                payload=[stream.bits(64)
+                         for _ in range(stream.randint(0, 2))],
+                created_cycle=0,
+            )
+        )
+        offered += 1
+
+    drained = net.run_until_drained(25000, stall_limit=6000)
+    assert drained, (
+        f"mitigation failed: target={target}, link={LINKS[link_idx]}, "
+        f"seed={seed}"
+    )
+    assert net.stats.packets_completed == offered
+    assert net.stats.misdeliveries == 0
+
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    num_trojans=st.integers(min_value=2, max_value=4),
+)
+def test_multiple_random_trojans_mitigated(seed, num_trojans):
+    stream = SeededStream(seed, "multi")
+    net = build_mitigated_network(PAPER_CONFIG)
+    for i, key in enumerate(stream.sample(LINKS, num_trojans)):
+        trojan = TaspTrojan(
+            TargetSpec.for_dest(stream.randint(0, 15)),
+            TaspConfig(seed=seed + i),
+        )
+        trojan.enable()
+        net.attach_tamperer(key, trojan)
+    offered = 0
+    for pid in range(10):
+        src, dst = stream.randint(0, 63), stream.randint(0, 63)
+        if src == dst:
+            continue
+        net.add_packet(
+            Packet(pkt_id=pid, src_core=src, dst_core=dst,
+                   vc_class=stream.randint(0, 3), created_cycle=0)
+        )
+        offered += 1
+    assert net.run_until_drained(30000, stall_limit=8000)
+    assert net.stats.packets_completed == offered

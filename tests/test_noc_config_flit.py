@@ -1,0 +1,164 @@
+"""Unit tests for NoC configuration and flit/packet wire images."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.noc import NoCConfig, PAPER_CONFIG, FlitType, Packet
+from repro.noc.flit import (
+    FULL_WINDOW,
+    pack_header,
+    unpack_header,
+)
+from repro.util.bits import extract_field, mask
+
+
+class TestNoCConfig:
+    def test_paper_platform(self):
+        cfg = PAPER_CONFIG
+        assert cfg.num_routers == 16
+        assert cfg.num_cores == 64
+        assert cfg.num_links == 48  # the paper's "TASP on all 48 links"
+        assert cfg.num_vcs == 4
+        assert cfg.vc_depth == 4
+        assert cfg.flit_bits == 64
+
+    def test_router_xy_roundtrip(self):
+        cfg = PAPER_CONFIG
+        for rid in range(cfg.num_routers):
+            x, y = cfg.router_xy(rid)
+            assert cfg.router_at(x, y) == rid
+
+    def test_core_mapping(self):
+        cfg = PAPER_CONFIG
+        assert cfg.router_of_core(0) == 0
+        assert cfg.router_of_core(63) == 15
+        assert cfg.local_index(5) == 1
+        assert cfg.core_of(1, 1) == 5
+
+    def test_hop_distance(self):
+        cfg = PAPER_CONFIG
+        assert cfg.hop_distance(0, 15) == 6
+        assert cfg.hop_distance(0, 0) == 0
+        assert cfg.hop_distance(0, 3) == 3
+
+    def test_too_many_routers_rejected(self):
+        with pytest.raises(ValueError):
+            NoCConfig(mesh_width=5, mesh_height=4)
+
+    def test_bad_vcs_rejected(self):
+        with pytest.raises(ValueError):
+            NoCConfig(num_vcs=5)
+
+    def test_small_mesh_links(self):
+        cfg = NoCConfig(mesh_width=2, mesh_height=2)
+        assert cfg.num_links == 8
+
+    def test_1d_mesh(self):
+        cfg = NoCConfig(mesh_width=4, mesh_height=1)
+        assert cfg.num_links == 6
+
+    def test_out_of_range_router(self):
+        with pytest.raises(ValueError):
+            PAPER_CONFIG.router_xy(16)
+
+    def test_retrans_depth_minimum(self):
+        with pytest.raises(ValueError):
+            NoCConfig(retrans_depth=1)
+
+
+class TestHeaderLayout:
+    def test_full_window_is_42_bits(self):
+        # the paper's "full" target width (src+dest+vc+mem = 42)
+        assert FULL_WINDOW == (0, 42)
+
+    def test_pack_unpack_roundtrip(self):
+        word = pack_header(3, 12, 2, 0xDEADBEEF, FlitType.HEAD, 77)
+        fields = unpack_header(word)
+        assert fields["src_router"] == 3
+        assert fields["dst_router"] == 12
+        assert fields["vc_class"] == 2
+        assert fields["mem_addr"] == 0xDEADBEEF
+        assert fields["ftype"] == FlitType.HEAD
+        assert fields["pkt_id"] == 77
+
+    @given(
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=0, max_value=mask(32)),
+        st.integers(min_value=0, max_value=mask(20)),
+    )
+    def test_roundtrip_property(self, src, dst, vc, mem, pid):
+        word = pack_header(src, dst, vc, mem, FlitType.SINGLE, pid)
+        fields = unpack_header(word)
+        assert fields["src_router"] == src
+        assert fields["dst_router"] == dst
+        assert fields["vc_class"] == vc
+        assert fields["mem_addr"] == mem
+        assert fields["pkt_id"] == pid
+
+    def test_header_fits_in_64_bits(self):
+        word = pack_header(15, 15, 3, mask(32), FlitType.SINGLE, mask(20))
+        assert word <= mask(64)
+
+    def test_fields_do_not_overlap(self):
+        # setting one field leaves all others zero
+        word = pack_header(0, 0, 0, mask(32), FlitType(0), 0)
+        assert extract_field(word, 0, 10) == 0
+        assert extract_field(word, 42, 22) == 0
+
+
+class TestPacket:
+    def test_single_flit_packet(self):
+        p = Packet(pkt_id=1, src_core=0, dst_core=63)
+        flits = p.build_flits(PAPER_CONFIG)
+        assert len(flits) == 1
+        assert flits[0].ftype is FlitType.SINGLE
+        assert flits[0].is_head and flits[0].is_tail
+
+    def test_multi_flit_packet_structure(self):
+        p = Packet(pkt_id=2, src_core=0, dst_core=63, payload=[1, 2, 3])
+        flits = p.build_flits(PAPER_CONFIG)
+        assert [f.ftype for f in flits] == [
+            FlitType.HEAD,
+            FlitType.BODY,
+            FlitType.BODY,
+            FlitType.TAIL,
+        ]
+        assert [f.seq for f in flits] == [0, 1, 2, 3]
+        assert all(f.num_flits == 4 for f in flits)
+
+    def test_routers_derived_from_cores(self):
+        p = Packet(pkt_id=3, src_core=5, dst_core=62)
+        flits = p.build_flits(PAPER_CONFIG)
+        assert flits[0].src_router == 1
+        assert flits[0].dst_router == 15
+
+    def test_head_wire_image_matches_fields(self):
+        p = Packet(pkt_id=4, src_core=0, dst_core=63, vc_class=1, mem_addr=0xABC)
+        head = p.build_flits(PAPER_CONFIG)[0]
+        fields = unpack_header(head.data)
+        assert fields["dst_router"] == 15
+        assert fields["mem_addr"] == 0xABC
+        assert fields["vc_class"] == 1
+
+    def test_body_data_is_payload(self):
+        p = Packet(pkt_id=5, src_core=0, dst_core=4, payload=[0xFEED, 0xF00D])
+        flits = p.build_flits(PAPER_CONFIG)
+        assert flits[1].data == 0xFEED
+        assert flits[2].data == 0xF00D
+
+    def test_oversized_packet_rejected(self):
+        p = Packet(pkt_id=6, src_core=0, dst_core=1, payload=[0] * 10)
+        with pytest.raises(ValueError):
+            p.build_flits(PAPER_CONFIG)
+
+    def test_bad_vc_rejected(self):
+        p = Packet(pkt_id=7, src_core=0, dst_core=1, vc_class=9)
+        with pytest.raises(ValueError):
+            p.build_flits(PAPER_CONFIG)
+
+    def test_flow_signature(self):
+        p = Packet(pkt_id=8, src_core=0, dst_core=63, vc_class=2)
+        head = p.build_flits(PAPER_CONFIG)[0]
+        assert head.flow_signature == (0, 15, 2)

@@ -1,0 +1,293 @@
+"""Integration tests for the full NoC: delivery, pipeline timing,
+flow control, back-pressure and fault tolerance on clean and faulty
+networks (no trojan yet — that's tests/test_core_*)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.faults import PermanentFault, StuckAtKind, TransientFaultModel
+from repro.noc import Network, NoCConfig, Packet, PAPER_CONFIG
+from repro.noc.topology import Direction
+from repro.util.rng import SeededStream
+
+
+def simple_net(**kw):
+    return Network(NoCConfig(**kw))
+
+
+def inject(net, pkt_id, src, dst, payload_words=0, vc=0, mem=0):
+    net.add_packet(
+        Packet(
+            pkt_id=pkt_id,
+            src_core=src,
+            dst_core=dst,
+            vc_class=vc,
+            mem_addr=mem,
+            payload=[0xA5A5] * payload_words,
+            created_cycle=net.cycle,
+        )
+    )
+
+
+class TestBasicDelivery:
+    def test_single_flit_neighbor(self):
+        net = simple_net()
+        inject(net, 1, 0, 4)  # router 0 -> router 1
+        assert net.run_until_drained(200)
+        rec = net.stats.completed_records()[0]
+        assert rec.hops == 1
+        assert not rec.misdelivered
+
+    def test_corner_to_corner(self):
+        net = simple_net()
+        inject(net, 1, 0, 63)
+        assert net.run_until_drained(300)
+        rec = net.stats.completed_records()[0]
+        assert rec.hops == 6
+
+    def test_same_router_delivery(self):
+        net = simple_net()
+        inject(net, 1, 0, 2)
+        assert net.run_until_drained(100)
+        assert net.stats.completed_records()[0].hops == 0
+
+    def test_multi_flit_packet(self):
+        net = simple_net()
+        inject(net, 1, 0, 63, payload_words=3)
+        assert net.run_until_drained(300)
+        rec = net.stats.completed_records()[0]
+        assert rec.num_flits == 4
+        assert rec.flits_ejected == 4
+
+    def test_zero_load_latency_is_pipeline_depth(self):
+        # ~5 cycles per hop (BW/RC, VA, SA/ST, LT launch, arrival) plus
+        # injection/ejection overhead.
+        net = simple_net()
+        inject(net, 1, 0, 4)
+        net.run_until_drained(100)
+        lat = net.stats.completed_records()[0].network_latency
+        assert 5 <= lat <= 12
+
+    def test_latency_grows_linearly_with_distance(self):
+        lats = []
+        for dst_router in (1, 2, 3):
+            net = simple_net()
+            inject(net, 1, 0, dst_router * 4)
+            net.run_until_drained(200)
+            lats.append(net.stats.completed_records()[0].network_latency)
+        d1 = lats[1] - lats[0]
+        d2 = lats[2] - lats[1]
+        assert d1 == d2  # constant per-hop cost
+        assert 4 <= d1 <= 6
+
+    def test_all_pairs_delivery(self):
+        net = simple_net()
+        pid = 0
+        for src_r in range(0, 16, 5):
+            for dst_r in range(0, 16, 3):
+                inject(net, pid, src_r * 4, dst_r * 4 + 1)
+                pid += 1
+        assert net.run_until_drained(3000)
+        assert net.stats.packets_completed == pid
+        assert net.stats.misdeliveries == 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=0, max_value=4),
+    )
+    def test_random_pairs_property(self, src, dst, vc, words):
+        net = simple_net()
+        inject(net, 1, src, dst, payload_words=words, vc=vc)
+        assert net.run_until_drained(500)
+        rec = net.stats.packets[1]
+        assert rec.complete
+        assert not rec.misdelivered
+        assert rec.hops == PAPER_CONFIG.hop_distance(
+            PAPER_CONFIG.router_of_core(src), PAPER_CONFIG.router_of_core(dst)
+        )
+
+
+class TestOrderingAndIntegrity:
+    def test_per_flow_flit_order_preserved(self):
+        net = simple_net()
+        got = []
+        net.ejection_hooks.append(
+            lambda flit, cycle, core: got.append((flit.pkt_id, flit.seq))
+        )
+        for pid in range(5):
+            inject(net, pid, 0, 60, payload_words=3, vc=0)
+        assert net.run_until_drained(2000)
+        # same flow, same VC: packets arrive in order, flits in seq order
+        assert got == [(p, s) for p in range(5) for s in range(4)]
+
+    def test_payload_integrity(self):
+        net = simple_net()
+        payloads = {}
+        net.ejection_hooks.append(
+            lambda flit, cycle, core: payloads.setdefault(
+                (flit.pkt_id, flit.seq), flit.data
+            )
+        )
+        net.add_packet(
+            Packet(
+                pkt_id=9,
+                src_core=3,
+                dst_core=50,
+                payload=[0xDEADBEEF, 0x12345678],
+            )
+        )
+        assert net.run_until_drained(500)
+        assert payloads[(9, 1)] == 0xDEADBEEF
+        assert payloads[(9, 2)] == 0x12345678
+
+
+class TestContention:
+    def test_many_to_one_all_delivered(self):
+        net = simple_net()
+        pid = 0
+        for src in range(0, 64, 4):
+            for _ in range(2):
+                inject(net, pid, src, 21)  # all to core 21 (router 5)
+                pid += 1
+        assert net.run_until_drained(5000)
+        assert net.stats.packets_completed == pid
+
+    def test_vc_isolation(self):
+        # Different VCs on the same path both make progress.
+        net = simple_net()
+        for pid, vc in enumerate([0, 1, 2, 3] * 4):
+            inject(net, pid, 0, 63, vc=vc, payload_words=2)
+        assert net.run_until_drained(5000)
+        assert net.stats.packets_completed == 16
+
+    def test_throughput_under_load(self):
+        net = simple_net()
+        for pid in range(40):
+            inject(net, pid, (pid * 4) % 64, (pid * 12 + 5) % 64)
+        net.run_until_drained(5000)
+        assert net.stats.flits_ejected == 40
+
+
+class TestBackpressureMetrics:
+    def test_sample_fields_zero_on_idle_network(self):
+        net = simple_net()
+        net.run(20)
+        s = net.collect_sample()
+        assert s.input_utilization == 0
+        assert s.output_utilization == 0
+        assert s.injection_utilization == 0
+        assert s.routers_with_blocked_port == 0
+        assert s.routers_all_cores_full == 0
+
+    def test_utilization_rises_under_load(self):
+        net = simple_net()
+        for pid in range(100):
+            inject(net, pid, (pid * 7) % 64, (pid * 13 + 1) % 64,
+                   payload_words=3)
+        net.run(30)
+        s = net.collect_sample()
+        assert s.input_utilization + s.injection_utilization > 0
+
+
+class TestFaultTolerance:
+    def test_transient_single_faults_are_absorbed(self):
+        net = simple_net()
+        stream = SeededStream(1, "transient")
+        model = TransientFaultModel(
+            net.codec.codeword_bits, 0.2, stream, double_fraction=0.0
+        )
+        net.attach_tamperer((0, Direction.EAST), model)
+        for pid in range(10):
+            inject(net, pid, 0, 63, payload_words=2)
+        assert net.run_until_drained(3000)
+        assert net.stats.packets_completed == 10
+        receiver = net.receiver_of((0, Direction.EAST))
+        assert receiver.flits_corrected > 0
+        assert net.stats.misdeliveries == 0
+
+    def test_transient_double_faults_trigger_retransmission(self):
+        net = simple_net()
+        stream = SeededStream(2, "transient")
+        model = TransientFaultModel(
+            net.codec.codeword_bits, 0.3, stream, double_fraction=1.0
+        )
+        net.attach_tamperer((0, Direction.EAST), model)
+        for pid in range(10):
+            inject(net, pid, 0, 63, payload_words=2)
+        assert net.run_until_drained(5000)
+        assert net.stats.packets_completed == 10
+        receiver = net.receiver_of((0, Direction.EAST))
+        assert receiver.faults_detected > 0
+        out = net.output_port_of((0, Direction.EAST))
+        assert out.retrans.nacks_received > 0
+
+    def test_retransmission_preserves_payload(self):
+        net = simple_net()
+        # corrupt every traversal with a double fault on a mid-path link
+        stream = SeededStream(3, "transient")
+        model = TransientFaultModel(
+            net.codec.codeword_bits, 0.5, stream, double_fraction=1.0
+        )
+        net.attach_tamperer((1, Direction.EAST), model)
+        payloads = {}
+        net.ejection_hooks.append(
+            lambda flit, cycle, core: payloads.setdefault(flit.seq, flit.data)
+        )
+        net.add_packet(
+            Packet(pkt_id=1, src_core=0, dst_core=63, payload=[0xFACE])
+        )
+        assert net.run_until_drained(2000)
+        assert payloads[1] == 0xFACE
+
+    def test_single_stuck_wire_corrected_by_ecc(self):
+        net = simple_net()
+        fault = PermanentFault.single(
+            net.codec.codeword_bits, 20, StuckAtKind.ONE
+        )
+        net.attach_tamperer((0, Direction.EAST), fault)
+        for pid in range(5):
+            inject(net, pid, 0, 63, payload_words=1, mem=0xFFFF)
+        assert net.run_until_drained(2000)
+        assert net.stats.packets_completed == 5
+        assert net.stats.misdeliveries == 0
+
+    def test_double_stuck_wires_stall_then_nothing_delivers(self):
+        # Two stuck wires = permanent uncorrectable faults on most words:
+        # without rerouting mitigation the link NACKs forever and traffic
+        # through it starves (this is the substrate the trojan exploits).
+        net = simple_net()
+        # choose stuck-at-one positions where this packet's codeword
+        # carries zeros, so both wires corrupt every traversal
+        head = Packet(pkt_id=1, src_core=0, dst_core=63).build_flits(
+            PAPER_CONFIG
+        )[0]
+        cw = net.codec.encode(head.data)
+        zeros = [i for i in range(net.codec.codeword_bits) if not cw >> i & 1]
+        fault = PermanentFault(
+            net.codec.codeword_bits,
+            {zeros[0]: StuckAtKind.ONE, zeros[1]: StuckAtKind.ONE},
+        )
+        net.attach_tamperer((0, Direction.EAST), fault)
+        inject(net, 1, 0, 63, mem=0)
+        drained = net.run_until_drained(1500, stall_limit=600)
+        assert not drained
+        assert net.stats.packets_completed == 0
+
+
+class TestDrainedProperty:
+    def test_empty_network_is_drained(self):
+        assert simple_net().drained
+
+    def test_not_drained_with_backlog(self):
+        net = simple_net()
+        inject(net, 1, 0, 63)
+        assert not net.drained
+
+    def test_drained_after_completion(self):
+        net = simple_net()
+        inject(net, 1, 0, 63)
+        net.run_until_drained(300)
+        assert net.drained

@@ -1,0 +1,149 @@
+"""Unit + property tests for mesh topology and routing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.noc import NoCConfig, PAPER_CONFIG
+from repro.noc.routing import TableRouting, xy_route, yx_route
+from repro.noc.topology import (
+    Direction,
+    OPPOSITE,
+    all_links,
+    link_endpoints,
+    links_on_xy_path,
+    neighbor,
+    neighbors,
+)
+
+CFG = PAPER_CONFIG
+ROUTERS = st.integers(min_value=0, max_value=CFG.num_routers - 1)
+
+
+class TestTopology:
+    def test_corner_has_two_neighbors(self):
+        assert len(neighbors(CFG, 0)) == 2
+
+    def test_center_has_four_neighbors(self):
+        assert len(neighbors(CFG, 5)) == 4
+
+    def test_edge_has_three_neighbors(self):
+        assert len(neighbors(CFG, 1)) == 3
+
+    def test_neighbor_directions(self):
+        n = neighbors(CFG, 5)  # (1,1)
+        assert n[Direction.EAST] == 6
+        assert n[Direction.WEST] == 4
+        assert n[Direction.NORTH] == 9
+        assert n[Direction.SOUTH] == 1
+
+    def test_off_mesh_is_none(self):
+        assert neighbor(CFG, 0, Direction.WEST) is None
+        assert neighbor(CFG, 0, Direction.SOUTH) is None
+
+    def test_48_links_on_paper_mesh(self):
+        assert len(all_links(CFG)) == 48
+
+    def test_links_are_unique(self):
+        links = all_links(CFG)
+        assert len(set(links)) == len(links)
+
+    @given(ROUTERS, st.sampled_from(list(Direction)))
+    def test_neighbor_symmetry(self, router, direction):
+        n = neighbor(CFG, router, direction)
+        if n is not None:
+            assert neighbor(CFG, n, OPPOSITE[direction]) == router
+
+    def test_link_endpoints(self):
+        assert link_endpoints(CFG, (0, Direction.EAST)) == (0, 1)
+        with pytest.raises(ValueError):
+            link_endpoints(CFG, (0, Direction.WEST))
+
+
+class TestXYRouting:
+    @given(ROUTERS, ROUTERS)
+    def test_reaches_destination(self, src, dst):
+        cur = src
+        for _ in range(CFG.num_routers):
+            step = xy_route(CFG, cur, dst)
+            if step is None:
+                break
+            cur = neighbor(CFG, cur, step)
+        assert cur == dst
+
+    @given(ROUTERS, ROUTERS)
+    def test_minimal_path(self, src, dst):
+        hops = 0
+        cur = src
+        while True:
+            step = xy_route(CFG, cur, dst)
+            if step is None:
+                break
+            cur = neighbor(CFG, cur, step)
+            hops += 1
+        assert hops == CFG.hop_distance(src, dst)
+
+    def test_x_before_y(self):
+        # 0 -> 15: go east first
+        assert xy_route(CFG, 0, 15) == Direction.EAST
+        # aligned in x: go north
+        assert xy_route(CFG, 3, 15) == Direction.NORTH
+
+    def test_at_destination(self):
+        assert xy_route(CFG, 7, 7) is None
+
+    @given(ROUTERS, ROUTERS)
+    def test_yx_reaches_destination(self, src, dst):
+        cur = src
+        for _ in range(CFG.num_routers):
+            step = yx_route(CFG, cur, dst)
+            if step is None:
+                break
+            cur = neighbor(CFG, cur, step)
+        assert cur == dst
+
+    def test_yx_y_first(self):
+        assert yx_route(CFG, 0, 15) == Direction.NORTH
+
+    def test_links_on_xy_path(self):
+        path = links_on_xy_path(CFG, 0, 15)
+        assert len(path) == 6
+        assert path[0] == (0, Direction.EAST)
+        assert path[2] == (2, Direction.EAST)
+        assert path[3] == (3, Direction.NORTH)
+
+
+class TestTableRouting:
+    def test_from_xy_matches_xy(self):
+        table = TableRouting.from_xy(CFG)
+        for src in range(CFG.num_routers):
+            for dst in range(CFG.num_routers):
+                if src != dst:
+                    assert table.route(src, dst) == xy_route(CFG, src, dst)
+
+    def test_path_helper(self):
+        table = TableRouting.from_xy(CFG)
+        assert table.path(0, 15) == [0, 1, 2, 3, 7, 11, 15]
+
+    def test_missing_entry_raises(self):
+        table = TableRouting(CFG, {(0, 1): Direction.EAST})
+        with pytest.raises(KeyError):
+            table.route(0, 2)
+
+    def test_route_at_destination_is_none(self):
+        table = TableRouting(CFG, {})
+        assert table.route(3, 3) is None
+
+    def test_invalid_direction_rejected(self):
+        with pytest.raises(ValueError):
+            TableRouting(CFG, {(0, 5): Direction.WEST})  # off-mesh
+
+    def test_self_route_rejected(self):
+        with pytest.raises(ValueError):
+            TableRouting(CFG, {(1, 1): Direction.EAST})
+
+    def test_loop_detected(self):
+        table = TableRouting(
+            CFG, {(0, 2): Direction.EAST, (1, 2): Direction.WEST}
+        )
+        with pytest.raises(RuntimeError):
+            table.path(0, 2)

@@ -1,0 +1,121 @@
+"""Tests for flit-level event tracing."""
+
+import pytest
+
+from repro.core import TargetSpec, TaspTrojan, build_mitigated_network
+from repro.noc import Network, NoCConfig, Packet
+from repro.noc.tracing import EventKind, FlitTracer, TraceEvent
+from repro.noc.topology import Direction
+
+
+def run_with_tracer(net, pkt_ids=None, cycles=200, **tracer_kw):
+    tracer = FlitTracer.attach(net, pkt_ids, **tracer_kw)
+    net.run(cycles)
+    return tracer
+
+
+class TestCleanTrace:
+    def test_lifecycle_events_in_order(self):
+        net = Network(NoCConfig())
+        net.add_packet(Packet(pkt_id=1, src_core=0, dst_core=63))
+        tracer = run_with_tracer(net, {1})
+        kinds = [e.kind for e in tracer.for_packet(1)]
+        assert kinds[0] is EventKind.INJECTED
+        assert kinds[-1] is EventKind.EJECTED
+        assert EventKind.LAUNCHED in kinds
+        assert EventKind.ACKED in kinds
+        assert EventKind.CORRUPTED not in kinds
+        assert EventKind.NACKED not in kinds
+
+    def test_one_launch_per_hop(self):
+        net = Network(NoCConfig())
+        net.add_packet(Packet(pkt_id=1, src_core=0, dst_core=63))  # 6 hops
+        tracer = run_with_tracer(net, {1})
+        assert tracer.count(EventKind.LAUNCHED) == 6
+        assert tracer.count(EventKind.ACKED) == 6
+
+    def test_event_cycles_monotonic(self):
+        net = Network(NoCConfig())
+        net.add_packet(Packet(pkt_id=1, src_core=0, dst_core=63,
+                              payload=[1, 2]))
+        tracer = run_with_tracer(net, {1})
+        cycles = [e.cycle for e in tracer.events]
+        assert cycles == sorted(cycles)
+
+    def test_filtering_by_pkt_id(self):
+        net = Network(NoCConfig())
+        net.add_packet(Packet(pkt_id=1, src_core=0, dst_core=63))
+        net.add_packet(Packet(pkt_id=2, src_core=4, dst_core=60))
+        tracer = run_with_tracer(net, {2})
+        assert all(e.pkt_id == 2 for e in tracer.events)
+        assert tracer.events
+
+    def test_unfiltered_traces_everything(self):
+        net = Network(NoCConfig())
+        for pid in range(3):
+            net.add_packet(Packet(pkt_id=pid, src_core=0, dst_core=20))
+        tracer = run_with_tracer(net, None)
+        assert {e.pkt_id for e in tracer.events} == {0, 1, 2}
+
+    def test_capacity_truncation(self):
+        net = Network(NoCConfig())
+        for pid in range(20):
+            net.add_packet(Packet(pkt_id=pid, src_core=0, dst_core=63))
+        tracer = run_with_tracer(net, None, capacity=10)
+        assert len(tracer.events) == 10
+        assert tracer.truncated
+        assert "truncated" in tracer.render()
+
+
+class TestAttackTrace:
+    def test_corruption_and_nacks_visible(self):
+        net = Network(NoCConfig())
+        trojan = TaspTrojan(TargetSpec.for_dest(15))
+        trojan.enable()
+        net.attach_tamperer((0, Direction.EAST), trojan)
+        net.add_packet(Packet(pkt_id=1, src_core=0, dst_core=63))
+        tracer = run_with_tracer(net, {1}, cycles=100)
+        assert tracer.count(EventKind.CORRUPTED) > 3
+        assert tracer.count(EventKind.NACKED) > 3
+        corrupt = next(
+            e for e in tracer.events if e.kind is EventKind.CORRUPTED
+        )
+        assert corrupt.link == (0, Direction.EAST)
+        assert "2 bit" in corrupt.detail
+
+    def test_obfuscation_advice_traced(self):
+        net = build_mitigated_network(NoCConfig())
+        trojan = TaspTrojan(TargetSpec.for_dest(15))
+        trojan.enable()
+        net.attach_tamperer((0, Direction.EAST), trojan)
+        net.add_packet(Packet(pkt_id=1, src_core=0, dst_core=63))
+        tracer = run_with_tracer(net, {1}, cycles=300)
+        advice_events = [
+            e for e in tracer.events
+            if e.kind is EventKind.NACKED and "obfuscate" in e.detail
+        ]
+        assert advice_events
+        ob_launches = [
+            e for e in tracer.events
+            if e.kind is EventKind.LAUNCHED and "ob=" in e.detail
+        ]
+        assert ob_launches
+        # and the packet eventually gets through
+        assert tracer.count(EventKind.EJECTED) == 1
+
+    def test_render_contains_key_lines(self):
+        net = Network(NoCConfig())
+        net.add_packet(Packet(pkt_id=7, src_core=0, dst_core=4))
+        tracer = run_with_tracer(net, {7})
+        text = tracer.render(7)
+        assert "pkt 7" in text
+        assert "injected" in text and "ejected" in text
+
+
+class TestTraceEvent:
+    def test_str_format(self):
+        e = TraceEvent(5, EventKind.INJECTED, 1, 0)
+        assert "NI" in str(e)
+        e2 = TraceEvent(9, EventKind.LAUNCHED, 1, 0,
+                        link=(3, Direction.NORTH), detail="tag 4")
+        assert "3->NORTH" in str(e2) and "tag 4" in str(e2)

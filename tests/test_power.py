@@ -1,0 +1,191 @@
+"""Tests for the area/power/timing model.
+
+Assertions encode the paper's published anchors and *shapes*: exact
+matches where the model is calibrated (Dest), tolerance bands where the
+structural model predicts (everything else).
+"""
+
+import pytest
+
+from repro.core import TargetSpec, TaspConfig
+from repro.noc import NoCConfig, PAPER_CONFIG
+from repro.power import (
+    Budget,
+    CLOCK_PERIOD_NS,
+    LIB,
+    PAPER_TABLE1,
+    PAPER_TARGETS,
+    fig8_report,
+    global_wire_area,
+    lob_budget,
+    noc_budget,
+    router_breakdown,
+    table1_rows,
+    table2_rows,
+    tasp_budget,
+    threat_detector_budget,
+)
+
+CFG = PAPER_CONFIG
+
+
+class TestBudget:
+    def test_add_cells_accumulates(self):
+        b = Budget()
+        b.add_cells(LIB.AND2, 10, activity=0.5)
+        assert b.area_um2 == pytest.approx(10.6)
+        assert b.dynamic_uw == pytest.approx(3.0)
+        assert b.leakage_nw == pytest.approx(6.0)
+
+    def test_activity_zero_no_dynamic(self):
+        b = Budget()
+        b.add_cells(LIB.DFF, 100, activity=0.0)
+        assert b.dynamic_uw == 0.0
+        assert b.leakage_nw > 0
+
+    def test_delay_is_max_not_sum(self):
+        a = Budget(delay_ns=0.1)
+        b = Budget(delay_ns=0.3)
+        assert (a + b).delay_ns == 0.3
+
+    def test_bad_activity_rejected(self):
+        with pytest.raises(ValueError):
+            Budget().add_cells(LIB.INV, 1, activity=1.5)
+
+
+class TestTable1:
+    def test_dest_anchor_exact(self):
+        b = tasp_budget(TargetSpec.for_dest(15))
+        paper = PAPER_TABLE1["Dest"]
+        assert b.area_um2 == pytest.approx(paper[0], rel=1e-3)
+        assert b.dynamic_uw == pytest.approx(paper[1], rel=1e-3)
+        assert b.leakage_nw == pytest.approx(paper[2], rel=1e-3)
+
+    def test_src_equals_dest(self):
+        assert (
+            tasp_budget(TargetSpec.for_src(3)).area_um2
+            == tasp_budget(TargetSpec.for_dest(3)).area_um2
+        )
+
+    @pytest.mark.parametrize("kind", ["Full", "Mem", "VC", "Dest_Src"])
+    def test_predicted_areas_near_paper(self, kind):
+        b = tasp_budget(PAPER_TARGETS[kind])
+        assert b.area_um2 == pytest.approx(PAPER_TABLE1[kind][0], rel=0.10)
+
+    def test_area_ordering_matches_paper(self):
+        # Full > Mem > Dest_Src > Dest = Src > VC (paper Fig. 9)
+        areas = {
+            kind: tasp_budget(spec).area_um2
+            for kind, spec in PAPER_TARGETS.items()
+        }
+        assert areas["Full"] > areas["Mem"] > areas["Dest_Src"]
+        assert areas["Dest_Src"] > areas["Dest"] == areas["Src"] > areas["VC"]
+
+    def test_full_dynamic_dominates(self):
+        rows = {r.kind: r for r in table1_rows()}
+        assert rows["Full"].budget.dynamic_uw > 2 * rows["Dest"].budget.dynamic_uw
+
+    def test_all_variants_meet_timing(self):
+        # every variant fits the LT stage at 2 GHz (paper: "fits well
+        # within the 0.5 ns window")
+        for row in table1_rows():
+            assert row.meets_timing
+            assert row.budget.delay_ns <= 0.25
+
+    def test_compare_widths(self):
+        widths = {r.kind: r.compare_width for r in table1_rows()}
+        assert widths == {
+            "Full": 42, "Dest": 4, "Src": 4, "Dest_Src": 8, "Mem": 32,
+            "VC": 2,
+        }
+
+    def test_bigger_payload_counter_costs_area(self):
+        small = tasp_budget(
+            TargetSpec.for_dest(1), TaspConfig(y_bits=4, num_payload_states=2)
+        )
+        large = tasp_budget(
+            TargetSpec.for_dest(1), TaspConfig(y_bits=16, num_payload_states=16)
+        )
+        assert large.area_um2 > small.area_um2
+        assert large.leakage_nw > small.leakage_nw
+
+
+class TestRouterBreakdown:
+    def test_dynamic_shares_match_fig8(self):
+        shares = router_breakdown(CFG).dynamic_shares()
+        assert shares["buffer"] == pytest.approx(0.71, abs=0.05)
+        assert shares["crossbar"] == pytest.approx(0.18, abs=0.04)
+        assert shares["allocator"] == pytest.approx(0.04, abs=0.03)
+        assert shares["clock"] == pytest.approx(0.06, abs=0.03)
+
+    def test_leakage_shares_match_fig8(self):
+        shares = router_breakdown(CFG).leakage_shares()
+        assert shares["buffer"] == pytest.approx(0.88, abs=0.04)
+        assert shares["crossbar"] == pytest.approx(0.09, abs=0.03)
+
+    def test_tasp_below_one_percent_of_router(self):
+        router = router_breakdown(CFG).total
+        tasp = tasp_budget(PAPER_TARGETS["Dest"])
+        assert tasp.dynamic_uw / router.dynamic_uw < 0.01
+        assert tasp.area_um2 / router.area_um2 < 0.01
+
+    def test_shares_sum_to_one(self):
+        assert sum(router_breakdown(CFG).dynamic_shares().values()) == pytest.approx(1.0)
+        assert sum(router_breakdown(CFG).leakage_shares().values()) == pytest.approx(1.0)
+
+    def test_buffers_scale_with_vcs(self):
+        small = router_breakdown(NoCConfig(num_vcs=2)).buffer
+        big = router_breakdown(NoCConfig(num_vcs=4)).buffer
+        assert big.area_um2 > 1.5 * small.area_um2
+
+
+class TestNoCRollup:
+    def test_area_shares_match_fig8(self):
+        shares = noc_budget(CFG, num_tasps=1).area_shares()
+        assert shares["global_wire"] == pytest.approx(0.86, abs=0.04)
+        assert shares["active"] == pytest.approx(0.13, abs=0.04)
+        assert shares["tasp"] < 0.01
+
+    def test_worst_case_all_48_links(self):
+        # Fig. 8 top-right: TASP on all 48 links ~ 0.56% of NoC dynamic
+        shares = noc_budget(CFG, num_tasps=48).dynamic_shares()
+        assert shares["tasp"] == pytest.approx(0.0056, abs=0.003)
+        assert shares["routers"] > 0.99
+
+    def test_wire_area_scales_with_links(self):
+        assert global_wire_area(CFG) == pytest.approx(
+            48 * global_wire_area(NoCConfig(mesh_width=2, mesh_height=1)) / 2
+        )
+
+    def test_fig8_report_complete(self):
+        report = fig8_report(CFG)
+        assert set(report.router_dynamic_shares) == {
+            "buffer", "crossbar", "allocator", "clock", "tasp",
+        }
+        assert sum(report.noc_area_shares.values()) == pytest.approx(1.0)
+
+
+class TestTable2:
+    def test_mitigation_overhead_matches_paper(self):
+        # paper: ~2% area, ~6% excess power in the router
+        rows = {r.name: r for r in table2_rows(CFG)}
+        total = rows["Total mitigation"]
+        assert 1.0 < total.pct_router_area < 4.0
+        assert 3.5 < total.pct_router_dynamic < 8.0
+
+    def test_modules_meet_timing(self):
+        for row in table2_rows(CFG):
+            assert row.meets_timing
+
+    def test_total_is_sum_of_modules(self):
+        rows = {r.name: r for r in table2_rows(CFG)}
+        parts = (
+            rows["Threat detector"].budget.area_um2
+            + rows["L-Ob (4 ports)"].budget.area_um2
+        )
+        assert rows["Total mitigation"].budget.area_um2 == pytest.approx(parts)
+
+    def test_detector_smaller_than_lob(self):
+        det = threat_detector_budget(CFG)
+        lob = lob_budget(CFG)
+        assert det.area_um2 < lob.area_um2  # one shared detector, 4 L-Obs

@@ -1,0 +1,113 @@
+"""Tests for energy accounting and the load-curve experiment."""
+
+import pytest
+
+from repro.core import TargetSpec, TaspTrojan
+from repro.experiments import load_curve
+from repro.noc import Network, NoCConfig, Packet, PAPER_CONFIG
+from repro.noc.topology import Direction
+from repro.power.energy import (
+    LINK_TRAVERSAL_PJ,
+    amplification,
+    energy_report,
+)
+
+
+class TestEnergyReport:
+    def test_idle_network_zero_energy(self):
+        net = Network(PAPER_CONFIG)
+        net.run(50)
+        report = energy_report(net)
+        assert report.total_pj == 0.0
+        assert report.flits_delivered == 0
+        assert report.pj_per_delivered_flit == float("inf")
+
+    def test_energy_scales_with_traffic(self):
+        def run(n):
+            net = Network(PAPER_CONFIG)
+            for pid in range(n):
+                net.add_packet(
+                    Packet(pkt_id=pid, src_core=0, dst_core=63,
+                           created_cycle=0)
+                )
+            net.run_until_drained(3000)
+            return energy_report(net)
+
+        small, large = run(5), run(20)
+        assert large.total_pj > 3 * small.total_pj
+        # per-flit energy is roughly constant for the same flow
+        assert large.pj_per_delivered_flit == pytest.approx(
+            small.pj_per_delivered_flit, rel=0.2
+        )
+
+    def test_link_energy_matches_traversals(self):
+        net = Network(PAPER_CONFIG)
+        net.add_packet(Packet(pkt_id=1, src_core=0, dst_core=63))  # 6 hops
+        net.run_until_drained(500)
+        report = energy_report(net)
+        assert report.link_pj == pytest.approx(6 * LINK_TRAVERSAL_PJ)
+
+    def test_corrections_cost_extra(self):
+        from repro.faults import TransientFaultModel
+        from repro.util.rng import SeededStream
+
+        net = Network(PAPER_CONFIG)
+        net.attach_tamperer(
+            (0, Direction.EAST),
+            TransientFaultModel(
+                net.codec.codeword_bits, 1.0, SeededStream(1, "n"),
+                double_fraction=0.0,
+            ),
+        )
+        net.add_packet(Packet(pkt_id=1, src_core=0, dst_core=63))
+        net.run_until_drained(500)
+        report = energy_report(net)
+        assert report.correction_pj > 0
+
+    def test_amplification_requires_delivery(self):
+        net = Network(PAPER_CONFIG)
+        net.run(10)
+        empty = energy_report(net)
+        with pytest.raises(ValueError):
+            amplification(empty, empty)
+
+    def test_retransmissions_counted(self):
+        net = Network(PAPER_CONFIG)
+        trojan = TaspTrojan(TargetSpec.for_dest(15))
+        trojan.enable()
+        net.attach_tamperer((0, Direction.EAST), trojan)
+        net.add_packet(Packet(pkt_id=1, src_core=0, dst_core=63,
+                              created_cycle=0))
+        net.run(300)
+        report = energy_report(net)
+        assert report.retransmission_traversals > 50
+        assert report.flits_delivered == 0
+
+
+class TestLoadCurve:
+    def test_small_sweep_shapes(self):
+        result = load_curve.run(
+            loads=(0.01, 0.2), routings=("xy",), duration=300
+        )
+        points = result.series("xy")
+        assert points[0].mean_latency < points[1].mean_latency
+        assert points[1].throughput > points[0].throughput
+        assert "Load-latency" in load_curve.format_result(result)
+
+    def test_saturation_detection(self):
+        result = load_curve.run(
+            loads=(0.01, 0.3), routings=("xy",), duration=300
+        )
+        assert result.saturation_load("xy") == 0.3
+
+    def test_no_saturation_at_light_load(self):
+        result = load_curve.run(
+            loads=(0.005, 0.01), routings=("xy",), duration=200
+        )
+        assert result.saturation_load("xy") is None
+
+    def test_sustained_throughput(self):
+        result = load_curve.run(
+            loads=(0.01, 0.2), routings=("xy",), duration=300
+        )
+        assert result.sustained_throughput("xy") > 1.0

@@ -1,0 +1,256 @@
+"""Tests for synthetic patterns, app profiles and trace replay."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.noc import Network, NoCConfig, PAPER_CONFIG
+from repro.traffic import (
+    AppTraceSource,
+    PROFILES,
+    SyntheticConfig,
+    SyntheticSource,
+    Trace,
+    TraceReplaySource,
+    bit_complement,
+    hotspot,
+    neighbor,
+    record_trace,
+    traffic_weights,
+    transpose,
+    uniform_random,
+)
+from repro.util.rng import SeededStream
+
+CFG = PAPER_CONFIG
+
+
+class TestPatterns:
+    def test_uniform_never_self(self):
+        stream = SeededStream(1)
+        for src in range(64):
+            for _ in range(20):
+                assert uniform_random(CFG, src, stream) != src
+
+    def test_uniform_covers_cores(self):
+        stream = SeededStream(2)
+        seen = {uniform_random(CFG, 0, stream) for _ in range(2000)}
+        assert len(seen) == 63
+
+    def test_bit_complement(self):
+        assert bit_complement(CFG, 0, None) == 63
+        assert bit_complement(CFG, 63, None) == 0
+        assert bit_complement(CFG, 5, None) == 58
+
+    def test_transpose(self):
+        # core 4 is local index 0 of router 1 at (1,0); transpose router
+        # is (0,1) = router 4
+        assert transpose(CFG, 4, None) == 16
+
+    def test_transpose_diagonal_fixed(self):
+        # router 0 transposes to itself; core unchanged
+        assert transpose(CFG, 2, None) == 2
+
+    def test_transpose_needs_square(self):
+        with pytest.raises(ValueError):
+            transpose(NoCConfig(mesh_width=2, mesh_height=1), 0, None)
+
+    def test_neighbor_wraps(self):
+        assert neighbor(CFG, 63, None) == 0
+
+    def test_hotspot_fraction(self):
+        stream = SeededStream(3)
+        pattern = hotspot((21,), fraction=0.7)
+        hits = sum(
+            1 for _ in range(2000) if pattern(CFG, 0, stream) == 21
+        )
+        assert 1250 < hits < 1550
+
+    def test_hotspot_validation(self):
+        with pytest.raises(ValueError):
+            hotspot(())
+        with pytest.raises(ValueError):
+            hotspot((1,), fraction=0.0)
+
+
+class TestSyntheticSource:
+    def test_rate_statistics(self):
+        src = SyntheticSource(
+            CFG, uniform_random,
+            SyntheticConfig(injection_rate=0.01, duration=500), seed=4,
+        )
+        total = sum(len(src.generate(c)) for c in range(500))
+        expected = 0.01 * 64 * 500
+        assert 0.75 * expected < total < 1.25 * expected
+
+    def test_duration_respected(self):
+        src = SyntheticSource(
+            CFG, uniform_random, SyntheticConfig(duration=10), seed=1
+        )
+        for c in range(10):
+            src.generate(c)
+        assert src.generate(10) == []
+        assert src.done(10)
+
+    def test_max_packets_cap(self):
+        src = SyntheticSource(
+            CFG, uniform_random,
+            SyntheticConfig(injection_rate=1.0, max_packets=7), seed=1,
+        )
+        total = sum(len(src.generate(c)) for c in range(10))
+        assert total == 7
+        assert src.done(99)
+
+    def test_deterministic_across_instances(self):
+        a = SyntheticSource(CFG, uniform_random, SyntheticConfig(), seed=9)
+        b = SyntheticSource(CFG, uniform_random, SyntheticConfig(), seed=9)
+        pa = [(p.src_core, p.dst_core) for p in a.generate(0)]
+        pb = [(p.src_core, p.dst_core) for p in b.generate(0)]
+        assert pa == pb
+
+    def test_drives_network_end_to_end(self):
+        net = Network(CFG)
+        net.set_traffic(
+            SyntheticSource(
+                CFG, uniform_random,
+                SyntheticConfig(injection_rate=0.01, duration=100,
+                                payload_words=1),
+                seed=5,
+            )
+        )
+        assert net.run_until_drained(3000)
+        assert net.stats.packets_completed == net.stats.packets_injected > 0
+
+
+class TestAppProfiles:
+    def test_four_paper_apps_present(self):
+        for name in ("blackscholes", "facesim", "ferret", "fft"):
+            assert name in PROFILES
+
+    def test_extended_benchmark_library(self):
+        # the paper "analyzed a dozen more benchmarks"; the library ships
+        # ten profiles with distinct memory regions and localization
+        assert len(PROFILES) >= 10
+        bases = [p.mem_base for p in PROFILES.values()]
+        assert len(set(bases)) == len(bases)
+
+    def test_swaptions_most_localized_canneal_least(self):
+        def concentration(name):
+            w = traffic_weights(CFG, PROFILES[name])
+            total = sum(w.values())
+            return sum(sorted(w.values(), reverse=True)[:16]) / total
+
+        assert concentration("swaptions") > concentration("blackscholes")
+        assert concentration("canneal") < concentration("blackscholes")
+
+    def test_weights_positive_and_complete(self):
+        w = traffic_weights(CFG, PROFILES["blackscholes"])
+        assert len(w) == 16 * 15
+        assert all(v > 0 for v in w.values())
+
+    def test_blackscholes_localized_at_router0(self):
+        # Fig. 1: traffic localizes around the primary router and decays
+        # with distance from it.
+        w = traffic_weights(CFG, PROFILES["blackscholes"])
+        near = w[(0, 1)]
+        far = w[(12, 15)]  # both endpoints far from router 0
+        assert near > 4 * far
+
+    def test_distance_decay_monotone(self):
+        w = traffic_weights(CFG, PROFILES["blackscholes"])
+        # from router 0: weight to routers 1, 2, 3 decreases with distance
+        assert w[(0, 1)] > w[(0, 2)] > w[(0, 3)]
+
+    def test_ferret_spreads_wider_than_blackscholes(self):
+        bs = traffic_weights(CFG, PROFILES["blackscholes"])
+        fr = traffic_weights(CFG, PROFILES["ferret"])
+
+        def concentration(weights):
+            total = sum(weights.values())
+            top = sum(sorted(weights.values(), reverse=True)[:16])
+            return top / total
+
+        assert concentration(bs) > concentration(fr)
+
+    def test_source_generates_and_is_deterministic(self):
+        a = AppTraceSource(CFG, PROFILES["fft"], seed=3, duration=200)
+        b = AppTraceSource(CFG, PROFILES["fft"], seed=3, duration=200)
+        ta = [(p.src_core, p.dst_core, p.created_cycle)
+              for c in range(200) for p in a.generate(c)]
+        tb = [(p.src_core, p.dst_core, p.created_cycle)
+              for c in range(200) for p in b.generate(c)]
+        assert ta == tb
+        assert len(ta) > 10
+
+    def test_profile_mem_regions_distinct(self):
+        src = AppTraceSource(CFG, PROFILES["facesim"], seed=1, duration=100)
+        pkts = [p for c in range(100) for p in src.generate(c)]
+        assert all(
+            p.mem_addr >> 24 == PROFILES["facesim"].mem_base >> 24
+            for p in pkts
+        )
+
+    @settings(max_examples=4, deadline=None)
+    @given(st.sampled_from(sorted(PROFILES)))
+    def test_every_profile_runs_on_network(self, name):
+        net = Network(CFG)
+        net.set_traffic(AppTraceSource(CFG, PROFILES[name], seed=2,
+                                       duration=150))
+        assert net.run_until_drained(4000)
+        assert net.stats.packets_completed > 0
+
+
+class TestTraceReplay:
+    def _trace(self):
+        src = AppTraceSource(CFG, PROFILES["blackscholes"], seed=7,
+                             duration=150)
+        return record_trace(src, CFG, 150, "bs")
+
+    def test_record_produces_sorted_packets(self):
+        trace = self._trace()
+        cycles = [p.created_cycle for p in trace.packets]
+        assert cycles == sorted(cycles)
+        assert len(trace) > 0
+
+    def test_router_matrix_totals(self):
+        trace = self._trace()
+        matrix = trace.router_matrix(CFG)
+        assert sum(sum(row) for row in matrix) == len(trace)
+        assert all(matrix[i][i] == 0 for i in range(16))
+
+    def test_source_counts_match_matrix(self):
+        trace = self._trace()
+        matrix = trace.router_matrix(CFG)
+        counts = trace.source_counts(CFG)
+        assert counts == [sum(row) for row in matrix]
+
+    def test_replay_is_identical_workload(self):
+        trace = self._trace()
+        results = []
+        for _ in range(2):
+            net = Network(CFG)
+            net.set_traffic(TraceReplaySource(trace))
+            assert net.run_until_drained(6000)
+            results.append(
+                (net.stats.packets_completed, net.stats.mean_total_latency())
+            )
+        assert results[0] == results[1]
+
+    def test_replay_does_not_mutate_trace(self):
+        trace = self._trace()
+        originals = [(p.pkt_id, tuple(p.payload)) for p in trace.packets]
+        net = Network(CFG)
+        net.set_traffic(TraceReplaySource(trace))
+        net.run_until_drained(6000)
+        assert [(p.pkt_id, tuple(p.payload)) for p in trace.packets] == originals
+
+    def test_two_replays_from_same_source_object(self):
+        trace = self._trace()
+        replay = TraceReplaySource(trace)
+        net = Network(CFG)
+        net.set_traffic(replay)
+        net.run_until_drained(6000)
+        replay.reset()
+        net2 = Network(CFG)
+        net2.set_traffic(replay)
+        assert net2.run_until_drained(6000)
+        assert net2.stats.packets_completed == net.stats.packets_completed

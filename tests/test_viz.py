@@ -1,0 +1,82 @@
+"""Tests for the ASCII mesh visualization."""
+
+import pytest
+
+from repro.experiments.viz import (
+    HEAT_RAMP,
+    render_backpressure_map,
+    render_link_heatmap,
+    render_network_link_heatmap,
+    render_router_grid,
+)
+from repro.noc import Network, NoCConfig, Packet, PAPER_CONFIG
+from repro.noc.topology import Direction
+
+CFG = PAPER_CONFIG
+
+
+class TestLinkHeatmap:
+    def test_idle_mesh_all_cold(self):
+        out = render_link_heatmap(CFG, {})
+        # only the coldest glyph appears in link segments
+        for glyph in HEAT_RAMP[1:]:
+            assert f">{glyph}" not in out
+
+    def test_hot_link_gets_hottest_glyph(self):
+        loads = {(0, Direction.EAST): 100.0, (1, Direction.EAST): 1.0}
+        out = render_link_heatmap(CFG, loads)
+        assert f">{HEAT_RAMP[-1]}" in out
+
+    def test_all_routers_drawn(self):
+        out = render_link_heatmap(CFG, {})
+        for rid in range(16):
+            assert f"[{rid:2d}]" in out
+
+    def test_north_at_top(self):
+        out = render_link_heatmap(CFG, {})
+        lines = out.splitlines()
+        assert "[12]" in lines[1]  # top row is y=3 (routers 12-15)
+        assert "[ 0]" in lines[-1]
+
+    def test_title_and_peak(self):
+        out = render_link_heatmap(CFG, {(0, Direction.EAST): 5}, title="t")
+        assert out.startswith("t (peak=5")
+
+    def test_measured_heatmap_from_network(self):
+        net = Network(CFG)
+        net.add_packet(Packet(pkt_id=1, src_core=0, dst_core=12))
+        net.run_until_drained(500)
+        out = render_network_link_heatmap(net)
+        # the traversed links are the only warm ones
+        assert out.count(HEAT_RAMP[-1]) >= 1
+
+
+class TestRouterGrid:
+    def test_classifier_applied_per_router(self):
+        out = render_router_grid(CFG, lambda r: str(r % 10), legend="L")
+        assert out.splitlines()[-1] == "L"
+        assert "[ 5 ]" in out
+
+    def test_backpressure_map_healthy(self):
+        net = Network(CFG)
+        net.run(10)
+        out = render_backpressure_map(net)
+        assert out.count(" . ") == 16
+        assert "[XXX]" not in out
+
+    def test_backpressure_map_under_attack(self):
+        from repro.core import TargetSpec, TaspTrojan
+
+        net = Network(CFG)
+        trojan = TaspTrojan(TargetSpec.for_dest(15))
+        trojan.enable()
+        net.attach_tamperer((0, Direction.EAST), trojan)
+        for pid in range(80):
+            net.add_packet(
+                Packet(pkt_id=pid, src_core=0, dst_core=63,
+                       vc_class=pid % 4, created_cycle=0)
+            )
+        net.run(1000)
+        out = render_backpressure_map(net)
+        assert "XXX" in out or " ! " in out
+        assert "legend" in out
