@@ -35,7 +35,13 @@ from repro.core.mitigation import (
     build_mitigated_network,
 )
 from repro.core.recovery import RecoveryManager, RecoveryReport
-from repro.core.telemetry import LinkSecurityStatus, SecurityReport, security_report
+from repro.core.telemetry import (
+    LinkSecurityStatus,
+    ResilienceReport,
+    SecurityReport,
+    resilience_report,
+    security_report,
+)
 from repro.core.targets import TargetSpec
 from repro.core.tasp import TaspConfig, TaspState, TaspTrojan
 
@@ -63,7 +69,9 @@ __all__ = [
     "MitigationConfig",
     "build_mitigated_network",
     "LinkSecurityStatus",
+    "ResilienceReport",
     "SecurityReport",
+    "resilience_report",
     "security_report",
     "RecoveryManager",
     "RecoveryReport",

@@ -52,10 +52,17 @@ class RecoveryManager:
     can resubmit undelivered packets after an epoch change.
     """
 
+    #: alias pkt_ids start here — far above any traffic generator's ids,
+    #: so an alias can never collide with an offered packet
+    ALIAS_BASE = 1_000_000_000
+
     def __init__(self, network: Network):
         self.network = network
         #: pristine copies of every offered packet
         self._ledger: dict[int, Packet] = {}
+        #: original pkt_id -> alias pkt_ids of its in-place resubmissions
+        self._aliases: dict[int, list[int]] = {}
+        self._next_alias = self.ALIAS_BASE
         self.reports: list[RecoveryReport] = []
 
     # ------------------------------------------------------------------
@@ -65,14 +72,69 @@ class RecoveryManager:
         self._ledger[packet.pkt_id] = copy.deepcopy(packet)
         self.network.add_packet(packet)
 
-    def undelivered(self) -> list[Packet]:
+    def resubmit(self, pkt_id: int, cycle: Optional[int] = None) -> int:
+        """Re-offer a degraded packet end-to-end *within* the current
+        epoch, under a fresh alias id.
+
+        The alias matters: flits of the dropped attempt may still be in
+        flight, and ejecting under the original id would corrupt the
+        fresh attempt's delivery accounting.  Returns the alias pkt_id.
+        """
+        source = self._ledger.get(pkt_id)
+        if source is None:
+            raise KeyError(f"pkt_id {pkt_id} was never offered")
+        clone = copy.deepcopy(source)
+        clone.pkt_id = self._next_alias
+        self._next_alias += 1
+        clone.created_cycle = self.network.cycle if cycle is None else cycle
+        self._aliases.setdefault(pkt_id, []).append(clone.pkt_id)
+        self.network.add_packet(clone)
+        self.network.stats.packets_resubmitted += 1
+        return clone.pkt_id
+
+    @property
+    def offered(self) -> int:
+        """Packets ever offered through the ledger."""
+        return len(self._ledger)
+
+    def has(self, pkt_id: int) -> bool:
+        return pkt_id in self._ledger
+
+    def _delivered_ok(self, pkt_id: int) -> bool:
+        """Delivered exactly once: the original or any of its aliases has
+        a complete, correctly-addressed record."""
         stats = self.network.stats
-        out = []
-        for pkt_id, packet in self._ledger.items():
-            record = stats.packets.get(pkt_id)
-            if record is None or not record.complete or record.misdelivered:
-                out.append(packet)
-        return out
+        for candidate in (pkt_id, *self._aliases.get(pkt_id, ())):
+            record = stats.packets.get(candidate)
+            if record is not None and record.complete and not record.misdelivered:
+                return True
+        return False
+
+    def duplicate_deliveries(self) -> int:
+        """Offered packets with *more than one* complete delivery among
+        the original and its aliases — must be zero for exactly-once."""
+        stats = self.network.stats
+        dups = 0
+        for pkt_id in self._ledger:
+            complete = 0
+            for candidate in (pkt_id, *self._aliases.get(pkt_id, ())):
+                record = stats.packets.get(candidate)
+                if (
+                    record is not None
+                    and record.complete
+                    and not record.misdelivered
+                ):
+                    complete += 1
+            if complete > 1:
+                dups += 1
+        return dups
+
+    def undelivered(self) -> list[Packet]:
+        return [
+            packet
+            for pkt_id, packet in self._ledger.items()
+            if not self._delivered_ok(pkt_id)
+        ]
 
     @property
     def delivered(self) -> int:

@@ -1,0 +1,144 @@
+"""Chaos campaign experiment: the resilience ladder end to end.
+
+Three campaigns over the paper's 4x4 CMesh, all driving the same
+victim flow (core 0 -> core 63 through the infected (0, EAST) link)
+plus uniform background traffic:
+
+* **ladder** — mitigated network, delayed TASP activation, then a
+  catastrophic link kill that obfuscation cannot dodge.  The watchdog
+  must walk the full escalation ladder (backoff -> forced L-Ob ->
+  drop-with-notify -> condemn) and hand the link to epoch recovery;
+  every packet must still be delivered exactly once.
+* **no-watchdog** — the same TASP attack on a baseline network with
+  the watchdog disabled: the paper's deadlock reproduction, unchanged
+  (graceful degradation is strictly opt-in).
+* **bare-watchdog** — the TASP attack on a baseline network *with*
+  the watchdog but no L-Ob rung available: survival must come from
+  bounded retries, packet drops and rerouting recovery alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.targets import TargetSpec
+from repro.noc.config import NoCConfig, PAPER_CONFIG
+from repro.noc.topology import Direction
+from repro.resilience import (
+    CampaignReport,
+    CampaignSpec,
+    ChaosCampaign,
+    LinkKill,
+    TrojanActivation,
+    targeted_stream,
+    uniform_traffic,
+)
+
+#: the infected link and the flow TASP hunts (paper Fig. 1 setup)
+ATTACK_LINK = (0, Direction.EAST)
+TARGET_ROUTER = 15
+VICTIM_SRC, VICTIM_DST = 0, 63
+
+
+@dataclass(frozen=True)
+class ChaosResult:
+    ladder: CampaignReport
+    no_watchdog: CampaignReport
+    bare_watchdog: CampaignReport
+
+
+def _traffic(cfg: NoCConfig, heavy: bool) -> list:
+    if heavy:
+        return targeted_stream(
+            cfg, VICTIM_SRC, VICTIM_DST, 40, interval=4
+        ) + uniform_traffic(cfg, 1, 60, interval=2)
+    return targeted_stream(
+        cfg, VICTIM_SRC, VICTIM_DST, 10, interval=10
+    ) + uniform_traffic(cfg, 1, 24, interval=6)
+
+
+def run(cfg: NoCConfig = PAPER_CONFIG) -> ChaosResult:
+    tasp = dict(
+        link=ATTACK_LINK, target=TargetSpec.for_dest(TARGET_ROUTER)
+    )
+
+    ladder = ChaosCampaign(
+        CampaignSpec(
+            name="ladder",
+            cfg=cfg,
+            traffic=_traffic(cfg, heavy=False),
+            events=[
+                TrojanActivation(at=20, **tasp),
+                LinkKill(link=ATTACK_LINK, at=60),
+            ],
+            max_cycles=6000,
+        )
+    ).run()
+
+    no_watchdog = ChaosCampaign(
+        CampaignSpec(
+            name="no-watchdog",
+            cfg=cfg,
+            traffic=_traffic(cfg, heavy=True),
+            events=[TrojanActivation(at=10, **tasp)],
+            mitigated=False,
+            watchdog=None,
+            max_cycles=2500,
+            deadlock_window=400,
+        )
+    ).run()
+
+    bare_watchdog = ChaosCampaign(
+        CampaignSpec(
+            name="bare-watchdog",
+            cfg=cfg,
+            traffic=_traffic(cfg, heavy=True),
+            events=[TrojanActivation(at=10, **tasp)],
+            mitigated=False,
+            max_cycles=8000,
+        )
+    ).run()
+
+    return ChaosResult(
+        ladder=ladder,
+        no_watchdog=no_watchdog,
+        bare_watchdog=bare_watchdog,
+    )
+
+
+def format_result(result: ChaosResult) -> str:
+    from repro.experiments.common import format_table
+
+    rows = []
+    for report in (result.ladder, result.no_watchdog, result.bare_watchdog):
+        rows.append(
+            [
+                report.name,
+                "deadlock" if report.deadlocked else "live",
+                f"{report.packets_delivered}/{report.packets_offered}",
+                report.resubmissions,
+                report.packets_dropped,
+                len(report.condemned_links),
+                report.epochs,
+                len(report.violations),
+            ]
+        )
+    table = format_table(
+        [
+            "campaign", "outcome", "delivered", "resubmits",
+            "drops", "condemned", "epochs", "violations",
+        ],
+        rows,
+    )
+    details = "\n\n".join(
+        r.summary()
+        for r in (result.ladder, result.no_watchdog, result.bare_watchdog)
+    )
+    return (
+        "chaos campaigns (TASP on link 0->EAST, victim flow 0 -> 63)\n\n"
+        f"{table}\n\n{details}"
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(format_result(run()))

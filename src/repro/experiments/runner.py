@@ -12,9 +12,12 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+import traceback
+from pathlib import Path
 
 from repro.experiments import (
     ablations,
+    chaos,
     flood_routing,
     fig1_traffic,
     fig2_faults,
@@ -40,7 +43,16 @@ EXPERIMENTS = {
     "ablations": (ablations, "design-choice ablations"),
     "flood": (flood_routing, "flood DoS vs routing algorithms; flood vs trojan"),
     "load": (load_curve, "load-latency curves; xy vs adaptive saturation"),
+    "chaos": (chaos, "resilience ladder under chaos campaigns"),
 }
+
+
+def _derived_json_path(json_path: str, name: str) -> str:
+    """Per-experiment output file for 'all' mode: results.json ->
+    results-fig2.json etc."""
+    path = Path(json_path)
+    suffix = path.suffix or ".json"
+    return str(path.with_name(f"{path.stem}-{name}{suffix}"))
 
 
 def run_experiment(name: str, json_path: str | None = None) -> str:
@@ -78,14 +90,40 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.experiment == "all":
+        from repro.experiments.common import format_table
+
         seen = set()
+        outcomes: list[tuple[str, bool, float, str]] = []
         for name, (module, _) in EXPERIMENTS.items():
             if module in seen:
                 continue
             seen.add(module)
-            print(run_experiment(name))
+            json_path = (
+                _derived_json_path(args.json, name) if args.json else None
+            )
+            started = time.time()
+            try:
+                print(run_experiment(name, json_path=json_path))
+            except Exception as exc:
+                # one broken experiment must not silence the rest
+                traceback.print_exc()
+                outcomes.append(
+                    (name, False, time.time() - started,
+                     f"{type(exc).__name__}: {exc}")
+                )
+            else:
+                outcomes.append((name, True, time.time() - started, ""))
             print("\n" + "=" * 72 + "\n")
-        return 0
+        rows = [
+            [name, "pass" if ok else "FAIL", f"{seconds:.1f}s", error]
+            for name, ok, seconds, error in outcomes
+        ]
+        print(format_table(["experiment", "status", "time", "error"], rows))
+        failed = sum(1 for _, ok, _, _ in outcomes if not ok)
+        print(
+            f"\n{len(outcomes) - failed}/{len(outcomes)} experiments passed"
+        )
+        return 1 if failed else 0
 
     if args.experiment not in EXPERIMENTS:
         print(f"unknown experiment {args.experiment!r}; try 'list'",

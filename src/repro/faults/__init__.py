@@ -13,6 +13,7 @@ move their fault positions, so scans come back clean or inconsistent).
 """
 
 from repro.faults.models import (
+    LinkKillFault,
     LinkTamperer,
     PermanentFault,
     StuckAtKind,
@@ -21,6 +22,7 @@ from repro.faults.models import (
 from repro.faults.bist import BistReport, BistScanner, BistVerdict
 
 __all__ = [
+    "LinkKillFault",
     "LinkTamperer",
     "PermanentFault",
     "StuckAtKind",

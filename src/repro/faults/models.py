@@ -136,6 +136,33 @@ class PermanentFault:
         return out
 
 
+class LinkKillFault:
+    """Catastrophic wire failure: every traversal takes a double-bit hit.
+
+    Two flips on fixed positions are always DETECTED (never corrected)
+    by SECDED, and — unlike the TASP trigger — they corrupt the codeword
+    *regardless* of content, so obfuscation cannot restore the link.
+    This is the chaos event that forces the escalation ladder past L-Ob
+    into drop/condemn territory.
+    """
+
+    __slots__ = ("width", "fault_mask", "activations")
+
+    def __init__(self, width: int, positions: tuple[int, int] = (3, 41)):
+        lo, hi = positions
+        if lo == hi:
+            raise ValueError("need two distinct positions")
+        if not (0 <= lo < width and 0 <= hi < width):
+            raise ValueError("fault positions outside link width")
+        self.width = width
+        self.fault_mask = (1 << lo) | (1 << hi)
+        self.activations = 0
+
+    def tamper(self, codeword: int, cycle: int) -> int:
+        self.activations += 1
+        return codeword ^ self.fault_mask
+
+
 class CompositeTamperer:
     """Apply a sequence of tamperers in order (wire order on the link)."""
 

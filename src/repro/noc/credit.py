@@ -19,7 +19,7 @@ class CreditTracker:
     """Upstream view of one downstream input port's VC buffers."""
 
     __slots__ = ("num_vcs", "depth", "latency", "_credits", "_pending",
-                 "consumed_total", "released_total")
+                 "consumed_total", "released_total", "frozen")
 
     def __init__(self, num_vcs: int, depth: int, latency: int = 1):
         if num_vcs <= 0 or depth <= 0:
@@ -34,10 +34,13 @@ class CreditTracker:
         self._pending: list[tuple[int, int]] = []
         self.consumed_total = 0
         self.released_total = 0
+        #: chaos-injection hook: while frozen, returned credits stay
+        #: pending (delayed, never lost — conservation still holds)
+        self.frozen = False
 
     def tick(self, cycle: int) -> None:
         """Apply credit returns that have become visible by ``cycle``."""
-        if not self._pending:
+        if self.frozen or not self._pending:
             return
         still = []
         for visible, vc in self._pending:

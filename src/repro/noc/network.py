@@ -67,6 +67,7 @@ class Network:
         self.route_fn = make_route_fn(cfg, routing_table)
         receiver_factory = receiver_factory or EccReceiver
 
+        self.stats = NetworkStats()
         self.routers = [
             Router(cfg, rid, self.route_fn, self.policy)
             for rid in range(cfg.num_routers)
@@ -81,6 +82,8 @@ class Network:
             out_port = self.routers[src].add_link_output(key[1], link)
             in_port = self.routers[dst].add_link_input(OPPOSITE[key[1]])
             in_port.receiver = receiver_factory(cfg, link)
+            in_port.receiver.upstream_credits = out_port.credits
+            in_port.receiver.stats_sink = self.stats
             in_port.upstream_credits = out_port.credits
             if lob_factory is not None:
                 out_port.lob = lob_factory(cfg, link)
@@ -90,7 +93,6 @@ class Network:
         self._backlogs: list[deque[Flit]] = [
             deque() for _ in range(cfg.num_cores)
         ]
-        self.stats = NetworkStats()
         self.cycle = 0
         self.traffic: Optional[TrafficSource] = None
         self.sample_interval = 10
@@ -98,6 +100,9 @@ class Network:
         self.ejection_hooks: list[Callable] = []
         #: invoked with (flit, cycle) on every injection (BW entry)
         self.injection_hooks: list[Callable] = []
+        #: per-cycle observers (e.g. the resilience watchdog); each is
+        #: called as ``monitor.on_cycle(network, cycle)`` at end of step
+        self.monitors: list = []
 
     # -- wiring helpers ------------------------------------------------------
     def attach_tamperer(self, key: LinkKey, tamperer) -> None:
@@ -219,6 +224,11 @@ class Network:
 
         # Injection: one flit per core per cycle.
         self._inject(cycle)
+
+        # Per-cycle observers (resilience watchdog etc.) see the fully
+        # settled cycle state.
+        for monitor in self.monitors:
+            monitor.on_cycle(self, cycle)
 
         if self.sample_interval and cycle % self.sample_interval == 0:
             self.collect_sample()

@@ -19,6 +19,7 @@ scrambled flit (2+4).
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Optional, TYPE_CHECKING
 
 from repro.ecc import SECDED_72_64, DecodeResult, DecodeStatus, Secded
@@ -35,7 +36,7 @@ class StagedFlit:
     """A flit accepted off the link but not yet written to its VC buffer."""
 
     __slots__ = ("flit", "vc", "vc_seq", "release_cycle", "waiting_for_tag",
-                 "own_tag")
+                 "own_tag", "discard")
 
     def __init__(
         self,
@@ -45,6 +46,7 @@ class StagedFlit:
         release_cycle: Optional[int],
         waiting_for_tag: Optional[int] = None,
         own_tag: Optional[int] = None,
+        discard: bool = False,
     ):
         self.flit = flit
         self.vc = vc
@@ -55,6 +57,9 @@ class StagedFlit:
         #: link tag of this flit (so a resolved waiter can itself feed
         #: scramble chains: its recovered data is cached under this tag)
         self.own_tag = own_tag
+        #: tombstone of a degraded packet: holds the slot for sequencing
+        #: and credit accounting, but is consumed instead of delivered
+        self.discard = discard
 
 
 class EccReceiver:
@@ -70,24 +75,45 @@ class EccReceiver:
         }
         #: next vc_seq expected to be delivered, per VC
         self._expected_seq = [0] * cfg.num_vcs
+        #: vc_seq numbers dropped upstream before acceptance; the
+        #: resequencer steps over them instead of waiting forever
+        self._skipped: dict[int, set[int]] = {
+            vc: set() for vc in range(cfg.num_vcs)
+        }
+        #: pkt_ids condemned by the degradation path; their remaining
+        #: flits are accepted-and-discarded so the wormhole drains
+        self.poisoned_packets: set[int] = set()
+        self._poison_order: "deque[int]" = deque()
+        #: wired by Network: upstream CreditTracker, for returning the
+        #: slot of a discarded flit
+        self.upstream_credits = None
+        #: wired by Network: NetworkStats, for degrade drop accounting
+        self.stats_sink = None
         # -- counters ----------------------------------------------------
         self.flits_accepted = 0
         self.flits_corrected = 0
         self.faults_detected = 0
         self.nacks_sent = 0
         self.deob_stall_cycles = 0
+        self.flits_discarded = 0
 
     # ------------------------------------------------------------------
     def process(self, tx: Transmission, cycle: int) -> None:
         """Handle one arriving transmission."""
-        if tx.vc_seq in self._staging[tx.vc]:
+        if (
+            tx.vc_seq in self._staging[tx.vc]
+            or tx.vc_seq in self._skipped[tx.vc]
+        ):
             # Duplicate of a flit already accepted (a stale
-            # retransmission); re-ACK and drop.
+            # retransmission), or a sequence the upstream degradation
+            # path already gave up on; re-ACK and drop.
             self._send_ok(tx, cycle)
             return
         result = self.codec.decode(tx.codeword)
         if result.status is DecodeStatus.DETECTED:
             self._reject(tx, cycle, result)
+        elif tx.flit.pkt_id in self.poisoned_packets:
+            self._discard(tx, cycle)
         else:
             self._accept(tx, cycle, result)
 
@@ -154,6 +180,49 @@ class EccReceiver:
             flit.dst_router = fields["dst_router"]
             flit.mem_addr = fields["mem_addr"]
 
+    # -- graceful degradation --------------------------------------------
+    def _discard(self, tx: Transmission, cycle: int) -> None:
+        """Accept-and-discard a flit of a condemned packet: the upstream
+        slot is freed through the ordinary OK-ACK path, but a tombstone
+        is staged in place of the flit so per-VC sequencing and credit
+        accounting stay exact."""
+        self._stage(StagedFlit(tx.flit, tx.vc, tx.vc_seq, cycle, discard=True))
+        self._send_ok(tx, cycle)
+
+    def skip_seq(self, vc: int, vc_seq: int) -> None:
+        """Mark a sequence number the upstream end dropped before this
+        receiver ever accepted it; the resequencer will step over it."""
+        if vc_seq >= self._expected_seq[vc] and vc_seq not in self._staging[vc]:
+            self._skipped[vc].add(vc_seq)
+
+    def poison_packet(self, pkt_id: int, capacity: int = 256) -> None:
+        """Condemn a packet: its future arrivals on this link are
+        accepted-and-discarded (the end-to-end resubmission owns
+        delivery from here on)."""
+        if pkt_id in self.poisoned_packets:
+            return
+        self.poisoned_packets.add(pkt_id)
+        self._poison_order.append(pkt_id)
+        while len(self._poison_order) > capacity:
+            self.poisoned_packets.discard(self._poison_order.popleft())
+
+    def discard_staged(self, pkt_id: int, cycle: int) -> int:
+        """Turn already-staged (undelivered) flits of a condemned packet
+        into tombstones; returns how many were condemned.  Flits blocked
+        on a scramble partner are left alone — they resolve normally and
+        their packet id is poisoned for ejection anyway."""
+        count = 0
+        for store in self._staging.values():
+            for staged in store.values():
+                if (
+                    staged.flit.pkt_id == pkt_id
+                    and not staged.discard
+                    and staged.waiting_for_tag is None
+                ):
+                    staged.discard = True
+                    count += 1
+        return count
+
     # -- staging ----------------------------------------------------------
     def _stage(self, staged: StagedFlit) -> None:
         self._staging[staged.vc][staged.vc_seq] = staged
@@ -163,8 +232,13 @@ class EccReceiver:
         cycle, strictly in per-VC ``vc_seq`` order."""
         out: list[tuple[int, "Flit"]] = []
         for vc, store in self._staging.items():
+            skipped = self._skipped[vc]
             while True:
                 expected = self._expected_seq[vc]
+                if expected in skipped:
+                    skipped.discard(expected)
+                    self._expected_seq[vc] = expected + 1
+                    continue
                 staged = store.get(expected)
                 if staged is None:
                     break
@@ -172,6 +246,16 @@ class EccReceiver:
                     break
                 del store[expected]
                 self._expected_seq[vc] = expected + 1
+                if staged.discard:
+                    # Tombstone consumed: the buffer slot it reserved is
+                    # returned upstream exactly where a real delivery
+                    # would have occupied it.
+                    self.flits_discarded += 1
+                    if self.upstream_credits is not None:
+                        self.upstream_credits.release(vc, cycle)
+                    if self.stats_sink is not None:
+                        self.stats_sink.on_flit_degraded(staged.flit)
+                    continue
                 staged.flit.last_move_cycle = cycle
                 staged.flit.hops += 1
                 out.append((vc, staged.flit))

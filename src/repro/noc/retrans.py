@@ -85,7 +85,8 @@ class RetransBuffer:
     """Selective-repeat retransmission buffer for one output port."""
 
     __slots__ = ("depth", "_entries", "_order", "_next_tag",
-                 "acks_received", "nacks_received", "admitted_total")
+                 "acks_received", "nacks_received", "admitted_total",
+                 "dropped_total")
 
     def __init__(self, depth: int):
         if depth <= 0:
@@ -97,6 +98,7 @@ class RetransBuffer:
         self.acks_received = 0
         self.nacks_received = 0
         self.admitted_total = 0
+        self.dropped_total = 0
 
     # ------------------------------------------------------------------
     @property
@@ -175,6 +177,26 @@ class RetransBuffer:
         if advice is not None:
             entry.ob_advice = advice
         self.nacks_received += 1
+
+    def drop(self, tag: int) -> Optional[RetransEntry]:
+        """Forcibly retire an entry without an acknowledgement.
+
+        This is the bounded-retry degradation path: the caller gives up
+        on the flit, frees its slot, and takes responsibility for the
+        downstream bookkeeping (sequence skip, credit return, end-to-end
+        resubmission).  Only meaningful for ``READY`` entries — an
+        ``IN_FLIGHT`` entry still has a transmission on the wire whose
+        ACK/NACK must settle first.
+        """
+        entry = self._entries.pop(tag, None)
+        if entry is None:
+            return None
+        if entry.state is not EntryState.READY:
+            self._entries[tag] = entry
+            raise RuntimeError(f"dropping in-flight tag {tag}")
+        self._order.remove(tag)
+        self.dropped_total += 1
+        return entry
 
     def oldest_wait(self, cycle: int) -> int:
         """Age in cycles of the oldest unretired entry (0 if empty) —

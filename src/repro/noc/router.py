@@ -404,7 +404,7 @@ class Router:
     # -- LT (output side) -----------------------------------------------------
     def launch_links(self, cycle: int, codec: "Secded") -> None:
         for out in self.outputs.values():
-            if out.link.disabled:
+            if out.link.disabled or out.link.paused:
                 continue
             candidates = [
                 entry

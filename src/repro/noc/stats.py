@@ -82,6 +82,18 @@ class NetworkStats:
         self.dropped_flits = 0
         self.last_delivery_cycle = -1
         self.link_traversals: dict[tuple, int] = {}
+        # -- graceful-degradation counters (resilience subsystem) --------
+        #: flits abandoned by the bounded-retry path (subset of
+        #: ``dropped_flits``)
+        self.degraded_flits = 0
+        #: packets the watchdog condemned for end-to-end resubmission
+        self.degraded_packets = 0
+        #: packets re-offered end-to-end after a degradation drop
+        self.packets_resubmitted = 0
+        #: exponential-backoff deferrals applied to pinned slots
+        self.retrans_backoffs = 0
+        #: obfuscation escalations driven by the watchdog ladder
+        self.lob_escalations = 0
 
     # -- packet lifecycle ---------------------------------------------------
     def on_packet_created(self, record: PacketRecord) -> None:
@@ -93,6 +105,12 @@ class NetworkStats:
         record = self.packets.get(flit.pkt_id)
         if record is not None and flit.is_head:
             record.head_injected_cycle = cycle
+
+    def on_flit_degraded(self, flit: "Flit") -> None:
+        """A flit left the network through the bounded-retry drop path
+        (watchdog degradation) rather than by ejection."""
+        self.dropped_flits += 1
+        self.degraded_flits += 1
 
     def on_flit_ejected(self, flit: "Flit", cycle: int, at_core: int) -> None:
         self.flits_ejected += 1
@@ -181,6 +199,11 @@ class NetworkStats:
             "flits_ejected": self.flits_ejected,
             "misdeliveries": self.misdeliveries,
             "dropped_flits": self.dropped_flits,
+            "degraded_flits": self.degraded_flits,
+            "degraded_packets": self.degraded_packets,
+            "packets_resubmitted": self.packets_resubmitted,
+            "retrans_backoffs": self.retrans_backoffs,
+            "lob_escalations": self.lob_escalations,
             "mean_network_latency": self.mean_network_latency(),
             "mean_total_latency": self.mean_total_latency(),
         }

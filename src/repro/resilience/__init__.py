@@ -1,0 +1,62 @@
+"""Resilience layer: chaos campaigns, the watchdog ladder, degradation.
+
+Three cooperating pieces on top of the NoC simulator:
+
+* :mod:`repro.resilience.scenarios` / :mod:`repro.resilience.campaign`
+  — declarative, seeded chaos campaigns that inject scheduled fault
+  events while auditing conservation invariants and exactly-once
+  delivery;
+* :mod:`repro.resilience.watchdog` — per-output-port progress timers
+  that walk pinned retransmission slots up an escalation ladder
+  (exponential backoff -> forced L-Ob -> drop-with-notify -> condemn);
+* :mod:`repro.resilience.degrade` — the graceful-degradation drop path
+  that purges a condemned packet without breaking credit, sequence or
+  flit conservation, handing delivery to the end-to-end ledger.
+"""
+
+from repro.resilience.campaign import (
+    CampaignReport,
+    CampaignSpec,
+    ChaosCampaign,
+)
+from repro.resilience.degrade import DropReport, drop_packet_at_port
+from repro.resilience.scenarios import (
+    ChaosEvent,
+    CreditFreeze,
+    LinkKill,
+    RouterStall,
+    StuckAtOnset,
+    TransientBurst,
+    TrojanActivation,
+    random_events,
+    targeted_stream,
+    uniform_traffic,
+)
+from repro.resilience.watchdog import (
+    EscalationEvent,
+    EscalationStage,
+    RetransWatchdog,
+    WatchdogConfig,
+)
+
+__all__ = [
+    "CampaignReport",
+    "CampaignSpec",
+    "ChaosCampaign",
+    "DropReport",
+    "drop_packet_at_port",
+    "ChaosEvent",
+    "CreditFreeze",
+    "LinkKill",
+    "RouterStall",
+    "StuckAtOnset",
+    "TransientBurst",
+    "TrojanActivation",
+    "random_events",
+    "targeted_stream",
+    "uniform_traffic",
+    "EscalationEvent",
+    "EscalationStage",
+    "RetransWatchdog",
+    "WatchdogConfig",
+]

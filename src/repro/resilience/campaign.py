@@ -1,0 +1,389 @@
+"""Chaos campaign engine: scheduled faults + invariants + recovery.
+
+A :class:`ChaosCampaign` takes a declarative :class:`CampaignSpec` — a
+network configuration, a traffic schedule, a list of
+:class:`repro.resilience.scenarios.ChaosEvent` fault events and a
+watchdog configuration — and runs the whole resilience stack in one
+loop:
+
+* traffic is offered through a :class:`repro.core.recovery.RecoveryManager`
+  so every packet has a pristine ledger copy for end-to-end resubmission;
+* fault events fire on schedule (``at <= cycle`` catch-up semantics, so
+  events survive the cycle jump of an epoch change);
+* a :class:`repro.noc.invariants.NetworkValidator` audits conservation
+  laws continuously (violations are *collected*, not raised, so a run
+  always produces a report);
+* the :class:`repro.resilience.watchdog.RetransWatchdog` escalation
+  ladder runs as a network monitor; its drop notifications trigger
+  in-place end-to-end resubmission (bounded per packet), and its
+  condemnations trigger epoch recovery (freeze/drain/reroute/resubmit);
+* progress is tracked independently of delivery (watchdog and recovery
+  activity counts), so a campaign distinguishes "slow" from
+  "deadlocked".
+
+The outcome is a structured :class:`CampaignReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.baselines.reroute import UnroutableError
+from repro.core.mitigation import MitigationConfig, build_mitigated_network
+from repro.core.recovery import RecoveryManager
+from repro.noc.config import NoCConfig
+from repro.noc.flit import Packet
+from repro.noc.invariants import NetworkValidator
+from repro.noc.network import Network
+from repro.noc.topology import LinkKey
+from repro.resilience.scenarios import ChaosEvent
+from repro.resilience.watchdog import RetransWatchdog, WatchdogConfig
+
+#: integer NetworkStats counters accumulated across epochs
+_ACCUM_COUNTERS = (
+    "packets_injected",
+    "packets_completed",
+    "flits_injected",
+    "flits_ejected",
+    "dropped_flits",
+    "degraded_flits",
+    "degraded_packets",
+    "packets_resubmitted",
+    "retrans_backoffs",
+    "lob_escalations",
+)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Declarative description of one chaos campaign."""
+
+    name: str
+    cfg: NoCConfig
+    #: (offer_cycle, packet) pairs; offered through the recovery ledger
+    traffic: Sequence[tuple[int, Packet]]
+    events: Sequence[ChaosEvent] = ()
+    #: build with the paper's detector + L-Ob mitigation installed
+    mitigated: bool = True
+    mitigation: Optional[MitigationConfig] = None
+    #: None disables the watchdog (degradation is strictly opt-in)
+    watchdog: Optional[WatchdogConfig] = field(
+        default_factory=WatchdogConfig
+    )
+    #: hard cycle budget
+    max_cycles: int = 6000
+    #: invariant audit period (cycles)
+    validate_every: int = 5
+    #: end-to-end resubmissions allowed per offered packet
+    resubmit_cap: int = 3
+    #: no progress of any kind for this many cycles => deadlocked
+    deadlock_window: int = 1000
+    #: epoch-recovery parameters (see RecoveryManager.recover)
+    recovery_drain_limit: int = 1500
+    recovery_stall_limit: int = 300
+    reconfiguration_cycles: int = 64
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class CampaignReport:
+    """Structured outcome of one campaign run."""
+
+    name: str
+    seed: int
+    cycles: int
+    epochs: int
+    deadlocked: bool
+    drained: bool
+    watchdog_enabled: bool
+    # -- delivery accounting (ledger view: aliases fold into originals)
+    packets_offered: int
+    packets_delivered: int
+    packets_failed: int
+    #: offered packets with more than one complete delivery (must be 0)
+    duplicate_deliveries: int
+    resubmissions: int
+    packets_dropped: int
+    flits_degraded: int
+    # -- ladder activity
+    backoffs: int
+    obfuscations_forced: int
+    condemned_links: tuple[LinkKey, ...]
+    recovery_cycles: tuple[int, ...]
+    escalation_stages: tuple[str, ...]
+    first_fault_cycle: Optional[int]
+    first_escalation_cycle: Optional[int]
+    # -- ground truth + audit
+    faults_injected: int
+    corrupted_traversals: int
+    invariant_checks: int
+    violations: tuple[str, ...]
+
+    @property
+    def delivered_all(self) -> bool:
+        return self.packets_failed == 0
+
+    @property
+    def time_to_detect(self) -> Optional[int]:
+        """Cycles from first fault onset to first ladder action."""
+        if self.first_fault_cycle is None or self.first_escalation_cycle is None:
+            return None
+        return self.first_escalation_cycle - self.first_fault_cycle
+
+    @property
+    def time_to_recover(self) -> Optional[int]:
+        """Cycles from first fault onset to the last epoch change."""
+        if self.first_fault_cycle is None or not self.recovery_cycles:
+            return None
+        return self.recovery_cycles[-1] - self.first_fault_cycle
+
+    def summary(self) -> str:
+        lines = [
+            f"campaign {self.name!r} (seed {self.seed}): "
+            f"{self.cycles} cycles, {self.epochs} epoch(s), "
+            f"{'DEADLOCKED' if self.deadlocked else 'live'}",
+            f"  delivery: {self.packets_delivered}/{self.packets_offered} "
+            f"delivered, {self.packets_failed} failed, "
+            f"{self.resubmissions} resubmitted end-to-end",
+            f"  ladder: {self.backoffs} backoffs, "
+            f"{self.obfuscations_forced} obfuscation escalations, "
+            f"{self.packets_dropped} packet drops "
+            f"({self.flits_degraded} flits), "
+            f"{len(self.condemned_links)} link(s) condemned",
+            f"  faults: {self.faults_injected} injected, "
+            f"{self.corrupted_traversals} corrupted traversals",
+            f"  audit: {self.invariant_checks} invariant checks, "
+            f"{len(self.violations)} violations",
+        ]
+        if self.time_to_detect is not None:
+            lines.append(
+                f"  time-to-detect: {self.time_to_detect} cycles"
+                + (
+                    f", time-to-recover: {self.time_to_recover} cycles"
+                    if self.time_to_recover is not None
+                    else ""
+                )
+            )
+        if self.escalation_stages:
+            lines.append(
+                "  escalation: " + " -> ".join(self.escalation_stages)
+            )
+        return "\n".join(lines)
+
+
+class ChaosCampaign:
+    """Executes one :class:`CampaignSpec`."""
+
+    def __init__(self, spec: CampaignSpec):
+        self.spec = spec
+
+    # -- wiring --------------------------------------------------------------
+    def _build_network(self) -> Network:
+        spec = self.spec
+        if spec.mitigated:
+            return build_mitigated_network(spec.cfg, spec.mitigation)
+        return Network(spec.cfg)
+
+    # -- main loop -----------------------------------------------------------
+    def run(self) -> CampaignReport:
+        spec = self.spec
+        net = self._build_network()
+        manager = RecoveryManager(net)
+        validator = NetworkValidator(net)
+        watchdog: Optional[RetransWatchdog] = None
+        if spec.watchdog is not None:
+            watchdog = RetransWatchdog(spec.watchdog).attach(net)
+
+        for event in spec.events:
+            event.prepare(net)
+
+        traffic = sorted(spec.traffic, key=lambda item: item[0])
+        next_offer = 0
+        started: set[int] = set()
+        stopped: set[int] = set()
+        # resubmission bookkeeping: alias -> ledger original, and the
+        # latest live attempt per original (stale drop notices ignored)
+        family: dict[int, int] = {}
+        latest: dict[int, int] = {}
+        resubmit_count: dict[int, int] = {}
+
+        accum = {name: 0 for name in _ACCUM_COUNTERS}
+        accum_corrupted = 0
+        checks_done = 0
+        violations: list[str] = []
+        condemned_all: list[LinkKey] = []
+        recovery_cycles: list[int] = []
+        epochs = 1
+        deadlocked = False
+        last_progress_cycle = net.cycle
+        progress_sig: tuple = ()
+
+        horizon = max(
+            [offer for offer, _ in traffic]
+            + [e.end or e.at for e in spec.events]
+            + [0]
+        )
+        end_cycle = net.cycle + spec.max_cycles
+
+        while net.cycle < end_cycle:
+            cycle = net.cycle
+
+            # offer due traffic through the ledger
+            while next_offer < len(traffic) and traffic[next_offer][0] <= cycle:
+                manager.offer(traffic[next_offer][1])
+                next_offer += 1
+
+            # fire due fault events (catch-up across epoch jumps)
+            for idx, event in enumerate(spec.events):
+                if idx not in started and event.at <= cycle:
+                    event.start(net, cycle)
+                    started.add(idx)
+                end = event.end
+                if (
+                    idx in started
+                    and idx not in stopped
+                    and end is not None
+                    and end <= cycle
+                ):
+                    event.stop(net, cycle)
+                    stopped.add(idx)
+
+            net.step()
+
+            if spec.validate_every and cycle % spec.validate_every == 0:
+                validator.check(raise_on_violation=False)
+
+            if watchdog is not None:
+                # drop-with-notify -> bounded end-to-end resubmission
+                for drop in watchdog.take_dropped():
+                    original = family.get(drop.pkt_id, drop.pkt_id)
+                    if not manager.has(original):
+                        continue
+                    if drop.pkt_id != latest.get(original, original):
+                        continue  # stale attempt
+                    if resubmit_count.get(original, 0) >= spec.resubmit_cap:
+                        continue  # give up: stays on the failed list
+                    alias = manager.resubmit(original)
+                    family[alias] = original
+                    latest[original] = alias
+                    resubmit_count[original] = (
+                        resubmit_count.get(original, 0) + 1
+                    )
+
+                # condemnation -> epoch recovery
+                freshly_condemned = watchdog.take_condemned()
+                if freshly_condemned:
+                    condemned_all.extend(
+                        k for k in freshly_condemned
+                        if k not in condemned_all
+                    )
+                    old = net
+                    try:
+                        net = manager.recover(
+                            condemned_all,
+                            drain_limit=spec.recovery_drain_limit,
+                            stall_limit=spec.recovery_stall_limit,
+                            reconfiguration_cycles=(
+                                spec.reconfiguration_cycles
+                            ),
+                        )
+                    except UnroutableError:
+                        # cannot reroute around this set; carry on in
+                        # the degraded epoch
+                        net = old
+                    else:
+                        epochs += 1
+                        recovery_cycles.append(net.cycle)
+                        for name in _ACCUM_COUNTERS:
+                            accum[name] += getattr(old.stats, name)
+                        accum_corrupted += sum(
+                            link.corrupted_traversals
+                            for link in old.links.values()
+                        )
+                        violations.extend(validator.report.violations)
+                        checks_done += validator.report.checks
+                        validator = NetworkValidator(net)
+                        watchdog.attach(net)
+                        # the new epoch restarts every undelivered
+                        # packet under its original id: reset the
+                        # attempt tracking
+                        latest.clear()
+                        last_progress_cycle = net.cycle
+
+            # progress = deliveries, drops, or ladder/recovery activity
+            sig = (
+                net.stats.flits_ejected,
+                net.stats.dropped_flits,
+                epochs,
+                watchdog.activity if watchdog is not None else 0,
+            )
+            if sig != progress_sig:
+                progress_sig = sig
+                last_progress_cycle = net.cycle
+            elif net.cycle - last_progress_cycle > spec.deadlock_window:
+                deadlocked = True
+                break
+
+            # early exit once the schedule is exhausted and all is quiet
+            if (
+                next_offer >= len(traffic)
+                and cycle > horizon
+                and net.drained
+                and not manager.undelivered()
+            ):
+                break
+
+        validator.check(raise_on_violation=False)
+        violations.extend(validator.report.violations)
+        checks_done += validator.report.checks
+        undelivered = manager.undelivered()
+        epoch_resubmissions = sum(
+            r.packets_resubmitted for r in manager.reports
+        )
+
+        return CampaignReport(
+            name=spec.name,
+            seed=spec.seed,
+            cycles=net.cycle,
+            epochs=epochs,
+            deadlocked=deadlocked,
+            drained=net.drained,
+            watchdog_enabled=watchdog is not None,
+            packets_offered=manager.offered,
+            packets_delivered=manager.delivered,
+            packets_failed=len(undelivered),
+            duplicate_deliveries=manager.duplicate_deliveries(),
+            resubmissions=accum["packets_resubmitted"]
+            + net.stats.packets_resubmitted
+            + epoch_resubmissions,
+            packets_dropped=(
+                watchdog.packets_dropped if watchdog is not None else 0
+            ),
+            flits_degraded=accum["degraded_flits"]
+            + net.stats.degraded_flits,
+            backoffs=(
+                watchdog.backoffs_applied if watchdog is not None else 0
+            ),
+            obfuscations_forced=(
+                watchdog.obfuscations_forced if watchdog is not None else 0
+            ),
+            condemned_links=tuple(condemned_all),
+            recovery_cycles=tuple(recovery_cycles),
+            escalation_stages=(
+                watchdog.stages_taken() if watchdog is not None else ()
+            ),
+            first_fault_cycle=(
+                min(e.at for e in spec.events) if spec.events else None
+            ),
+            first_escalation_cycle=(
+                watchdog.first_event_cycle if watchdog is not None else None
+            ),
+            faults_injected=sum(
+                e.faults_injected() for e in spec.events
+            ),
+            corrupted_traversals=accum_corrupted
+            + sum(link.corrupted_traversals for link in net.links.values()),
+            invariant_checks=checks_done,
+            violations=tuple(violations),
+        )

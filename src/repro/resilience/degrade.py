@@ -1,0 +1,109 @@
+"""Graceful degradation: bounded retries end in drop-with-notify.
+
+The baseline microarchitecture retries a NACKed flit forever — exactly
+the behaviour TASP farms into deadlock.  This module implements the
+give-up path: atomically purge a condemned packet from a pinned output
+port, return every reserved resource, and leave delivery to the
+end-to-end resubmission ledger (:class:`repro.core.recovery.RecoveryManager`).
+
+Dropping from a wormhole network safely is all bookkeeping:
+
+* only ``READY`` retransmission entries may be removed (launches and
+  ACK/NACKs strictly alternate per tag, so a READY entry has no
+  transmission still on the wire);
+* the whole packet is condemned, never a single flit — a surviving
+  body flit without its head can never route and would pin the
+  downstream VC forever;
+* each dropped entry returns its downstream credit and registers its
+  ``vc_seq`` as skipped, so the receiver's resequencer steps over the
+  hole instead of waiting on it;
+* the packet id is *poisoned* at the downstream receiver: flits of the
+  packet still flowing in from behind are accepted-and-discarded
+  (tombstoned), which drains the wormhole and keeps per-VC sequencing
+  and credit accounting exact;
+* dropping the tail entry releases the held downstream VC (the ACK
+  that would normally clear the holder will never come).
+
+Every removed flit is counted through
+:meth:`repro.noc.stats.NetworkStats.on_flit_degraded`, so flit
+conservation (checked by :class:`repro.noc.invariants.NetworkValidator`)
+holds across the drop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.noc.network import Network
+from repro.noc.retrans import EntryState
+from repro.noc.topology import LinkKey
+
+
+@dataclass(frozen=True)
+class DropReport:
+    """What purging one packet from one output port did."""
+
+    link: LinkKey
+    pkt_id: int
+    cycle: int
+    #: retransmission entries removed at the port
+    entries_dropped: int
+    #: staged-but-undelivered flits tombstoned at the receiver
+    staged_discarded: int
+    #: entries of the packet left IN_FLIGHT (their ACKs settle the rest)
+    entries_in_flight: int
+    #: True when the drop released a held downstream VC
+    holder_released: bool
+
+
+def drop_packet_at_port(
+    network: Network, key: LinkKey, pkt_id: int, cycle: int
+) -> DropReport:
+    """Purge every droppable flit of ``pkt_id`` from the output port of
+    ``key`` and condemn the packet for end-to-end resubmission.
+
+    Returns a :class:`DropReport`; the caller (normally the watchdog) is
+    responsible for actually resubmitting the packet.
+    """
+    out = network.output_port_of(key)
+    receiver = network.receiver_of(key)
+
+    entries_dropped = 0
+    entries_in_flight = 0
+    holder_released = False
+    for entry in list(out.retrans):
+        if entry.flit.pkt_id != pkt_id:
+            continue
+        if entry.state is not EntryState.READY:
+            # Still on the wire; its arrival is poisoned below and the
+            # OK-ACK retires the entry (clearing the holder if it is the
+            # tail) through the ordinary path.
+            entries_in_flight += 1
+            continue
+        out.retrans.drop(entry.tag)
+        entries_dropped += 1
+        # The downstream slot this entry reserved will never be used:
+        # hand the credit back and tell the resequencer to step over
+        # the sequence number.
+        if entry.vc_seq >= 0:
+            receiver.skip_seq(entry.out_vc, entry.vc_seq)
+        out.credits.release(entry.out_vc, cycle)
+        network.stats.on_flit_degraded(entry.flit)
+        if entry.flit.is_tail and out.holders[entry.out_vc] is not None:
+            # The tail ACK that would release the downstream VC will
+            # never arrive — release it here.
+            out.holders[entry.out_vc] = None
+            holder_released = True
+
+    receiver.poison_packet(pkt_id)
+    staged_discarded = receiver.discard_staged(pkt_id, cycle)
+    network.stats.degraded_packets += 1
+    return DropReport(
+        link=key,
+        pkt_id=pkt_id,
+        cycle=cycle,
+        entries_dropped=entries_dropped,
+        staged_discarded=staged_discarded,
+        entries_in_flight=entries_in_flight,
+        holder_released=holder_released,
+    )

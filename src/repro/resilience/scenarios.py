@@ -1,0 +1,369 @@
+"""Declarative chaos scenarios: seeded schedules of fault events.
+
+A scenario is a list of :class:`ChaosEvent` objects plus a traffic
+schedule.  Events are plain data (link, onset cycle, duration, fault
+parameters); the campaign engine calls :meth:`ChaosEvent.prepare` once
+at build time and :meth:`start`/:meth:`stop` when the onset/end cycles
+arrive, so the same scenario replays identically under one seed.
+
+Fault vocabulary (composable — several events may share a link):
+
+* :class:`TransientBurst` — a window of elevated soft-error rate;
+* :class:`StuckAtOnset` — wires fail stuck-at mid-run and stay failed;
+* :class:`LinkKill` — catastrophic failure: every traversal takes an
+  uncorrectable double-bit hit that obfuscation cannot dodge;
+* :class:`RouterStall` — a router stops launching on its output links
+  for a window (clock-domain brownout); nothing in flight is lost;
+* :class:`CreditFreeze` — credit returns on one link stall for a
+  window (delayed, never lost);
+* :class:`TrojanActivation` — a TASP instance implanted dormant at
+  build time asserts its kill switch mid-run (the paper's §III attack,
+  with the activation delay attackers use to evade bring-up testing).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.targets import TargetSpec
+from repro.core.tasp import TaspConfig, TaspTrojan
+from repro.ecc import SECDED_72_64
+from repro.faults.models import (
+    LinkKillFault,
+    PermanentFault,
+    StuckAtKind,
+    TransientFaultModel,
+)
+from repro.noc.config import NoCConfig
+from repro.noc.flit import Packet
+from repro.noc.network import Network
+from repro.noc.topology import Direction, LinkKey, all_links
+from repro.util.rng import SeededStream
+
+#: link width every fault model operates on
+CODEWORD_BITS = SECDED_72_64.codeword_bits
+
+
+class ChaosEvent:
+    """Base scheduled fault event.
+
+    ``prepare`` runs once when the campaign builds its network (dormant
+    hardware is implanted here); ``start`` fires at ``self.at`` and
+    ``stop`` at ``self.end`` (when not ``None``).  Tamperer objects are
+    kept by identity so epoch recovery — which carries tamperers to the
+    new network — does not detach them from their events.
+    """
+
+    at: int = 0
+
+    @property
+    def end(self) -> Optional[int]:
+        return None
+
+    def prepare(self, network: Network) -> None:
+        pass
+
+    def start(self, network: Network, cycle: int) -> None:
+        pass
+
+    def stop(self, network: Network, cycle: int) -> None:
+        pass
+
+    def faults_injected(self) -> int:
+        """Ground-truth fault count this event has caused so far."""
+        return 0
+
+    def label(self) -> str:
+        return type(self).__name__
+
+
+@dataclass
+class TransientBurst(ChaosEvent):
+    """Elevated soft-error rate on one link for a window."""
+
+    link: LinkKey = (0, Direction.EAST)
+    at: int = 0
+    duration: int = 100
+    flip_probability: float = 0.02
+    double_fraction: float = 0.25
+    seed: int = 0
+    _model: Optional[TransientFaultModel] = field(default=None, repr=False)
+
+    @property
+    def end(self) -> Optional[int]:
+        return self.at + self.duration
+
+    def start(self, network: Network, cycle: int) -> None:
+        self._model = TransientFaultModel(
+            CODEWORD_BITS,
+            self.flip_probability,
+            SeededStream(self.seed, "burst", self.link, self.at),
+            double_fraction=self.double_fraction,
+        )
+        network.attach_tamperer(self.link, self._model)
+
+    def stop(self, network: Network, cycle: int) -> None:
+        if self._model is None:
+            return
+        tamperers = network.links[self.link].tamperers
+        if self._model in tamperers:
+            tamperers.remove(self._model)
+
+    def faults_injected(self) -> int:
+        return self._model.events if self._model is not None else 0
+
+    def label(self) -> str:
+        return f"burst@{self.link[0]}-{self.link[1].name}"
+
+
+@dataclass
+class StuckAtOnset(ChaosEvent):
+    """Wires fail stuck-at mid-run; the damage is permanent."""
+
+    link: LinkKey = (0, Direction.EAST)
+    at: int = 0
+    positions: tuple[int, ...] = (5,)
+    kind: StuckAtKind = StuckAtKind.ZERO
+    _model: Optional[PermanentFault] = field(default=None, repr=False)
+
+    def start(self, network: Network, cycle: int) -> None:
+        self._model = PermanentFault(
+            CODEWORD_BITS, {p: self.kind for p in self.positions}
+        )
+        network.attach_tamperer(self.link, self._model)
+
+    def faults_injected(self) -> int:
+        return self._model.activations if self._model is not None else 0
+
+    def label(self) -> str:
+        return f"stuck@{self.link[0]}-{self.link[1].name}"
+
+
+@dataclass
+class LinkKill(ChaosEvent):
+    """Catastrophic mid-flight link failure (always-uncorrectable)."""
+
+    link: LinkKey = (0, Direction.EAST)
+    at: int = 0
+    _model: Optional[LinkKillFault] = field(default=None, repr=False)
+
+    def start(self, network: Network, cycle: int) -> None:
+        self._model = LinkKillFault(CODEWORD_BITS)
+        network.attach_tamperer(self.link, self._model)
+
+    def faults_injected(self) -> int:
+        return self._model.activations if self._model is not None else 0
+
+    def label(self) -> str:
+        return f"kill@{self.link[0]}-{self.link[1].name}"
+
+
+@dataclass
+class RouterStall(ChaosEvent):
+    """One router stops launching on its outputs for a window."""
+
+    router: int = 0
+    at: int = 0
+    duration: int = 50
+
+    @property
+    def end(self) -> Optional[int]:
+        return self.at + self.duration
+
+    def start(self, network: Network, cycle: int) -> None:
+        for out in network.routers[self.router].outputs.values():
+            out.link.paused = True
+
+    def stop(self, network: Network, cycle: int) -> None:
+        # After an epoch swap the new links start unpaused; unpausing
+        # again is harmless.
+        if self.router < len(network.routers):
+            for out in network.routers[self.router].outputs.values():
+                out.link.paused = False
+
+    def label(self) -> str:
+        return f"stall@{self.router}"
+
+
+@dataclass
+class CreditFreeze(ChaosEvent):
+    """Credit returns on one link stall (delayed, never lost)."""
+
+    link: LinkKey = (0, Direction.EAST)
+    at: int = 0
+    duration: int = 50
+
+    @property
+    def end(self) -> Optional[int]:
+        return self.at + self.duration
+
+    def start(self, network: Network, cycle: int) -> None:
+        network.output_port_of(self.link).credits.frozen = True
+
+    def stop(self, network: Network, cycle: int) -> None:
+        if self.link in network.links:
+            network.output_port_of(self.link).credits.frozen = False
+
+    def label(self) -> str:
+        return f"freeze@{self.link[0]}-{self.link[1].name}"
+
+
+@dataclass
+class TrojanActivation(ChaosEvent):
+    """A dormant TASP instance asserts its kill switch at ``at``."""
+
+    link: LinkKey = (0, Direction.EAST)
+    at: int = 0
+    target: TargetSpec = field(default_factory=lambda: TargetSpec.for_dest(15))
+    duration: Optional[int] = None
+    config: TaspConfig = field(default_factory=TaspConfig)
+    trojan: Optional[TaspTrojan] = field(default=None, repr=False)
+
+    @property
+    def end(self) -> Optional[int]:
+        return None if self.duration is None else self.at + self.duration
+
+    def prepare(self, network: Network) -> None:
+        # Implanted at design time, dormant: logic testing with the kill
+        # switch deasserted can never expose it (paper §III).
+        self.trojan = TaspTrojan(self.target, self.config)
+        network.attach_tamperer(self.link, self.trojan)
+
+    def start(self, network: Network, cycle: int) -> None:
+        assert self.trojan is not None, "prepare() not called"
+        self.trojan.enable()
+
+    def stop(self, network: Network, cycle: int) -> None:
+        if self.trojan is not None:
+            self.trojan.disable()
+
+    def faults_injected(self) -> int:
+        return self.trojan.faults_injected if self.trojan is not None else 0
+
+    def label(self) -> str:
+        return f"tasp@{self.link[0]}-{self.link[1].name}"
+
+
+# -- traffic schedules -----------------------------------------------------
+
+def targeted_stream(
+    cfg: NoCConfig,
+    src_core: int,
+    dst_core: int,
+    count: int,
+    start: int = 0,
+    interval: int = 6,
+    payload_flits: int = 3,
+    base_id: int = 0,
+    seed: int = 0,
+) -> list[tuple[int, Packet]]:
+    """A steady victim flow from one core to another."""
+    stream = SeededStream(seed, "targeted", src_core, dst_core)
+    schedule = []
+    for i in range(count):
+        packet = Packet(
+            pkt_id=base_id + i,
+            src_core=src_core,
+            dst_core=dst_core,
+            payload=[stream.bits(60) for _ in range(payload_flits)],
+        )
+        schedule.append((start + i * interval, packet))
+    return schedule
+
+
+def uniform_traffic(
+    cfg: NoCConfig,
+    seed: int,
+    count: int,
+    start: int = 0,
+    interval: int = 3,
+    payload_flits: int = 3,
+    base_id: int = 10_000,
+) -> list[tuple[int, Packet]]:
+    """Uniform-random background pairs (src != dst)."""
+    stream = SeededStream(seed, "uniform-traffic")
+    schedule = []
+    for i in range(count):
+        src = stream.randint(0, cfg.num_cores - 1)
+        dst = stream.randint(0, cfg.num_cores - 1)
+        while dst == src:
+            dst = stream.randint(0, cfg.num_cores - 1)
+        packet = Packet(
+            pkt_id=base_id + i,
+            src_core=src,
+            dst_core=dst,
+            payload=[stream.bits(60) for _ in range(payload_flits)],
+        )
+        schedule.append((start + i * interval, packet))
+    return schedule
+
+
+# -- canned scenarios ------------------------------------------------------
+
+def random_events(
+    cfg: NoCConfig,
+    seed: int,
+    *,
+    horizon: int = 400,
+    max_events: int = 4,
+) -> list[ChaosEvent]:
+    """A seeded composition of transient, stuck-at and trojan faults on
+    a couple of links — the fuzz-campaign generator."""
+    stream = SeededStream(seed, "random-scenario")
+    links = all_links(cfg)
+    stream.shuffle(links)
+    victims = links[: max(1, min(2, len(links)))]
+    events: list[ChaosEvent] = []
+    count = stream.randint(2, max_events)
+    for i in range(count):
+        link = victims[stream.randint(0, len(victims) - 1)]
+        onset = stream.randint(10, horizon // 2)
+        kind = stream.weighted_choice(
+            [0, 1, 2, 3], [0.35, 0.3, 0.25, 0.1]
+        )
+        if kind == 0:
+            events.append(
+                TransientBurst(
+                    link=link,
+                    at=onset,
+                    duration=stream.randint(40, horizon // 2),
+                    flip_probability=0.01 + 0.04 * stream.random(),
+                    double_fraction=0.2 + 0.3 * stream.random(),
+                    seed=seed * 1000 + i,
+                )
+            )
+        elif kind == 1:
+            events.append(
+                StuckAtOnset(
+                    link=link,
+                    at=onset,
+                    positions=(stream.randint(0, CODEWORD_BITS - 1),),
+                    kind=(
+                        StuckAtKind.ONE
+                        if stream.chance(0.5)
+                        else StuckAtKind.ZERO
+                    ),
+                )
+            )
+        elif kind == 2:
+            dst_router = stream.randint(0, cfg.num_routers - 1)
+            events.append(
+                TrojanActivation(
+                    link=link,
+                    at=onset,
+                    target=TargetSpec.for_dest(dst_router),
+                    # a fifth of trojans never deassert their kill switch
+                    duration=(
+                        None
+                        if stream.chance(0.2)
+                        else stream.randint(60, horizon // 2)
+                    ),
+                    config=dataclasses.replace(TaspConfig(), seed=seed + i),
+                )
+            )
+        else:
+            events.append(LinkKill(link=link, at=onset))
+    events.sort(key=lambda e: e.at)
+    return events

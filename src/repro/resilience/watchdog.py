@@ -1,0 +1,332 @@
+"""Per-output-port progress watchdog with an escalation ladder.
+
+The TASP attack works because the baseline retransmission protocol is
+infinitely patient: a flit the trojan corrupts on every traversal
+retries forever, pinning its slot and farming back-pressure into a
+chip-scale deadlock.  :class:`RetransWatchdog` bounds that patience.
+It observes every output port's retransmission buffer once per cycle
+(wired in through ``network.monitors``) and walks pinned entries up a
+ladder:
+
+1. **backoff** — after ``backoff_after`` sends, defer relaunches with
+   exponential backoff.  This stops a pinned flit from monopolising the
+   link and — crucially — creates the deferred-READY windows in which
+   the later rungs may act (an undeferred pinned entry relaunches the
+   same cycle its NACK lands, so it is almost always IN_FLIGHT).
+2. **obfuscate** — after ``obfuscate_after`` sends, force L-Ob
+   engagement by planting :class:`repro.noc.retrans.NackAdvice` on the
+   entry.  Against a content-triggered trojan (TASP) this is usually
+   decisive: the obfuscated wire image no longer matches the target.
+   The paper's threat detector normally advises this on its own; the
+   watchdog's rung is the belt-and-braces path (and the only path on
+   networks built without detectors — where, with no encoder either,
+   the rung is skipped).
+3. **drop** — after ``max_retries`` sends, give up link-level delivery:
+   purge the packet via
+   :func:`repro.resilience.degrade.drop_packet_at_port` and notify the
+   caller (``take_dropped``) so the end-to-end ledger can resubmit it.
+4. **condemn** — a link that keeps eating packets (``condemn_after_drops``)
+   or stays pinned for ``condemn_pinned_age`` cycles despite the ladder
+   is reported for epoch recovery (``take_condemned``).
+
+The watchdog only *observes and advises* within the link-level
+protocol's own legal moves (defers, advice, READY-entry drops), so all
+conservation invariants hold whether or not it is attached — and it is
+strictly opt-in: without it, the deadlock reproduction of the paper is
+unchanged.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.noc.network import Network
+from repro.noc.retrans import EntryState, NackAdvice, RetransEntry
+from repro.noc.topology import LinkKey
+from repro.resilience.degrade import DropReport, drop_packet_at_port
+
+
+class EscalationStage(enum.Enum):
+    BACKOFF = "backoff"
+    OBFUSCATE = "obfuscate"
+    DROP = "drop"
+    CONDEMN = "condemn"
+
+
+@dataclass(frozen=True)
+class EscalationEvent:
+    """One rung taken on one entry/link (kept in a bounded log)."""
+
+    cycle: int
+    link: LinkKey
+    stage: EscalationStage
+    pkt_id: Optional[int] = None
+    tag: Optional[int] = None
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class WatchdogConfig:
+    """Ladder thresholds, all in units of per-entry send attempts."""
+
+    #: sends before exponential backoff starts
+    backoff_after: int = 3
+    #: backoff base (cycles); the delay is ``base << excess_sends``.
+    #: Must exceed the link's NACK round trip (2 cycles at defaults) or
+    #: the first deferral expires before it opens a READY window.
+    backoff_base: int = 4
+    #: backoff ceiling in cycles
+    backoff_cap: int = 64
+    #: sends before obfuscation is forced
+    obfuscate_after: int = 6
+    #: sends before the packet is dropped for end-to-end resubmission
+    max_retries: int = 12
+    #: packet drops on one link before it is condemned
+    condemn_after_drops: int = 3
+    #: a port pinned this long (with ladder-stage entries) is condemned
+    #: even if drops have not accumulated
+    condemn_pinned_age: int = 600
+    #: escalation events retained for reporting
+    event_log_capacity: int = 256
+
+    def __post_init__(self) -> None:
+        if not 0 < self.backoff_after <= self.obfuscate_after <= self.max_retries:
+            raise ValueError(
+                "ladder must be ordered: backoff_after <= obfuscate_after "
+                "<= max_retries"
+            )
+        if self.backoff_base <= 0 or self.backoff_cap <= 0:
+            raise ValueError("backoff parameters must be positive")
+
+
+class RetransWatchdog:
+    """Progress watchdog over every output port of one network.
+
+    Attach with :meth:`attach`; detach (e.g. across an epoch change)
+    with :meth:`detach` and re-attach to the new network.
+    """
+
+    def __init__(self, config: Optional[WatchdogConfig] = None):
+        self.config = config or WatchdogConfig()
+        self.network: Optional[Network] = None
+        #: (link, tag) -> send_count at the last backoff, so each retry
+        #: level defers exactly once
+        self._backed_off: dict[tuple[LinkKey, int], int] = {}
+        #: (link, tag) -> True once obfuscation was forced on the entry
+        self._advised: set[tuple[LinkKey, int]] = set()
+        self._drops_per_link: dict[LinkKey, int] = {}
+        self._condemned: set[LinkKey] = set()
+        self._pending_drops: list[DropReport] = []
+        self._pending_condemned: list[LinkKey] = []
+        self.events: list[EscalationEvent] = []
+        #: cycle of the very first ladder action (the bounded event log
+        #: may have trimmed the event itself)
+        self.first_event_cycle: Optional[int] = None
+        # -- counters ----------------------------------------------------
+        self.backoffs_applied = 0
+        self.obfuscations_forced = 0
+        self.packets_dropped = 0
+        self.links_condemned = 0
+
+    # -- wiring ------------------------------------------------------------
+    def attach(self, network: Network) -> "RetransWatchdog":
+        """Register on ``network.monitors``; per-entry ladder state is
+        reset (a new epoch starts clean) but counters and the event log
+        accumulate across epochs."""
+        if self.network is not None:
+            self.detach()
+        self.network = network
+        network.monitors.append(self)
+        self._backed_off.clear()
+        self._advised.clear()
+        self._drops_per_link.clear()
+        self._condemned.clear()
+        return self
+
+    def detach(self) -> None:
+        if self.network is not None:
+            try:
+                self.network.monitors.remove(self)
+            except ValueError:
+                pass
+        self.network = None
+
+    # -- results consumed by the campaign/caller ---------------------------
+    def take_dropped(self) -> list[DropReport]:
+        """Drop notifications since the last call (drop-with-notify)."""
+        out, self._pending_drops = self._pending_drops, []
+        return out
+
+    def take_condemned(self) -> list[LinkKey]:
+        """Links condemned since the last call."""
+        out, self._pending_condemned = self._pending_condemned, []
+        return out
+
+    # -- the per-cycle ladder ----------------------------------------------
+    def on_cycle(self, network: Network, cycle: int) -> None:
+        cfg = self.config
+        for key in network.links:
+            out = network.output_port_of(key)
+            if key in self._condemned or out.retrans.is_empty:
+                continue
+            ladder_active = False
+            for entry in list(out.retrans):
+                sends = entry.send_count
+                if sends < cfg.backoff_after:
+                    continue
+                ladder_active = True
+                if sends >= cfg.max_retries and entry.state is EntryState.READY:
+                    # READY means no transmission is on the wire (backoff
+                    # deferral created this window) — safe to purge.
+                    self._drop(network, key, entry, cycle)
+                    continue
+                if sends >= cfg.obfuscate_after:
+                    self._force_obfuscation(network, key, entry, cycle)
+                self._apply_backoff(network, key, entry, cycle)
+            self._maybe_condemn(network, key, cycle, ladder_active)
+        self._prune(network)
+
+    # -- rungs ---------------------------------------------------------------
+    def _apply_backoff(
+        self, network: Network, key: LinkKey, entry: RetransEntry, cycle: int
+    ) -> None:
+        cfg = self.config
+        state_key = (key, entry.tag)
+        if self._backed_off.get(state_key) == entry.send_count:
+            return  # this retry level already deferred once
+        if entry.defer_until > cycle:
+            return  # an earlier defer is still pending
+        # Deferring an IN_FLIGHT entry is both legal and necessary:
+        # ``defer_until`` only gates the *next* launch, and a pinned
+        # entry relaunches the same cycle its NACK lands, so this is the
+        # only way to ever observe it in a READY window.
+        excess = min(entry.send_count - cfg.backoff_after, 16)
+        delay = min(cfg.backoff_cap, cfg.backoff_base << excess)
+        entry.defer_until = cycle + delay
+        self._backed_off[state_key] = entry.send_count
+        self.backoffs_applied += 1
+        network.stats.retrans_backoffs += 1
+        self._log(
+            EscalationEvent(
+                cycle, key, EscalationStage.BACKOFF,
+                pkt_id=entry.flit.pkt_id, tag=entry.tag,
+                detail=f"sends={entry.send_count} defer={delay}",
+            )
+        )
+
+    def _force_obfuscation(
+        self, network: Network, key: LinkKey, entry: RetransEntry, cycle: int
+    ) -> None:
+        state_key = (key, entry.tag)
+        if state_key in self._advised:
+            return
+        if network.output_port_of(key).lob is None:
+            return  # no encoder on this port: the rung does not exist
+        self._advised.add(state_key)
+        already = (
+            entry.ob_advice is not None
+            and entry.ob_advice.enable_obfuscation
+        )
+        if not already:
+            method = entry.send_count - self.config.obfuscate_after
+            entry.ob_advice = NackAdvice(
+                enable_obfuscation=True, method_index=method
+            )
+        self.obfuscations_forced += 1
+        network.stats.lob_escalations += 1
+        self._log(
+            EscalationEvent(
+                cycle, key, EscalationStage.OBFUSCATE,
+                pkt_id=entry.flit.pkt_id, tag=entry.tag,
+                detail="detector-advised" if already else "forced",
+            )
+        )
+
+    def _drop(
+        self, network: Network, key: LinkKey, entry: RetransEntry, cycle: int
+    ) -> None:
+        pkt_id = entry.flit.pkt_id
+        report = drop_packet_at_port(network, key, pkt_id, cycle)
+        self._pending_drops.append(report)
+        self.packets_dropped += 1
+        self._drops_per_link[key] = self._drops_per_link.get(key, 0) + 1
+        self._log(
+            EscalationEvent(
+                cycle, key, EscalationStage.DROP,
+                pkt_id=pkt_id, tag=entry.tag,
+                detail=(
+                    f"entries={report.entries_dropped} "
+                    f"staged={report.staged_discarded} "
+                    f"in_flight={report.entries_in_flight}"
+                ),
+            )
+        )
+
+    def _maybe_condemn(
+        self, network: Network, key: LinkKey, cycle: int, ladder_active: bool
+    ) -> None:
+        cfg = self.config
+        out = network.output_port_of(key)
+        by_drops = self._drops_per_link.get(key, 0) >= cfg.condemn_after_drops
+        by_age = (
+            ladder_active
+            and out.retrans.oldest_wait(cycle) > cfg.condemn_pinned_age
+        )
+        if not (by_drops or by_age):
+            return
+        self._condemned.add(key)
+        self._pending_condemned.append(key)
+        self.links_condemned += 1
+        self._log(
+            EscalationEvent(
+                cycle, key, EscalationStage.CONDEMN,
+                detail="drop-threshold" if by_drops else "pinned-age",
+            )
+        )
+
+    # -- housekeeping --------------------------------------------------------
+    def _prune(self, network: Network) -> None:
+        """Forget ladder state of entries that have retired."""
+        if len(self._backed_off) < 512 and len(self._advised) < 512:
+            return
+        live = {
+            (key, entry.tag)
+            for key in network.links
+            for entry in network.output_port_of(key).retrans
+        }
+        self._backed_off = {
+            k: v for k, v in self._backed_off.items() if k in live
+        }
+        self._advised &= live
+
+    def _log(self, event: EscalationEvent) -> None:
+        if self.first_event_cycle is None:
+            self.first_event_cycle = event.cycle
+        self.events.append(event)
+        if len(self.events) > self.config.event_log_capacity:
+            del self.events[: len(self.events) // 2]
+
+    @property
+    def activity(self) -> int:
+        """Monotonic count of all ladder actions (progress signal)."""
+        return (
+            self.backoffs_applied
+            + self.obfuscations_forced
+            + self.packets_dropped
+            + self.links_condemned
+        )
+
+    def stages_taken(self) -> tuple[str, ...]:
+        """Ladder rungs that fired at least once, in ladder order."""
+        out = []
+        if self.backoffs_applied:
+            out.append(EscalationStage.BACKOFF.value)
+        if self.obfuscations_forced:
+            out.append(EscalationStage.OBFUSCATE.value)
+        if self.packets_dropped:
+            out.append(EscalationStage.DROP.value)
+        if self.links_condemned:
+            out.append(EscalationStage.CONDEMN.value)
+        return tuple(out)

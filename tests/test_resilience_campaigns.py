@@ -1,0 +1,76 @@
+"""Seeded fuzz campaigns: random fault compositions, audited end to end.
+
+Each seed composes transient bursts, stuck-at onsets, trojan
+activations and link kills on a 3x3 mesh and runs the full resilience
+stack.  Outcomes vary by seed (some scenarios are survivable losslessly,
+some end in drops, resubmissions and epoch recovery), but three
+properties must hold for *every* seed:
+
+* zero invariant violations — no fault composition may corrupt credit,
+  sequence or flit conservation;
+* closed delivery accounting — every offered packet is either delivered
+  or on the failed list, no third state;
+* exactly-once delivery — no packet is ever completed twice, even
+  across resubmission aliases and epoch boundaries.
+"""
+
+import pytest
+
+from repro.noc.config import NoCConfig
+from repro.resilience import (
+    CampaignSpec,
+    ChaosCampaign,
+    random_events,
+    uniform_traffic,
+)
+
+#: small mesh keeps the fuzz fast while still offering alternate routes
+FUZZ_CFG = NoCConfig(mesh_width=3, mesh_height=3, concentration=1)
+
+FUZZ_SEEDS = list(range(24))
+
+
+def run_fuzz_campaign(seed: int):
+    spec = CampaignSpec(
+        name=f"fuzz-{seed}",
+        cfg=FUZZ_CFG,
+        traffic=uniform_traffic(FUZZ_CFG, seed, 30, interval=4),
+        events=random_events(FUZZ_CFG, seed, horizon=300),
+        max_cycles=4000,
+        validate_every=7,
+        seed=seed,
+    )
+    return ChaosCampaign(spec).run()
+
+
+@pytest.mark.parametrize("seed", FUZZ_SEEDS)
+def test_fuzzed_fault_composition(seed):
+    report = run_fuzz_campaign(seed)
+    assert report.violations == (), (
+        f"seed {seed}: invariant violations:\n" + "\n".join(report.violations)
+    )
+    assert report.invariant_checks > 0
+    assert (
+        report.packets_delivered + report.packets_failed
+        == report.packets_offered
+    ), f"seed {seed}: delivery accounting does not close"
+    assert report.duplicate_deliveries == 0, (
+        f"seed {seed}: exactly-once delivery violated"
+    )
+
+
+def test_fuzz_exercises_the_whole_ladder():
+    """Sanity on the generator: across the seed set the fuzz must reach
+    drops, condemnations and epoch recoveries — otherwise the campaign
+    assertions above are vacuous."""
+    reports = [run_fuzz_campaign(seed) for seed in (3, 9, 14)]
+    assert any(r.packets_dropped > 0 for r in reports)
+    assert any(r.condemned_links for r in reports)
+    assert any(r.epochs >= 2 for r in reports)
+    assert any(r.resubmissions > 0 for r in reports)
+
+
+def test_fuzz_is_deterministic():
+    first = run_fuzz_campaign(7)
+    second = run_fuzz_campaign(7)
+    assert first == second

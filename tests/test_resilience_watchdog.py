@@ -1,0 +1,188 @@
+"""Watchdog escalation ladder: acceptance and regression campaigns.
+
+The acceptance scenario pins a retransmission slot with TASP and then
+kills the link outright; the watchdog must walk the whole ladder
+(backoff -> forced obfuscation -> drop-with-notify -> condemn) and end
+in epoch recovery with every packet delivered exactly once.  The
+regression scenario proves graceful degradation is strictly opt-in:
+with the watchdog disabled the paper's TASP deadlock reproduces
+unchanged and nothing is ever dropped.
+"""
+
+import pytest
+
+from repro.core.targets import TargetSpec
+from repro.noc.config import PAPER_CONFIG
+from repro.noc.topology import Direction
+from repro.resilience import (
+    CampaignSpec,
+    ChaosCampaign,
+    EscalationStage,
+    LinkKill,
+    RetransWatchdog,
+    TrojanActivation,
+    WatchdogConfig,
+    targeted_stream,
+    uniform_traffic,
+)
+
+ATTACK_LINK = (0, Direction.EAST)
+TARGET = TargetSpec.for_dest(15)
+
+
+def _victim_traffic(heavy=False):
+    if heavy:
+        return targeted_stream(
+            PAPER_CONFIG, 0, 63, 40, interval=4
+        ) + uniform_traffic(PAPER_CONFIG, 1, 60, interval=2)
+    return targeted_stream(
+        PAPER_CONFIG, 0, 63, 10, interval=10
+    ) + uniform_traffic(PAPER_CONFIG, 1, 24, interval=6)
+
+
+@pytest.fixture(scope="module")
+def ladder_report():
+    spec = CampaignSpec(
+        name="ladder",
+        cfg=PAPER_CONFIG,
+        traffic=_victim_traffic(),
+        events=[
+            TrojanActivation(link=ATTACK_LINK, at=20, target=TARGET),
+            LinkKill(link=ATTACK_LINK, at=60),
+        ],
+        max_cycles=6000,
+    )
+    return ChaosCampaign(spec).run()
+
+
+@pytest.fixture(scope="module")
+def deadlock_report():
+    spec = CampaignSpec(
+        name="no-watchdog",
+        cfg=PAPER_CONFIG,
+        traffic=_victim_traffic(heavy=True),
+        events=[TrojanActivation(link=ATTACK_LINK, at=10, target=TARGET)],
+        mitigated=False,
+        watchdog=None,
+        max_cycles=2500,
+        deadlock_window=400,
+    )
+    return ChaosCampaign(spec).run()
+
+
+@pytest.fixture(scope="module")
+def bare_watchdog_report():
+    spec = CampaignSpec(
+        name="bare-watchdog",
+        cfg=PAPER_CONFIG,
+        traffic=_victim_traffic(heavy=True),
+        events=[TrojanActivation(link=ATTACK_LINK, at=10, target=TARGET)],
+        mitigated=False,
+        max_cycles=8000,
+    )
+    return ChaosCampaign(spec).run()
+
+
+class TestEscalationLadder:
+    """Acceptance: TASP + link kill on a mitigated network."""
+
+    def test_campaign_ends_live(self, ladder_report):
+        assert not ladder_report.deadlocked
+        assert ladder_report.drained
+
+    def test_full_ladder_walked(self, ladder_report):
+        stages = ladder_report.escalation_stages
+        assert stages == tuple(
+            s.value for s in EscalationStage
+        ), f"expected the full ladder, got {stages}"
+
+    def test_ladder_counters_nonzero(self, ladder_report):
+        assert ladder_report.backoffs > 0
+        assert ladder_report.obfuscations_forced > 0
+        assert ladder_report.packets_dropped > 0
+        assert ladder_report.flits_degraded > 0
+
+    def test_condemnation_triggers_epoch_recovery(self, ladder_report):
+        assert ATTACK_LINK in ladder_report.condemned_links
+        assert ladder_report.epochs >= 2
+        assert ladder_report.recovery_cycles
+
+    def test_exactly_once_delivery(self, ladder_report):
+        assert ladder_report.delivered_all
+        assert ladder_report.duplicate_deliveries == 0
+        assert ladder_report.resubmissions > 0
+
+    def test_invariants_hold_throughout(self, ladder_report):
+        assert ladder_report.invariant_checks > 0
+        assert ladder_report.violations == ()
+
+    def test_detection_latency_bounded(self, ladder_report):
+        assert ladder_report.time_to_detect is not None
+        assert ladder_report.time_to_detect < 100
+        assert ladder_report.time_to_recover is not None
+
+
+class TestDeadlockRegression:
+    """Without the watchdog the paper's DoS deadlock must reproduce."""
+
+    def test_tasp_deadlocks_without_watchdog(self, deadlock_report):
+        assert deadlock_report.deadlocked
+        assert deadlock_report.cycles < 1500
+
+    def test_degradation_is_opt_in(self, deadlock_report):
+        # no watchdog => nothing may ever be dropped or resubmitted
+        assert deadlock_report.flits_degraded == 0
+        assert deadlock_report.packets_dropped == 0
+        assert deadlock_report.resubmissions == 0
+        assert deadlock_report.backoffs == 0
+
+    def test_victim_packets_starve(self, deadlock_report):
+        assert not deadlock_report.delivered_all
+        assert deadlock_report.packets_failed > 0
+
+    def test_deadlock_still_conserves(self, deadlock_report):
+        # a wedged network must not corrupt flow control
+        assert deadlock_report.violations == ()
+
+
+class TestBareWatchdogSurvival:
+    """No L-Ob rung available: retries, drops and rerouting must do."""
+
+    def test_survives_and_delivers(self, bare_watchdog_report):
+        assert not bare_watchdog_report.deadlocked
+        assert bare_watchdog_report.delivered_all
+        assert bare_watchdog_report.duplicate_deliveries == 0
+
+    def test_obfuscation_rung_skipped(self, bare_watchdog_report):
+        # unmitigated network has no L-Ob hardware to engage
+        assert bare_watchdog_report.obfuscations_forced == 0
+        assert bare_watchdog_report.packets_dropped > 0
+        assert bare_watchdog_report.epochs >= 2
+
+    def test_invariants_hold(self, bare_watchdog_report):
+        assert bare_watchdog_report.violations == ()
+
+
+class TestWatchdogConfig:
+    def test_rejects_misordered_ladder(self):
+        with pytest.raises(ValueError):
+            WatchdogConfig(backoff_after=5, obfuscate_after=3)
+        with pytest.raises(ValueError):
+            WatchdogConfig(obfuscate_after=8, max_retries=7)
+        with pytest.raises(ValueError):
+            WatchdogConfig(backoff_base=0)
+
+    def test_default_ladder_is_ordered(self):
+        cfg = WatchdogConfig()
+        assert cfg.backoff_after < cfg.obfuscate_after < cfg.max_retries
+
+    def test_attach_is_idempotent_across_epochs(self):
+        from repro.noc.network import Network
+
+        watchdog = RetransWatchdog(WatchdogConfig())
+        first = Network(PAPER_CONFIG)
+        watchdog.attach(first)
+        second = Network(PAPER_CONFIG)
+        watchdog.attach(second)
+        assert watchdog not in first.monitors
+        assert second.monitors == [watchdog]
