@@ -1,0 +1,89 @@
+"""Engine bench: active-set stepping vs the full per-cycle sweep.
+
+A drain-heavy fig2-style workload (a single targeted flow trickling
+across the mesh with long idle gaps) is exactly where skipping settled
+routers pays: most of the 16 routers are idle on most cycles.  The
+bench runs the identical scenario both ways, asserts the stats are
+bit-identical, and records the speedup.
+
+Set ``REPRO_BENCH_QUICK=1`` to shrink the workload for smoke runs.
+"""
+
+import os
+import time
+
+from repro.core import TargetSpec
+from repro.experiments.export import to_jsonable
+from repro.noc.config import PAPER_CONFIG
+from repro.noc.topology import Direction
+from repro.sim import (
+    DefenseSpec,
+    ExplicitTraffic,
+    PacketSpec,
+    Scenario,
+    Simulation,
+    TrojanSpec,
+)
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+PACKETS = 8 if QUICK else 30
+SPACING = 120
+
+
+def drain_heavy_scenario() -> Scenario:
+    packets = tuple(
+        PacketSpec(pkt_id=i, src_core=0,
+                   dst_core=PAPER_CONFIG.core_of(15, 1),
+                   mem_addr=0x100, inject_at=i * SPACING)
+        for i in range(PACKETS)
+    )
+    return Scenario(
+        name="bench-drain-heavy",
+        cfg=PAPER_CONFIG,
+        traffic=(ExplicitTraffic(packets=packets),),
+        trojans=(
+            TrojanSpec((0, Direction.EAST), TargetSpec.for_dest(15)),
+        ),
+        defense=DefenseSpec(mitigated=True),
+        max_cycles=PACKETS * SPACING + 6000,
+        stall_limit=1500,
+    )
+
+
+def _timed_run(full_sweep: bool) -> tuple[float, object, dict]:
+    sim = Simulation(drain_heavy_scenario(), full_sweep=full_sweep)
+    started = time.perf_counter()
+    result = sim.run()
+    elapsed = time.perf_counter() - started
+    return elapsed, result, to_jsonable(vars(sim.network.stats))
+
+
+def _compare() -> dict:
+    full_s, full_result, full_stats = _timed_run(full_sweep=True)
+    active_s, active_result, active_stats = _timed_run(full_sweep=False)
+    return {
+        "full_s": full_s,
+        "active_s": active_s,
+        "full_result": full_result,
+        "active_result": active_result,
+        "identical": active_stats == full_stats,
+    }
+
+
+def test_bench_engine_active_vs_full_sweep(once):
+    out = once(_compare)
+    # correctness first: skipping settled routers must not change a bit
+    assert out["identical"]
+    assert out["active_result"] == out["full_result"]
+    assert out["active_result"].completed
+    assert out["active_result"].packets_completed == PACKETS
+
+    speedup = out["full_s"] / out["active_s"]
+    print(
+        f"\nactive-set vs full sweep on {PACKETS} packets: "
+        f"{out['full_s'] * 1e3:.0f}ms -> {out['active_s'] * 1e3:.0f}ms "
+        f"({speedup:.2f}x)"
+    )
+    # drain-heavy traffic leaves most routers settled most cycles, so
+    # the active-set step must win outright
+    assert speedup > 1.0

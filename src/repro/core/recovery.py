@@ -170,6 +170,7 @@ class RecoveryManager:
         table = updown_table(old.cfg, condemned)
         fresh = Network(cfg, routing_table=table, e2e=old.e2e,
                         policy=old.policy)
+        fresh.full_sweep = old.full_sweep
         apply_rerouting(fresh, condemned)
         if carry_tamperers:
             # the trojans are in the silicon: they persist across epochs

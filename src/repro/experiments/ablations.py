@@ -25,15 +25,21 @@ from repro.core import (
     TargetSpec,
     TaspConfig,
     TaspTrojan,
-    build_mitigated_network,
 )
 from repro.ecc import SECDED_72_64
 from repro.experiments.common import format_table
 from repro.noc.config import NoCConfig, PAPER_CONFIG
-from repro.noc.flit import Packet
-from repro.noc.network import Network
 from repro.noc.topology import Direction
 from repro.power import tasp_budget
+from repro.sim import (
+    DefenseSpec,
+    ExplicitTraffic,
+    PacketSpec,
+    Scenario,
+    Simulation,
+    TrojanSpec,
+    engine,
+)
 from repro.util.rng import SeededStream
 
 INFECTED = (0, Direction.EAST)
@@ -137,19 +143,29 @@ def retrans_depth_ablation(
     points = []
     for depth in depths:
         cfg = dataclasses.replace(PAPER_CONFIG, retrans_depth=depth)
-        net = Network(cfg)
-        trojan = TaspTrojan(TargetSpec.for_dest(15))
-        trojan.enable()
-        net.attach_tamperer(INFECTED, trojan)
-        for pid in range(80):
-            net.add_packet(
-                Packet(pkt_id=pid, src_core=0, dst_core=63,
-                       vc_class=pid % 4, created_cycle=0)
+        sim = Simulation(
+            Scenario(
+                name=f"ablation-depth-{depth}",
+                cfg=cfg,
+                traffic=(
+                    ExplicitTraffic(
+                        packets=tuple(
+                            PacketSpec(pkt_id=pid, src_core=0, dst_core=63,
+                                       vc_class=pid % 4)
+                            for pid in range(80)
+                        )
+                    ),
+                ),
+                trojans=(TrojanSpec(INFECTED, TargetSpec.for_dest(15)),),
+                max_cycles=max_cycles,
+                seed=seed,
             )
+        )
+        net = sim.network
         stall_at = max_cycles
         out = net.output_port_of(INFECTED)
         for _ in range(max_cycles):
-            net.step()
+            sim.step()
             if out.is_blocked(net.cycle):
                 stall_at = net.cycle
                 break
@@ -190,22 +206,32 @@ def method_effectiveness_ablation(
     points = []
     for method, gran in ladder:
         mcfg = MitigationConfig(method_sequence=((method, gran),))
-        net = build_mitigated_network(PAPER_CONFIG, mcfg)
-        trojan = TaspTrojan(TargetSpec.for_dest(15))
-        trojan.enable()
-        net.attach_tamperer(INFECTED, trojan)
-        for pid in range(packets):
-            net.add_packet(
-                Packet(pkt_id=pid, src_core=0, dst_core=63,
-                       vc_class=pid % 4, mem_addr=0x77,
-                       payload=[0xAAAA], created_cycle=0)
+        result = engine.run(
+            Scenario(
+                name=f"ablation-{method.value}-{gran.value}",
+                cfg=PAPER_CONFIG,
+                traffic=(
+                    ExplicitTraffic(
+                        packets=tuple(
+                            PacketSpec(pkt_id=pid, src_core=0, dst_core=63,
+                                       vc_class=pid % 4, mem_addr=0x77,
+                                       payload=(0xAAAA,))
+                            for pid in range(packets)
+                        )
+                    ),
+                ),
+                trojans=(TrojanSpec(INFECTED, TargetSpec.for_dest(15)),),
+                defense=DefenseSpec(mitigation=mcfg),
+                max_cycles=max_cycles,
+                stall_limit=1200,
+                seed=seed,
             )
-        net.run_until_drained(max_cycles, stall_limit=1200)
+        )
         points.append(
             MethodPoint(
                 method=method.value,
                 granularity=gran.value,
-                packets_delivered=net.stats.packets_completed,
+                packets_delivered=result.packets_completed,
                 packets_offered=packets,
             )
         )
@@ -237,20 +263,34 @@ def payload_weight_ablation(
 ) -> list[PayloadWeightPoint]:
     points = []
     for weight in weights:
-        net = Network(PAPER_CONFIG)
-        trojan = TaspTrojan(
-            TargetSpec.for_dest(15),
-            TaspConfig(payload_weight=weight, num_payload_states=4,
-                       seed=seed),
-        )
-        trojan.enable()
-        net.attach_tamperer(INFECTED, trojan)
-        for pid in range(packets):
-            net.add_packet(
-                Packet(pkt_id=pid, src_core=0, dst_core=63,
-                       vc_class=pid % 4, mem_addr=0x55, created_cycle=0)
+        sim = Simulation(
+            Scenario(
+                name=f"ablation-weight-{weight}",
+                cfg=PAPER_CONFIG,
+                traffic=(
+                    ExplicitTraffic(
+                        packets=tuple(
+                            PacketSpec(pkt_id=pid, src_core=0, dst_core=63,
+                                       vc_class=pid % 4, mem_addr=0x55)
+                            for pid in range(packets)
+                        )
+                    ),
+                ),
+                trojans=(
+                    TrojanSpec(
+                        INFECTED,
+                        TargetSpec.for_dest(15),
+                        config=TaspConfig(payload_weight=weight,
+                                          num_payload_states=4, seed=seed),
+                    ),
+                ),
+                max_cycles=max_cycles,
+                stall_limit=1200,
+                seed=seed,
             )
-        drained = net.run_until_drained(max_cycles, stall_limit=1200)
+        )
+        net = sim.network
+        drained = sim.run_until_drained(max_cycles, stall_limit=1200)
         receiver = net.receiver_of(INFECTED)
         points.append(
             PayloadWeightPoint(

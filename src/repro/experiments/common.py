@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import dataclasses
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
@@ -90,17 +89,14 @@ def attach_trojans(
     config: TaspConfig = TaspConfig(),
     enabled: bool = True,
 ) -> list[TaspTrojan]:
-    trojans = []
-    for i, key in enumerate(links):
-        trojan = TaspTrojan(
-            target,
-            dataclasses.replace(config, seed=config.seed + i),
-        )
-        if enabled:
-            trojan.enable()
-        network.attach_tamperer(key, trojan)
-        trojans.append(trojan)
-    return trojans
+    """Imperative wrapper over the sim layer's declarative specs, kept
+    for callers that already hold a wired :class:`Network`."""
+    from repro.sim import attach_trojan_specs, trojan_specs
+
+    return attach_trojan_specs(
+        network,
+        trojan_specs(links, target, config=config, enabled=enabled),
+    )
 
 
 @dataclass(frozen=True)

@@ -20,22 +20,21 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.baselines.reroute import apply_rerouting, updown_table
-from repro.core import TargetSpec, build_mitigated_network
+from repro.core import TargetSpec
 from repro.experiments.common import (
-    attach_trojans,
     format_table,
     make_app_trace,
     pick_infected_links,
-    run_to_completion,
 )
 from repro.noc.config import NoCConfig, PAPER_CONFIG
-from repro.noc.network import Network
+from repro.sim import AppTraffic, DefenseSpec, Scenario, engine, trojan_specs
 from repro.traffic.apps import PROFILES
-from repro.traffic.trace import TraceReplaySource
 
 DEFAULT_APPS = ("blackscholes", "facesim", "ferret", "fft")
 DEFAULT_FRACTIONS = (0.0, 0.05, 0.10, 0.15)
+
+#: drain stall limit (matches the historical run_to_completion default)
+STALL_LIMIT = 2000
 
 
 @dataclass(frozen=True)
@@ -77,39 +76,52 @@ def run(
     capacity, which is what the two mitigations trade off)."""
     points: list[Fig10Point] = []
     trace_packets: dict[str, int] = {}
-    table_cfg = dataclasses.replace(cfg, routing="table")
 
     for app in apps:
         profile = dataclasses.replace(
             PROFILES[app],
             injection_rate=PROFILES[app].injection_rate * rate_scale,
         )
+        # analytic trace: link-load ranking + packet count (the live
+        # AppTraffic source replays the identical stream)
         trace = make_app_trace(cfg, profile, duration, seed=seed)
         trace_packets[app] = len(trace)
+        workload = AppTraffic(
+            profile=app, seed=seed, duration=duration, rate_scale=rate_scale
+        )
         # the attacker targets the application's primary router
         target = TargetSpec.for_dest(profile.primary_routers[0][0])
 
         for fraction in fractions:
             count = round(fraction * cfg.num_links)
             links = pick_infected_links(cfg, trace, count, seed=seed)
+            trojans = trojan_specs(links, target)
 
-            # -- L-Ob arm: keep using the infected links -----------------
-            lob_net = build_mitigated_network(cfg)
-            attach_trojans(lob_net, links, target)
-            lob_net.set_traffic(TraceReplaySource(trace))
-            lob = run_to_completion(lob_net, max_cycles)
-
-            # -- Rerouting arm: condemn the links ------------------------
-            if count == 0:
-                rr_net = Network(cfg)  # nothing failed: xy baseline
-            else:
-                rr_net = Network(
-                    table_cfg, routing_table=updown_table(cfg, links)
+            lob = engine.run(
+                Scenario(
+                    name=f"fig10-{app}-{fraction:.2f}-lob",
+                    cfg=cfg,
+                    traffic=(workload,),
+                    trojans=trojans,
+                    defense=DefenseSpec(mitigated=True),
+                    max_cycles=max_cycles,
+                    stall_limit=STALL_LIMIT,
+                    seed=seed,
                 )
-                apply_rerouting(rr_net, links)
-            attach_trojans(rr_net, links, target)  # disabled links: inert
-            rr_net.set_traffic(TraceReplaySource(trace))
-            rr = run_to_completion(rr_net, max_cycles)
+            )
+            # disabled links make the trojans inert in the reroute arm
+            rr = engine.run(
+                Scenario(
+                    name=f"fig10-{app}-{fraction:.2f}-reroute",
+                    cfg=cfg,
+                    traffic=(workload,),
+                    trojans=trojans,
+                    defense=DefenseSpec(rerouted_links=tuple(links)),
+                    max_cycles=max_cycles,
+                    stall_limit=STALL_LIMIT,
+                    seed=seed,
+                )
+            )
 
             points.append(
                 Fig10Point(

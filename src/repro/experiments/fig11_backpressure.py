@@ -15,17 +15,15 @@ mitigation; (b) is the identical network without the trojan.
 
 from __future__ import annotations
 
-import dataclasses
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
-from repro.baselines.e2e import E2EObfuscator
 from repro.core import TargetSpec, TaspTrojan
 from repro.experiments.common import format_table, xy_link_loads
 from repro.noc.config import NoCConfig, PAPER_CONFIG
-from repro.noc.network import Network
 from repro.noc.stats import Sample
-from repro.noc.topology import Direction, LinkKey
+from repro.noc.topology import LinkKey
+from repro.sim import AppTraffic, DefenseSpec, Scenario, Simulation, TrojanSpec
 from repro.traffic.apps import PROFILES, AppTraceSource
 from repro.traffic.trace import record_trace
 
@@ -87,26 +85,42 @@ def _run_one(
     seed: int,
     with_trojan: bool,
 ) -> tuple[Fig11Series, Optional[TaspTrojan], LinkKey]:
-    profile = dataclasses.replace(
-        PROFILES[app], injection_rate=PROFILES[app].injection_rate * rate_scale
-    )
-    net = Network(cfg, e2e=E2EObfuscator())
-    net.sample_interval = sample_every
-    net.set_traffic(
-        AppTraceSource(cfg, profile, seed=seed, duration=warmup + window)
-    )
     link = _hot_incoming_link(cfg, app, seed)
-    trojan = None
+    trojans: tuple[TrojanSpec, ...] = ()
     if with_trojan:
         target_router = PROFILES[app].primary_routers[0][0]
-        trojan = TaspTrojan(TargetSpec.for_dest(target_router))
-        net.attach_tamperer(link, trojan)  # dormant during warm-up
-    net.run(warmup)
-    if trojan is not None:
-        trojan.enable()
-    net.run(window)
+        # dormant during warm-up, armed when the clock hits ``warmup``
+        trojans = (
+            TrojanSpec(
+                link=link,
+                target=TargetSpec.for_dest(target_router),
+                enabled=False,
+                enable_at=warmup,
+            ),
+        )
+    sim = Simulation(
+        Scenario(
+            name=f"fig11-{app}-{'attacked' if with_trojan else 'clean'}",
+            cfg=cfg,
+            traffic=(
+                AppTraffic(
+                    profile=app,
+                    seed=seed,
+                    duration=warmup + window,
+                    rate_scale=rate_scale,
+                ),
+            ),
+            trojans=trojans,
+            defense=DefenseSpec(e2e=True),
+            duration=warmup + window,
+            sample_interval=sample_every,
+            seed=seed,
+        )
+    )
+    sim.run()
+    trojan = sim.trojans[0] if sim.trojans else None
     label = "single active TASP (e2e failed)" if with_trojan else "no HT"
-    return Fig11Series(label, list(net.stats.samples)), trojan, link
+    return Fig11Series(label, list(sim.network.stats.samples)), trojan, link
 
 
 def run(

@@ -14,15 +14,14 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.baselines.tdm import TdmConfig, TdmPolicy
-from repro.core import TargetSpec, TaspTrojan, build_mitigated_network
+from repro.core import TargetSpec
 from repro.experiments.common import format_table, xy_link_loads
 from repro.noc.config import NoCConfig, PAPER_CONFIG
 from repro.noc.network import Network
-from repro.noc.router import PortKey
-from repro.noc.topology import Direction, LinkKey
+from repro.noc.topology import LinkKey
+from repro.sim import AppTraffic, DefenseSpec, Scenario, Simulation, TrojanSpec
 from repro.traffic.apps import PROFILES, AppTraceSource
 from repro.traffic.trace import record_trace
 
@@ -82,49 +81,39 @@ def _domain_sample(net: Network, cycle: int, done_by_domain) -> DomainSample:
     )
 
 
-class _TwoAppSource:
+def _two_apps(
+    cfg: NoCConfig,
+    duration: int,
+    seed: int,
+    rate_scale: float,
+    vcs_d0: tuple,
+    vcs_d1: tuple,
+) -> tuple[AppTraffic, AppTraffic]:
     """D1: clean app on even cores; D2: victim app on odd cores."""
-
-    def __init__(self, cfg: NoCConfig, duration: int, seed: int,
-                 rate_scale: float, vcs_d0: tuple, vcs_d1: tuple):
-        clean = dataclasses.replace(
-            PROFILES["facesim"],
-            injection_rate=PROFILES["facesim"].injection_rate * rate_scale,
-        )
-        victim = dataclasses.replace(
-            PROFILES["blackscholes"],
-            injection_rate=PROFILES["blackscholes"].injection_rate * rate_scale,
-        )
-        even = {c for c in range(cfg.num_cores) if c % 2 == 0}
-        odd = {c for c in range(cfg.num_cores) if c % 2 == 1}
-        self.sources = [
-            AppTraceSource(cfg, clean, seed=seed, duration=duration,
-                           cores=even, domain=0, vc_classes=vcs_d0,
-                           pkt_id_base=0),
-            AppTraceSource(cfg, victim, seed=seed + 1, duration=duration,
-                           cores=odd, domain=1, vc_classes=vcs_d1,
-                           pkt_id_base=1_000_000),
-        ]
-
-    def generate(self, cycle: int):
-        out = []
-        for src in self.sources:
-            out.extend(src.generate(cycle))
-        return out
-
-    def done(self, cycle: int) -> bool:
-        return all(src.done(cycle) for src in self.sources)
+    even = tuple(c for c in range(cfg.num_cores) if c % 2 == 0)
+    odd = tuple(c for c in range(cfg.num_cores) if c % 2 == 1)
+    return (
+        AppTraffic(
+            profile="facesim", seed=seed, duration=duration,
+            rate_scale=rate_scale, cores=even, domain=0,
+            vc_classes=vcs_d0, pkt_id_base=0,
+        ),
+        AppTraffic(
+            profile="blackscholes", seed=seed + 1, duration=duration,
+            rate_scale=rate_scale, cores=odd, domain=1,
+            vc_classes=vcs_d1, pkt_id_base=1_000_000,
+        ),
+    )
 
 
 def _run_one(
-    net: Network,
-    cfg: NoCConfig,
-    trojan: TaspTrojan,
+    sim: Simulation,
     warmup: int,
     window: int,
     sample_every: int,
     label: str,
 ) -> Fig12Series:
+    net = sim.network
     done_by_domain = [0, 0]
     net.ejection_hooks.append(
         lambda flit, cycle, core: (
@@ -135,12 +124,10 @@ def _run_one(
             else None
         )
     )
-    net.sample_interval = 0
     samples: list[DomainSample] = []
-    net.run(warmup)
-    trojan.enable()
+    sim.advance_to(warmup)  # scheduled trojan enables fire at the boundary
     for _ in range(window // sample_every):
-        net.run(sample_every)
+        sim.advance_to(net.cycle + sample_every)
         samples.append(_domain_sample(net, net.cycle, done_by_domain))
     return Fig12Series(label, samples)
 
@@ -180,40 +167,61 @@ def run(
     # the comparator does not alias on payload bits
     primary = PROFILES["blackscholes"].primary_routers[0][0]
     target = TargetSpec(dst=primary, vc=2, head_only=True)
+    trojan = TrojanSpec(
+        link=link, target=target, enabled=False, enable_at=warmup
+    )
     policy = TdmPolicy(TdmConfig(num_domains=2), cfg.num_vcs)
+    # the victim application is pinned to VC 2 (inside D2's partition),
+    # exactly what the trojan's VC comparator targets
+    tdm_traffic = _two_apps(
+        cfg, duration, seed, rate_scale,
+        vcs_d0=tuple(policy.vc_partition(0)),
+        vcs_d1=(policy.vc_partition(1)[0],),
+    )
 
-    def tdm_traffic():
-        # the victim application is pinned to VC 2 (inside D2's
-        # partition), exactly what the trojan's VC comparator targets
-        return _TwoAppSource(cfg, duration, seed, rate_scale,
-                             vcs_d0=tuple(policy.vc_partition(0)),
-                             vcs_d1=(policy.vc_partition(1)[0],))
+    def scenario(name, traffic, trojans, defense) -> Scenario:
+        return Scenario(
+            name=f"fig12-{name}",
+            cfg=cfg,
+            traffic=traffic,
+            trojans=trojans,
+            defense=defense,
+            duration=duration,
+            sample_interval=0,
+            seed=seed,
+        )
 
     # (a) TDM containment
-    tdm_net = Network(cfg, policy=policy)
-    tdm_trojan = TaspTrojan(target)
-    tdm_net.attach_tamperer(link, tdm_trojan)
-    tdm_net.set_traffic(tdm_traffic())
-    tdm = _run_one(tdm_net, cfg, tdm_trojan, warmup, window, sample_every,
-                   "TDM (two domains) with TASP")
+    tdm = _run_one(
+        Simulation(
+            scenario("tdm", tdm_traffic, (trojan,),
+                     DefenseSpec(tdm_domains=2))
+        ),
+        warmup, window, sample_every, "TDM (two domains) with TASP",
+    )
 
     # (a') TDM without the attack: the non-interference reference
-    base_net = Network(cfg, policy=TdmPolicy(TdmConfig(2), cfg.num_vcs))
-    base_trojan = TaspTrojan(target)  # never wired to a link
-    base_net.set_traffic(tdm_traffic())
-    tdm_baseline = _run_one(base_net, cfg, base_trojan, warmup, window,
-                            sample_every, "TDM, no HT")
+    tdm_baseline = _run_one(
+        Simulation(
+            scenario("tdm-baseline", tdm_traffic, (),
+                     DefenseSpec(tdm_domains=2))
+        ),
+        warmup, window, sample_every, "TDM, no HT",
+    )
 
     # (b) proposed mitigation, same VC discipline for comparability
-    mit_net = build_mitigated_network(cfg)
-    mit_trojan = TaspTrojan(target)
-    mit_net.attach_tamperer(link, mit_trojan)
-    mit_net.set_traffic(
-        _TwoAppSource(cfg, duration, seed, rate_scale,
-                      vcs_d0=(0, 1), vcs_d1=(2,))
+    mitigated = _run_one(
+        Simulation(
+            scenario(
+                "mitigated",
+                _two_apps(cfg, duration, seed, rate_scale,
+                          vcs_d0=(0, 1), vcs_d1=(2,)),
+                (trojan,),
+                DefenseSpec(mitigated=True),
+            )
+        ),
+        warmup, window, sample_every, "threat detector + s2s L-Ob",
     )
-    mitigated = _run_one(mit_net, cfg, mit_trojan, warmup, window,
-                         sample_every, "threat detector + s2s L-Ob")
 
     headline = {
         "tdm_clean_domain_completions": tdm.completions_in_window(0),

@@ -14,10 +14,9 @@ from dataclasses import dataclass
 
 from repro.experiments.common import format_table, make_app_trace
 from repro.noc.config import NoCConfig, PAPER_CONFIG
-from repro.noc.network import Network
 from repro.noc.topology import LinkKey
+from repro.sim import AppTraffic, Scenario, Simulation
 from repro.traffic.apps import PROFILES
-from repro.traffic.trace import TraceReplaySource
 
 
 @dataclass(frozen=True)
@@ -53,11 +52,19 @@ def run(
     matrix = trace.router_matrix(cfg)
     source_counts = trace.source_counts(cfg)
 
-    # (c) measured on the simulator: replay and count link traversals
-    net = Network(cfg)
-    net.set_traffic(TraceReplaySource(trace))
-    net.run_until_drained(max_cycles=duration * 20)
-    loads = net.link_load()
+    # (c) measured on the simulator: the same workload (identical
+    # profile + seed -> identical packet stream), counting traversals
+    sim = Simulation(
+        Scenario(
+            name=f"fig1-{app}",
+            cfg=cfg,
+            traffic=(AppTraffic(profile=app, seed=seed, duration=duration),),
+            max_cycles=duration * 20,
+            seed=seed,
+        )
+    )
+    sim.run_until_drained(duration * 20)
+    loads = sim.network.link_load()
     total = sum(loads.values()) or 1
     link_share = {key: count / total for key, count in loads.items()}
 

@@ -10,7 +10,9 @@ up in latency as a function of hop distance:
   L-Ob — and stalls the flow entirely when not.
 
 We measure all four curves on the simulator with the faulty/infected
-link on the path's first hop.
+link on the path's first hop.  Each (arm, distance) point is a
+:class:`~repro.sim.scenario.Scenario`; :func:`scenarios` exposes the
+full grid for the engine benchmarks and bit-identity tests.
 """
 
 from __future__ import annotations
@@ -18,21 +20,28 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.baselines.reroute import apply_rerouting, updown_table
-from repro.core import TargetSpec, TaspTrojan, build_mitigated_network
+from repro.core import TargetSpec
 from repro.experiments.common import format_table
-from repro.faults import TransientFaultModel
 from repro.noc.config import NoCConfig, PAPER_CONFIG
-from repro.noc.flit import Packet
-from repro.noc.network import Network
 from repro.noc.topology import Direction
-from repro.util.rng import SeededStream
+from repro.sim import (
+    DefenseSpec,
+    ExplicitTraffic,
+    PacketSpec,
+    Scenario,
+    TransientFaultSpec,
+    TrojanSpec,
+    engine,
+)
 
 #: the faulted link: first hop eastwards out of router 0
 FAULT_LINK = (0, Direction.EAST)
 
 #: destination routers at hop distance 1..6 whose xy path crosses it
 DISTANCE_DESTS = {1: 1, 2: 2, 3: 3, 4: 7, 5: 11, 6: 15}
+
+#: cycles between successive packets of the measured flow
+SPACING = 40
 
 
 @dataclass(frozen=True)
@@ -42,32 +51,30 @@ class Fig2Result:
     packets_per_point: int
 
 
-def _measure(net: Network, dst_router: int, packets: int,
-             spacing: int = 40, max_cycles: int = 6000) -> Optional[float]:
-    cfg = net.cfg
-    for i in range(packets):
-        net.add_packet(
-            Packet(
+def _flow(cfg: NoCConfig, dst_router: int, packets: int) -> ExplicitTraffic:
+    """``packets`` single-flit packets from core 0, one every SPACING
+    cycles, all bound for the same destination router."""
+    return ExplicitTraffic(
+        packets=tuple(
+            PacketSpec(
                 pkt_id=i,
                 src_core=0,
                 dst_core=cfg.core_of(dst_router, 1),
                 mem_addr=0x100,
-                created_cycle=i * spacing,
+                inject_at=i * SPACING,
             )
+            for i in range(packets)
         )
-        net.run(spacing)
-    drained = net.run_until_drained(max_cycles, stall_limit=1500)
-    if not drained or net.stats.packets_completed < packets:
-        return None
-    return net.stats.mean_network_latency()
+    )
 
 
-def run(
+def scenarios(
     cfg: NoCConfig = PAPER_CONFIG,
     packets: int = 12,
     seed: int = 0,
-) -> Fig2Result:
-    curves: dict[str, dict[int, Optional[float]]] = {
+) -> dict[str, dict[int, Scenario]]:
+    """The full (arm, distance) scenario grid."""
+    grid: dict[str, dict[int, Scenario]] = {
         "clean": {},
         "transient": {},
         "permanent (rerouted)": {},
@@ -75,45 +82,60 @@ def run(
         "trojan (no mitigation)": {},
     }
 
-    for dist, dst in DISTANCE_DESTS.items():
-        # clean baseline
-        net = Network(cfg)
-        curves["clean"][dist] = _measure(net, dst, packets)
+    def point(name, dist, max_cycles=6000, **overrides) -> Scenario:
+        return Scenario(
+            name=f"fig2-{name}-d{dist}",
+            cfg=cfg,
+            traffic=(_flow(cfg, DISTANCE_DESTS[dist], packets),),
+            max_cycles=packets * SPACING + max_cycles,
+            stall_limit=1500,
+            seed=seed,
+            **overrides,
+        )
 
-        # transient: occasional double-bit fault -> retransmission
-        net = Network(cfg)
-        net.attach_tamperer(
-            FAULT_LINK,
-            TransientFaultModel(
-                net.codec.codeword_bits, 0.15,
-                SeededStream(seed, "fig2", dist), double_fraction=1.0,
+    for dist, dst in DISTANCE_DESTS.items():
+        grid["clean"][dist] = point("clean", dist)
+        grid["transient"][dist] = point(
+            "transient",
+            dist,
+            faults=(
+                TransientFaultSpec(
+                    link=FAULT_LINK,
+                    rate=0.15,
+                    double_fraction=1.0,
+                    seed=seed,
+                    labels=("fig2", dist),
+                ),
             ),
         )
-        curves["transient"][dist] = _measure(net, dst, packets)
-
-        # permanent: the link is dead; reroute around it
-        net = Network(
-            NoCConfig(routing="table"), routing_table=updown_table(cfg, [])
+        grid["permanent (rerouted)"][dist] = point(
+            "permanent",
+            dist,
+            defense=DefenseSpec(rerouted_links=(FAULT_LINK,)),
         )
-        apply_rerouting(net, [FAULT_LINK])
-        curves["permanent (rerouted)"][dist] = _measure(net, dst, packets)
-
-        # trojan with s2s L-Ob: keep using the link at 1-3 cycles cost
-        net = build_mitigated_network(cfg)
-        trojan = TaspTrojan(TargetSpec.for_dest(dst))
-        trojan.enable()
-        net.attach_tamperer(FAULT_LINK, trojan)
-        curves["trojan (L-Ob)"][dist] = _measure(net, dst, packets)
-
-        # trojan without mitigation: the flow stalls
-        net = Network(cfg)
-        trojan = TaspTrojan(TargetSpec.for_dest(dst))
-        trojan.enable()
-        net.attach_tamperer(FAULT_LINK, trojan)
-        curves["trojan (no mitigation)"][dist] = _measure(
-            net, dst, packets, max_cycles=2500
+        trojan = TrojanSpec(link=FAULT_LINK, target=TargetSpec.for_dest(dst))
+        grid["trojan (L-Ob)"][dist] = point(
+            "lob", dist, trojans=(trojan,), defense=DefenseSpec(mitigated=True)
         )
+        grid["trojan (no mitigation)"][dist] = point(
+            "bare", dist, trojans=(trojan,), max_cycles=2500
+        )
+    return grid
 
+
+def run(
+    cfg: NoCConfig = PAPER_CONFIG,
+    packets: int = 12,
+    seed: int = 0,
+) -> Fig2Result:
+    curves: dict[str, dict[int, Optional[float]]] = {}
+    for name, points in scenarios(cfg, packets, seed).items():
+        curve: dict[int, Optional[float]] = {}
+        for dist, scenario in points.items():
+            result = engine.run(scenario)
+            ok = result.completed and result.packets_completed >= packets
+            curve[dist] = result.mean_network_latency if ok else None
+        curves[name] = curve
     return Fig2Result(curves=curves, packets_per_point=packets)
 
 

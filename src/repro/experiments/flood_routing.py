@@ -22,12 +22,12 @@ from typing import Optional, Sequence
 
 from repro.experiments.common import format_table
 from repro.noc.config import NoCConfig, PAPER_CONFIG
-from repro.noc.network import Network
-from repro.traffic.flood import FloodConfig, FloodSource, MergedSource
-from repro.traffic.synthetic import (
-    SyntheticConfig,
-    SyntheticSource,
-    uniform_random,
+from repro.sim import (
+    FloodTraffic,
+    Scenario,
+    Simulation,
+    SyntheticTraffic,
+    TrojanSpec,
 )
 
 ROUTINGS = ("xy", "west-first", "odd-even")
@@ -89,37 +89,41 @@ def run(
         cfg.core_of(r, i) for r in (5, 6) for i in range(cfg.concentration)
     )
 
+    background = SyntheticTraffic(
+        injection_rate=background_rate,
+        payload_words=1,
+        duration=duration,
+        seed=seed,
+    )
+
     points: list[FloodPoint] = []
     for routing in ROUTINGS:
         net_cfg = dataclasses.replace(cfg, routing=routing)
         for rate in flood_rates:
-            background = SyntheticSource(
-                net_cfg,
-                uniform_random,
-                SyntheticConfig(
-                    injection_rate=background_rate,
-                    payload_words=1,
-                    duration=duration,
-                ),
-                seed=seed,
-            )
-            sources = [background]
-            flood = None
+            traffic: tuple = (background,)
             if rate > 0:
-                flood = FloodSource(
-                    net_cfg,
-                    FloodConfig(
+                traffic += (
+                    FloodTraffic(
                         rogue_cores=rogues,
                         victim_cores=victims,
                         rate=rate,
                         stop_cycle=duration,
+                        seed=seed + 1,
                     ),
-                    seed=seed + 1,
                 )
-                sources.append(flood)
-            net = Network(net_cfg)
-            net.set_traffic(MergedSource(sources))
-            net.run_until_drained(drain_cycles, stall_limit=2500)
+            sim = Simulation(
+                Scenario(
+                    name=f"flood-{routing}-{rate:.1f}",
+                    cfg=net_cfg,
+                    traffic=traffic,
+                    max_cycles=drain_cycles,
+                    stall_limit=2500,
+                    seed=seed,
+                )
+            )
+            sim.run_until_drained(drain_cycles, stall_limit=2500)
+            net = sim.network
+            flood = sim.sources[1] if rate > 0 else None
 
             background_ids = {
                 pid for pid in net.stats.packets if pid < 10_000_000
@@ -150,30 +154,29 @@ def run(
     # -- contrast: trojans on the victim router's ingress links, zero
     # attacker bandwidth (the paper: the number of HTs is orthogonal,
     # and even 48 of them cost <1% of NoC power) ------------------------
-    from repro.core import TargetSpec, TaspTrojan
+    from repro.core import TargetSpec
     from repro.noc.topology import Direction
 
-    net = Network(cfg)
-    trojans = []
-    for ingress in ((1, Direction.NORTH), (9, Direction.SOUTH),
-                    (4, Direction.EAST), (6, Direction.WEST)):
-        trojan = TaspTrojan(
-            TargetSpec(dst=5, head_only=True)  # victim region router
+    sim = Simulation(
+        Scenario(
+            name="flood-tasp-contrast",
+            cfg=cfg,
+            traffic=(background,),
+            trojans=tuple(
+                TrojanSpec(
+                    link=ingress,
+                    target=TargetSpec(dst=5, head_only=True),  # victim region
+                )
+                for ingress in ((1, Direction.NORTH), (9, Direction.SOUTH),
+                                (4, Direction.EAST), (6, Direction.WEST))
+            ),
+            max_cycles=drain_cycles,
+            stall_limit=2500,
+            seed=seed,
         )
-        trojan.enable()
-        net.attach_tamperer(ingress, trojan)
-        trojans.append(trojan)
-    background = SyntheticSource(
-        cfg,
-        uniform_random,
-        SyntheticConfig(
-            injection_rate=background_rate, payload_words=1,
-            duration=duration,
-        ),
-        seed=seed,
     )
-    net.set_traffic(background)
-    net.run_until_drained(drain_cycles, stall_limit=2500)
+    sim.run_until_drained(drain_cycles, stall_limit=2500)
+    net = sim.network
     victim_ids = {
         pid
         for pid, rec in net.stats.packets.items()
@@ -189,7 +192,7 @@ def run(
             1 for pid in victim_ids if net.stats.packets[pid].complete
         ),
         victim_flows_offered=len(victim_ids),
-        trojan_triggers=sum(t.triggers for t in trojans),
+        trojan_triggers=sum(t.triggers for t in sim.trojans),
     )
     return FloodResult(points=points, tasp_contrast=contrast,
                        duration=duration)

@@ -17,13 +17,8 @@ from typing import Optional, Sequence
 
 from repro.experiments.common import format_table
 from repro.noc.config import NoCConfig, PAPER_CONFIG
-from repro.noc.network import Network
 from repro.power.energy import EnergyReport, energy_report
-from repro.traffic.synthetic import (
-    SyntheticConfig,
-    SyntheticSource,
-    uniform_random,
-)
+from repro.sim import Scenario, Simulation, SyntheticTraffic
 
 
 @dataclass(frozen=True)
@@ -79,20 +74,25 @@ def run(
     for routing in routings:
         net_cfg = dataclasses.replace(cfg, routing=routing)
         for load in loads:
-            net = Network(net_cfg)
-            net.set_traffic(
-                SyntheticSource(
-                    net_cfg,
-                    uniform_random,
-                    SyntheticConfig(
-                        injection_rate=load,
-                        payload_words=payload_words,
-                        duration=duration,
+            sim = Simulation(
+                Scenario(
+                    name=f"load-{routing}-{load:.3f}",
+                    cfg=net_cfg,
+                    traffic=(
+                        SyntheticTraffic(
+                            injection_rate=load,
+                            payload_words=payload_words,
+                            duration=duration,
+                            seed=seed,
+                        ),
                     ),
+                    max_cycles=drain_cycles,
+                    stall_limit=2000,
                     seed=seed,
                 )
             )
-            net.run_until_drained(drain_cycles, stall_limit=2000)
+            sim.run_until_drained(drain_cycles, stall_limit=2000)
+            net = sim.network
             stats = net.stats
             completed = (
                 stats.packets_completed / stats.packets_injected

@@ -4,16 +4,26 @@ Usage::
 
     python -m repro.experiments.runner list
     python -m repro.experiments.runner fig11
-    python -m repro.experiments.runner all
+    python -m repro.experiments.runner fig2 fig10 --seed 3
+    python -m repro.experiments.runner all --jobs 4
+
+Results are memoized on disk (keyed by experiment name, seed and a
+hash of the source tree) so a re-run without code changes replays the
+stored report instead of re-simulating; ``--no-cache`` bypasses the
+cache and ``--cache-dir`` relocates it.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
+import json
 import sys
 import time
 import traceback
+from multiprocessing import Pool
 from pathlib import Path
+from typing import Optional, Sequence
 
 from repro.experiments import (
     ablations,
@@ -29,6 +39,7 @@ from repro.experiments import (
     table1_tasp,
     table2_mitigation,
 )
+from repro.sim import ResultCache, spec_hash
 
 EXPERIMENTS = {
     "fig1": (fig1_traffic, "Blackscholes traffic distributions"),
@@ -47,90 +58,213 @@ EXPERIMENTS = {
 }
 
 
+def execution_plan(names: Optional[Sequence[str]] = None) -> list[str]:
+    """The experiments that will actually run, aliases folded.
+
+    ``fig9``/``table1`` (and any future aliases) share a module; only
+    the first name wins a slot, so ``all`` never runs the same module
+    twice while both CLI spellings stay valid.
+    """
+    if names is None:
+        names = list(EXPERIMENTS)
+    seen: set = set()
+    plan: list[str] = []
+    for name in names:
+        module, _ = EXPERIMENTS[name]
+        if module in seen:
+            continue
+        seen.add(module)
+        plan.append(name)
+    return plan
+
+
 def _derived_json_path(json_path: str, name: str) -> str:
-    """Per-experiment output file for 'all' mode: results.json ->
-    results-fig2.json etc."""
+    """Per-experiment output file for multi-experiment mode:
+    results.json -> results-fig2.json etc."""
     path = Path(json_path)
     suffix = path.suffix or ".json"
     return str(path.with_name(f"{path.stem}-{name}{suffix}"))
 
 
-def run_experiment(name: str, json_path: str | None = None) -> str:
+def _seed_kwargs(module, seed: Optional[int]) -> dict:
+    """Thread ``--seed`` into ``module.run`` only when the flag was
+    given and the experiment is seedable; otherwise the module's own
+    defaults apply and published numbers do not move."""
+    if seed is None:
+        return {}
+    if "seed" in inspect.signature(module.run).parameters:
+        return {"seed": seed}
+    return {}
+
+
+def _cache_key(module, seed: Optional[int]) -> str:
+    # keyed on the module (so aliases share one entry) and the seed;
+    # ResultCache adds the source-tree version on top
+    return spec_hash({"experiment": module.__name__, "seed": seed})
+
+
+def run_experiment(
+    name: str,
+    json_path: Optional[str] = None,
+    seed: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> str:
+    from repro.experiments.export import save_result, to_jsonable
+
     module, _ = EXPERIMENTS[name]
     started = time.time()
-    result = module.run()
-    report = module.format_result(result)
+    cached = None
+    if cache is not None:
+        cached = cache.get(_cache_key(module, seed))
+    if cached is not None:
+        report = cached["report"]
+        jsonable = cached["result"]
+    else:
+        result = module.run(**_seed_kwargs(module, seed))
+        report = module.format_result(result)
+        jsonable = to_jsonable(result)
+        if cache is not None:
+            cache.put(
+                _cache_key(module, seed),
+                {"report": report, "result": jsonable},
+            )
     elapsed = time.time() - started
     if json_path:
-        from repro.experiments.export import save_result
-
-        save_result(result, json_path, experiment=name)
+        if cached is not None:
+            # same file format as save_result, replayed from the cache
+            Path(json_path).write_text(
+                json.dumps(
+                    {"experiment": name, "result": jsonable},
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+        else:
+            save_result(result, json_path, experiment=name)
         report += f"\n[result saved to {json_path}]"
-    return f"{report}\n\n[{name} completed in {elapsed:.1f}s]"
+    note = " (cached)" if cached is not None else ""
+    return f"{report}\n\n[{name} completed in {elapsed:.1f}s{note}]"
 
 
-def main(argv: list[str] | None = None) -> int:
+def _worker(task: tuple) -> tuple[str, bool, float, str, str]:
+    """One experiment in a pool process; never raises."""
+    name, seed, json_path, cache_dir, use_cache = task
+    cache = ResultCache(cache_dir) if use_cache else None
+    started = time.time()
+    try:
+        report = run_experiment(
+            name, json_path=json_path, seed=seed, cache=cache
+        )
+    except Exception as exc:
+        return (
+            name,
+            False,
+            time.time() - started,
+            traceback.format_exc(),
+            f"{type(exc).__name__}: {exc}",
+        )
+    return (name, True, time.time() - started, report, "")
+
+
+def main(argv: Optional[list[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Reproduce the paper's tables and figures."
     )
     parser.add_argument(
-        "experiment",
-        help="experiment id (see 'list'), or 'all', or 'list'",
+        "experiments",
+        nargs="+",
+        help="experiment ids (see 'list'), or 'all', or 'list'",
     )
     parser.add_argument(
         "--json",
         default=None,
         help="also save the structured result to this JSON file",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="run experiments in N worker processes (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override the seed of every seedable experiment",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="always re-simulate, and do not store results",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result cache location (default: $REPRO_CACHE_DIR or "
+        "./.repro-cache)",
+    )
     args = parser.parse_args(argv)
 
-    if args.experiment == "list":
+    if "list" in args.experiments:
         for name, (_, desc) in EXPERIMENTS.items():
             print(f"{name:10s} {desc}")
         return 0
 
-    if args.experiment == "all":
+    if "all" in args.experiments:
+        names = list(EXPERIMENTS)
+    else:
+        for name in args.experiments:
+            if name not in EXPERIMENTS:
+                print(
+                    f"unknown experiment {name!r}; try 'list'",
+                    file=sys.stderr,
+                )
+                return 2
+        names = list(args.experiments)
+    plan = execution_plan(names)
+    multi = "all" in args.experiments or len(plan) > 1
+
+    tasks = [
+        (
+            name,
+            args.seed,
+            _derived_json_path(args.json, name)
+            if args.json and multi
+            else args.json,
+            args.cache_dir,
+            not args.no_cache,
+        )
+        for name in plan
+    ]
+
+    if args.jobs > 1 and len(tasks) > 1:
+        with Pool(args.jobs) as pool:
+            results = pool.map(_worker, tasks)
+    else:
+        results = [_worker(task) for task in tasks]
+
+    outcomes: list[tuple[str, bool, float, str]] = []
+    for name, ok, seconds, report, error in results:
+        # report holds the traceback when the experiment failed; one
+        # broken experiment must not silence the rest
+        print(report, file=sys.stdout if ok else sys.stderr)
+        outcomes.append((name, ok, seconds, error))
+        if multi:
+            print("\n" + "=" * 72 + "\n")
+
+    failed = sum(1 for _, ok, _, _ in outcomes if not ok)
+    if multi:
         from repro.experiments.common import format_table
 
-        seen = set()
-        outcomes: list[tuple[str, bool, float, str]] = []
-        for name, (module, _) in EXPERIMENTS.items():
-            if module in seen:
-                continue
-            seen.add(module)
-            json_path = (
-                _derived_json_path(args.json, name) if args.json else None
-            )
-            started = time.time()
-            try:
-                print(run_experiment(name, json_path=json_path))
-            except Exception as exc:
-                # one broken experiment must not silence the rest
-                traceback.print_exc()
-                outcomes.append(
-                    (name, False, time.time() - started,
-                     f"{type(exc).__name__}: {exc}")
-                )
-            else:
-                outcomes.append((name, True, time.time() - started, ""))
-            print("\n" + "=" * 72 + "\n")
         rows = [
             [name, "pass" if ok else "FAIL", f"{seconds:.1f}s", error]
             for name, ok, seconds, error in outcomes
         ]
         print(format_table(["experiment", "status", "time", "error"], rows))
-        failed = sum(1 for _, ok, _, _ in outcomes if not ok)
         print(
             f"\n{len(outcomes) - failed}/{len(outcomes)} experiments passed"
         )
-        return 1 if failed else 0
-
-    if args.experiment not in EXPERIMENTS:
-        print(f"unknown experiment {args.experiment!r}; try 'list'",
-              file=sys.stderr)
-        return 2
-    print(run_experiment(args.experiment, json_path=args.json))
-    return 0
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -90,6 +90,20 @@ class Network:
         for router in self.routers:
             router.finish_wiring()
 
+        # Active-set stepping bookkeeping.  Canonical iteration orders
+        # are frozen at wiring time so the active-set path visits
+        # components in exactly the full-sweep order.
+        self._link_keys: list[LinkKey] = list(self.links)
+        self._upstream_router: dict[tuple[int, Direction], int] = {}
+        for key in self._link_keys:
+            link = self.links[key]
+            self._upstream_router[(link.dst_router, OPPOSITE[key[1]])] = (
+                link.src_router
+            )
+        self._full_sweep = False
+        self._active_routers: set[int] = set(range(cfg.num_routers))
+        self._active_links: set[LinkKey] = set(self._link_keys)
+
         self._backlogs: list[deque[Flit]] = [
             deque() for _ in range(cfg.num_cores)
         ]
@@ -103,6 +117,59 @@ class Network:
         #: per-cycle observers (e.g. the resilience watchdog); each is
         #: called as ``monitor.on_cycle(network, cycle)`` at end of step
         self.monitors: list = []
+
+    # -- active-set stepping -------------------------------------------------
+    @property
+    def full_sweep(self) -> bool:
+        """When True, :meth:`step` walks every router and link each
+        cycle (the historical behaviour).  When False (the default),
+        settled components are skipped and woken on activity; the two
+        modes produce bit-identical :class:`NetworkStats`."""
+        return self._full_sweep
+
+    @full_sweep.setter
+    def full_sweep(self, value: bool) -> None:
+        value = bool(value)
+        if self._full_sweep and not value:
+            # The active sets are not maintained while sweeping fully;
+            # re-arm everything before switching back.
+            self._active_routers = set(range(self.cfg.num_routers))
+            self._active_links = set(self._link_keys)
+        self._full_sweep = value
+
+    def wake_router(self, router_id: int) -> None:
+        """Mark a router active so the next :meth:`step` visits it.
+
+        External code that mutates router state outside the cycle loop
+        (tests, custom monitors) should call this; the built-in phases
+        wake components themselves."""
+        self._active_routers.add(router_id)
+
+    def wake_all(self) -> None:
+        """Re-activate every router and link (e.g. after bulk external
+        mutation of network state)."""
+        self._active_routers = set(range(self.cfg.num_routers))
+        self._active_links = set(self._link_keys)
+
+    def _router_settled(self, router: Router) -> bool:
+        """True when the router holds no state requiring cycle work."""
+        for port in router.inputs.values():
+            if port.occupancy:
+                return False
+            receiver = port.receiver
+            if receiver is not None and receiver.staged_count:
+                return False
+        for out in router.outputs.values():
+            if not out.retrans.is_empty:
+                return False
+            if not out.link.idle:
+                return False
+            if out.credits.in_flight:
+                return False
+        for eject in router.ejects.values():
+            if eject.queue:
+                return False
+        return True
 
     # -- wiring helpers ------------------------------------------------------
     def attach_tamperer(self, key: LinkKey, tamperer) -> None:
@@ -175,33 +242,57 @@ class Network:
             for packet in self.traffic.generate(cycle):
                 self.add_packet(packet)
 
+        full = self._full_sweep
+        if full:
+            routers = self.routers
+            link_keys = self._link_keys
+        else:
+            # Snapshot in canonical (full-sweep) order.  Routers woken
+            # during this cycle join from the next step; per-flit cycle
+            # guards make every phase a no-op for freshly arrived state
+            # anyway, so the timing matches the full sweep exactly.
+            active_r = self._active_routers
+            routers = [r for r in self.routers if r.id in active_r]
+            active_l = self._active_links
+            link_keys = [k for k in self._link_keys if k in active_l]
+
         # Credit returns become visible.
-        for router in self.routers:
+        for router in routers:
             for out in router.outputs.values():
                 out.credits.tick(cycle)
 
         # ACK/NACK processing (reverse wires).
-        for router in self.routers:
+        for router in routers:
             router.process_acks(cycle)
 
         # Link arrivals -> receive pipeline (ECC + detection).
-        for key, link in self.links.items():
+        for key in link_keys:
+            link = self.links[key]
             arrivals = link.pop_arrivals(cycle)
             if not arrivals:
                 continue
             receiver = self.receiver_of(key)
             for tx in arrivals:
                 receiver.process(tx, cycle)
+            self._active_routers.add(link.dst_router)
 
         # Staged flits drop into their VC buffers.
-        for key, link in self.links.items():
+        for key in link_keys:
+            link = self.links[key]
             receiver = self.receiver_of(key)
             in_port = self.routers[link.dst_router].inputs[OPPOSITE[key[1]]]
-            for vc, flit in receiver.take_deliveries(cycle):
+            discarded_before = receiver.flits_discarded
+            deliveries = receiver.take_deliveries(cycle)
+            for vc, flit in deliveries:
                 in_port.vcs[vc].push(flit)
+            if deliveries:
+                self._active_routers.add(link.dst_router)
+            if receiver.flits_discarded != discarded_before:
+                # Consuming a tombstone released an upstream credit.
+                self._active_routers.add(link.src_router)
 
         # Ejection: cores consume.
-        for router in self.routers:
+        for router in routers:
             for flit in router.drain_ejects(cycle):
                 core = router.ejects[
                     flit.dst_core % self.cfg.concentration
@@ -213,13 +304,17 @@ class Network:
                     hook(flit, cycle, core)
 
         # LT launch, ST, VA, RC.
-        for router in self.routers:
+        for router in routers:
             router.launch_links(cycle, self.codec)
-        for router in self.routers:
+        for router in routers:
             router.switch_traverse(cycle)
-        for router in self.routers:
+            for direction in router.credit_release_dirs:
+                self._active_routers.add(
+                    self._upstream_router[(router.id, direction)]
+                )
+        for router in routers:
             router.vc_allocate(cycle)
-        for router in self.routers:
+        for router in routers:
             router.route_compute(cycle)
 
         # Injection: one flit per core per cycle.
@@ -234,6 +329,26 @@ class Network:
             self.collect_sample()
 
         self.cycle = cycle + 1
+
+        if not full:
+            # Newly launched transmissions put their links in play.
+            for router in routers:
+                for out in router.outputs.values():
+                    if not out.link.idle:
+                        self._active_links.add(out.link.key)
+            # Lazy prune: drop whatever settled this cycle.
+            self._active_links = {
+                key
+                for key in self._active_links
+                if not self.links[key].idle
+                or self.receiver_of(key).staged_count
+            }
+            self._active_routers = {
+                router.id
+                for router in self.routers
+                if router.id in self._active_routers
+                and not self._router_settled(router)
+            }
 
     def _inject(self, cycle: int) -> None:
         cfg = self.cfg
@@ -252,6 +367,7 @@ class Network:
             flit.injected_cycle = cycle
             flit.last_move_cycle = cycle
             vc.push(flit)
+            self._active_routers.add(router.id)
             self.stats.on_flit_injected(flit, cycle)
             for hook in self.injection_hooks:
                 hook(flit, cycle)

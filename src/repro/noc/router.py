@@ -214,6 +214,12 @@ class Router:
         self.flits_switched = 0
         self.flits_ejected = 0
 
+        #: input directions whose upstream credit tracker was released
+        #: during the most recent :meth:`switch_traverse` call; the
+        #: network uses this to wake the upstream router under
+        #: active-set stepping.
+        self.credit_release_dirs: list[Direction] = []
+
     # -- wiring (done by Network) ----------------------------------------
     def add_link_input(self, from_direction: Direction) -> InputPort:
         port = InputPort(from_direction, self.cfg)
@@ -349,6 +355,7 @@ class Router:
 
         Returns the number of flits switched.
         """
+        self.credit_release_dirs.clear()
         # Input-side arbitration: each input port nominates one VC.
         nominations: dict[PortKey, tuple[int, VCState]] = {}
         requests_per_out: dict[PortKey, list[int]] = {}
@@ -396,6 +403,7 @@ class Router:
             port = self.inputs[key]
             if port.upstream_credits is not None:
                 port.upstream_credits.release(vc_idx, cycle)
+                self.credit_release_dirs.append(key)
 
             if flit.is_tail:
                 vc.reset_packet_state()

@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.baselines.reroute import UnroutableError
-from repro.core.mitigation import MitigationConfig, build_mitigated_network
+from repro.core.mitigation import MitigationConfig
 from repro.core.recovery import RecoveryManager
 from repro.noc.config import NoCConfig
 from repro.noc.flit import Packet
@@ -180,10 +180,19 @@ class ChaosCampaign:
 
     # -- wiring --------------------------------------------------------------
     def _build_network(self) -> Network:
+        from repro.sim import DefenseSpec, Scenario, engine
+
         spec = self.spec
-        if spec.mitigated:
-            return build_mitigated_network(spec.cfg, spec.mitigation)
-        return Network(spec.cfg)
+        return engine.build(
+            Scenario(
+                name=spec.name,
+                cfg=spec.cfg,
+                defense=DefenseSpec(
+                    mitigated=spec.mitigated, mitigation=spec.mitigation
+                ),
+                seed=spec.seed,
+            )
+        )
 
     # -- main loop -----------------------------------------------------------
     def run(self) -> CampaignReport:

@@ -1,0 +1,53 @@
+"""Declarative simulation layer.
+
+``sim`` sits between the cycle-accurate :mod:`repro.noc` core and the
+paper's experiments: a :class:`~repro.sim.scenario.Scenario` describes a
+complete run (topology config, traffic, trojans, defenses, limits) as a
+frozen, JSON-round-trippable value with a stable content hash, and
+:mod:`repro.sim.engine` turns it into a wired :class:`~repro.noc.network.Network`
+or a finished :class:`~repro.sim.engine.RunResult`.  Results can be
+memoized on disk through :mod:`repro.sim.cache`.
+"""
+
+from repro.sim.scenario import (
+    AppTraffic,
+    DefenseSpec,
+    ExplicitTraffic,
+    FloodTraffic,
+    PacketSpec,
+    Scenario,
+    SyntheticTraffic,
+    TransientFaultSpec,
+    TrojanSpec,
+    trojan_specs,
+)
+from repro.sim.engine import (
+    RunResult,
+    Simulation,
+    attach_trojan_specs,
+    build,
+    run,
+)
+from repro.sim.cache import ResultCache, cached_run, code_version, spec_hash
+
+__all__ = [
+    "AppTraffic",
+    "DefenseSpec",
+    "ExplicitTraffic",
+    "FloodTraffic",
+    "PacketSpec",
+    "ResultCache",
+    "RunResult",
+    "Scenario",
+    "Simulation",
+    "SyntheticTraffic",
+    "TransientFaultSpec",
+    "TrojanSpec",
+    "attach_trojan_specs",
+    "build",
+    "cached_run",
+    "code_version",
+    "run",
+    "spec_hash",
+    "trojan_specs",
+]

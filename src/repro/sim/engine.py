@@ -1,0 +1,309 @@
+"""Build and run :class:`~repro.sim.scenario.Scenario` values.
+
+``build`` wires the network exactly the way the hand-written
+experiments used to: defense stack first (mitigated routers, e2e
+obfuscation, TDM policy, up*/down* rerouting), then trojans and fault
+models onto their links, then traffic sources.  ``Simulation`` keeps
+the live handles (network, trojans, sources, watchdog) for experiments
+that need mid-run control; ``run`` is the one-shot path returning a
+JSON-friendly :class:`RunResult`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.baselines.e2e import E2EObfuscator
+from repro.baselines.reroute import apply_rerouting, updown_table
+from repro.baselines.tdm import TdmConfig, TdmPolicy
+from repro.core.mitigation import build_mitigated_network
+from repro.core.tasp import TaspTrojan
+from repro.faults.models import TransientFaultModel
+from repro.noc.flit import Packet
+from repro.noc.network import Network, TrafficSource
+from repro.resilience.watchdog import RetransWatchdog
+from repro.sim.scenario import (
+    AppTraffic,
+    ExplicitTraffic,
+    FloodTraffic,
+    Scenario,
+    SyntheticTraffic,
+    TrojanSpec,
+)
+from repro.traffic.apps import PROFILES, AppTraceSource
+from repro.traffic.flood import FloodConfig, FloodSource, MergedSource
+from repro.traffic.synthetic import PATTERNS, SyntheticConfig, SyntheticSource
+from repro.util.rng import SeededStream
+
+
+class ScheduledSource(TrafficSource):
+    """Replays an :class:`ExplicitTraffic` packet schedule."""
+
+    def __init__(self, spec: ExplicitTraffic):
+        self._by_cycle: dict[int, list] = {}
+        self._remaining = len(spec.packets)
+        self._last_cycle = 0
+        for p in spec.packets:
+            self._by_cycle.setdefault(p.inject_at, []).append(p)
+            self._last_cycle = max(self._last_cycle, p.inject_at)
+
+    def generate(self, cycle: int) -> list[Packet]:
+        specs = self._by_cycle.pop(cycle, None)
+        if not specs:
+            return []
+        self._remaining -= len(specs)
+        return [
+            Packet(
+                pkt_id=p.pkt_id,
+                src_core=p.src_core,
+                dst_core=p.dst_core,
+                vc_class=p.vc_class,
+                mem_addr=p.mem_addr,
+                payload=list(p.payload),
+                created_cycle=cycle,
+                domain=p.domain,
+            )
+            for p in specs
+        ]
+
+    def done(self, cycle: int) -> bool:
+        return self._remaining == 0
+
+
+def attach_trojan_specs(
+    network: Network, specs: Iterable[TrojanSpec]
+) -> list[TaspTrojan]:
+    """Solder each spec's trojan into its link; returns the live
+    instances in spec order (the specs carry their exact per-instance
+    seeds — see :func:`repro.sim.scenario.trojan_specs`)."""
+    trojans = []
+    for spec in specs:
+        trojan = TaspTrojan(spec.target, spec.config)
+        if spec.enable_at is None and spec.enabled:
+            trojan.enable()
+        network.attach_tamperer(spec.link, trojan)
+        trojans.append(trojan)
+    return trojans
+
+
+def _make_source(cfg, spec) -> TrafficSource:
+    if isinstance(spec, SyntheticTraffic):
+        return SyntheticSource(
+            cfg,
+            PATTERNS[spec.pattern],
+            SyntheticConfig(
+                injection_rate=spec.injection_rate,
+                payload_words=spec.payload_words,
+                duration=spec.duration,
+                max_packets=spec.max_packets,
+            ),
+            seed=spec.seed,
+        )
+    if isinstance(spec, AppTraffic):
+        profile = PROFILES[spec.profile]
+        if spec.rate_scale != 1.0:
+            profile = dataclasses.replace(
+                profile,
+                injection_rate=profile.injection_rate * spec.rate_scale,
+            )
+        return AppTraceSource(
+            cfg,
+            profile,
+            seed=spec.seed,
+            duration=spec.duration,
+            max_packets=spec.max_packets,
+            cores=set(spec.cores) if spec.cores is not None else None,
+            domain=spec.domain,
+            vc_classes=spec.vc_classes,
+            pkt_id_base=spec.pkt_id_base,
+        )
+    if isinstance(spec, FloodTraffic):
+        return FloodSource(
+            cfg,
+            FloodConfig(
+                rogue_cores=spec.rogue_cores,
+                victim_cores=spec.victim_cores,
+                rate=spec.rate,
+                payload_words=spec.payload_words,
+                start_cycle=spec.start_cycle,
+                stop_cycle=spec.stop_cycle,
+            ),
+            seed=spec.seed,
+            pkt_id_base=spec.pkt_id_base,
+        )
+    if isinstance(spec, ExplicitTraffic):
+        return ScheduledSource(spec)
+    raise TypeError(f"unknown traffic spec {type(spec).__name__}")
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """JSON-friendly summary of one scenario run."""
+
+    name: str
+    completed: bool
+    cycles: int
+    packets_injected: int
+    packets_completed: int
+    flits_injected: int
+    flits_ejected: int
+    mean_network_latency: Optional[float]
+    mean_total_latency: Optional[float]
+    dropped_flits: int
+    misdeliveries: int
+    num_samples: int
+
+
+class Simulation:
+    """A built scenario with its live handles.
+
+    Attributes
+    ----------
+    network:
+        The wired :class:`Network` (``full_sweep`` already applied).
+    trojans:
+        Live :class:`TaspTrojan` instances, in ``scenario.trojans``
+        order.
+    sources:
+        One traffic source per ``scenario.traffic`` entry (they are
+        merged onto the network when there is more than one).
+    watchdog:
+        The attached :class:`RetransWatchdog`, or ``None``.
+    """
+
+    def __init__(self, scenario: Scenario, *, full_sweep: bool = False):
+        self.scenario = scenario
+        cfg = scenario.cfg
+        defense = scenario.defense
+
+        kwargs: dict = {}
+        if defense.e2e:
+            kwargs["e2e"] = E2EObfuscator()
+        if defense.tdm_domains:
+            kwargs["policy"] = TdmPolicy(
+                TdmConfig(num_domains=defense.tdm_domains), cfg.num_vcs
+            )
+        build_cfg = cfg
+        if defense.rerouted_links:
+            build_cfg = dataclasses.replace(cfg, routing="table")
+            kwargs["routing_table"] = updown_table(
+                cfg, list(defense.rerouted_links)
+            )
+        if defense.mitigated or defense.mitigation is not None:
+            net = build_mitigated_network(
+                build_cfg, defense.mitigation, **kwargs
+            )
+        else:
+            net = Network(build_cfg, **kwargs)
+        net.full_sweep = full_sweep
+        if defense.rerouted_links:
+            apply_rerouting(net, list(defense.rerouted_links))
+
+        self.network = net
+        self.trojans = attach_trojan_specs(net, scenario.trojans)
+        self._pending_enables = sorted(
+            (
+                (spec.enable_at, index)
+                for index, spec in enumerate(scenario.trojans)
+                if spec.enable_at is not None
+            ),
+            reverse=True,
+        )
+
+        for fault in scenario.faults:
+            net.attach_tamperer(
+                fault.link,
+                TransientFaultModel(
+                    net.codec.codeword_bits,
+                    fault.rate,
+                    SeededStream(fault.seed, *fault.labels),
+                    double_fraction=fault.double_fraction,
+                ),
+            )
+
+        self.sources = [
+            _make_source(cfg, spec) for spec in scenario.traffic
+        ]
+        if len(self.sources) == 1:
+            net.set_traffic(self.sources[0])
+        elif self.sources:
+            net.set_traffic(MergedSource(self.sources))
+
+        self.watchdog: Optional[RetransWatchdog] = None
+        if defense.watchdog is not None:
+            self.watchdog = RetransWatchdog(defense.watchdog).attach(net)
+
+        net.sample_interval = scenario.sample_interval
+
+    # -- stepping --------------------------------------------------------
+    def _fire_enables(self) -> None:
+        cycle = self.network.cycle
+        while self._pending_enables and self._pending_enables[-1][0] <= cycle:
+            _, index = self._pending_enables.pop()
+            self.trojans[index].enable()
+
+    def step(self) -> None:
+        self._fire_enables()
+        self.network.step()
+
+    def advance_to(self, cycle: int) -> None:
+        """Step until the network clock reaches ``cycle``, firing any
+        scheduled trojan enables on the way."""
+        while self.network.cycle < cycle:
+            self.step()
+        self._fire_enables()
+
+    def run_until_drained(
+        self, max_cycles: int, stall_limit: Optional[int] = None
+    ) -> bool:
+        net = self.network
+        for _ in range(max_cycles):
+            if net.drained:
+                return True
+            self.step()
+            if (
+                stall_limit is not None
+                and net.stats.stalled_for(net.cycle) > stall_limit
+            ):
+                return False
+        return net.drained
+
+    # -- one-shot --------------------------------------------------------
+    def run(self) -> RunResult:
+        scenario = self.scenario
+        if scenario.duration is not None:
+            self.advance_to(scenario.duration)
+            completed = True
+        else:
+            completed = self.run_until_drained(
+                scenario.max_cycles, scenario.stall_limit
+            )
+        net = self.network
+        stats = net.stats
+        return RunResult(
+            name=scenario.name,
+            completed=completed,
+            cycles=net.cycle,
+            packets_injected=stats.packets_injected,
+            packets_completed=stats.packets_completed,
+            flits_injected=stats.flits_injected,
+            flits_ejected=stats.flits_ejected,
+            mean_network_latency=stats.mean_network_latency(),
+            mean_total_latency=stats.mean_total_latency(),
+            dropped_flits=stats.dropped_flits,
+            misdeliveries=stats.misdeliveries,
+            num_samples=len(stats.samples),
+        )
+
+
+def build(scenario: Scenario, *, full_sweep: bool = False) -> Network:
+    """Wire a network for ``scenario`` (defense stack, trojans, faults,
+    traffic) without running it."""
+    return Simulation(scenario, full_sweep=full_sweep).network
+
+
+def run(scenario: Scenario, *, full_sweep: bool = False) -> RunResult:
+    """Build ``scenario`` and run it to its duration or drain limit."""
+    return Simulation(scenario, full_sweep=full_sweep).run()

@@ -1,0 +1,428 @@
+"""Frozen, JSON-round-trippable descriptions of complete simulation runs.
+
+A :class:`Scenario` is a pure value: the NoC configuration, the traffic
+offered to it, the hardware trojans soldered into it, the transient
+fault environment, the defense stack, and the run limits.  Two
+scenarios with equal field values serialize to the same canonical JSON
+and therefore share one :meth:`~Scenario.content_hash` — the key the
+result cache and the experiment runner use to identify work units.
+
+The traffic vocabulary mirrors the sources in :mod:`repro.traffic`:
+
+=====================  ====================================================
+:class:`SyntheticTraffic`  Bernoulli synthetic patterns (uniform/transpose/…)
+:class:`AppTraffic`        PARSEC application profiles, optionally core-pinned
+:class:`FloodTraffic`      bandwidth-depletion flood attackers
+:class:`ExplicitTraffic`   a literal packet schedule (micro-workloads)
+=====================  ====================================================
+
+Seeds live **inside** each spec (matching the per-source ``SeededStream``
+namespaces of the existing experiments) so that moving an experiment
+onto the scenario layer does not move its published numbers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.core.detector import DetectorConfig
+from repro.core.lob import Granularity, ObMethod
+from repro.core.mitigation import MitigationConfig
+from repro.core.targets import TargetSpec
+from repro.core.tasp import TaspConfig
+from repro.noc.config import NoCConfig, PAPER_CONFIG
+from repro.noc.topology import Direction, LinkKey
+from repro.resilience.watchdog import WatchdogConfig
+
+#: serialization format; bump on incompatible layout changes so stale
+#: cached results are never revived under a colliding hash
+SCENARIO_FORMAT = 1
+
+
+# ---------------------------------------------------------------------------
+# traffic specs
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class SyntheticTraffic:
+    """Bernoulli injection of a named synthetic pattern."""
+
+    #: key into :data:`repro.traffic.synthetic.PATTERNS`
+    pattern: str = "uniform"
+    injection_rate: float = 0.02
+    payload_words: int = 2
+    duration: Optional[int] = None
+    max_packets: Optional[int] = None
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class AppTraffic:
+    """Live traffic from a PARSEC application profile."""
+
+    profile: str = "blackscholes"
+    seed: int = 0
+    duration: Optional[int] = None
+    max_packets: Optional[int] = None
+    #: multiplies the profile's injection rate (throughput-bound runs)
+    rate_scale: float = 1.0
+    #: pin the application to a core subset (TDM experiments)
+    cores: Optional[tuple[int, ...]] = None
+    domain: int = 0
+    vc_classes: Optional[tuple[int, ...]] = None
+    pkt_id_base: int = 0
+
+
+@dataclass(frozen=True)
+class FloodTraffic:
+    """Rogue cores flooding victim cores at a fixed rate."""
+
+    rogue_cores: tuple[int, ...] = ()
+    victim_cores: tuple[int, ...] = ()
+    rate: float = 1.0
+    payload_words: int = 3
+    start_cycle: int = 0
+    stop_cycle: Optional[int] = None
+    seed: int = 0
+    pkt_id_base: int = 10_000_000
+
+
+@dataclass(frozen=True)
+class PacketSpec:
+    """One literal packet, offered at ``inject_at``."""
+
+    pkt_id: int
+    src_core: int
+    dst_core: int
+    inject_at: int = 0
+    vc_class: int = 0
+    mem_addr: int = 0
+    payload: tuple[int, ...] = ()
+    domain: int = 0
+
+
+@dataclass(frozen=True)
+class ExplicitTraffic:
+    """A fully enumerated packet schedule."""
+
+    packets: tuple[PacketSpec, ...] = ()
+
+
+TrafficSpec = Union[SyntheticTraffic, AppTraffic, FloodTraffic, ExplicitTraffic]
+
+_TRAFFIC_KINDS = {
+    "synthetic": SyntheticTraffic,
+    "app": AppTraffic,
+    "flood": FloodTraffic,
+    "explicit": ExplicitTraffic,
+}
+_KIND_OF_TRAFFIC = {cls: kind for kind, cls in _TRAFFIC_KINDS.items()}
+
+
+# ---------------------------------------------------------------------------
+# attack and fault specs
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class TrojanSpec:
+    """One TASP instance soldered into a link.
+
+    ``enable_at`` arms the trojan once the simulation clock reaches
+    that cycle (the Fig. 11/12 mid-run activations); ``enabled`` arms
+    it from cycle 0.  A spec with both off models dormant silicon.
+    """
+
+    link: LinkKey
+    target: TargetSpec
+    config: TaspConfig = TaspConfig()
+    enabled: bool = True
+    enable_at: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class TransientFaultSpec:
+    """A per-traversal random fault process on one link.
+
+    ``labels`` are the ``SeededStream`` namespace labels the fault
+    model's RNG is derived from — carried verbatim so a scenario
+    reproduces the exact fault sequence of the hand-wired experiments.
+    """
+
+    link: LinkKey
+    rate: float
+    double_fraction: float = 0.0
+    seed: int = 0
+    labels: tuple = ()
+
+
+def trojan_specs(
+    links,
+    target: TargetSpec,
+    config: TaspConfig = TaspConfig(),
+    enabled: bool = True,
+    enable_at: Optional[int] = None,
+) -> tuple[TrojanSpec, ...]:
+    """Replicate ``attach_trojans``'s seeding convention: the i-th
+    infected link gets ``config.seed + i`` so co-resident trojans do
+    not trigger in lockstep."""
+    return tuple(
+        TrojanSpec(
+            link=key,
+            target=target,
+            config=dataclasses.replace(config, seed=config.seed + i),
+            enabled=enabled,
+            enable_at=enable_at,
+        )
+        for i, key in enumerate(links)
+    )
+
+
+# ---------------------------------------------------------------------------
+# defense stack
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class DefenseSpec:
+    """What the network fights back with."""
+
+    #: build the proposed mitigated router (detector + L-Ob)
+    mitigated: bool = False
+    #: non-default mitigation tuning (implies ``mitigated``)
+    mitigation: Optional[MitigationConfig] = None
+    #: end-to-end obfuscation layer
+    e2e: bool = False
+    #: attach the retransmission watchdog escalation ladder
+    watchdog: Optional[WatchdogConfig] = None
+    #: >0 selects the TDM QoS baseline with this many domains
+    tdm_domains: int = 0
+    #: links taken out of service via up*/down* rerouting (Ariadne
+    #: baseline); non-empty forces table routing
+    rerouted_links: tuple[LinkKey, ...] = ()
+
+
+# ---------------------------------------------------------------------------
+# the scenario
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Scenario:
+    """A complete, reproducible run description."""
+
+    name: str = "scenario"
+    cfg: NoCConfig = PAPER_CONFIG
+    traffic: tuple[TrafficSpec, ...] = ()
+    trojans: tuple[TrojanSpec, ...] = ()
+    faults: tuple[TransientFaultSpec, ...] = ()
+    defense: DefenseSpec = DefenseSpec()
+    #: run exactly this many cycles (None = run until drained)
+    duration: Optional[int] = None
+    #: drain-mode cycle budget
+    max_cycles: int = 10_000
+    #: abort drain mode after this many delivery-free cycles
+    stall_limit: Optional[int] = None
+    #: Network.sample_interval (0 disables periodic samples)
+    sample_interval: int = 10
+    #: experiment-level seed, recorded for provenance/hashing; the
+    #: traffic and fault specs carry the derived per-stream seeds
+    seed: int = 0
+
+    # -- serialization ---------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "format": SCENARIO_FORMAT,
+            "name": self.name,
+            "cfg": _plain_fields(self.cfg),
+            "traffic": [_encode_traffic(t) for t in self.traffic],
+            "trojans": [_encode_trojan(t) for t in self.trojans],
+            "faults": [_encode_fault(f) for f in self.faults],
+            "defense": _encode_defense(self.defense),
+            "duration": self.duration,
+            "max_cycles": self.max_cycles,
+            "stall_limit": self.stall_limit,
+            "sample_interval": self.sample_interval,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Scenario":
+        fmt = data.get("format", SCENARIO_FORMAT)
+        if fmt != SCENARIO_FORMAT:
+            raise ValueError(
+                f"scenario format {fmt} not supported "
+                f"(this build reads format {SCENARIO_FORMAT})"
+            )
+        return cls(
+            name=data["name"],
+            cfg=NoCConfig(**data["cfg"]),
+            traffic=tuple(_decode_traffic(t) for t in data["traffic"]),
+            trojans=tuple(_decode_trojan(t) for t in data["trojans"]),
+            faults=tuple(_decode_fault(f) for f in data["faults"]),
+            defense=_decode_defense(data["defense"]),
+            duration=data["duration"],
+            max_cycles=data["max_cycles"],
+            stall_limit=data["stall_limit"],
+            sample_interval=data["sample_interval"],
+            seed=data["seed"],
+        )
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        return cls.from_dict(json.loads(text))
+
+    def content_hash(self) -> str:
+        """Stable hex digest of the canonical serialized form."""
+        canonical = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# codec internals
+# ---------------------------------------------------------------------------
+def _plain_fields(obj) -> dict:
+    """Field dict of a dataclass whose values are all JSON-native."""
+    return {
+        f.name: getattr(obj, f.name) for f in dataclasses.fields(obj)
+    }
+
+
+def _encode_link(key: LinkKey) -> list:
+    return [key[0], key[1].name]
+
+
+def _decode_link(data) -> LinkKey:
+    return (data[0], Direction[data[1]])
+
+
+def _encode_traffic(spec: TrafficSpec) -> dict:
+    kind = _KIND_OF_TRAFFIC[type(spec)]
+    if isinstance(spec, ExplicitTraffic):
+        body = {
+            "packets": [
+                {**_plain_fields(p), "payload": list(p.payload)}
+                for p in spec.packets
+            ]
+        }
+    else:
+        body = _plain_fields(spec)
+        for name in ("cores", "vc_classes", "rogue_cores", "victim_cores"):
+            if name in body and body[name] is not None:
+                body[name] = list(body[name])
+    return {"kind": kind, **body}
+
+
+def _decode_traffic(data: dict) -> TrafficSpec:
+    data = dict(data)
+    cls = _TRAFFIC_KINDS[data.pop("kind")]
+    if cls is ExplicitTraffic:
+        return ExplicitTraffic(
+            packets=tuple(
+                PacketSpec(**{**p, "payload": tuple(p["payload"])})
+                for p in data["packets"]
+            )
+        )
+    for name in ("cores", "vc_classes", "rogue_cores", "victim_cores"):
+        if name in data and data[name] is not None:
+            data[name] = tuple(data[name])
+    return cls(**data)
+
+
+def _encode_trojan(spec: TrojanSpec) -> dict:
+    config = _plain_fields(spec.config)
+    if config["wires"] is not None:
+        config["wires"] = list(config["wires"])
+    return {
+        "link": _encode_link(spec.link),
+        "target": _plain_fields(spec.target),
+        "config": config,
+        "enabled": spec.enabled,
+        "enable_at": spec.enable_at,
+    }
+
+
+def _decode_trojan(data: dict) -> TrojanSpec:
+    config = dict(data["config"])
+    if config["wires"] is not None:
+        config["wires"] = tuple(config["wires"])
+    return TrojanSpec(
+        link=_decode_link(data["link"]),
+        target=TargetSpec(**data["target"]),
+        config=TaspConfig(**config),
+        enabled=data["enabled"],
+        enable_at=data["enable_at"],
+    )
+
+
+def _encode_fault(spec: TransientFaultSpec) -> dict:
+    return {
+        "link": _encode_link(spec.link),
+        "rate": spec.rate,
+        "double_fraction": spec.double_fraction,
+        "seed": spec.seed,
+        "labels": list(spec.labels),
+    }
+
+
+def _decode_fault(data: dict) -> TransientFaultSpec:
+    return TransientFaultSpec(
+        link=_decode_link(data["link"]),
+        rate=data["rate"],
+        double_fraction=data["double_fraction"],
+        seed=data["seed"],
+        labels=tuple(data["labels"]),
+    )
+
+
+def _encode_defense(spec: DefenseSpec) -> dict:
+    mitigation = None
+    if spec.mitigation is not None:
+        mitigation = {
+            **_plain_fields(spec.mitigation),
+            "detector": _plain_fields(spec.mitigation.detector),
+            "method_sequence": [
+                [method.name, granularity.name]
+                for method, granularity in spec.mitigation.method_sequence
+            ],
+        }
+    watchdog = (
+        _plain_fields(spec.watchdog) if spec.watchdog is not None else None
+    )
+    return {
+        "mitigated": spec.mitigated,
+        "mitigation": mitigation,
+        "e2e": spec.e2e,
+        "watchdog": watchdog,
+        "tdm_domains": spec.tdm_domains,
+        "rerouted_links": [_encode_link(k) for k in spec.rerouted_links],
+    }
+
+
+def _decode_defense(data: dict) -> DefenseSpec:
+    mitigation = None
+    if data["mitigation"] is not None:
+        raw = dict(data["mitigation"])
+        raw["detector"] = DetectorConfig(**raw["detector"])
+        raw["method_sequence"] = tuple(
+            (ObMethod[method], Granularity[granularity])
+            for method, granularity in raw["method_sequence"]
+        )
+        mitigation = MitigationConfig(**raw)
+    watchdog = (
+        WatchdogConfig(**data["watchdog"])
+        if data["watchdog"] is not None
+        else None
+    )
+    return DefenseSpec(
+        mitigated=data["mitigated"],
+        mitigation=mitigation,
+        e2e=data["e2e"],
+        watchdog=watchdog,
+        tdm_domains=data["tdm_domains"],
+        rerouted_links=tuple(
+            _decode_link(k) for k in data["rerouted_links"]
+        ),
+    )

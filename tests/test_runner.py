@@ -1,0 +1,132 @@
+"""Runner CLI: alias dedupe, seed threading, caching, parallel fan-out."""
+
+import json
+
+import pytest
+
+from repro.experiments import runner, table1_tasp, table2_mitigation
+
+
+@pytest.fixture
+def isolated_cache(tmp_path, monkeypatch):
+    cache_dir = tmp_path / "cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+    return cache_dir
+
+
+class TestExecutionPlan:
+    def test_aliases_fold_once(self):
+        plan = runner.execution_plan()
+        assert "fig9" in plan
+        assert "table1" not in plan  # same module as fig9
+        assert len(plan) == len(set(plan))
+
+    def test_first_alias_wins(self):
+        assert runner.execution_plan(["table1", "fig9"]) == ["table1"]
+        assert runner.execution_plan(["fig9", "table1"]) == ["fig9"]
+
+    def test_all_covers_every_module(self):
+        modules = {runner.EXPERIMENTS[n][0] for n in runner.execution_plan()}
+        assert modules == {m for m, _ in runner.EXPERIMENTS.values()}
+
+
+class TestSeedThreading:
+    def test_seedable_module_gets_seed(self):
+        from repro.experiments import load_curve
+
+        assert runner._seed_kwargs(load_curve, 7) == {"seed": 7}
+
+    def test_unseedable_module_is_untouched(self):
+        assert runner._seed_kwargs(table1_tasp, 7) == {}
+
+    def test_no_flag_means_module_defaults(self):
+        from repro.experiments import load_curve
+
+        assert runner._seed_kwargs(load_curve, None) == {}
+
+    def test_seed_changes_cache_key(self):
+        assert runner._cache_key(table2_mitigation, 0) != \
+            runner._cache_key(table2_mitigation, 1)
+
+    def test_aliases_share_cache_key(self):
+        # fig9 and table1 resolve to the same module, hence one entry
+        assert runner._cache_key(runner.EXPERIMENTS["fig9"][0], None) == \
+            runner._cache_key(runner.EXPERIMENTS["table1"][0], None)
+
+
+class TestCachedRuns:
+    def test_second_run_replays_without_simulating(
+        self, isolated_cache, capsys, monkeypatch
+    ):
+        assert runner.main(["table2"]) == 0
+        first = capsys.readouterr().out
+
+        def boom(*a, **k):  # pragma: no cover - would fail the test
+            raise AssertionError("re-simulated on a cache hit")
+
+        monkeypatch.setattr(table2_mitigation, "run", boom)
+        assert runner.main(["table2"]) == 0
+        second = capsys.readouterr().out
+        assert "(cached)" in second
+        # identical report modulo the timing line
+        strip = lambda s: [l for l in s.splitlines() if "completed in" not in l]
+        assert strip(first) == strip(second)
+
+    def test_no_cache_flag_bypasses(self, isolated_cache, capsys, monkeypatch):
+        assert runner.main(["table2"]) == 0
+        capsys.readouterr()
+        calls = []
+        real = table2_mitigation.run
+        monkeypatch.setattr(
+            table2_mitigation, "run",
+            lambda *a, **k: calls.append(1) or real(*a, **k),
+        )
+        assert runner.main(["table2", "--no-cache"]) == 0
+        assert calls  # simulated despite the warm cache
+        assert "(cached)" not in capsys.readouterr().out
+
+    def test_cache_dir_flag(self, tmp_path, capsys):
+        cache_dir = tmp_path / "elsewhere"
+        assert runner.main(["table2", "--cache-dir", str(cache_dir)]) == 0
+        capsys.readouterr()
+        assert any(cache_dir.rglob("*.json"))
+
+
+class TestParallelJson:
+    def run_all_cheap(self, tmp_path, tag, jobs):
+        out = tmp_path / tag / "results.json"
+        out.parent.mkdir()
+        code = runner.main(
+            ["fig9", "table2", "--json", str(out), "--jobs", str(jobs),
+             "--no-cache"]
+        )
+        assert code == 0
+        return {
+            p.name: json.loads(p.read_text())
+            for p in out.parent.glob("results-*.json")
+        }
+
+    def test_jobs2_matches_serial(self, tmp_path, capsys):
+        serial = self.run_all_cheap(tmp_path, "serial", jobs=1)
+        parallel = self.run_all_cheap(tmp_path, "parallel", jobs=2)
+        capsys.readouterr()
+        assert set(serial) == {"results-fig9.json", "results-table2.json"}
+        assert serial == parallel
+
+    def test_single_experiment_json_unsuffixed(self, tmp_path, capsys):
+        out = tmp_path / "one.json"
+        assert runner.main(["table2", "--json", str(out), "--no-cache"]) == 0
+        capsys.readouterr()
+        assert json.loads(out.read_text())["experiment"] == "table2"
+
+
+class TestCliErrors:
+    def test_unknown_experiment(self, capsys):
+        assert runner.main(["nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_list(self, capsys):
+        assert runner.main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in runner.EXPERIMENTS:
+            assert name in out

@@ -1,0 +1,153 @@
+"""Engine semantics: scenario wiring and active-set/full-sweep identity."""
+
+import dataclasses
+
+from repro.core import TargetSpec
+from repro.experiments.export import to_jsonable
+from repro.noc.config import PAPER_CONFIG
+from repro.noc.flit import Packet
+from repro.noc.network import Network
+from repro.noc.topology import Direction
+from repro.resilience.watchdog import WatchdogConfig
+from repro.sim import (
+    AppTraffic,
+    DefenseSpec,
+    ExplicitTraffic,
+    PacketSpec,
+    Scenario,
+    Simulation,
+    SyntheticTraffic,
+    TrojanSpec,
+    engine,
+)
+
+
+def stats_snapshot(net: Network) -> dict:
+    """Every NetworkStats field (counters, per-packet records, samples)
+    as plain JSON types, for bit-exact comparison."""
+    return to_jsonable(vars(net.stats))
+
+
+def fig2_style() -> Scenario:
+    """Drain-heavy targeted flow through an infected, mitigated link."""
+    packets = tuple(
+        PacketSpec(pkt_id=i, src_core=0, dst_core=PAPER_CONFIG.core_of(11, 1),
+                   mem_addr=0x100, inject_at=i * 40)
+        for i in range(8)
+    )
+    return Scenario(
+        name="fig2-style",
+        cfg=PAPER_CONFIG,
+        traffic=(ExplicitTraffic(packets=packets),),
+        trojans=(
+            TrojanSpec((0, Direction.EAST), TargetSpec.for_dest(11)),
+        ),
+        defense=DefenseSpec(mitigated=True),
+        max_cycles=4000,
+        stall_limit=1500,
+    )
+
+
+def chaos_style() -> Scenario:
+    """Watchdog ladder + delayed trojan over live app traffic."""
+    return Scenario(
+        name="chaos-style",
+        cfg=PAPER_CONFIG,
+        traffic=(
+            AppTraffic(profile="blackscholes", duration=400),
+            SyntheticTraffic(injection_rate=0.01, duration=400, seed=7),
+        ),
+        trojans=(
+            TrojanSpec((0, Direction.EAST), TargetSpec.for_dest(15),
+                       enabled=False, enable_at=50),
+        ),
+        defense=DefenseSpec(watchdog=WatchdogConfig()),
+        max_cycles=3000,
+        stall_limit=1200,
+    )
+
+
+class TestActiveSetIdentity:
+    def run_both(self, scenario):
+        active = Simulation(scenario)
+        full = Simulation(scenario, full_sweep=True)
+        assert not active.network.full_sweep
+        assert full.network.full_sweep
+        ra = active.run()
+        rf = full.run()
+        return active, full, ra, rf
+
+    def test_fig2_style_bit_identical(self):
+        active, full, ra, rf = self.run_both(fig2_style())
+        assert ra == rf
+        assert stats_snapshot(active.network) == stats_snapshot(full.network)
+
+    def test_chaos_style_bit_identical(self):
+        active, full, ra, rf = self.run_both(chaos_style())
+        assert ra == rf
+        assert stats_snapshot(active.network) == stats_snapshot(full.network)
+        # the delayed trojan really fired in both runs
+        assert active.trojans[0].triggers == full.trojans[0].triggers > 0
+
+    def test_settled_network_prunes_to_empty(self):
+        sim = Simulation(fig2_style())
+        sim.run()
+        net = sim.network
+        for _ in range(5):
+            net.step()
+        assert not net._active_routers
+        assert not net._active_links
+
+
+class TestEngineWiring:
+    def test_scheduled_source_matches_add_packet(self):
+        """ExplicitTraffic replays exactly like pre-loading the backlog."""
+        specs = tuple(
+            PacketSpec(pkt_id=i, src_core=0, dst_core=63, vc_class=i % 4,
+                       mem_addr=0x55)
+            for i in range(10)
+        )
+        via_engine = engine.build(
+            Scenario(cfg=PAPER_CONFIG,
+                     traffic=(ExplicitTraffic(packets=specs),))
+        )
+        via_engine.run_until_drained(3000)
+
+        manual = Network(PAPER_CONFIG)
+        for s in specs:
+            manual.add_packet(
+                Packet(pkt_id=s.pkt_id, src_core=s.src_core,
+                       dst_core=s.dst_core, vc_class=s.vc_class,
+                       mem_addr=s.mem_addr, created_cycle=0)
+            )
+        manual.run_until_drained(3000)
+        assert stats_snapshot(via_engine) == stats_snapshot(manual)
+
+    def test_run_returns_result(self):
+        result = engine.run(fig2_style())
+        assert result.completed
+        assert result.packets_completed == 8
+        assert result.name == "fig2-style"
+
+    def test_build_applies_defense_stack(self):
+        scenario = dataclasses.replace(
+            fig2_style(),
+            defense=DefenseSpec(
+                mitigated=True, e2e=True, tdm_domains=2,
+                watchdog=WatchdogConfig(),
+            ),
+        )
+        sim = Simulation(scenario)
+        assert sim.network.e2e is not None
+        assert sim.network.policy is not None
+        assert sim.watchdog is not None
+
+    def test_reroute_defense_avoids_condemned_link(self):
+        scenario = dataclasses.replace(
+            fig2_style(),
+            trojans=(),
+            defense=DefenseSpec(rerouted_links=((0, Direction.EAST),)),
+        )
+        result = engine.run(scenario)
+        assert result.completed
+        assert result.packets_completed == 8

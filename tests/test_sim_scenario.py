@@ -1,0 +1,143 @@
+"""Scenario declarations: JSON round-trips and content hashing."""
+
+import dataclasses
+import json
+
+from repro.core import (
+    Granularity,
+    MitigationConfig,
+    ObMethod,
+    TargetSpec,
+    TaspConfig,
+)
+from repro.noc.config import PAPER_CONFIG
+from repro.noc.topology import Direction
+from repro.resilience.watchdog import WatchdogConfig
+from repro.sim import (
+    AppTraffic,
+    DefenseSpec,
+    ExplicitTraffic,
+    FloodTraffic,
+    PacketSpec,
+    Scenario,
+    SyntheticTraffic,
+    TransientFaultSpec,
+    TrojanSpec,
+    trojan_specs,
+)
+
+
+def rich_scenario() -> Scenario:
+    """One of everything: all traffic kinds, scheduled trojans, faults,
+    and a fully-populated defense stack."""
+    return Scenario(
+        name="kitchen-sink",
+        cfg=dataclasses.replace(PAPER_CONFIG, routing="west-first"),
+        traffic=(
+            SyntheticTraffic(pattern="transpose", injection_rate=0.05,
+                             duration=200, seed=3),
+            AppTraffic(profile="ferret", seed=5, duration=300,
+                       rate_scale=2.0, cores=(0, 2, 4), domain=1,
+                       vc_classes=(2,), pkt_id_base=500),
+            FloodTraffic(rogue_cores=(1, 3), victim_cores=(20, 21),
+                         rate=0.5, start_cycle=50, stop_cycle=250, seed=9),
+            ExplicitTraffic(packets=(
+                PacketSpec(pkt_id=7, src_core=0, dst_core=63, inject_at=12,
+                           vc_class=1, mem_addr=0x55, payload=(1, 2)),
+            )),
+        ),
+        trojans=(
+            TrojanSpec(link=(0, Direction.EAST),
+                       target=TargetSpec.for_dest(15),
+                       config=TaspConfig(seed=4), enabled=False,
+                       enable_at=100),
+        ),
+        faults=(
+            TransientFaultSpec(link=(1, Direction.NORTH), rate=0.1,
+                               double_fraction=0.5, seed=2,
+                               labels=("t", 3)),
+        ),
+        defense=DefenseSpec(
+            mitigated=True,
+            mitigation=MitigationConfig(
+                method_sequence=((ObMethod.SHUFFLE, Granularity.HEADER),),
+            ),
+            e2e=True,
+            watchdog=WatchdogConfig(),
+            tdm_domains=2,
+            rerouted_links=((2, Direction.WEST),),
+        ),
+        duration=400,
+        sample_interval=25,
+        seed=11,
+    )
+
+
+class TestRoundTrip:
+    def test_default_scenario(self):
+        s = Scenario()
+        assert Scenario.from_json(s.to_json()) == s
+
+    def test_rich_scenario(self):
+        s = rich_scenario()
+        assert Scenario.from_json(s.to_json()) == s
+
+    def test_json_is_actually_json(self):
+        # the wire format survives a strict encode/decode cycle
+        text = rich_scenario().to_json()
+        assert Scenario.from_dict(json.loads(text)) == rich_scenario()
+
+    def test_decoded_traffic_keeps_types(self):
+        s = Scenario.from_json(rich_scenario().to_json())
+        kinds = [type(t).__name__ for t in s.traffic]
+        assert kinds == ["SyntheticTraffic", "AppTraffic", "FloodTraffic",
+                         "ExplicitTraffic"]
+
+
+class TestContentHash:
+    def test_stable_across_calls(self):
+        s = rich_scenario()
+        assert s.content_hash() == rich_scenario().content_hash()
+
+    def test_survives_round_trip(self):
+        s = rich_scenario()
+        assert Scenario.from_json(s.to_json()).content_hash() == \
+            s.content_hash()
+
+    def test_name_is_part_of_identity(self):
+        s = Scenario()
+        assert dataclasses.replace(s, name="other").content_hash() != \
+            s.content_hash()
+
+    def test_every_field_matters(self):
+        base = Scenario()
+        variants = [
+            dataclasses.replace(base, seed=1),
+            dataclasses.replace(base, duration=100),
+            dataclasses.replace(base, max_cycles=99),
+            dataclasses.replace(base, sample_interval=7),
+            dataclasses.replace(
+                base, cfg=dataclasses.replace(PAPER_CONFIG, num_vcs=2)
+            ),
+            dataclasses.replace(
+                base, traffic=(SyntheticTraffic(),)
+            ),
+            dataclasses.replace(
+                base,
+                trojans=trojan_specs([(0, Direction.EAST)],
+                                     TargetSpec.for_dest(15)),
+            ),
+            dataclasses.replace(base, defense=DefenseSpec(mitigated=True)),
+        ]
+        hashes = {v.content_hash() for v in variants}
+        assert base.content_hash() not in hashes
+        assert len(hashes) == len(variants)
+
+    def test_trojan_seed_convention(self):
+        # i-th infected link gets seed + i, like attach_trojans always did
+        specs = trojan_specs(
+            [(0, Direction.EAST), (1, Direction.WEST)],
+            TargetSpec.for_dest(15),
+            config=TaspConfig(seed=10),
+        )
+        assert [s.config.seed for s in specs] == [10, 11]
