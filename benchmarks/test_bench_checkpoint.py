@@ -1,0 +1,93 @@
+"""Checkpoint bench: what freezing and reviving a live run costs.
+
+Measures one snapshot → atomic save → load → restore → run-to-complete
+round trip against an uninterrupted run of the same drain-heavy
+scenario, and asserts the revived run is bit-identical — the overhead
+number is only honest if the restored simulation is provably the same
+simulation.
+
+Set ``REPRO_BENCH_QUICK=1`` to shrink the workload for smoke runs.
+"""
+
+import dataclasses
+import os
+
+from repro.core import TargetSpec
+from repro.experiments.export import to_jsonable
+from repro.noc.config import PAPER_CONFIG
+from repro.noc.topology import Direction
+from repro.sim import (
+    Checkpoint,
+    DefenseSpec,
+    ExplicitTraffic,
+    PacketSpec,
+    Scenario,
+    Simulation,
+    TrojanSpec,
+)
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+PACKETS = 6 if QUICK else 24
+SPACING = 100
+
+
+def checkpointed_scenario() -> Scenario:
+    packets = tuple(
+        PacketSpec(pkt_id=i, src_core=0,
+                   dst_core=PAPER_CONFIG.core_of(15, 1),
+                   mem_addr=0x100, inject_at=i * SPACING)
+        for i in range(PACKETS)
+    )
+    return Scenario(
+        name="bench-checkpoint",
+        cfg=PAPER_CONFIG,
+        traffic=(ExplicitTraffic(packets=packets),),
+        trojans=(
+            TrojanSpec((0, Direction.EAST), TargetSpec.for_dest(15)),
+        ),
+        defense=DefenseSpec(mitigated=True),
+        max_cycles=PACKETS * SPACING + 2000,
+        stall_limit=1500,
+    )
+
+
+def snapshot_restore_round_trip(tmp_path):
+    scenario = checkpointed_scenario()
+    midpoint = PACKETS * SPACING // 2
+
+    sim = Simulation(scenario)
+    sim.advance_to(midpoint)
+    path = sim.snapshot().save(tmp_path / "bench.ckpt")
+
+    revived = Simulation.restore(Checkpoint.load(path))
+    result = revived.run()
+    return result, to_jsonable(vars(revived.network.stats)), path
+
+
+def test_bench_snapshot_restore(once, tmp_path):
+    straight = Simulation(checkpointed_scenario())
+    expected = straight.run()
+    expected_stats = to_jsonable(vars(straight.network.stats))
+
+    result, stats, path = once(snapshot_restore_round_trip, tmp_path)
+
+    assert result == expected
+    assert stats == expected_stats
+    size_kib = path.stat().st_size / 1024
+    print(
+        f"\ncheckpoint round trip: {PACKETS} packets, "
+        f"snapshot at cycle {PACKETS * SPACING // 2}, "
+        f"file {size_kib:.0f} KiB, resumed run bit-identical "
+        f"({result.cycles} cycles)"
+    )
+
+
+def test_bench_capture_only(benchmark):
+    sim = Simulation(checkpointed_scenario())
+    sim.advance_to(PACKETS * SPACING // 2)
+    checkpoint = benchmark(sim.snapshot)
+    assert dataclasses.asdict(checkpoint)["cycle"] == sim.network.cycle
+    print(
+        f"\nsnapshot payload: {len(checkpoint.payload) / 1024:.0f} KiB "
+        f"at cycle {checkpoint.cycle}"
+    )

@@ -27,9 +27,9 @@ from repro.noc.topology import Direction
 from repro.resilience import (
     CampaignReport,
     CampaignSpec,
-    ChaosCampaign,
     LinkKill,
     TrojanActivation,
+    run_campaign,
     targeted_stream,
     uniform_traffic,
 )
@@ -62,7 +62,7 @@ def run(cfg: NoCConfig = PAPER_CONFIG) -> ChaosResult:
         link=ATTACK_LINK, target=TargetSpec.for_dest(TARGET_ROUTER)
     )
 
-    ladder = ChaosCampaign(
+    ladder = run_campaign(
         CampaignSpec(
             name="ladder",
             cfg=cfg,
@@ -73,9 +73,9 @@ def run(cfg: NoCConfig = PAPER_CONFIG) -> ChaosResult:
             ],
             max_cycles=6000,
         )
-    ).run()
+    )
 
-    no_watchdog = ChaosCampaign(
+    no_watchdog = run_campaign(
         CampaignSpec(
             name="no-watchdog",
             cfg=cfg,
@@ -86,9 +86,9 @@ def run(cfg: NoCConfig = PAPER_CONFIG) -> ChaosResult:
             max_cycles=2500,
             deadlock_window=400,
         )
-    ).run()
+    )
 
-    bare_watchdog = ChaosCampaign(
+    bare_watchdog = run_campaign(
         CampaignSpec(
             name="bare-watchdog",
             cfg=cfg,
@@ -97,7 +97,7 @@ def run(cfg: NoCConfig = PAPER_CONFIG) -> ChaosResult:
             mitigated=False,
             max_cycles=8000,
         )
-    ).run()
+    )
 
     return ChaosResult(
         ladder=ladder,

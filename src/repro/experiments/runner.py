@@ -5,12 +5,25 @@ Usage::
     python -m repro.experiments.runner list
     python -m repro.experiments.runner fig11
     python -m repro.experiments.runner fig2 fig10 --seed 3
-    python -m repro.experiments.runner all --jobs 4
+    python -m repro.experiments.runner all --jobs 4 --timeout 900
+    python -m repro.experiments.runner all --jobs 4 --resume
 
 Results are memoized on disk (keyed by experiment name, seed and a
 hash of the source tree) so a re-run without code changes replays the
 stored report instead of re-simulating; ``--no-cache`` bypasses the
 cache and ``--cache-dir`` relocates it.
+
+Multi-experiment runs are supervised: each finished experiment is
+persisted to a state file as it completes, so a run killed midway can
+pick up where it left off with ``--resume``.  With ``--jobs N`` the
+fan-out additionally enforces per-experiment ``--timeout`` limits,
+detects dead workers, retries infrastructure failures with exponential
+backoff and quarantines experiments that fail every attempt instead of
+aborting the batch.
+
+Exit codes: 0 all experiments passed; 1 at least one failed or was
+quarantined; 2 usage error (unknown experiment); 130 interrupted
+(partial results were saved — rerun with ``--resume``).
 """
 
 from __future__ import annotations
@@ -18,10 +31,11 @@ from __future__ import annotations
 import argparse
 import inspect
 import json
+import os
 import sys
+import tempfile
 import time
 import traceback
-from multiprocessing import Pool
 from pathlib import Path
 from typing import Optional, Sequence
 
@@ -38,6 +52,12 @@ from repro.experiments import (
     load_curve,
     table1_tasp,
     table2_mitigation,
+)
+from repro.experiments.supervisor import (
+    Supervisor,
+    SupervisorConfig,
+    SupervisorInterrupt,
+    TaskOutcome,
 )
 from repro.sim import ResultCache, spec_hash
 
@@ -56,6 +76,9 @@ EXPERIMENTS = {
     "load": (load_curve, "load-latency curves; xy vs adaptive saturation"),
     "chaos": (chaos, "resilience ladder under chaos campaigns"),
 }
+
+#: layout version of the runner's resume state file
+STATE_FORMAT = 1
 
 
 def execution_plan(names: Optional[Sequence[str]] = None) -> list[str]:
@@ -147,7 +170,13 @@ def run_experiment(
 
 
 def _worker(task: tuple) -> tuple[str, bool, float, str, str]:
-    """One experiment in a pool process; never raises."""
+    """One experiment in a worker process; never raises.
+
+    Experiment-level exceptions become a failed row right here, so the
+    supervisor only ever retries *infrastructure* failures (hangs,
+    killed workers) — a deterministic bug in an experiment is reported
+    once, not retried into quarantine.
+    """
     name, seed, json_path, cache_dir, use_cache = task
     cache = ResultCache(cache_dir) if use_cache else None
     started = time.time()
@@ -166,9 +195,96 @@ def _worker(task: tuple) -> tuple[str, bool, float, str, str]:
     return (name, True, time.time() - started, report, "")
 
 
+# -- resume state ---------------------------------------------------------
+def _default_state_path(cache_dir: Optional[str]) -> Path:
+    root = cache_dir or os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
+    return Path(root) / "runner-state.json"
+
+
+def _state_key(
+    plan: Sequence[str],
+    seed: Optional[int],
+    json_path: Optional[str],
+    no_cache: bool,
+) -> str:
+    """Digest of everything that makes stored rows replayable: the
+    same plan invoked with a different seed or output path must not
+    resume from this state."""
+    return spec_hash(
+        {
+            "plan": list(plan),
+            "seed": seed,
+            "json": json_path,
+            "no_cache": no_cache,
+        }
+    )
+
+
+def _load_state(path: Path, key: str) -> dict:
+    """Completed rows from a previous interrupted run, or {} when the
+    file is missing, damaged, or belongs to a different invocation."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            state = json.load(fh)
+    except (FileNotFoundError, json.JSONDecodeError, UnicodeDecodeError,
+            OSError):
+        return {}
+    if not isinstance(state, dict):
+        return {}
+    if state.get("format") != STATE_FORMAT or state.get("key") != key:
+        return {}
+    rows = state.get("rows")
+    if not isinstance(rows, dict):
+        return {}
+    out = {}
+    for name, row in rows.items():
+        if isinstance(row, list) and len(row) == 5:
+            out[name] = tuple(row)
+    return out
+
+
+def _save_state(path: Path, key: str, rows: dict) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = {
+        "format": STATE_FORMAT,
+        "key": key,
+        "rows": {name: list(row) for name, row in rows.items()},
+    }
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(state, fh, indent=2, sort_keys=True)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def _quarantine_row(outcome: TaskOutcome) -> tuple:
+    """A table row for a task the supervisor gave up on."""
+    report = (
+        f"[{outcome.task_id} quarantined after {outcome.attempts} "
+        "failed attempts]\n" + "\n".join(outcome.failures)
+    )
+    return (
+        outcome.task_id,
+        False,
+        outcome.seconds,
+        report,
+        f"quarantined: {outcome.error}",
+    )
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     parser = argparse.ArgumentParser(
-        description="Reproduce the paper's tables and figures."
+        description="Reproduce the paper's tables and figures.",
+        epilog="exit codes: 0 all passed, 1 failure/quarantine, "
+        "2 usage error, 130 interrupted (resume with --resume)",
     )
     parser.add_argument(
         "experiments",
@@ -202,6 +318,32 @@ def main(argv: Optional[list[str]] = None) -> int:
         default=None,
         help="result cache location (default: $REPRO_CACHE_DIR or "
         "./.repro-cache)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="with --jobs: kill and retry an experiment that runs "
+        "longer than this many seconds",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="with --jobs: retries before a hanging/crashing "
+        "experiment is quarantined (default: 2)",
+    )
+    parser.add_argument(
+        "--state",
+        default=None,
+        help="progress file for --resume (default: "
+        "<cache dir>/runner-state.json)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip experiments already completed successfully by a "
+        "previous interrupted run with the same arguments",
     )
     args = parser.parse_args(argv)
 
@@ -237,12 +379,48 @@ def main(argv: Optional[list[str]] = None) -> int:
         for name in plan
     ]
 
-    if args.jobs > 1 and len(tasks) > 1:
-        with Pool(args.jobs) as pool:
-            results = pool.map(_worker, tasks)
-    else:
-        results = [_worker(task) for task in tasks]
+    state_path = (
+        Path(args.state) if args.state else _default_state_path(args.cache_dir)
+    )
+    state_key = _state_key(plan, args.seed, args.json, args.no_cache)
+    rows_by_name: dict = {}
+    if args.resume:
+        # only successful rows are replayed; failures run again
+        rows_by_name = {
+            name: row
+            for name, row in _load_state(state_path, state_key).items()
+            if row[1]
+        }
+    to_run = [task for task in tasks if task[0] not in rows_by_name]
 
+    def record(row: tuple) -> None:
+        rows_by_name[row[0]] = row
+        _save_state(state_path, state_key, rows_by_name)
+
+    interrupted = False
+    if args.jobs > 1 and len(to_run) > 1:
+        supervisor = Supervisor(
+            SupervisorConfig(
+                jobs=args.jobs,
+                timeout=args.timeout,
+                max_retries=args.max_retries,
+            ),
+            on_complete=lambda outcome: record(
+                outcome.result if outcome.ok else _quarantine_row(outcome)
+            ),
+        )
+        try:
+            supervisor.run([(task[0], _worker, (task,)) for task in to_run])
+        except SupervisorInterrupt:
+            interrupted = True
+    else:
+        try:
+            for task in to_run:
+                record(_worker(task))
+        except KeyboardInterrupt:
+            interrupted = True
+
+    results = [rows_by_name[name] for name in plan if name in rows_by_name]
     outcomes: list[tuple[str, bool, float, str]] = []
     for name, ok, seconds, report, error in results:
         # report holds the traceback when the experiment failed; one
@@ -253,7 +431,7 @@ def main(argv: Optional[list[str]] = None) -> int:
             print("\n" + "=" * 72 + "\n")
 
     failed = sum(1 for _, ok, _, _ in outcomes if not ok)
-    if multi:
+    if multi or interrupted:
         from repro.experiments.common import format_table
 
         rows = [
@@ -264,7 +442,30 @@ def main(argv: Optional[list[str]] = None) -> int:
         print(
             f"\n{len(outcomes) - failed}/{len(outcomes)} experiments passed"
         )
-    return 1 if failed else 0
+        quarantined = [
+            name
+            for name, ok, _, error in outcomes
+            if not ok and error.startswith("quarantined:")
+        ]
+        if quarantined:
+            print("quarantined: " + " ".join(quarantined))
+
+    if interrupted:
+        remaining = len(plan) - len(outcomes)
+        print(
+            f"\ninterrupted with {remaining} experiment(s) left; "
+            f"progress saved to {state_path} — rerun with --resume",
+            file=sys.stderr,
+        )
+        return 130
+    if not failed:
+        # a clean batch leaves nothing to resume
+        try:
+            state_path.unlink()
+        except OSError:
+            pass
+        return 0
+    return 1
 
 
 if __name__ == "__main__":

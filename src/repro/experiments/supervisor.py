@@ -1,0 +1,320 @@
+"""Process-level supervision of batch work.
+
+The ``--jobs N`` fan-out used to be a bare ``multiprocessing.Pool``:
+one hung experiment blocked the campaign forever, and a worker killed
+by the OS (OOM, SIGKILL) lost the whole run.  :class:`Supervisor`
+replaces it with explicit per-task worker processes plus a monitor
+loop that enforces the failure policy fault-injection campaigns need:
+
+* **wall-clock timeouts** — a task running past ``timeout`` seconds is
+  killed and counted as a failed attempt;
+* **death detection** — a worker that exits without posting a result
+  (``os._exit``, OOM-kill, segfault) is a failed attempt, not a hang;
+* **retry with exponential backoff** — failed attempts are re-queued
+  after ``backoff_base * 2**(attempt-1)`` seconds, capped at
+  ``backoff_cap``, up to ``max_retries`` retries;
+* **quarantine** — a task that fails every attempt is reported as
+  quarantined (with every attempt's error) while the rest of the batch
+  completes; the campaign is never aborted by one poison task;
+* **incremental results** — ``on_complete`` fires as each task
+  reaches a final outcome, so callers can persist partial progress and
+  support resuming an interrupted batch.
+
+Worker processes are forked, so task functions need not be picklable
+(the runner's module-level worker is, but tests inject local hang/crash
+functions).  Ctrl-C terminates every live worker and raises
+:class:`SupervisorInterrupt` carrying the outcomes finished so far.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+#: (task_id, attempt, ok, payload_or_traceback)
+_ResultMsg = tuple
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Failure policy for one supervised batch."""
+
+    #: concurrent worker processes
+    jobs: int = 2
+    #: per-attempt wall-clock limit in seconds (None = unlimited)
+    timeout: Optional[float] = None
+    #: failed attempts are retried this many times before quarantine
+    max_retries: int = 2
+    #: first retry delay in seconds; doubles per attempt
+    backoff_base: float = 0.5
+    #: retry delay ceiling in seconds
+    backoff_cap: float = 30.0
+    #: monitor loop poll period in seconds
+    poll_interval: float = 0.05
+    #: grace period for a dead worker's queued result to surface
+    death_grace: float = 0.25
+
+
+@dataclass
+class TaskOutcome:
+    """Final state of one supervised task."""
+
+    task_id: str
+    ok: bool
+    quarantined: bool
+    attempts: int
+    #: wall time from first launch to final outcome (backoff included)
+    seconds: float
+    #: the task function's return value (None unless ``ok``)
+    result: object = None
+    #: last failure, one line (empty when ``ok``)
+    error: str = ""
+    #: every attempt's failure description, oldest first
+    failures: tuple = ()
+
+
+class SupervisorInterrupt(KeyboardInterrupt):
+    """Ctrl-C during a supervised batch; carries finished outcomes."""
+
+    def __init__(self, outcomes: list):
+        super().__init__("supervised batch interrupted")
+        self.outcomes = outcomes
+
+
+def _entry(fn, args, results, task_id: str, attempt: int) -> None:
+    """Worker-side wrapper: always posts exactly one message, then
+    flushes the queue feeder so a normal exit never loses it."""
+    try:
+        payload = fn(*args)
+    except BaseException:
+        results.put((task_id, attempt, False, traceback.format_exc()))
+    else:
+        results.put((task_id, attempt, True, payload))
+    finally:
+        results.close()
+        results.join_thread()
+
+
+@dataclass
+class _Pending:
+    task_id: str
+    fn: Callable
+    args: tuple
+    attempt: int
+    not_before: float
+    first_started: Optional[float]
+    failures: list = field(default_factory=list)
+
+
+@dataclass
+class _Running:
+    pending: _Pending
+    process: multiprocessing.Process
+    started: float
+    dead_since: Optional[float] = None
+
+
+class Supervisor:
+    """Run a batch of tasks under the failure policy of ``config``.
+
+    Tasks are ``(task_id, fn, args)`` triples; ``fn(*args)`` runs in a
+    forked worker process and its return value becomes
+    ``TaskOutcome.result``.  An ``fn`` that *raises* is a failed
+    attempt (retried like a crash); an ``fn`` that returns a value
+    describing a failure is the caller's business — supervision only
+    distinguishes "posted a result" from "hung or died".
+    """
+
+    def __init__(
+        self,
+        config: Optional[SupervisorConfig] = None,
+        on_complete: Optional[Callable[[TaskOutcome], None]] = None,
+    ):
+        self.config = config or SupervisorConfig()
+        self.on_complete = on_complete
+        try:
+            self._ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            self._ctx = multiprocessing.get_context()
+
+    # -- the monitor loop ------------------------------------------------
+    def run(
+        self, tasks: Sequence[tuple[str, Callable, tuple]]
+    ) -> list[TaskOutcome]:
+        cfg = self.config
+        order = [task_id for task_id, _, _ in tasks]
+        pending: list[_Pending] = [
+            _Pending(task_id, fn, tuple(args), attempt=1,
+                     not_before=0.0, first_started=None)
+            for task_id, fn, args in tasks
+        ]
+        running: dict[str, _Running] = {}
+        results = self._ctx.Queue()
+        arrived: dict[tuple[str, int], tuple[bool, object]] = {}
+        outcomes: dict[str, TaskOutcome] = {}
+
+        try:
+            while pending or running:
+                now = time.monotonic()
+                self._launch_ready(pending, running, results, now)
+                self._drain(results, arrived)
+                progressed = self._reap(
+                    pending, running, arrived, outcomes, results
+                )
+                if not progressed and (pending or running):
+                    time.sleep(cfg.poll_interval)
+        except KeyboardInterrupt:
+            self._kill_all(running)
+            raise SupervisorInterrupt(
+                [outcomes[t] for t in order if t in outcomes]
+            ) from None
+        finally:
+            results.close()
+
+        return [outcomes[task_id] for task_id in order]
+
+    # -- loop phases -----------------------------------------------------
+    def _launch_ready(self, pending, running, results, now) -> None:
+        cfg = self.config
+        index = 0
+        while len(running) < cfg.jobs and index < len(pending):
+            item = pending[index]
+            if item.not_before > now or item.task_id in running:
+                index += 1
+                continue
+            pending.pop(index)
+            if item.first_started is None:
+                item.first_started = now
+            process = self._ctx.Process(
+                target=_entry,
+                args=(item.fn, item.args, results, item.task_id,
+                      item.attempt),
+                daemon=True,
+            )
+            process.start()
+            running[item.task_id] = _Running(item, process, now)
+
+    def _drain(self, results, arrived) -> None:
+        while True:
+            try:
+                task_id, attempt, ok, payload = results.get_nowait()
+            except queue_module.Empty:
+                return
+            arrived[(task_id, attempt)] = (ok, payload)
+
+    def _reap(self, pending, running, arrived, outcomes, results) -> bool:
+        cfg = self.config
+        progressed = False
+        for task_id, record in list(running.items()):
+            item = record.pending
+            now = time.monotonic()
+            key = (task_id, item.attempt)
+
+            if key in arrived:
+                ok, payload = arrived.pop(key)
+                record.process.join()
+                del running[task_id]
+                if ok:
+                    self._finish(outcomes, item, now, result=payload)
+                else:
+                    self._fail(pending, outcomes, item, now, str(payload))
+                progressed = True
+                continue
+
+            if (
+                cfg.timeout is not None
+                and now - record.started > cfg.timeout
+            ):
+                self._kill(record.process)
+                del running[task_id]
+                self._fail(
+                    pending, outcomes, item, now,
+                    f"timeout: no result within {cfg.timeout:.1f}s "
+                    "(worker killed)",
+                )
+                progressed = True
+                continue
+
+            if not record.process.is_alive():
+                # Exit and result can race: give the queue feeder a
+                # grace period before declaring the worker dead.
+                if record.dead_since is None:
+                    record.dead_since = now
+                self._drain(results, arrived)
+                if key in arrived:
+                    continue  # handled next pass
+                if now - record.dead_since < cfg.death_grace:
+                    continue
+                exitcode = record.process.exitcode
+                record.process.join()
+                del running[task_id]
+                self._fail(
+                    pending, outcomes, item, now,
+                    f"worker died without a result (exitcode {exitcode})",
+                )
+                progressed = True
+        return progressed
+
+    # -- attempt bookkeeping ---------------------------------------------
+    def _finish(self, outcomes, item: _Pending, now, result) -> None:
+        outcome = TaskOutcome(
+            task_id=item.task_id,
+            ok=True,
+            quarantined=False,
+            attempts=item.attempt,
+            seconds=now - (item.first_started or now),
+            result=result,
+            failures=tuple(item.failures),
+        )
+        outcomes[item.task_id] = outcome
+        if self.on_complete is not None:
+            self.on_complete(outcome)
+
+    def _fail(self, pending, outcomes, item: _Pending, now, error) -> None:
+        cfg = self.config
+        item.failures.append(f"attempt {item.attempt}: {error}")
+        if item.attempt <= cfg.max_retries:
+            delay = min(
+                cfg.backoff_cap,
+                cfg.backoff_base * (2 ** (item.attempt - 1)),
+            )
+            pending.append(
+                _Pending(
+                    item.task_id, item.fn, item.args,
+                    attempt=item.attempt + 1,
+                    not_before=now + delay,
+                    first_started=item.first_started,
+                    failures=item.failures,
+                )
+            )
+            return
+        outcome = TaskOutcome(
+            task_id=item.task_id,
+            ok=False,
+            quarantined=True,
+            attempts=item.attempt,
+            seconds=now - (item.first_started or now),
+            error=error.strip().splitlines()[-1] if error else "failed",
+            failures=tuple(item.failures),
+        )
+        outcomes[item.task_id] = outcome
+        if self.on_complete is not None:
+            self.on_complete(outcome)
+
+    # -- teardown --------------------------------------------------------
+    @staticmethod
+    def _kill(process) -> None:
+        process.terminate()
+        process.join(1.0)
+        if process.is_alive():  # pragma: no cover - stubborn worker
+            process.kill()
+            process.join()
+
+    def _kill_all(self, running: dict) -> None:
+        for record in running.values():
+            self._kill(record.process)
+        running.clear()

@@ -121,12 +121,38 @@ class TableRouting:
         return cls(cfg, table)
 
 
+class DimensionOrderRouting:
+    """``xy``/``yx`` routing as a picklable callable.
+
+    Checkpointing serializes live networks (which hold their route
+    function), so the resolved callable must survive pickling — a
+    closure over ``cfg`` would not.
+    """
+
+    __slots__ = ("cfg", "order")
+
+    def __init__(self, cfg: NoCConfig, order: str):
+        if order not in ("xy", "yx"):
+            raise ValueError(f"unknown dimension order {order!r}")
+        self.cfg = cfg
+        self.order = order
+
+    def __call__(
+        self, cur: int, dst: int, src=None, router=None
+    ) -> Optional[Direction]:
+        fn = xy_route if self.order == "xy" else yx_route
+        return fn(self.cfg, cur, dst)
+
+
 def make_route_fn(cfg: NoCConfig, table: TableRouting | None = None) -> RouteFn:
-    """Resolve the configured routing algorithm to a callable."""
-    if cfg.routing == "xy":
-        return lambda cur, dst, src=None, router=None: xy_route(cfg, cur, dst)
-    if cfg.routing == "yx":
-        return lambda cur, dst, src=None, router=None: yx_route(cfg, cur, dst)
+    """Resolve the configured routing algorithm to a callable.
+
+    Every returned callable is picklable (plain object or bound
+    method), so a wired network can be snapshot with the rest of the
+    simulation state.
+    """
+    if cfg.routing in ("xy", "yx"):
+        return DimensionOrderRouting(cfg, cfg.routing)
     if cfg.routing == "table":
         if table is None:
             raise ValueError("routing='table' requires a TableRouting")

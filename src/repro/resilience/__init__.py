@@ -18,6 +18,7 @@ from repro.resilience.campaign import (
     CampaignReport,
     CampaignSpec,
     ChaosCampaign,
+    run_campaign,
 )
 from repro.resilience.degrade import DropReport, drop_packet_at_port
 from repro.resilience.scenarios import (
@@ -43,6 +44,7 @@ __all__ = [
     "CampaignReport",
     "CampaignSpec",
     "ChaosCampaign",
+    "run_campaign",
     "DropReport",
     "drop_packet_at_port",
     "ChaosEvent",

@@ -172,6 +172,16 @@ class CampaignReport:
         return "\n".join(lines)
 
 
+def run_campaign(spec: CampaignSpec) -> CampaignReport:
+    """Execute one campaign: ``ChaosCampaign(spec).run()``.
+
+    A module-level entry point, so supervised runners can hand a
+    ``(run_campaign, (spec,))`` pair to a worker process without
+    wrapping the campaign object themselves.
+    """
+    return ChaosCampaign(spec).run()
+
+
 class ChaosCampaign:
     """Executes one :class:`CampaignSpec`."""
 

@@ -6,7 +6,9 @@ complete run (topology config, traffic, trojans, defenses, limits) as a
 frozen, JSON-round-trippable value with a stable content hash, and
 :mod:`repro.sim.engine` turns it into a wired :class:`~repro.noc.network.Network`
 or a finished :class:`~repro.sim.engine.RunResult`.  Results can be
-memoized on disk through :mod:`repro.sim.cache`.
+memoized on disk through :mod:`repro.sim.cache`, and live simulation
+state can be frozen to disk and resumed through
+:mod:`repro.sim.checkpoint`.
 """
 
 from repro.sim.scenario import (
@@ -16,6 +18,7 @@ from repro.sim.scenario import (
     FloodTraffic,
     PacketSpec,
     Scenario,
+    ScenarioDecodeError,
     SyntheticTraffic,
     TransientFaultSpec,
     TrojanSpec,
@@ -26,11 +29,26 @@ from repro.sim.engine import (
     Simulation,
     attach_trojan_specs,
     build,
+    resume_or_build,
     run,
 )
 from repro.sim.cache import ResultCache, cached_run, code_version, spec_hash
+from repro.sim.checkpoint import (
+    Checkpoint,
+    CheckpointError,
+    latest_checkpoint,
+    list_checkpoints,
+    prune_checkpoints,
+)
 
 __all__ = [
+    "Checkpoint",
+    "CheckpointError",
+    "ScenarioDecodeError",
+    "latest_checkpoint",
+    "list_checkpoints",
+    "prune_checkpoints",
+    "resume_or_build",
     "AppTraffic",
     "DefenseSpec",
     "ExplicitTraffic",

@@ -25,6 +25,10 @@ from typing import Optional
 from repro.sim.engine import RunResult, run
 from repro.sim.scenario import Scenario
 
+#: cache entry layout version; bump on incompatible changes so old
+#: entries become clean misses instead of being misparsed
+CACHE_FORMAT = 1
+
 _CODE_VERSION: Optional[str] = None
 
 
@@ -66,21 +70,39 @@ class ResultCache:
         return self.root / content_hash[:2] / name
 
     def get(self, content_hash: str) -> Optional[dict]:
-        """The stored payload, or None on miss / stale code version."""
+        """The stored payload, or None on any kind of miss.
+
+        A truncated or garbage entry file (killed writer predating the
+        atomic-write discipline, disk corruption, hand-editing), a
+        stale code version or an unknown entry format are all treated
+        as misses — the cache never raises on damaged state, it
+        re-simulates.
+        """
         path = self._path(content_hash)
         try:
             with open(path, encoding="utf-8") as fh:
                 entry = json.load(fh)
-        except (FileNotFoundError, json.JSONDecodeError):
+        except (
+            FileNotFoundError,
+            json.JSONDecodeError,
+            UnicodeDecodeError,
+            OSError,
+        ):
+            return None
+        if not isinstance(entry, dict):
+            return None
+        if entry.get("format") != CACHE_FORMAT:
             return None
         if entry.get("code_version") != self.version:  # pragma: no cover
             return None
-        return entry["payload"]
+        payload = entry.get("payload")
+        return payload if isinstance(payload, dict) else None
 
     def put(self, content_hash: str, payload: dict) -> Path:
         path = self._path(content_hash)
         path.parent.mkdir(parents=True, exist_ok=True)
         entry = {
+            "format": CACHE_FORMAT,
             "content_hash": content_hash,
             "code_version": self.version,
             "payload": payload,

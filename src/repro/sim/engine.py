@@ -13,7 +13,11 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from pathlib import Path
+from typing import Iterable, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.checkpoint import Checkpoint
 
 from repro.baselines.e2e import E2EObfuscator
 from repro.baselines.reroute import apply_rerouting, updown_table
@@ -237,6 +241,80 @@ class Simulation:
 
         net.sample_interval = scenario.sample_interval
 
+        # -- periodic checkpointing (off until configured) ---------------
+        self._ckpt_dir: Optional[Path] = None
+        self._ckpt_interval: int = 0
+        self._ckpt_next: Optional[int] = None
+        self._ckpt_keep: int = 2
+        self._ckpt_hash: Optional[str] = None
+        #: cycle a restore resumed from (None for a fresh build)
+        self.resumed_from_cycle: Optional[int] = None
+
+    # -- checkpoint/restore ----------------------------------------------
+    def snapshot(self) -> "Checkpoint":
+        """Freeze the complete mutable simulation state.
+
+        The capture is a deep copy keyed by the scenario's content hash;
+        ``restore`` of it — in this process or a fresh one — then runs
+        bit-identically to never having stopped.
+        """
+        from repro.sim.checkpoint import Checkpoint
+
+        return Checkpoint.capture(self)
+
+    @classmethod
+    def restore(cls, source: "Checkpoint | str | Path") -> "Simulation":
+        """Rebuild a live simulation from a :class:`Checkpoint` (or a
+        checkpoint file path)."""
+        from repro.sim.checkpoint import Checkpoint
+
+        checkpoint = (
+            source
+            if isinstance(source, Checkpoint)
+            else Checkpoint.load(source)
+        )
+        sim = checkpoint.restore()
+        sim.resumed_from_cycle = checkpoint.cycle
+        return sim
+
+    def configure_checkpoints(
+        self,
+        directory: "str | Path",
+        interval: int,
+        *,
+        keep: int = 2,
+    ) -> None:
+        """Emit an atomic on-disk checkpoint every ``interval`` cycles
+        while this simulation steps; the newest ``keep`` are retained.
+        An interrupted run then resumes from the last checkpoint via
+        :func:`resume_or_build` instead of cycle 0.
+        """
+        if interval <= 0:
+            raise ValueError("checkpoint interval must be positive")
+        self._ckpt_dir = Path(directory)
+        self._ckpt_interval = interval
+        self._ckpt_keep = keep
+        self._ckpt_hash = self.scenario.content_hash()
+        cycle = self.network.cycle
+        self._ckpt_next = ((cycle // interval) + 1) * interval
+
+    def _maybe_checkpoint(self) -> None:
+        if self._ckpt_next is None or self.network.cycle < self._ckpt_next:
+            return
+        from repro.sim.checkpoint import checkpoint_path, prune_checkpoints
+
+        assert self._ckpt_dir is not None and self._ckpt_hash is not None
+        self.snapshot().save(
+            checkpoint_path(
+                self._ckpt_dir, self._ckpt_hash, self.network.cycle
+            )
+        )
+        prune_checkpoints(self._ckpt_dir, self._ckpt_hash, self._ckpt_keep)
+        interval = self._ckpt_interval
+        self._ckpt_next = (
+            (self.network.cycle // interval) + 1
+        ) * interval
+
     # -- stepping --------------------------------------------------------
     def _fire_enables(self) -> None:
         cycle = self.network.cycle
@@ -247,6 +325,8 @@ class Simulation:
     def step(self) -> None:
         self._fire_enables()
         self.network.step()
+        if self._ckpt_next is not None:
+            self._maybe_checkpoint()
 
     def advance_to(self, cycle: int) -> None:
         """Step until the network clock reaches ``cycle``, firing any
@@ -277,8 +357,11 @@ class Simulation:
             self.advance_to(scenario.duration)
             completed = True
         else:
+            # Budget in *absolute* cycles so a run restored at cycle k
+            # stops exactly where the uninterrupted run would have.
+            remaining = max(0, scenario.max_cycles - self.network.cycle)
             completed = self.run_until_drained(
-                scenario.max_cycles, scenario.stall_limit
+                remaining, scenario.stall_limit
             )
         net = self.network
         stats = net.stats
@@ -304,6 +387,47 @@ def build(scenario: Scenario, *, full_sweep: bool = False) -> Network:
     return Simulation(scenario, full_sweep=full_sweep).network
 
 
-def run(scenario: Scenario, *, full_sweep: bool = False) -> RunResult:
-    """Build ``scenario`` and run it to its duration or drain limit."""
-    return Simulation(scenario, full_sweep=full_sweep).run()
+def resume_or_build(
+    scenario: Scenario,
+    checkpoint_dir: "str | Path | None",
+    *,
+    full_sweep: bool = False,
+) -> Simulation:
+    """The scenario's newest restorable checkpoint as a live
+    simulation, or a fresh build when there is none (no directory, no
+    matching file, or only corrupt/stale ones).
+
+    ``sim.resumed_from_cycle`` tells the caller which happened.
+    """
+    if checkpoint_dir is not None:
+        from repro.sim.checkpoint import latest_checkpoint
+
+        checkpoint = latest_checkpoint(checkpoint_dir, scenario)
+        if checkpoint is not None:
+            return Simulation.restore(checkpoint)
+    return Simulation(scenario, full_sweep=full_sweep)
+
+
+def run(
+    scenario: Scenario,
+    *,
+    full_sweep: bool = False,
+    checkpoint_interval: Optional[int] = None,
+    checkpoint_dir: "str | Path | None" = None,
+    resume: bool = False,
+) -> RunResult:
+    """Build ``scenario`` and run it to its duration or drain limit.
+
+    With ``checkpoint_interval`` and ``checkpoint_dir`` set, the run
+    emits an atomic state checkpoint every ``interval`` cycles;
+    ``resume=True`` additionally starts from the newest restorable
+    checkpoint (if any) instead of cycle 0.  Either way the
+    :class:`RunResult` is bit-identical to an uninterrupted run.
+    """
+    if resume:
+        sim = resume_or_build(scenario, checkpoint_dir, full_sweep=full_sweep)
+    else:
+        sim = Simulation(scenario, full_sweep=full_sweep)
+    if checkpoint_interval is not None and checkpoint_dir is not None:
+        sim.configure_checkpoints(checkpoint_dir, checkpoint_interval)
+    return sim.run()

@@ -43,6 +43,40 @@ from repro.resilience.watchdog import WatchdogConfig
 SCENARIO_FORMAT = 1
 
 
+class ScenarioDecodeError(ValueError):
+    """A scenario payload cannot be decoded.
+
+    Raised with the offending key named — an unknown traffic ``kind``,
+    a missing required field, or an unexpected extra field — instead of
+    surfacing a bare ``KeyError``/``TypeError`` from deep inside the
+    codec.
+    """
+
+
+def _require(data: dict, key: str, where: str):
+    try:
+        return data[key]
+    except (KeyError, TypeError):
+        raise ScenarioDecodeError(
+            f"{where}: missing required key {key!r}"
+        ) from None
+
+
+def _build_spec(cls, data: dict, where: str):
+    """Construct a frozen spec dataclass from decoded fields, rejecting
+    unknown keys and naming missing ones."""
+    names = {f.name for f in dataclasses.fields(cls)}
+    extra = sorted(set(data) - names)
+    if extra:
+        raise ScenarioDecodeError(
+            f"{where}: unexpected key(s) {', '.join(map(repr, extra))}"
+        )
+    try:
+        return cls(**data)
+    except TypeError as exc:
+        raise ScenarioDecodeError(f"{where}: {exc}") from None
+
+
 # ---------------------------------------------------------------------------
 # traffic specs
 # ---------------------------------------------------------------------------
@@ -247,22 +281,34 @@ class Scenario:
     def from_dict(cls, data: dict) -> "Scenario":
         fmt = data.get("format", SCENARIO_FORMAT)
         if fmt != SCENARIO_FORMAT:
-            raise ValueError(
+            raise ScenarioDecodeError(
                 f"scenario format {fmt} not supported "
                 f"(this build reads format {SCENARIO_FORMAT})"
             )
+        cfg = _require(data, "cfg", "scenario")
+        if not isinstance(cfg, dict):
+            raise ScenarioDecodeError("scenario: 'cfg' must be an object")
         return cls(
-            name=data["name"],
-            cfg=NoCConfig(**data["cfg"]),
-            traffic=tuple(_decode_traffic(t) for t in data["traffic"]),
-            trojans=tuple(_decode_trojan(t) for t in data["trojans"]),
-            faults=tuple(_decode_fault(f) for f in data["faults"]),
-            defense=_decode_defense(data["defense"]),
-            duration=data["duration"],
-            max_cycles=data["max_cycles"],
-            stall_limit=data["stall_limit"],
-            sample_interval=data["sample_interval"],
-            seed=data["seed"],
+            name=_require(data, "name", "scenario"),
+            cfg=_build_spec(NoCConfig, cfg, "scenario cfg"),
+            traffic=tuple(
+                _decode_traffic(t)
+                for t in _require(data, "traffic", "scenario")
+            ),
+            trojans=tuple(
+                _decode_trojan(t)
+                for t in _require(data, "trojans", "scenario")
+            ),
+            faults=tuple(
+                _decode_fault(f)
+                for f in _require(data, "faults", "scenario")
+            ),
+            defense=_decode_defense(_require(data, "defense", "scenario")),
+            duration=_require(data, "duration", "scenario"),
+            max_cycles=_require(data, "max_cycles", "scenario"),
+            stall_limit=_require(data, "stall_limit", "scenario"),
+            sample_interval=_require(data, "sample_interval", "scenario"),
+            seed=_require(data, "seed", "scenario"),
         )
 
     def to_json(self, indent: Optional[int] = 2) -> str:
@@ -317,18 +363,37 @@ def _encode_traffic(spec: TrafficSpec) -> dict:
 
 def _decode_traffic(data: dict) -> TrafficSpec:
     data = dict(data)
-    cls = _TRAFFIC_KINDS[data.pop("kind")]
-    if cls is ExplicitTraffic:
-        return ExplicitTraffic(
-            packets=tuple(
-                PacketSpec(**{**p, "payload": tuple(p["payload"])})
-                for p in data["packets"]
-            )
+    kind = _require(data, "kind", "traffic spec")
+    data.pop("kind")
+    cls = _TRAFFIC_KINDS.get(kind)
+    if cls is None:
+        known = ", ".join(sorted(_TRAFFIC_KINDS))
+        raise ScenarioDecodeError(
+            f"traffic spec: unknown kind {kind!r} (known kinds: {known})"
         )
+    where = f"traffic spec kind={kind!r}"
+    if cls is ExplicitTraffic:
+        packets = []
+        for p in _require(data, "packets", where):
+            payload = tuple(_require(p, "payload", f"{where} packet"))
+            packets.append(
+                _build_spec(
+                    PacketSpec,
+                    {**p, "payload": payload},
+                    f"{where} packet",
+                )
+            )
+        data.pop("packets")
+        if data:
+            raise ScenarioDecodeError(
+                f"{where}: unexpected key(s) "
+                f"{', '.join(map(repr, sorted(data)))}"
+            )
+        return ExplicitTraffic(packets=tuple(packets))
     for name in ("cores", "vc_classes", "rogue_cores", "victim_cores"):
         if name in data and data[name] is not None:
             data[name] = tuple(data[name])
-    return cls(**data)
+    return _build_spec(cls, data, where)
 
 
 def _encode_trojan(spec: TrojanSpec) -> dict:

@@ -49,6 +49,21 @@ class SeededStream:
         """Derive a sub-stream; independent of draws made on this one."""
         return SeededStream(self.seed, *labels)
 
+    # -- state capture --------------------------------------------------
+    def getstate(self) -> tuple:
+        """The stream's exact position, as an opaque picklable value.
+
+        Together with :meth:`setstate` this makes every stochastic
+        component checkpointable: restoring the state replays the very
+        next draw bit-for-bit (simulation snapshots and replay tooling
+        both rest on this).
+        """
+        return self._rng.getstate()
+
+    def setstate(self, state: tuple) -> None:
+        """Rewind/advance the stream to a :meth:`getstate` capture."""
+        self._rng.setstate(state)
+
     # -- draws ----------------------------------------------------------
     def bits(self, width: int) -> int:
         """A uniform ``width``-bit integer."""

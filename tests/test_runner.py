@@ -1,6 +1,8 @@
-"""Runner CLI: alias dedupe, seed threading, caching, parallel fan-out."""
+"""Runner CLI: alias dedupe, seed threading, caching, parallel fan-out,
+interrupt handling, resume and quarantine."""
 
 import json
+import os
 
 import pytest
 
@@ -118,6 +120,135 @@ class TestParallelJson:
         assert runner.main(["table2", "--json", str(out), "--no-cache"]) == 0
         capsys.readouterr()
         assert json.loads(out.read_text())["experiment"] == "table2"
+
+
+def _fake_worker(calls=None, fail=None, interrupt_on=None):
+    """An instant stand-in for runner._worker with scripted outcomes."""
+
+    def fake(task):
+        name = task[0]
+        if calls is not None:
+            calls.append(name)
+        if name == interrupt_on:
+            raise KeyboardInterrupt
+        if name == fail:
+            return (name, False, 0.0, "Traceback: boom", "RuntimeError: boom")
+        return (name, True, 0.0, f"[{name} ok]", "")
+
+    return fake
+
+
+class TestInterruptAndResume:
+    PLAN = ["fig9", "table2", "flood"]
+
+    def run_plan(self, state, extra=()):
+        return runner.main(
+            self.PLAN + ["--state", str(state), "--no-cache", *extra]
+        )
+
+    def test_interrupt_prints_partial_table_and_exits_130(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        state = tmp_path / "state.json"
+        monkeypatch.setattr(
+            runner, "_worker", _fake_worker(interrupt_on="table2")
+        )
+        assert self.run_plan(state) == 130
+        captured = capsys.readouterr()
+        # the completed experiment made it into the pass/fail table
+        assert "fig9" in captured.out and "pass" in captured.out
+        assert "1/1 experiments passed" in captured.out
+        assert "--resume" in captured.err
+        assert state.exists()
+
+    def test_resume_skips_completed_and_clears_state(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        state = tmp_path / "state.json"
+        monkeypatch.setattr(
+            runner, "_worker", _fake_worker(interrupt_on="table2")
+        )
+        assert self.run_plan(state) == 130
+        capsys.readouterr()
+
+        calls: list = []
+        monkeypatch.setattr(runner, "_worker", _fake_worker(calls))
+        assert self.run_plan(state, ["--resume"]) == 0
+        captured = capsys.readouterr()
+        assert calls == ["table2", "flood"]  # fig9 replayed from state
+        assert "[fig9 ok]" in captured.out
+        assert "3/3 experiments passed" in captured.out
+        assert not state.exists()  # a clean batch leaves nothing behind
+
+    def test_resume_reruns_failures(self, tmp_path, capsys, monkeypatch):
+        state = tmp_path / "state.json"
+        monkeypatch.setattr(runner, "_worker", _fake_worker(fail="table2"))
+        assert self.run_plan(state) == 1
+        capsys.readouterr()
+
+        calls: list = []
+        monkeypatch.setattr(runner, "_worker", _fake_worker(calls))
+        assert self.run_plan(state, ["--resume"]) == 0
+        capsys.readouterr()
+        assert calls == ["table2"]  # only the failure runs again
+
+    def test_resume_ignores_state_from_other_invocation(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        state = tmp_path / "state.json"
+        monkeypatch.setattr(
+            runner, "_worker", _fake_worker(interrupt_on="flood")
+        )
+        assert self.run_plan(state) == 130
+        capsys.readouterr()
+
+        calls: list = []
+        monkeypatch.setattr(runner, "_worker", _fake_worker(calls))
+        # different seed => different state key => everything reruns
+        assert self.run_plan(state, ["--resume", "--seed", "9"]) == 0
+        capsys.readouterr()
+        assert calls == self.PLAN
+
+    def test_garbage_state_file_is_a_fresh_start(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        state = tmp_path / "state.json"
+        state.write_text("{ not json")
+        calls: list = []
+        monkeypatch.setattr(runner, "_worker", _fake_worker(calls))
+        assert self.run_plan(state, ["--resume"]) == 0
+        capsys.readouterr()
+        assert calls == self.PLAN
+
+
+class TestQuarantine:
+    def test_dead_worker_is_quarantined_not_fatal(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        state = tmp_path / "state.json"
+
+        def fake(task):
+            name = task[0]
+            if name == "fig9":
+                os._exit(5)  # dies in the forked worker, posts nothing
+            return (name, True, 0.0, f"[{name} ok]", "")
+
+        monkeypatch.setattr(runner, "_worker", fake)
+        code = runner.main(
+            [
+                "fig9", "table2", "flood",
+                "--jobs", "2", "--max-retries", "1",
+                "--state", str(state), "--no-cache",
+            ]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "quarantined: fig9" in captured.out
+        assert "2/3 experiments passed" in captured.out
+        assert "worker died" in captured.err
+        assert "[table2 ok]" in captured.out and "[flood ok]" in captured.out
+        # quarantine leaves the state file for a later --resume
+        assert state.exists()
 
 
 class TestCliErrors:

@@ -58,6 +58,47 @@ class TestResultCache:
         path.write_text(json.dumps(entry))
         assert cache.get(key) is None
 
+    def test_truncated_entry_is_a_miss(self, cache):
+        key = spec_hash({"x": 20})
+        path = cache.put(key, {"value": 1})
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        assert cache.get(key) is None
+
+    def test_garbage_binary_entry_is_a_miss(self, cache):
+        key = spec_hash({"x": 21})
+        path = cache.put(key, {"value": 1})
+        path.write_bytes(b"\x00\xff garbage \x80")
+        assert cache.get(key) is None
+
+    def test_non_dict_entry_is_a_miss(self, cache):
+        key = spec_hash({"x": 22})
+        path = cache.put(key, {"value": 1})
+        path.write_text('["a", "list"]')
+        assert cache.get(key) is None
+
+    def test_entries_carry_format_stamp(self, cache):
+        key = spec_hash({"x": 23})
+        path = cache.put(key, {"value": 1})
+        assert json.loads(path.read_text())["format"] == cache_mod.CACHE_FORMAT
+
+    def test_unknown_format_stamp_is_a_miss(self, cache):
+        key = spec_hash({"x": 24})
+        path = cache.put(key, {"value": 1})
+        entry = json.loads(path.read_text())
+        entry["format"] = cache_mod.CACHE_FORMAT + 1
+        path.write_text(json.dumps(entry))
+        assert cache.get(key) is None
+
+    def test_missing_format_stamp_is_a_miss(self, cache):
+        # pre-versioning entries must not be revived
+        key = spec_hash({"x": 25})
+        path = cache.put(key, {"value": 1})
+        entry = json.loads(path.read_text())
+        del entry["format"]
+        path.write_text(json.dumps(entry))
+        assert cache.get(key) is None
+
     def test_entries_shard_by_hash_prefix(self, cache):
         key = spec_hash({"x": 4})
         path = cache.put(key, {})

@@ -1,0 +1,251 @@
+"""Checkpoint/restore: bit-identity, disk format, damage tolerance.
+
+The load-bearing guarantee is proven twice per scenario style:
+restoring a mid-run snapshot — in this process and in a *fresh*
+process — and running to completion must produce NetworkStats
+bit-identical to a run that was never interrupted.
+"""
+
+import dataclasses
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.sim import (
+    Checkpoint,
+    CheckpointError,
+    Simulation,
+    engine,
+    latest_checkpoint,
+    list_checkpoints,
+    prune_checkpoints,
+    resume_or_build,
+)
+from repro.sim.checkpoint import checkpoint_path
+from tests.test_sim_engine import chaos_style, fig2_style, stats_snapshot
+
+SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
+
+#: child-process side of the fresh-process proof: restore a checkpoint
+#: file, run to completion, emit canonical JSON of result + full stats
+_CHILD = """\
+import dataclasses, json, sys
+from repro.experiments.export import to_jsonable
+from repro.sim import Simulation
+
+sim = Simulation.restore(sys.argv[1])
+result = sim.run()
+print(json.dumps(
+    {
+        "resumed_from": sim.resumed_from_cycle,
+        "result": dataclasses.asdict(result),
+        "stats": to_jsonable(vars(sim.network.stats)),
+    },
+    sort_keys=True,
+))
+"""
+
+
+def canonical(result, net) -> str:
+    return json.dumps(
+        {
+            "result": dataclasses.asdict(result),
+            "stats": stats_snapshot(net),
+        },
+        sort_keys=True,
+    )
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("build", [fig2_style, chaos_style])
+    def test_restore_in_process(self, build):
+        scenario = build()
+        straight = Simulation(scenario)
+        expected_result = straight.run()
+        expected = canonical(expected_result, straight.network)
+
+        sim = Simulation(scenario)
+        sim.advance_to(120)
+        checkpoint = sim.snapshot()
+        resumed = Simulation.restore(checkpoint)
+        assert resumed.resumed_from_cycle == 120
+        resumed_result = resumed.run()
+
+        assert resumed_result == expected_result
+        assert canonical(resumed_result, resumed.network) == expected
+
+    @pytest.mark.parametrize("build", [fig2_style, chaos_style])
+    def test_restore_in_fresh_process(self, build, tmp_path):
+        scenario = build()
+        straight = Simulation(scenario)
+        expected = {
+            "resumed_from": 120,
+            "result": dataclasses.asdict(straight.run()),
+            "stats": stats_snapshot(straight.network),
+        }
+
+        sim = Simulation(scenario)
+        sim.advance_to(120)
+        path = sim.snapshot().save(tmp_path / "state.ckpt")
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c", _CHILD, str(path)],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == json.dumps(expected, sort_keys=True)
+
+    def test_snapshot_is_a_deep_copy(self):
+        sim = Simulation(fig2_style())
+        sim.advance_to(100)
+        checkpoint = sim.snapshot()
+        sim.advance_to(200)  # must not disturb the captured state
+        restored = Checkpoint.restore(checkpoint)
+        assert restored.network.cycle == 100
+
+    def test_unpicklable_hook_is_a_clear_error(self):
+        sim = Simulation(fig2_style())
+        sim.network.ejection_hooks.append(lambda flit, cycle, core: None)
+        with pytest.raises(CheckpointError, match="not snapshot-safe"):
+            sim.snapshot()
+
+
+class TestDiskFormat:
+    def _checkpoint(self, cycle=80) -> Checkpoint:
+        sim = Simulation(fig2_style())
+        sim.advance_to(cycle)
+        return sim.snapshot()
+
+    def test_save_load_round_trip(self, tmp_path):
+        checkpoint = self._checkpoint()
+        path = checkpoint.save(tmp_path / "a.ckpt")
+        loaded = Checkpoint.load(path)
+        assert loaded == checkpoint
+        assert not list(tmp_path.glob("*.tmp"))  # atomic write cleaned up
+
+    def test_truncated_file_is_rejected(self, tmp_path):
+        path = self._checkpoint().save(tmp_path / "a.ckpt")
+        path.write_bytes(path.read_bytes()[:-10])
+        with pytest.raises(CheckpointError, match="truncated"):
+            Checkpoint.load(path)
+
+    def test_garbage_file_is_rejected(self, tmp_path):
+        path = tmp_path / "a.ckpt"
+        path.write_bytes(b"\x80\x05 definitely not a checkpoint")
+        with pytest.raises(CheckpointError, match="bad header"):
+            Checkpoint.load(path)
+
+    def test_unknown_format_is_rejected(self, tmp_path):
+        path = tmp_path / "a.ckpt"
+        path.write_bytes(b'{"format": 999}\n')
+        with pytest.raises(CheckpointError, match="format"):
+            Checkpoint.load(path)
+
+    def test_missing_file_is_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no such checkpoint"):
+            Checkpoint.load(tmp_path / "missing.ckpt")
+
+    def test_stale_code_version_refused_on_restore(self):
+        checkpoint = dataclasses.replace(
+            self._checkpoint(), code_version="0" * 16
+        )
+        with pytest.raises(CheckpointError, match="code version"):
+            checkpoint.restore()
+        # escape hatch for forensics
+        assert checkpoint.restore(check_code_version=False) is not None
+
+
+class TestCheckpointDirectory:
+    def test_periodic_checkpoints_and_prune(self, tmp_path):
+        scenario = fig2_style()
+        sim = Simulation(scenario)
+        sim.configure_checkpoints(tmp_path, interval=50, keep=2)
+        sim.run()
+        found = list_checkpoints(tmp_path, scenario.content_hash())
+        assert 1 <= len(found) <= 2  # pruned down to `keep`
+        cycles = [int(p.stem.split("-c")[1]) for p in found]
+        assert cycles == sorted(cycles)
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_interrupted_run_resumes_from_latest(self, tmp_path):
+        scenario = fig2_style()
+        expected = Simulation(scenario).run()
+
+        interrupted = Simulation(scenario)
+        interrupted.configure_checkpoints(tmp_path, interval=40)
+        interrupted.advance_to(130)  # "killed" here; checkpoints exist
+
+        resumed = resume_or_build(scenario, tmp_path)
+        assert resumed.resumed_from_cycle == 120
+        assert resumed.run() == expected
+
+    def test_resume_or_build_falls_back_to_fresh(self, tmp_path):
+        sim = resume_or_build(fig2_style(), tmp_path)
+        assert sim.resumed_from_cycle is None
+        assert resume_or_build(fig2_style(), None).resumed_from_cycle is None
+
+    def test_latest_skips_damaged_and_stale_tail(self, tmp_path):
+        scenario = fig2_style()
+        sim = Simulation(scenario)
+        sim.advance_to(60)
+        good = sim.snapshot()
+        scenario_hash = good.scenario_hash
+        good.save(checkpoint_path(tmp_path, scenario_hash, 60))
+
+        sim.advance_to(100)
+        newer = sim.snapshot()
+        truncated = newer.save(checkpoint_path(tmp_path, scenario_hash, 100))
+        truncated.write_bytes(truncated.read_bytes()[:-20])
+        stale = dataclasses.replace(newer, code_version="0" * 16)
+        stale.save(checkpoint_path(tmp_path, scenario_hash, 110))
+
+        latest = latest_checkpoint(tmp_path, scenario)
+        assert latest is not None and latest.cycle == 60
+
+    def test_latest_ignores_other_scenarios(self, tmp_path):
+        sim = Simulation(fig2_style())
+        sim.advance_to(60)
+        sim.snapshot().save(
+            checkpoint_path(tmp_path, sim.scenario.content_hash(), 60)
+        )
+        assert latest_checkpoint(tmp_path, chaos_style()) is None
+
+    def test_prune_keeps_newest(self, tmp_path):
+        sim = Simulation(fig2_style())
+        sim.advance_to(30)
+        checkpoint = sim.snapshot()
+        for cycle in (10, 20, 30):
+            checkpoint.save(
+                checkpoint_path(tmp_path, checkpoint.scenario_hash, cycle)
+            )
+        prune_checkpoints(tmp_path, checkpoint.scenario_hash, keep=1)
+        remaining = list_checkpoints(tmp_path, checkpoint.scenario_hash)
+        assert [p.name for p in remaining] == [
+            checkpoint_path(tmp_path, checkpoint.scenario_hash, 30).name
+        ]
+
+    def test_engine_run_with_checkpoints_and_resume(self, tmp_path):
+        scenario = fig2_style()
+        expected = engine.run(scenario)
+        first = engine.run(
+            scenario, checkpoint_interval=60, checkpoint_dir=tmp_path
+        )
+        assert first == expected
+        assert list_checkpoints(tmp_path, scenario.content_hash())
+        resumed = engine.run(
+            scenario,
+            checkpoint_interval=60,
+            checkpoint_dir=tmp_path,
+            resume=True,
+        )
+        assert resumed == expected

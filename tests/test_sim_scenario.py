@@ -3,6 +3,8 @@
 import dataclasses
 import json
 
+import pytest
+
 from repro.core import (
     Granularity,
     MitigationConfig,
@@ -20,6 +22,7 @@ from repro.sim import (
     FloodTraffic,
     PacketSpec,
     Scenario,
+    ScenarioDecodeError,
     SyntheticTraffic,
     TransientFaultSpec,
     TrojanSpec,
@@ -141,3 +144,52 @@ class TestContentHash:
             config=TaspConfig(seed=10),
         )
         assert [s.config.seed for s in specs] == [10, 11]
+
+
+class TestDecodeErrors:
+    """Damaged scenario dicts fail loudly, naming the offending key."""
+
+    def decode_traffic(self, spec: dict):
+        data = json.loads(rich_scenario().to_json())
+        data["traffic"] = [spec]
+        return Scenario.from_dict(data)
+
+    def test_unknown_traffic_kind_names_the_kind(self):
+        with pytest.raises(ScenarioDecodeError) as excinfo:
+            self.decode_traffic({"kind": "psychic"})
+        assert "unknown kind 'psychic'" in str(excinfo.value)
+        assert "synthetic" in str(excinfo.value)  # known kinds listed
+
+    def test_missing_kind_names_the_key(self):
+        with pytest.raises(ScenarioDecodeError, match="missing required key 'kind'"):
+            self.decode_traffic({"injection_rate": 0.1})
+
+    def test_extra_traffic_key_is_named(self):
+        with pytest.raises(ScenarioDecodeError) as excinfo:
+            self.decode_traffic(
+                {"kind": "synthetic", "injection_rate": 0.1, "warp": 9}
+            )
+        assert "'warp'" in str(excinfo.value)
+
+    def test_missing_top_level_key_is_named(self):
+        data = json.loads(rich_scenario().to_json())
+        del data["seed"]
+        with pytest.raises(ScenarioDecodeError, match="missing required key 'seed'"):
+            Scenario.from_dict(data)
+
+    def test_extra_cfg_key_is_named(self):
+        data = json.loads(rich_scenario().to_json())
+        data["cfg"]["hyperdrive"] = True
+        with pytest.raises(ScenarioDecodeError) as excinfo:
+            Scenario.from_dict(data)
+        assert "'hyperdrive'" in str(excinfo.value)
+
+    def test_unsupported_format_is_rejected(self):
+        data = json.loads(rich_scenario().to_json())
+        data["format"] = 999
+        with pytest.raises(ScenarioDecodeError, match="format 999 not supported"):
+            Scenario.from_dict(data)
+
+    def test_decode_error_is_a_value_error(self):
+        # callers that guarded with ValueError keep working
+        assert issubclass(ScenarioDecodeError, ValueError)

@@ -1,0 +1,181 @@
+"""Supervised batch execution: timeouts, crashes, backoff, quarantine.
+
+The hang/crash workers here are real misbehaviour in real child
+processes — ``time.sleep`` past the timeout and ``os._exit`` without
+posting a result — not mocks, so these tests exercise the kill and
+death-detection paths end to end.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.experiments.supervisor import (
+    Supervisor,
+    SupervisorConfig,
+    SupervisorInterrupt,
+    TaskOutcome,
+)
+
+#: fast-failure policy so the quarantine paths run in well under a second
+FAST = dict(backoff_base=0.01, backoff_cap=0.05, poll_interval=0.01)
+
+
+def _ok(value):
+    return {"value": value}
+
+
+def _hang(seconds):
+    time.sleep(seconds)
+    return "woke up"
+
+
+def _crash():
+    os._exit(17)  # dies without posting a result
+
+
+def _raise():
+    raise ValueError("deterministic bug")
+
+
+def _flaky(marker_path):
+    # fails (hard) the first time, succeeds once the marker exists
+    if not os.path.exists(marker_path):
+        with open(marker_path, "w") as fh:
+            fh.write("seen")
+        os._exit(3)
+    return "recovered"
+
+
+class TestHappyPath:
+    def test_results_in_task_order(self):
+        outcomes = Supervisor(SupervisorConfig(jobs=3, **FAST)).run(
+            [(name, _ok, (name,)) for name in ("c", "a", "b")]
+        )
+        assert [o.task_id for o in outcomes] == ["c", "a", "b"]
+        assert all(o.ok and o.attempts == 1 for o in outcomes)
+        assert [o.result for o in outcomes] == [
+            {"value": "c"}, {"value": "a"}, {"value": "b"},
+        ]
+
+    def test_on_complete_fires_per_task(self):
+        seen = []
+        supervisor = Supervisor(
+            SupervisorConfig(jobs=2, **FAST),
+            on_complete=lambda outcome: seen.append(outcome.task_id),
+        )
+        supervisor.run([(str(i), _ok, (i,)) for i in range(4)])
+        assert sorted(seen) == ["0", "1", "2", "3"]
+
+    def test_raising_task_is_retried_then_quarantined(self):
+        # an exception inside fn is a failed attempt at this layer
+        # (the experiment runner catches its own exceptions instead)
+        (outcome,) = Supervisor(
+            SupervisorConfig(jobs=1, max_retries=1, **FAST)
+        ).run([("boom", _raise, ())])
+        assert not outcome.ok and outcome.quarantined
+        assert outcome.attempts == 2
+        assert "ValueError: deterministic bug" in outcome.failures[-1]
+
+
+class TestHangingWorker:
+    def test_hang_is_killed_retried_and_quarantined(self):
+        config = SupervisorConfig(
+            jobs=2, timeout=0.3, max_retries=2, **FAST
+        )
+        started = time.monotonic()
+        outcomes = Supervisor(config).run(
+            [
+                ("hung", _hang, (60.0,)),
+                ("good", _ok, ("fine",)),
+            ]
+        )
+        elapsed = time.monotonic() - started
+        by_id = {o.task_id: o for o in outcomes}
+
+        hung = by_id["hung"]
+        assert not hung.ok and hung.quarantined
+        assert hung.attempts == config.max_retries + 1
+        assert all("timeout" in f for f in hung.failures)
+        assert "timeout" in hung.error
+
+        # the healthy task completed despite its poisoned neighbour
+        assert by_id["good"].ok and by_id["good"].result == {"value": "fine"}
+        # workers were killed, not waited out (3 attempts << 60s sleep)
+        assert elapsed < 30
+
+    def test_backoff_spaces_the_retries(self):
+        config = SupervisorConfig(
+            jobs=1, timeout=0.1, max_retries=2,
+            backoff_base=0.2, backoff_cap=10.0, poll_interval=0.01,
+        )
+        started = time.monotonic()
+        (outcome,) = Supervisor(config).run([("hung", _hang, (60.0,))])
+        elapsed = time.monotonic() - started
+        assert outcome.quarantined and outcome.attempts == 3
+        # 3 timeouts (0.3s) + backoffs of 0.2s and 0.4s
+        assert elapsed >= 0.3 + 0.2 + 0.4
+
+
+class TestCrashingWorker:
+    def test_crash_is_detected_retried_and_quarantined(self):
+        config = SupervisorConfig(jobs=2, max_retries=2, **FAST)
+        outcomes = Supervisor(config).run(
+            [
+                ("dead", _crash, ()),
+                ("good", _ok, (1,)),
+            ]
+        )
+        by_id = {o.task_id: o for o in outcomes}
+        dead = by_id["dead"]
+        assert not dead.ok and dead.quarantined
+        assert dead.attempts == config.max_retries + 1
+        assert all("worker died" in f for f in dead.failures)
+        assert "exitcode 17" in dead.error
+        assert by_id["good"].ok
+
+    def test_flaky_task_recovers_on_retry(self, tmp_path):
+        marker = str(tmp_path / "marker")
+        (outcome,) = Supervisor(
+            SupervisorConfig(jobs=1, max_retries=2, **FAST)
+        ).run([("flaky", _flaky, (marker,))])
+        assert outcome.ok
+        assert outcome.result == "recovered"
+        assert outcome.attempts == 2
+        assert len(outcome.failures) == 1  # the first, crashed attempt
+
+    def test_quarantine_outcome_shape(self):
+        (outcome,) = Supervisor(
+            SupervisorConfig(jobs=1, max_retries=0, **FAST)
+        ).run([("dead", _crash, ())])
+        assert isinstance(outcome, TaskOutcome)
+        assert outcome.attempts == 1
+        assert len(outcome.failures) == 1
+
+
+class TestInterrupt:
+    def test_interrupt_kills_workers_and_reports_partial(self, monkeypatch):
+        finished = []
+        supervisor = Supervisor(
+            SupervisorConfig(jobs=1, **FAST),
+            on_complete=lambda outcome: finished.append(outcome.task_id),
+        )
+        # Ctrl-C arrives while the second (hung) task is running
+        original_drain = supervisor._drain
+
+        def interrupting_drain(results, arrived):
+            original_drain(results, arrived)
+            if finished:
+                raise KeyboardInterrupt
+
+        monkeypatch.setattr(supervisor, "_drain", interrupting_drain)
+        started = time.monotonic()
+        with pytest.raises(SupervisorInterrupt) as excinfo:
+            supervisor.run(
+                [("first", _ok, (1,)), ("hung", _hang, (60.0,))]
+            )
+        assert time.monotonic() - started < 30  # hung worker was killed
+        partial = excinfo.value.outcomes
+        assert [o.task_id for o in partial] == ["first"]
+        assert partial[0].ok

@@ -84,6 +84,30 @@ class TestSeededStream:
         for m in pairs:
             assert bin(m).count("1") == 2
 
+    def test_getstate_setstate_round_trip(self):
+        s = SeededStream(9, "ckpt")
+        _ = [s.randint(0, 1000) for _ in range(17)]  # advance mid-stream
+        state = s.getstate()
+        expected = [s.randint(0, 1000) for _ in range(50)]
+        _ = [s.bits(13) for _ in range(5)]  # diverge further
+        s.setstate(state)
+        assert [s.randint(0, 1000) for _ in range(50)] == expected
+
+    def test_setstate_across_instances(self):
+        a = SeededStream(10, "x")
+        _ = [a.chance(0.5) for _ in range(9)]
+        b = SeededStream(999, "unrelated")
+        b.setstate(a.getstate())
+        assert [b.randint(0, 10**9) for _ in range(20)] == [
+            a.randint(0, 10**9) for _ in range(20)
+        ]
+
+    def test_getstate_is_a_copy_not_a_view(self):
+        s = SeededStream(11)
+        state = s.getstate()
+        _ = s.randint(0, 100)
+        assert s.getstate() != state  # drawing advanced the live state
+
     def test_weighted_choice_respects_zero_weight(self):
         s = SeededStream(8)
         picks = {s.weighted_choice(["a", "b"], [1.0, 0.0]) for _ in range(50)}
