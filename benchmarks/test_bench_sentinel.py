@@ -1,0 +1,94 @@
+"""Sentinel bench: the cost of continuous online auditing.
+
+The sentinel is only deployable if leaving it on is cheap: at its
+default cadence (every 64 cycles, active-scoped flit sweep) the
+monitored run must stay within a small fraction of the unmonitored
+wall-clock on the same drain-heavy workload the engine bench uses —
+and produce bit-identical stats, since the sentinel is a pure
+observer.  The bench also records how much the active-scoped flit
+sweep saves over the exhaustive one at the same cadence.
+
+Set ``REPRO_BENCH_QUICK=1`` to shrink the workload for smoke runs.
+"""
+
+import dataclasses
+import time
+
+from repro.experiments.export import to_jsonable
+from repro.sim import Scenario, SentinelSpec, Simulation
+
+from benchmarks.test_bench_engine import PACKETS, drain_heavy_scenario
+
+#: generous ceiling for noisy CI boxes; typical overhead is a few %
+MAX_OVERHEAD = 0.15
+
+
+def _monitored(scenario: Scenario, flit_scope: str) -> Scenario:
+    return dataclasses.replace(
+        scenario, sentinel=SentinelSpec(flit_scope=flit_scope)
+    )
+
+
+def _timed_run(scenario: Scenario) -> tuple[float, object, dict]:
+    sim = Simulation(scenario)
+    started = time.perf_counter()
+    result = sim.run()
+    elapsed = time.perf_counter() - started
+    checks = sim.sentinel.checks if sim.sentinel is not None else 0
+    return elapsed, result, to_jsonable(vars(sim.network.stats)), checks
+
+
+def _compare() -> dict:
+    scenario = drain_heavy_scenario()
+    # min-of-3 so a CI scheduling hiccup can't fail the overhead bound
+    trials = [
+        {
+            label: _timed_run(scn)
+            for label, scn in (
+                ("bare", scenario),
+                ("active", _monitored(scenario, "active")),
+                ("full", _monitored(scenario, "full")),
+            )
+        }
+        for _ in range(3)
+    ]
+    best = {
+        label: min(trial[label][0] for trial in trials)
+        for label in ("bare", "active", "full")
+    }
+    last = trials[-1]
+    return {
+        "best": best,
+        "results": {label: run[1] for label, run in last.items()},
+        "stats": {label: run[2] for label, run in last.items()},
+        "checks": last["active"][3],
+    }
+
+
+def test_bench_sentinel_overhead(once):
+    out = once(_compare)
+
+    # correctness first: the sentinel observed, audited, changed nothing
+    assert out["checks"] > 0
+    assert out["results"]["active"] == out["results"]["bare"]
+    assert out["results"]["full"] == out["results"]["bare"]
+    assert out["stats"]["active"] == out["stats"]["bare"]
+    assert out["stats"]["full"] == out["stats"]["bare"]
+    assert out["results"]["bare"].completed
+    assert out["results"]["bare"].packets_completed == PACKETS
+
+    bare = out["best"]["bare"]
+    active = out["best"]["active"]
+    full = out["best"]["full"]
+    overhead = active / bare - 1.0
+    print(
+        f"\nsentinel on {PACKETS} packets ({out['checks']} audits): "
+        f"bare {bare * 1e3:.0f}ms, active-scope {active * 1e3:.0f}ms "
+        f"({overhead * 100:+.1f}%), full-scope {full * 1e3:.0f}ms "
+        f"({(full / bare - 1.0) * 100:+.1f}%)"
+    )
+    # the deployability bound: default-cadence auditing is nearly free
+    assert overhead < MAX_OVERHEAD
+    # and the active-scoped sweep never loses to the exhaustive one
+    # by more than noise (it skips settled routers entirely)
+    assert active <= full * 1.05

@@ -10,8 +10,12 @@ plus uniform background traffic:
   drop-with-notify -> condemn) and hand the link to epoch recovery;
   every packet must still be delivered exactly once.
 * **no-watchdog** — the same TASP attack on a baseline network with
-  the watchdog disabled: the paper's deadlock reproduction, unchanged
-  (graceful degradation is strictly opt-in).
+  the watchdog disabled: the paper's deadlock reproduction (graceful
+  degradation is strictly opt-in).  A harmless soft-error burst rides
+  along and the campaign's explanation pass
+  (:func:`repro.resilience.campaign.minimal_explaining_events`)
+  delta-debugs the event list, reporting that the TASP activation
+  alone explains the deadlock.
 * **bare-watchdog** — the TASP attack on a baseline network *with*
   the watchdog but no L-Ob rung available: survival must come from
   bounded retries, packet drops and rerouting recovery alone.
@@ -28,6 +32,7 @@ from repro.resilience import (
     CampaignReport,
     CampaignSpec,
     LinkKill,
+    TransientBurst,
     TrojanActivation,
     run_campaign,
     targeted_stream,
@@ -80,11 +85,20 @@ def run(cfg: NoCConfig = PAPER_CONFIG) -> ChaosResult:
             name="no-watchdog",
             cfg=cfg,
             traffic=_traffic(cfg, heavy=True),
-            events=[TrojanActivation(at=10, **tasp)],
+            events=[
+                TrojanActivation(at=10, **tasp),
+                # a correctable soft-error burst far from the attack:
+                # the explanation pass must rule it out as a cause
+                TransientBurst(
+                    link=(10, Direction.EAST), at=30, duration=200,
+                    flip_probability=0.02, double_fraction=0.0,
+                ),
+            ],
             mitigated=False,
             watchdog=None,
             max_cycles=2500,
             deadlock_window=400,
+            explain_violations=True,
         )
     )
 

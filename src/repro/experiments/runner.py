@@ -176,22 +176,47 @@ def _worker(task: tuple) -> tuple[str, bool, float, str, str]:
     supervisor only ever retries *infrastructure* failures (hangs,
     killed workers) — a deterministic bug in an experiment is reported
     once, not retried into quarantine.
+
+    With a forensics directory set, every engine run inside the
+    experiment is armed (via ``REPRO_FORENSICS_DIR``) to leave a
+    ``*.repro`` bundle on failure; the bundle path lands in the row's
+    error column, and ``shrink`` additionally minimizes the failing
+    scenario right here in the worker.
     """
-    name, seed, json_path, cache_dir, use_cache = task
+    name, seed, json_path, cache_dir, use_cache, forensics_dir, shrink = task
     cache = ResultCache(cache_dir) if use_cache else None
     started = time.time()
     try:
-        report = run_experiment(
-            name, json_path=json_path, seed=seed, cache=cache
-        )
+        if forensics_dir:
+            os.environ["REPRO_FORENSICS_DIR"] = str(
+                Path(forensics_dir) / name
+            )
+        try:
+            report = run_experiment(
+                name, json_path=json_path, seed=seed, cache=cache
+            )
+        finally:
+            if forensics_dir:
+                os.environ.pop("REPRO_FORENSICS_DIR", None)
     except Exception as exc:
-        return (
-            name,
-            False,
-            time.time() - started,
-            traceback.format_exc(),
-            f"{type(exc).__name__}: {exc}",
-        )
+        error = f"{type(exc).__name__}: {exc}"
+        report = traceback.format_exc()
+        bundle = getattr(exc, "repro_bundle", None)
+        if bundle is not None:
+            error += f" [bundle: {bundle}]"
+            report += f"\n[repro bundle: {bundle}]"
+            if shrink:
+                try:
+                    from repro.sim.shrink import shrink_bundle
+
+                    result, shrunk = shrink_bundle(bundle)
+                    error += f" [shrunk: {shrunk}]"
+                    report += (
+                        f"[shrunk bundle: {shrunk}]\n" + result.diff()
+                    )
+                except Exception as shrink_exc:
+                    report += f"\n[shrink failed: {shrink_exc}]"
+        return (name, False, time.time() - started, report, error)
     return (name, True, time.time() - started, report, "")
 
 
@@ -266,17 +291,25 @@ def _save_state(path: Path, key: str, rows: dict) -> None:
 
 
 def _quarantine_row(outcome: TaskOutcome) -> tuple:
-    """A table row for a task the supervisor gave up on."""
+    """A table row for a task the supervisor gave up on; any repro
+    bundles a dying worker left behind are named so the failure stays
+    diagnosable."""
     report = (
         f"[{outcome.task_id} quarantined after {outcome.attempts} "
         "failed attempts]\n" + "\n".join(outcome.failures)
     )
+    error = f"quarantined: {outcome.error}"
+    if outcome.artifacts:
+        report += "\nrepro bundles:\n" + "\n".join(
+            f"  {path}" for path in outcome.artifacts
+        )
+        error += f" [bundles: {', '.join(outcome.artifacts)}]"
     return (
         outcome.task_id,
         False,
         outcome.seconds,
         report,
-        f"quarantined: {outcome.error}",
+        error,
     )
 
 
@@ -345,7 +378,22 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="skip experiments already completed successfully by a "
         "previous interrupted run with the same arguments",
     )
+    parser.add_argument(
+        "--forensics-dir",
+        default=None,
+        help="arm failure forensics: a failing experiment leaves a "
+        "replayable *.repro bundle under DIR/<experiment>",
+    )
+    parser.add_argument(
+        "--shrink",
+        action="store_true",
+        help="with --forensics-dir: delta-debug each failure's "
+        "scenario to a 1-minimal shrunk bundle",
+    )
     args = parser.parse_args(argv)
+    if args.shrink and not args.forensics_dir:
+        print("--shrink requires --forensics-dir", file=sys.stderr)
+        return 2
 
     if "list" in args.experiments:
         for name, (_, desc) in EXPERIMENTS.items():
@@ -375,6 +423,8 @@ def main(argv: Optional[list[str]] = None) -> int:
             else args.json,
             args.cache_dir,
             not args.no_cache,
+            args.forensics_dir,
+            args.shrink,
         )
         for name in plan
     ]
@@ -397,6 +447,13 @@ def main(argv: Optional[list[str]] = None) -> int:
         rows_by_name[row[0]] = row
         _save_state(state_path, state_key, rows_by_name)
 
+    def bundles_for(task_id: str) -> list[str]:
+        """Repro bundles a failed experiment's workers left on disk."""
+        if not args.forensics_dir:
+            return []
+        root = Path(args.forensics_dir) / task_id
+        return sorted(str(p) for p in root.glob("*.repro"))
+
     interrupted = False
     if args.jobs > 1 and len(to_run) > 1:
         supervisor = Supervisor(
@@ -408,6 +465,7 @@ def main(argv: Optional[list[str]] = None) -> int:
             on_complete=lambda outcome: record(
                 outcome.result if outcome.ok else _quarantine_row(outcome)
             ),
+            artifacts_for=bundles_for,
         )
         try:
             supervisor.run([(task[0], _worker, (task,)) for task in to_run])

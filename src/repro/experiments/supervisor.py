@@ -75,6 +75,9 @@ class TaskOutcome:
     error: str = ""
     #: every attempt's failure description, oldest first
     failures: tuple = ()
+    #: salvage pointers (e.g. repro-bundle paths) collected via the
+    #: supervisor's ``artifacts_for`` hook when the task quarantines
+    artifacts: tuple = ()
 
 
 class SupervisorInterrupt(KeyboardInterrupt):
@@ -133,9 +136,13 @@ class Supervisor:
         self,
         config: Optional[SupervisorConfig] = None,
         on_complete: Optional[Callable[[TaskOutcome], None]] = None,
+        artifacts_for: Optional[Callable[[str], Sequence[str]]] = None,
     ):
         self.config = config or SupervisorConfig()
         self.on_complete = on_complete
+        #: called with a task_id when it quarantines; returns on-disk
+        #: artifacts (repro bundles, logs) a dead worker left behind
+        self.artifacts_for = artifacts_for
         try:
             self._ctx = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX fallback
@@ -292,6 +299,12 @@ class Supervisor:
                 )
             )
             return
+        artifacts: tuple = ()
+        if self.artifacts_for is not None:
+            try:
+                artifacts = tuple(self.artifacts_for(item.task_id))
+            except Exception:  # pragma: no cover - best-effort salvage
+                artifacts = ()
         outcome = TaskOutcome(
             task_id=item.task_id,
             ok=False,
@@ -300,6 +313,7 @@ class Supervisor:
             seconds=now - (item.first_started or now),
             error=error.strip().splitlines()[-1] if error else "failed",
             failures=tuple(item.failures),
+            artifacts=artifacts,
         )
         outcomes[item.task_id] = outcome
         if self.on_complete is not None:

@@ -3,24 +3,36 @@
 A :class:`NetworkValidator` audits a live network for the conservation
 laws the microarchitecture must uphold no matter what faults or trojans
 are active.  The test suite runs it inside fault-injection campaigns;
-users can attach it while debugging their own extensions::
+the sentinel (:mod:`repro.sim.sentinel`) runs it online inside
+:class:`~repro.sim.engine.Simulation`; users can attach it while
+debugging their own extensions::
 
     validator = NetworkValidator(net)
     for _ in range(1000):
         net.step()
         validator.check()   # raises InvariantViolation with a report
 
-Checked invariants:
+Checked invariant families (selectable via ``families``):
 
-* **credit conservation** — for every (link, VC): visible upstream
-  credits + in-flight credit returns + downstream occupancy (buffered or
-  staged) + not-yet-accepted retransmission entries == VC depth;
-* **buffer bounds** — no VC buffer, ejection queue or retransmission
-  buffer ever exceeds its capacity;
-* **holder consistency** — every held output VC refers to a real input
-  VC whose allocation agrees;
-* **flit conservation** — every injected flit is ejected, dropped, or
-  findable exactly once inside the network.
+* ``credit`` — for every (link, VC): visible upstream credits +
+  in-flight credit returns + downstream occupancy (buffered or staged)
+  + not-yet-accepted retransmission entries == VC depth;
+* ``buffer`` — no VC buffer, ejection queue or retransmission buffer
+  ever exceeds its capacity;
+* ``holder`` — every held output VC refers to a real input VC whose
+  allocation agrees;
+* ``flit`` — every injected flit is ejected, dropped, or findable
+  exactly once inside the network.
+
+The flit sweep supports two scopes.  ``"full"`` walks every router and
+link.  ``"active"`` walks only the network's active sets — settled
+components provably hold no flits (settlement requires empty VC
+buffers, retransmission buffers, staging stores and eject queues), so
+the two scopes agree whenever the active-set bookkeeping is intact.
+``"active"`` is what keeps the online sentinel cheap on drain-heavy
+traffic; code that mutates network state behind the engine's back must
+call :meth:`~repro.noc.network.Network.wake_all` first or audit with
+``"full"``.
 """
 
 from __future__ import annotations
@@ -30,41 +42,113 @@ from dataclasses import dataclass, field
 from repro.noc.network import Network
 from repro.noc.topology import OPPOSITE
 
+#: every invariant family, in audit order
+FAMILIES = ("credit", "buffer", "holder", "flit")
 
-class InvariantViolation(AssertionError):
-    """A conservation law broke — the report names where."""
+
+class InvariantViolation(RuntimeError):
+    """A conservation law broke — the report names where.
+
+    Deliberately a :class:`RuntimeError`, not an ``AssertionError``:
+    stripped-assert interpreters (``python -O``) and broad
+    ``pytest.raises(AssertionError)`` idioms must never swallow a real
+    conservation failure.  The full :class:`ValidationReport` rides on
+    the exception as ``report``.
+    """
+
+    def __init__(self, message: str, report: "ValidationReport | None" = None):
+        super().__init__(message)
+        self.report = report
 
 
 @dataclass
 class ValidationReport:
+    """Accumulated audit outcome.
+
+    Repeated *identical* violation messages are folded into
+    ``duplicates`` (a validator polled in a loop over a broken network
+    would otherwise grow its list without bound), and once
+    ``max_violations`` distinct messages are listed further distinct
+    ones only bump ``overflow``.
+    """
+
     checks: int = 0
     violations: list[str] = field(default_factory=list)
+    #: identical messages suppressed after their first occurrence
+    duplicates: int = 0
+    #: distinct messages dropped after the list hit ``max_violations``
+    overflow: int = 0
+    #: distinct-violation counts keyed by invariant family
+    by_family: dict[str, int] = field(default_factory=dict)
+    max_violations: int = 200
+    _seen: set = field(default_factory=set, repr=False, compare=False)
 
     @property
     def ok(self) -> bool:
         return not self.violations
 
+    @property
+    def total_failures(self) -> int:
+        """Every failed assertion ever observed, folded or not."""
+        return len(self.violations) + self.duplicates + self.overflow
+
+    def record(self, family: str, message: str) -> None:
+        if message in self._seen:
+            self.duplicates += 1
+            return
+        self._seen.add(message)
+        self.by_family[family] = self.by_family.get(family, 0) + 1
+        if len(self.violations) >= self.max_violations:
+            self.overflow += 1
+            return
+        self.violations.append(message)
+
 
 class NetworkValidator:
-    """Audits a network's conservation laws."""
+    """Audits a network's conservation laws.
 
-    def __init__(self, network: Network):
+    ``families`` selects which invariant families run (default: all);
+    ``flit_scope`` picks the flit-conservation sweep (``"full"`` or
+    ``"active"``, see the module docstring).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        *,
+        families: tuple = FAMILIES,
+        flit_scope: str = "full",
+        max_violations: int = 200,
+    ):
+        unknown = set(families) - set(FAMILIES)
+        if unknown:
+            raise ValueError(f"unknown invariant families: {sorted(unknown)}")
+        if flit_scope not in ("full", "active"):
+            raise ValueError(f"unknown flit_scope {flit_scope!r}")
         self.net = network
-        self.report = ValidationReport()
+        self.families = tuple(families)
+        self.flit_scope = flit_scope
+        self.report = ValidationReport(max_violations=max_violations)
 
     # ------------------------------------------------------------------
     def check(self, raise_on_violation: bool = True) -> ValidationReport:
         self.report.checks += 1
-        self._check_credit_conservation()
-        self._check_buffer_bounds()
-        self._check_holders()
-        self._check_flit_conservation()
+        if "credit" in self.families:
+            self._check_credit_conservation()
+        if "buffer" in self.families:
+            self._check_buffer_bounds()
+        if "holder" in self.families:
+            self._check_holders()
+        if "flit" in self.families:
+            self._check_flit_conservation()
         if raise_on_violation and not self.report.ok:
-            raise InvariantViolation("; ".join(self.report.violations[-5:]))
+            raise InvariantViolation(
+                "; ".join(self.report.violations[-5:]), self.report
+            )
         return self.report
 
-    def _fail(self, message: str) -> None:
-        self.report.violations.append(message)
+    def _fail(self, family: str, message: str) -> None:
+        self.report.record(family, message)
 
     # ------------------------------------------------------------------
     def _check_credit_conservation(self) -> None:
@@ -93,10 +177,11 @@ class NetworkValidator:
                 total = visible + pending + unaccepted + occupancy
                 if total != net.cfg.vc_depth:
                     self._fail(
+                        "credit",
                         f"credit conservation on link {key} vc {vc}: "
                         f"visible={visible} pending={pending} "
                         f"unaccepted={unaccepted} occupancy={occupancy} "
-                        f"!= depth {net.cfg.vc_depth}"
+                        f"!= depth {net.cfg.vc_depth}",
                     )
 
     def _check_buffer_bounds(self) -> None:
@@ -106,19 +191,22 @@ class NetworkValidator:
                 for vc_idx, vc in enumerate(port.vcs):
                     if vc.occupancy > vc.capacity:
                         self._fail(
+                            "buffer",
                             f"router {router.id} input {pkey} vc {vc_idx} "
-                            f"over capacity: {vc.occupancy}>{vc.capacity}"
+                            f"over capacity: {vc.occupancy}>{vc.capacity}",
                         )
             for direction, out in router.outputs.items():
                 if out.retrans.occupancy > out.retrans.depth:
                     self._fail(
+                        "buffer",
                         f"router {router.id} output {direction.name} "
-                        "retransmission buffer over depth"
+                        "retransmission buffer over depth",
                     )
             for local, eject in router.ejects.items():
                 if len(eject.queue) > eject.capacity:
                     self._fail(
-                        f"router {router.id} eject {local} over capacity"
+                        "buffer",
+                        f"router {router.id} eject {local} over capacity",
                     )
 
     def _check_holders(self) -> None:
@@ -132,8 +220,9 @@ class NetworkValidator:
                     port = router.inputs.get(in_key)
                     if port is None:
                         self._fail(
+                            "holder",
                             f"router {router.id} output {direction.name} "
-                            f"vc {out_vc} held by unknown port {in_key}"
+                            f"vc {out_vc} held by unknown port {in_key}",
                         )
                         continue
                     vc = port.vcs[vc_idx]
@@ -150,14 +239,35 @@ class NetworkValidator:
                     )
                     if not tail_pending:
                         self._fail(
+                            "holder",
                             f"router {router.id}: holder mismatch on "
-                            f"{direction.name} vc {out_vc}"
+                            f"{direction.name} vc {out_vc}",
                         )
+
+    def _flit_sweep_scope(self):
+        """(routers, link_keys) the flit sweep must walk.
+
+        In ``"active"`` scope on an active-set-stepped network the
+        sweep is restricted to the active sets: a settled router/link
+        holds no flits by the definition of settlement, so restricting
+        the sweep cannot change the verdict.  Full-sweep networks keep
+        their active sets maximal, so the scopes coincide there.
+        """
+        net = self.net
+        if self.flit_scope == "active":
+            active_r = net._active_routers
+            active_l = net._active_links
+            return (
+                [r for r in net.routers if r.id in active_r],
+                [k for k in net._link_keys if k in active_l],
+            )
+        return net.routers, net._link_keys
 
     def _check_flit_conservation(self) -> None:
         net = self.net
+        routers, link_keys = self._flit_sweep_scope()
         ids: set[int] = set()
-        for router in net.routers:
+        for router in routers:
             for port in router.inputs.values():
                 for vc in port.vcs:
                     ids.update(id(f) for f in vc.buffer)
@@ -165,7 +275,7 @@ class NetworkValidator:
                 ids.update(id(e.flit) for e in out.retrans)
             for eject in router.ejects.values():
                 ids.update(id(f) for f in eject.queue)
-        for key in net.links:
+        for key in link_keys:
             receiver = net.receiver_of(key)
             for store in receiver._staging.values():
                 ids.update(id(s.flit) for s in store.values())
@@ -175,7 +285,8 @@ class NetworkValidator:
         )
         if accounted != net.stats.flits_injected:
             self._fail(
+                "flit",
                 f"flit conservation: injected={net.stats.flits_injected} "
                 f"ejected={net.stats.flits_ejected} in_network={in_network} "
-                f"dropped={net.stats.dropped_flits}"
+                f"dropped={net.stats.dropped_flits}",
             )

@@ -17,6 +17,7 @@ or policy configuration.
 from __future__ import annotations
 
 import enum
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, TYPE_CHECKING
 
@@ -58,17 +59,55 @@ class TraceEvent:
         )
 
 
+class _LaunchHook:
+    """Picklable per-link launch callback (a lambda here would make the
+    network un-checkpointable)."""
+
+    __slots__ = ("tracer", "key")
+
+    def __init__(self, tracer: "FlitTracer", key: LinkKey):
+        self.tracer = tracer
+        self.key = key
+
+    def __call__(self, tx, cycle, original) -> None:
+        self.tracer._on_launch(self.key, tx, cycle, original)
+
+
+class _AckHook:
+    """Picklable per-link ACK/NACK callback."""
+
+    __slots__ = ("tracer", "key")
+
+    def __init__(self, tracer: "FlitTracer", key: LinkKey):
+        self.tracer = tracer
+        self.key = key
+
+    def __call__(self, ack, cycle, flit) -> None:
+        self.tracer._on_ack(self.key, ack, cycle, flit)
+
+
 class FlitTracer:
-    """Collects :class:`TraceEvent`s for selected packets."""
+    """Collects :class:`TraceEvent`s for selected packets.
+
+    ``ring=False`` (the default) keeps the *first* ``capacity`` events
+    and stops recording — the debugging view.  ``ring=True`` keeps the
+    *last* ``capacity`` events, evicting the oldest — the forensics
+    view: when a run dies, the window ends at the failure.
+    """
 
     def __init__(
         self,
         pkt_ids: Optional[Iterable[int]] = None,
         capacity: int = 100_000,
+        *,
+        ring: bool = False,
     ):
         self.pkt_ids = set(pkt_ids) if pkt_ids is not None else None
         self.capacity = capacity
-        self.events: list[TraceEvent] = []
+        self.ring = ring
+        self.events = (
+            deque(maxlen=capacity) if ring else []
+        )
         self.truncated = False
 
     # -- wiring -----------------------------------------------------------
@@ -78,22 +117,16 @@ class FlitTracer:
         network: Network,
         pkt_ids: Optional[Iterable[int]] = None,
         capacity: int = 100_000,
+        *,
+        ring: bool = False,
     ) -> "FlitTracer":
-        tracer = cls(pkt_ids, capacity)
+        tracer = cls(pkt_ids, capacity, ring=ring)
 
         network.injection_hooks.append(tracer._on_inject)
         network.ejection_hooks.append(tracer._on_eject)
         for key, link in network.links.items():
-            link.launch_hooks.append(
-                lambda tx, cycle, original, k=key: tracer._on_launch(
-                    k, tx, cycle, original
-                )
-            )
-            link.ack_hooks.append(
-                lambda ack, cycle, flit, k=key: tracer._on_ack(
-                    k, ack, cycle, flit
-                )
-            )
+            link.launch_hooks.append(_LaunchHook(tracer, key))
+            link.ack_hooks.append(_AckHook(tracer, key))
         return tracer
 
     # -- capture ------------------------------------------------------------
@@ -103,7 +136,8 @@ class FlitTracer:
     def _record(self, event: TraceEvent) -> None:
         if len(self.events) >= self.capacity:
             self.truncated = True
-            return
+            if not self.ring:
+                return
         self.events.append(event)
 
     def _on_inject(self, flit: "Flit", cycle: int) -> None:

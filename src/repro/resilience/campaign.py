@@ -84,6 +84,11 @@ class CampaignSpec:
     recovery_stall_limit: int = 300
     reconfiguration_cycles: int = 64
     seed: int = 0
+    #: after a failing run, delta-debug the event list to find which
+    #: injected faults minimally explain the failure (costs extra runs)
+    explain_violations: bool = False
+    #: campaign re-run budget for that explanation
+    explain_budget: int = 32
 
 
 @dataclass(frozen=True)
@@ -119,6 +124,14 @@ class CampaignReport:
     corrupted_traversals: int
     invariant_checks: int
     violations: tuple[str, ...]
+    #: labels of the minimal injected-event subset that still produces
+    #: this failure (empty unless explain_violations found one)
+    minimal_events: tuple[str, ...] = ()
+
+    @property
+    def failed(self) -> bool:
+        """Did this run exhibit a failure worth explaining?"""
+        return self.deadlocked or bool(self.violations)
 
     @property
     def delivered_all(self) -> bool:
@@ -169,6 +182,10 @@ class CampaignReport:
             lines.append(
                 "  escalation: " + " -> ".join(self.escalation_stages)
             )
+        if self.minimal_events:
+            lines.append(
+                "  minimal cause: " + " + ".join(self.minimal_events)
+            )
         return "\n".join(lines)
 
 
@@ -178,8 +195,71 @@ def run_campaign(spec: CampaignSpec) -> CampaignReport:
     A module-level entry point, so supervised runners can hand a
     ``(run_campaign, (spec,))`` pair to a worker process without
     wrapping the campaign object themselves.
+
+    With ``spec.explain_violations`` set, a failing run is followed by
+    :func:`minimal_explaining_events` and the report carries the
+    minimal fault subset as ``minimal_events``.
     """
-    return ChaosCampaign(spec).run()
+    report = ChaosCampaign(spec).run()
+    if spec.explain_violations and report.failed and spec.events:
+        import dataclasses
+
+        report = dataclasses.replace(
+            report,
+            minimal_events=minimal_explaining_events(
+                spec, report, max_runs=spec.explain_budget
+            ),
+        )
+    return report
+
+
+def minimal_explaining_events(
+    spec: CampaignSpec,
+    report: CampaignReport,
+    *,
+    max_runs: int = 32,
+) -> tuple[str, ...]:
+    """Labels of a 1-minimal event subset that still reproduces the
+    campaign's failure mode.
+
+    Delta-debugs ``spec.events`` by re-running the campaign on
+    candidate subsets (each event deep-copied, so the stateful fault
+    models start fresh) and keeping removals under which the run still
+    *fails the same way*: an invariant-violating run must keep
+    violating, a deadlocked run must keep deadlocking.  At most
+    ``max_runs`` re-runs are spent; if the budget runs dry the
+    smallest subset found so far is returned (still failing, possibly
+    not minimal).  Returns ``()`` when the original run didn't fail.
+    """
+    import copy
+    import dataclasses as dc
+
+    from repro.sim.shrink import greedy_min_subset
+
+    def failed_same_way(candidate: CampaignReport) -> bool:
+        if report.violations:
+            return bool(candidate.violations)
+        return candidate.deadlocked
+
+    if not report.failed:
+        return ()
+
+    runs = 0
+
+    def still_fails(events: list) -> bool:
+        nonlocal runs
+        if runs >= max_runs:
+            return False  # budget dry: accept no further removals
+        runs += 1
+        candidate = dc.replace(
+            spec,
+            events=tuple(copy.deepcopy(e) for e in events),
+            explain_violations=False,
+        )
+        return failed_same_way(ChaosCampaign(candidate).run())
+
+    kept = greedy_min_subset(list(spec.events), still_fails)
+    return tuple(event.label() for event in kept)
 
 
 class ChaosCampaign:

@@ -9,6 +9,12 @@ or a finished :class:`~repro.sim.engine.RunResult`.  Results can be
 memoized on disk through :mod:`repro.sim.cache`, and live simulation
 state can be frozen to disk and resumed through
 :mod:`repro.sim.checkpoint`.
+
+Failure forensics ride on top: :mod:`repro.sim.sentinel` audits
+invariants and progress online, :mod:`repro.sim.forensics` captures
+failures as replayable ``*.repro`` bundles, and
+:mod:`repro.sim.shrink` delta-debugs a failing scenario down to its
+minimal cause.
 """
 
 from repro.sim.scenario import (
@@ -40,11 +46,41 @@ from repro.sim.checkpoint import (
     list_checkpoints,
     prune_checkpoints,
 )
+from repro.sim.sentinel import Sentinel, SentinelSpec, SentinelTrip
+from repro.sim.forensics import (
+    Forensics,
+    ForensicsError,
+    ReproBundle,
+    failure_signature,
+    load_bundle,
+    planted_deadlock_scenario,
+    replay_bundle,
+)
+from repro.sim.shrink import (
+    ShrinkError,
+    ShrinkResult,
+    shrink_bundle,
+    shrink_scenario,
+)
 
 __all__ = [
     "Checkpoint",
     "CheckpointError",
+    "Forensics",
+    "ForensicsError",
+    "ReproBundle",
     "ScenarioDecodeError",
+    "Sentinel",
+    "SentinelSpec",
+    "SentinelTrip",
+    "ShrinkError",
+    "ShrinkResult",
+    "failure_signature",
+    "load_bundle",
+    "planted_deadlock_scenario",
+    "replay_bundle",
+    "shrink_bundle",
+    "shrink_scenario",
     "latest_checkpoint",
     "list_checkpoints",
     "prune_checkpoints",

@@ -12,12 +12,14 @@ JSON-friendly :class:`RunResult`.
 from __future__ import annotations
 
 import dataclasses
+import os
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.checkpoint import Checkpoint
+    from repro.sim.forensics import Forensics
 
 from repro.baselines.e2e import E2EObfuscator
 from repro.baselines.reroute import apply_rerouting, updown_table
@@ -36,6 +38,7 @@ from repro.sim.scenario import (
     SyntheticTraffic,
     TrojanSpec,
 )
+from repro.sim.sentinel import Sentinel
 from repro.traffic.apps import PROFILES, AppTraceSource
 from repro.traffic.flood import FloodConfig, FloodSource, MergedSource
 from repro.traffic.synthetic import PATTERNS, SyntheticConfig, SyntheticSource
@@ -239,6 +242,15 @@ class Simulation:
         if defense.watchdog is not None:
             self.watchdog = RetransWatchdog(defense.watchdog).attach(net)
 
+        #: online invariant/progress monitor (None = not configured)
+        self.sentinel: Optional[Sentinel] = None
+        if scenario.sentinel is not None and scenario.sentinel.every > 0:
+            self.sentinel = Sentinel(scenario.sentinel)
+            net.monitors.append(self.sentinel)
+
+        #: failure-forensics recorder (None until enable_forensics)
+        self.forensics: "Optional[Forensics]" = None
+
         net.sample_interval = scenario.sample_interval
 
         # -- periodic checkpointing (off until configured) ---------------
@@ -327,6 +339,10 @@ class Simulation:
         self.network.step()
         if self._ckpt_next is not None:
             self._maybe_checkpoint()
+        if self.forensics is not None:
+            # after network.step(): a failing cycle raises before this
+            # line, so the forensics snapshot is always last-*good*
+            self.forensics.maybe_snapshot()
 
     def advance_to(self, cycle: int) -> None:
         """Step until the network clock reaches ``cycle``, firing any
@@ -350,8 +366,55 @@ class Simulation:
                 return False
         return net.drained
 
+    # -- forensics -------------------------------------------------------
+    def enable_forensics(
+        self,
+        directory: "str | Path",
+        *,
+        snapshot_every: int = 500,
+        trace_capacity: int = 2000,
+    ) -> "Forensics":
+        """Record enough state, continuously, to reproduce any failure.
+
+        Keeps an in-memory last-good checkpoint (refreshed every
+        ``snapshot_every`` cycles) and a ring buffer of the last
+        ``trace_capacity`` flit events; any exception escaping
+        :meth:`run` is then captured as a ``*.repro`` bundle under
+        ``directory`` (see :mod:`repro.sim.forensics`) and carries the
+        bundle path as ``exc.repro_bundle``.
+        """
+        from repro.sim.forensics import Forensics
+
+        self.forensics = Forensics(
+            self,
+            directory,
+            snapshot_every=snapshot_every,
+            trace_capacity=trace_capacity,
+        )
+        return self.forensics
+
+    @classmethod
+    def replay(cls, bundle: "str | Path") -> "Simulation":
+        """A live simulation restored from a repro bundle's last-good
+        checkpoint; calling :meth:`run` on it deterministically
+        re-raises the bundled failure."""
+        from repro.sim.forensics import load_bundle
+
+        sim = cls.restore(load_bundle(bundle).checkpoint_path)
+        # a replay diagnoses an existing bundle — don't write new ones
+        sim.forensics = None
+        return sim
+
     # -- one-shot --------------------------------------------------------
     def run(self) -> RunResult:
+        try:
+            return self._run()
+        except Exception as exc:
+            if self.forensics is not None:
+                exc.repro_bundle = self.forensics.write_bundle(exc)
+            raise
+
+    def _run(self) -> RunResult:
         scenario = self.scenario
         if scenario.duration is not None:
             self.advance_to(scenario.duration)
@@ -415,6 +478,7 @@ def run(
     checkpoint_interval: Optional[int] = None,
     checkpoint_dir: "str | Path | None" = None,
     resume: bool = False,
+    forensics_dir: "str | Path | None" = None,
 ) -> RunResult:
     """Build ``scenario`` and run it to its duration or drain limit.
 
@@ -423,6 +487,11 @@ def run(
     ``resume=True`` additionally starts from the newest restorable
     checkpoint (if any) instead of cycle 0.  Either way the
     :class:`RunResult` is bit-identical to an uninterrupted run.
+
+    ``forensics_dir`` (or the ``REPRO_FORENSICS_DIR`` environment
+    variable, which forked runner workers inherit) arms failure
+    forensics: any exception escaping the run leaves a ``*.repro``
+    bundle there and carries its path as ``exc.repro_bundle``.
     """
     if resume:
         sim = resume_or_build(scenario, checkpoint_dir, full_sweep=full_sweep)
@@ -430,4 +499,8 @@ def run(
         sim = Simulation(scenario, full_sweep=full_sweep)
     if checkpoint_interval is not None and checkpoint_dir is not None:
         sim.configure_checkpoints(checkpoint_dir, checkpoint_interval)
+    if forensics_dir is None:
+        forensics_dir = os.environ.get("REPRO_FORENSICS_DIR") or None
+    if forensics_dir is not None:
+        sim.enable_forensics(forensics_dir)
     return sim.run()

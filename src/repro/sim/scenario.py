@@ -37,6 +37,7 @@ from repro.core.tasp import TaspConfig
 from repro.noc.config import NoCConfig, PAPER_CONFIG
 from repro.noc.topology import Direction, LinkKey
 from repro.resilience.watchdog import WatchdogConfig
+from repro.sim.sentinel import SentinelSpec
 
 #: serialization format; bump on incompatible layout changes so stale
 #: cached results are never revived under a colliding hash
@@ -256,6 +257,8 @@ class Scenario:
     stall_limit: Optional[int] = None
     #: Network.sample_interval (0 disables periodic samples)
     sample_interval: int = 10
+    #: online invariant sentinel configuration (None = no sentinel)
+    sentinel: Optional[SentinelSpec] = None
     #: experiment-level seed, recorded for provenance/hashing; the
     #: traffic and fault specs carry the derived per-stream seeds
     seed: int = 0
@@ -274,6 +277,7 @@ class Scenario:
             "max_cycles": self.max_cycles,
             "stall_limit": self.stall_limit,
             "sample_interval": self.sample_interval,
+            "sentinel": _encode_sentinel(self.sentinel),
             "seed": self.seed,
         }
 
@@ -308,6 +312,8 @@ class Scenario:
             max_cycles=_require(data, "max_cycles", "scenario"),
             stall_limit=_require(data, "stall_limit", "scenario"),
             sample_interval=_require(data, "sample_interval", "scenario"),
+            # tolerant .get: pre-sentinel scenario files stay decodable
+            sentinel=_decode_sentinel(data.get("sentinel")),
             seed=_require(data, "seed", "scenario"),
         )
 
@@ -440,6 +446,23 @@ def _decode_fault(data: dict) -> TransientFaultSpec:
         seed=data["seed"],
         labels=tuple(data["labels"]),
     )
+
+
+def _encode_sentinel(spec: Optional[SentinelSpec]) -> Optional[dict]:
+    if spec is None:
+        return None
+    body = _plain_fields(spec)
+    body["families"] = list(body["families"])
+    return body
+
+
+def _decode_sentinel(data: Optional[dict]) -> Optional[SentinelSpec]:
+    if data is None:
+        return None
+    data = dict(data)
+    if "families" in data:
+        data["families"] = tuple(data["families"])
+    return _build_spec(SentinelSpec, data, "sentinel spec")
 
 
 def _encode_defense(spec: DefenseSpec) -> dict:

@@ -218,3 +218,75 @@ class TestValidatorDetectsCorruption:
         report = validator.check(raise_on_violation=False)
         assert not report.ok
         assert "credit conservation" in report.violations[0]
+
+
+class TestReportHygiene:
+    def test_violation_is_runtime_error_with_report(self):
+        net = Network(PAPER_CONFIG)
+        out = net.output_port_of((0, Direction.EAST))
+        out.credits._credits[0] -= 1
+        validator = NetworkValidator(net)
+        with pytest.raises(InvariantViolation) as excinfo:
+            validator.check()
+        assert isinstance(excinfo.value, RuntimeError)
+        assert not isinstance(excinfo.value, AssertionError)
+        assert excinfo.value.report is validator.report
+
+    def test_identical_messages_fold_into_duplicates(self):
+        net = Network(PAPER_CONFIG)
+        out = net.output_port_of((0, Direction.EAST))
+        out.credits._credits[0] -= 1
+        validator = NetworkValidator(net)
+        for _ in range(5):
+            validator.check(raise_on_violation=False)
+        report = validator.report
+        assert len(report.violations) == 1
+        assert report.duplicates == 4
+        assert report.total_failures == 5
+        assert report.by_family == {"credit": 1}
+
+    def test_distinct_overflow_past_the_cap(self):
+        from repro.noc.invariants import ValidationReport
+
+        report = ValidationReport(max_violations=2)
+        for i in range(5):
+            report.record("credit", f"violation {i}")
+        assert len(report.violations) == 2
+        assert report.overflow == 3
+        assert report.duplicates == 0
+        assert report.total_failures == 5
+        assert report.by_family == {"credit": 5}
+
+    def test_family_selection_skips_unselected_checks(self):
+        net = Network(PAPER_CONFIG)
+        out = net.output_port_of((0, Direction.EAST))
+        out.credits._credits[0] -= 1  # a credit-family corruption
+        scoped = NetworkValidator(net, families=("buffer", "holder"))
+        assert scoped.check().ok  # credit family never ran
+        assert not NetworkValidator(net).check(
+            raise_on_violation=False
+        ).ok
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="families"):
+            NetworkValidator(Network(PAPER_CONFIG), families=("karma",))
+
+    def test_unknown_flit_scope_rejected(self):
+        with pytest.raises(ValueError, match="flit_scope"):
+            NetworkValidator(Network(PAPER_CONFIG), flit_scope="mostly")
+
+    def test_active_scope_agrees_on_flit_conservation(self):
+        """Active-scoped and full flit sweeps reach the same verdict on
+        a live network (settled components hold no flits)."""
+        net = Network(PAPER_CONFIG)
+        for pid in range(10):
+            net.add_packet(
+                Packet(pkt_id=pid, src_core=0, dst_core=63,
+                       vc_class=pid % 4, created_cycle=0)
+            )
+        active = NetworkValidator(net, families=("flit",),
+                                  flit_scope="active")
+        full = NetworkValidator(net, families=("flit",))
+        for _ in range(300):
+            net.step()
+            assert active.check().ok == full.check().ok

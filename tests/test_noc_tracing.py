@@ -119,3 +119,46 @@ class TestTraceEvent:
         e2 = TraceEvent(9, EventKind.LAUNCHED, 1, 0,
                         link=(3, Direction.NORTH), detail="tag 4")
         assert "3->NORTH" in str(e2) and "tag 4" in str(e2)
+
+
+class TestRingMode:
+    def test_ring_keeps_newest_events(self):
+        net = Network(NoCConfig())
+        for pid in range(20):
+            net.add_packet(Packet(pkt_id=pid, src_core=0, dst_core=63))
+        full = FlitTracer.attach(net, None)
+        ring = FlitTracer.attach(net, None, capacity=10, ring=True)
+        net.run(200)
+        assert len(ring.events) == 10
+        assert ring.truncated
+        # the ring window is exactly the tail of the full trace
+        assert list(ring.events) == full.events[-10:]
+
+    def test_ring_under_capacity_keeps_everything(self):
+        net = Network(NoCConfig())
+        net.add_packet(Packet(pkt_id=1, src_core=0, dst_core=4))
+        tracer = run_with_tracer(net, {1}, ring=True)
+        assert not tracer.truncated
+        kinds = [e.kind for e in tracer.events]
+        assert kinds[0] is EventKind.INJECTED
+        assert kinds[-1] is EventKind.EJECTED
+
+
+class TestPicklableHooks:
+    def test_traced_network_pickles(self):
+        """The launch/ack hooks are named classes, not closures, so a
+        traced network can be checkpointed."""
+        import pickle
+
+        net = Network(NoCConfig())
+        net.add_packet(Packet(pkt_id=1, src_core=0, dst_core=63))
+        tracer = FlitTracer.attach(net, None, ring=True)
+        net.run(30)
+        restored_net, restored_tracer = pickle.loads(
+            pickle.dumps((net, tracer))
+        )
+        # the restored hooks feed the restored tracer, not the old one
+        before = len(restored_tracer.events)
+        restored_net.run(200)
+        assert len(restored_tracer.events) > before
+        assert len(tracer.events) == before

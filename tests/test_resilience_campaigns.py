@@ -74,3 +74,86 @@ def test_fuzz_is_deterministic():
     first = run_fuzz_campaign(7)
     second = run_fuzz_campaign(7)
     assert first == second
+
+
+# -- failure explanation ---------------------------------------------------
+def explain_spec(**overrides):
+    """A tiny campaign that reliably deadlocks: an unmitigated,
+    unwatched TASP on the victim flow's first hop, plus a harmless
+    correctable-noise decoy the explainer must rule out."""
+    from repro.core.targets import TargetSpec
+    from repro.noc.topology import Direction
+    from repro.resilience import (
+        TransientBurst,
+        TrojanActivation,
+        targeted_stream,
+    )
+
+    base = dict(
+        name="explain-mini",
+        cfg=FUZZ_CFG,
+        traffic=targeted_stream(FUZZ_CFG, 0, 2, 20, interval=4),
+        events=[
+            TrojanActivation(at=5, link=(0, Direction.EAST),
+                             target=TargetSpec.for_dest(2)),
+            TransientBurst(link=(3, Direction.EAST), at=10, duration=100,
+                           flip_probability=0.02, double_fraction=0.0),
+        ],
+        mitigated=False,
+        watchdog=None,
+        max_cycles=1500,
+        deadlock_window=250,
+        explain_violations=True,
+        explain_budget=16,
+    )
+    base.update(overrides)
+    return CampaignSpec(**base)
+
+
+class TestFailureExplanation:
+    def test_minimal_cause_names_only_the_trojan(self):
+        from repro.resilience import run_campaign
+
+        report = run_campaign(explain_spec())
+        assert report.deadlocked and report.failed
+        assert report.minimal_events == ("tasp@0-EAST",)
+        assert "minimal cause: tasp@0-EAST" in report.summary()
+
+    def test_surviving_run_explains_nothing(self):
+        from repro.resilience import run_campaign
+
+        report = run_campaign(explain_spec(events=[]))
+        assert not report.failed
+        assert report.minimal_events == ()
+
+    def test_explanation_is_opt_in(self):
+        from repro.resilience import run_campaign
+
+        report = run_campaign(explain_spec(explain_violations=False))
+        assert report.deadlocked
+        assert report.minimal_events == ()
+
+    def test_minimal_explaining_events_direct(self):
+        from repro.resilience.campaign import minimal_explaining_events
+
+        spec = explain_spec()
+        report = ChaosCampaign(spec).run()
+        assert report.deadlocked
+        labels = minimal_explaining_events(spec, report, max_runs=16)
+        assert labels == ("tasp@0-EAST",)
+        # a passing report short-circuits without spending runs
+        import dataclasses
+
+        passed = dataclasses.replace(
+            report, deadlocked=False, violations=()
+        )
+        assert minimal_explaining_events(spec, passed) == ()
+
+    def test_budget_dry_returns_a_failing_superset(self):
+        from repro.resilience.campaign import minimal_explaining_events
+
+        spec = explain_spec()
+        report = ChaosCampaign(spec).run()
+        labels = minimal_explaining_events(spec, report, max_runs=0)
+        # no budget: nothing could be removed, both events remain
+        assert set(labels) == {"tasp@0-EAST", "burst@3-EAST"}

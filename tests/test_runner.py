@@ -261,3 +261,130 @@ class TestCliErrors:
         out = capsys.readouterr().out
         for name in runner.EXPERIMENTS:
             assert name in out
+
+
+class TestForensicsWiring:
+    """--forensics-dir / --shrink: bundle paths flow into rows."""
+
+    def doomed_module(self, tmp_path, bundle=None):
+        import types
+
+        def failing_run():
+            exc = RuntimeError("sentinel tripped")
+            if bundle is not None:
+                exc.repro_bundle = bundle
+            raise exc
+
+        return types.SimpleNamespace(
+            __name__="doomed", run=failing_run,
+            format_result=lambda result: "",
+        )
+
+    def test_worker_names_the_bundle(self, tmp_path, monkeypatch):
+        bundle = tmp_path / "doomed" / "doomed-c000000000096.repro"
+        monkeypatch.setitem(
+            runner.EXPERIMENTS, "doomed",
+            (self.doomed_module(tmp_path, bundle), "planted failure"),
+        )
+        name, ok, _, report, error = runner._worker(
+            ("doomed", None, None, None, False, str(tmp_path), False)
+        )
+        assert (name, ok) == ("doomed", False)
+        assert f"[bundle: {bundle}]" in error
+        assert f"[repro bundle: {bundle}]" in report
+        # the env var armed in the worker never leaks out
+        assert "REPRO_FORENSICS_DIR" not in os.environ
+
+    def test_worker_arms_the_environment(self, tmp_path, monkeypatch):
+        import types
+
+        seen = {}
+
+        def spying_run():
+            seen["dir"] = os.environ.get("REPRO_FORENSICS_DIR")
+            return {}
+
+        module = types.SimpleNamespace(
+            __name__="spy", run=spying_run,
+            format_result=lambda result: "[spy ok]",
+        )
+        monkeypatch.setitem(runner.EXPERIMENTS, "spy", (module, "spy"))
+        _, ok, _, _, _ = runner._worker(
+            ("spy", None, None, None, False, str(tmp_path / "fx"), False)
+        )
+        assert ok
+        assert seen["dir"] == str(tmp_path / "fx" / "spy")
+        assert "REPRO_FORENSICS_DIR" not in os.environ
+
+    def test_worker_shrinks_on_request(self, tmp_path, monkeypatch):
+        import types
+
+        bundle = tmp_path / "doomed" / "doomed-c000000000096.repro"
+        monkeypatch.setitem(
+            runner.EXPERIMENTS, "doomed",
+            (self.doomed_module(tmp_path, bundle), "planted failure"),
+        )
+        shrunk = tmp_path / "doomed" / "doomed-shrunk-c000000000042.repro"
+        fake_result = types.SimpleNamespace(
+            diff=lambda: "traffic: 2 -> 1"
+        )
+        import repro.sim.shrink as shrink_mod
+
+        monkeypatch.setattr(
+            shrink_mod, "shrink_bundle",
+            lambda b: (fake_result, shrunk),
+        )
+        _, ok, _, report, error = runner._worker(
+            ("doomed", None, None, None, False, str(tmp_path), True)
+        )
+        assert not ok
+        assert f"[shrunk: {shrunk}]" in error
+        assert "traffic: 2 -> 1" in report
+
+    def test_worker_reports_shrink_failure(self, tmp_path, monkeypatch):
+        import types
+
+        bundle = tmp_path / "doomed" / "missing.repro"
+        monkeypatch.setitem(
+            runner.EXPERIMENTS, "doomed",
+            (self.doomed_module(tmp_path, bundle), "planted failure"),
+        )
+        _, ok, _, report, error = runner._worker(
+            ("doomed", None, None, None, False, str(tmp_path), True)
+        )
+        assert not ok
+        assert "[shrink failed:" in report  # bundle path doesn't exist
+        assert f"[bundle: {bundle}]" in error
+
+    def test_shrink_requires_forensics_dir(self, capsys):
+        assert runner.main(["table2", "--shrink"]) == 2
+        assert "--forensics-dir" in capsys.readouterr().err
+
+    def test_quarantine_rows_name_salvaged_bundles(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        """A worker that dies outright can still leave bundles on disk;
+        the quarantine row must point at them."""
+        forensics = tmp_path / "fx"
+        left_behind = forensics / "fig9" / "fig9-c000000000123.repro"
+        left_behind.mkdir(parents=True)
+
+        def fake(task):
+            name = task[0]
+            if name == "fig9":
+                os._exit(5)
+            return (name, True, 0.0, f"[{name} ok]", "")
+
+        monkeypatch.setattr(runner, "_worker", fake)
+        code = runner.main(
+            [
+                "fig9", "table2", "flood",
+                "--jobs", "2", "--max-retries", "0",
+                "--state", str(tmp_path / "state.json"), "--no-cache",
+                "--forensics-dir", str(forensics),
+            ]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "quarantined: fig9" in captured.out
+        assert str(left_behind) in captured.err  # row error names it

@@ -1,0 +1,220 @@
+"""Failure forensics: bundle capture, deterministic replay, CLI.
+
+A failing run with forensics armed must leave a complete ``*.repro``
+bundle, and replaying that bundle must re-raise the *same* failure
+signature at the *same* cycle — that determinism is what makes the
+shrinker's oracle trustworthy.
+"""
+
+import json
+import pickle
+
+import pytest
+
+from repro.noc.invariants import InvariantViolation
+from repro.noc.tracing import FlitTracer
+from repro.sim import (
+    Checkpoint,
+    ForensicsError,
+    Simulation,
+    engine,
+    failure_signature,
+    load_bundle,
+    planted_deadlock_scenario,
+    replay_bundle,
+)
+from repro.sim.forensics import (
+    BUNDLE_FORMAT,
+    CHECKPOINT_NAME,
+    MANIFEST_NAME,
+    SCENARIO_NAME,
+    TRACE_NAME,
+    VIOLATION_NAME,
+    main as forensics_main,
+)
+from repro.sim.sentinel import SentinelTrip
+
+
+@pytest.fixture(scope="module")
+def planted_bundle(tmp_path_factory):
+    """One captured planted-failure bundle shared by the read-only
+    tests (each makes its own when it mutates anything)."""
+    out = tmp_path_factory.mktemp("forensics")
+    sim = Simulation(planted_deadlock_scenario())
+    sim.enable_forensics(out)
+    with pytest.raises(SentinelTrip) as excinfo:
+        sim.run()
+    return excinfo.value, excinfo.value.repro_bundle
+
+
+class TestBundleCapture:
+    def test_bundle_is_complete(self, planted_bundle):
+        exc, bundle = planted_bundle
+        assert bundle is not None and bundle.is_dir()
+        assert bundle.suffix == ".repro"
+        names = sorted(p.name for p in bundle.iterdir())
+        assert names == sorted([
+            MANIFEST_NAME, SCENARIO_NAME, CHECKPOINT_NAME,
+            VIOLATION_NAME, TRACE_NAME,
+        ])
+
+    def test_manifest_fields(self, planted_bundle):
+        exc, bundle = planted_bundle
+        manifest = json.loads((bundle / MANIFEST_NAME).read_text())
+        scenario = planted_deadlock_scenario()
+        assert manifest["format"] == BUNDLE_FORMAT
+        assert manifest["name"] == scenario.name
+        assert manifest["scenario_hash"] == scenario.content_hash()
+        assert manifest["signature"] == "livelock"
+        assert manifest["cycle"] == exc.cycle
+        assert manifest["checkpoint_cycle"] <= exc.cycle
+        assert sorted(manifest["files"]) == sorted(
+            p.name for p in bundle.iterdir()
+        )
+
+    def test_violation_payload(self, planted_bundle):
+        exc, bundle = planted_bundle
+        violation = json.loads((bundle / VIOLATION_NAME).read_text())
+        assert violation["signature"] == "livelock"
+        assert violation["type"] == "SentinelTrip"
+        assert violation["cycle"] == exc.cycle
+        assert "re-sent" in violation["message"]
+
+    def test_trace_window_ends_at_failure(self, planted_bundle):
+        exc, bundle = planted_bundle
+        trace = (bundle / TRACE_NAME).read_text()
+        assert "pkt" in trace  # flit events were captured
+
+    def test_bundled_scenario_round_trips(self, planted_bundle):
+        _, bundle = planted_bundle
+        assert (
+            load_bundle(bundle).scenario == planted_deadlock_scenario()
+        )
+
+    def test_no_forensics_no_bundle(self):
+        sim = Simulation(planted_deadlock_scenario())
+        with pytest.raises(SentinelTrip) as excinfo:
+            sim.run()
+        assert not hasattr(excinfo.value, "repro_bundle")
+
+    def test_engine_run_env_var(self, tmp_path, monkeypatch):
+        """Forked runner workers arm forensics via the environment."""
+        monkeypatch.setenv("REPRO_FORENSICS_DIR", str(tmp_path / "fx"))
+        with pytest.raises(SentinelTrip) as excinfo:
+            engine.run(planted_deadlock_scenario())
+        bundle = excinfo.value.repro_bundle
+        assert bundle is not None
+        assert bundle.parent == tmp_path / "fx"
+
+    def test_collision_suffix(self, tmp_path, planted_bundle):
+        """Two failures at the same cycle in the same directory get
+        distinct bundle names."""
+        for _ in range(2):
+            sim = Simulation(planted_deadlock_scenario())
+            sim.enable_forensics(tmp_path)
+            with pytest.raises(SentinelTrip):
+                sim.run()
+        bundles = sorted(p.name for p in tmp_path.glob("*.repro"))
+        assert len(bundles) == 2
+        assert bundles[0] != bundles[1]
+
+
+class TestReplay:
+    def test_replay_reproduces(self, planted_bundle):
+        exc, bundle = planted_bundle
+        replayed = replay_bundle(bundle)
+        assert failure_signature(replayed) == "livelock"
+        assert replayed.cycle == exc.cycle
+
+    def test_replay_is_deterministic(self, planted_bundle):
+        _, bundle = planted_bundle
+        a = replay_bundle(bundle)
+        b = replay_bundle(bundle)
+        assert str(a) == str(b)
+        assert a.cycle == b.cycle
+
+    def test_replay_sim_does_not_rebundle(self, planted_bundle):
+        _, bundle = planted_bundle
+        sim = Simulation.replay(bundle)
+        assert sim.forensics is None
+        with pytest.raises(SentinelTrip) as excinfo:
+            sim.run()
+        assert not hasattr(excinfo.value, "repro_bundle")
+
+    def test_not_a_bundle(self, tmp_path):
+        with pytest.raises(ForensicsError, match="not a repro bundle"):
+            load_bundle(tmp_path)
+
+    def test_unsupported_format(self, tmp_path, planted_bundle):
+        _, bundle = planted_bundle
+        bad = tmp_path / "bad.repro"
+        bad.mkdir()
+        manifest = json.loads((bundle / MANIFEST_NAME).read_text())
+        manifest["format"] = BUNDLE_FORMAT + 1
+        (bad / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(ForensicsError, match="format"):
+            load_bundle(bad)
+
+
+class TestRecorderState:
+    def test_ring_tracer_keeps_newest(self):
+        scenario = planted_deadlock_scenario()
+        sim = Simulation(scenario)
+        tracer = FlitTracer.attach(sim.network, capacity=5, ring=True)
+        with pytest.raises(SentinelTrip):
+            sim.run()
+        assert len(tracer.events) == 5
+        assert tracer.truncated  # older events were evicted
+        cycles = [e.cycle for e in tracer.events]
+        assert cycles == sorted(cycles)
+
+    def test_forensics_snapshot_does_not_nest(self, tmp_path):
+        """Checkpointing a sim with forensics armed must drop the held
+        last-good snapshot (a snapshot inside a snapshot would grow
+        without bound) and stay picklable despite the tracer hooks."""
+        sim = Simulation(planted_deadlock_scenario())
+        forensics = sim.enable_forensics(tmp_path)
+        for _ in range(10):
+            sim.step()
+        checkpoint = Checkpoint.capture(sim)
+        restored = checkpoint.restore()
+        assert restored.forensics is not None
+        assert restored.forensics.last_good is None
+        state = pickle.loads(pickle.dumps(forensics.__getstate__()))
+        assert state["last_good"] is None
+
+    def test_restored_recorder_without_snapshot_refuses(self, tmp_path):
+        sim = Simulation(planted_deadlock_scenario())
+        sim.enable_forensics(tmp_path)
+        restored = Checkpoint.capture(sim).restore()
+        with pytest.raises(ForensicsError, match="last-good"):
+            restored.forensics.write_bundle(ValueError("x"))
+
+
+class TestFailureSignature:
+    def test_sentinel_trip_uses_kind(self):
+        assert failure_signature(
+            SentinelTrip("deadlock", 3, "m")
+        ) == "deadlock"
+
+    def test_invariant_violation(self):
+        assert failure_signature(InvariantViolation("m")) == "invariant"
+
+    def test_other_exceptions(self):
+        assert failure_signature(ValueError("m")) == "crash:ValueError"
+
+
+class TestCli:
+    def test_demo_then_replay(self, tmp_path, capsys):
+        out = tmp_path / "demo"
+        assert forensics_main(["demo", "--dir", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "failure: livelock" in printed
+        bundles = list(out.glob("*.repro"))
+        assert len(bundles) == 1
+        assert forensics_main(["replay", str(bundles[0])]) == 0
+        assert "replay ok: livelock" in capsys.readouterr().out
+
+    def test_replay_of_garbage_fails(self, tmp_path, capsys):
+        assert forensics_main(["replay", str(tmp_path)]) == 1
+        assert "replay FAILED" in capsys.readouterr().out

@@ -179,3 +179,29 @@ class TestInterrupt:
         partial = excinfo.value.outcomes
         assert [o.task_id for o in partial] == ["first"]
         assert partial[0].ok
+
+
+class TestArtifactSalvage:
+    def test_quarantine_collects_artifacts(self, tmp_path):
+        bundle = tmp_path / "dead-c000000000042.repro"
+        by_id = {o.task_id: o for o in Supervisor(
+            SupervisorConfig(jobs=2, max_retries=0, **FAST),
+            artifacts_for=lambda task_id: (
+                [str(bundle)] if task_id == "dead" else []
+            ),
+        ).run([("dead", _crash, ()), ("good", _ok, (1,))])}
+        assert by_id["dead"].quarantined
+        assert by_id["dead"].artifacts == (str(bundle),)
+        # successful tasks never get artifacts attached
+        assert by_id["good"].ok and by_id["good"].artifacts == ()
+
+    def test_artifact_hook_failure_is_swallowed(self):
+        def broken_hook(task_id):
+            raise OSError("disk gone")
+
+        (outcome,) = Supervisor(
+            SupervisorConfig(jobs=1, max_retries=0, **FAST),
+            artifacts_for=broken_hook,
+        ).run([("dead", _crash, ())])
+        assert outcome.quarantined
+        assert outcome.artifacts == ()
