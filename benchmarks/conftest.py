@@ -5,19 +5,101 @@ paper: the benchmark measures its runtime, the assertions pin the
 qualitative shape the paper reports, and the formatted report is
 printed so ``pytest benchmarks/ --benchmark-only -s`` doubles as the
 reproduction log (EXPERIMENTS.md records the captured output).
+
+Each module additionally leaves a machine-readable performance record
+in the repository root — ``BENCH_<name>.json`` for
+``test_bench_<name>.py`` — via :mod:`repro.obs.perf`: median/p95
+wall-clock per test, derived cycles/sec where the test reports its
+simulated cycle count, and the git revision measured.  The files are
+git-ignored; CI archives them so the performance trajectory is
+comparable across PRs instead of living in log prose.
 """
+
+import time
+from pathlib import Path
 
 import pytest
 
+#: (module name, test name) -> (wall-clock samples, metadata)
+_RESULTS: dict = {}
+
+
+def _module_name(nodeid: str) -> str:
+    stem = Path(nodeid.partition("::")[0]).stem
+    prefix = "test_bench_"
+    return stem[len(prefix):] if stem.startswith(prefix) else stem
+
+
+def _test_name(nodeid: str) -> str:
+    return nodeid.partition("::")[2] or nodeid
+
+
+def _add_result(nodeid: str, samples: list, meta: dict) -> None:
+    if not samples:
+        return
+    key = (_module_name(nodeid), _test_name(nodeid))
+    kept_samples, kept_meta = _RESULTS.setdefault(key, ([], {}))
+    kept_samples.extend(samples)
+    kept_meta.update(meta)
+
 
 @pytest.fixture
-def once(benchmark):
+def bench_meta():
+    """Mutable metadata dict folded into this test's bench record.
+
+    Recognized keys: ``cycles`` (simulated cycles per timed sample —
+    becomes ``cycles_per_sec``), ``scenario_hash``; anything else is
+    carried through verbatim.
+    """
+    return {}
+
+
+@pytest.fixture
+def once(benchmark, request, bench_meta):
     """Run an expensive experiment exactly once under the benchmark
     timer and hand back its result."""
+    samples: list = []
 
     def _run(fn, *args, **kwargs):
+        def timed(*a, **kw):
+            started = time.perf_counter()
+            out = fn(*a, **kw)
+            samples.append(time.perf_counter() - started)
+            return out
+
         return benchmark.pedantic(
-            fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+            timed, args=args, kwargs=kwargs, rounds=1, iterations=1
         )
 
-    return _run
+    yield _run
+    _add_result(request.node.nodeid, samples, bench_meta)
+
+
+@pytest.fixture
+def record_samples(request, bench_meta):
+    """Record hand-timed wall-clock samples into this test's bench
+    record — for benches that run their own round loop instead of
+    going through the ``once`` fixture."""
+
+    def _record(samples, **meta):
+        _add_result(
+            request.node.nodeid, list(samples), {**bench_meta, **meta}
+        )
+
+    return _record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _RESULTS:
+        return
+    from repro.obs.perf import bench_record, write_bench_file
+
+    root = Path(__file__).resolve().parent.parent
+    by_module: dict = {}
+    for (module, test), (samples, meta) in sorted(_RESULTS.items()):
+        by_module.setdefault(module, []).append(
+            bench_record(test, samples, meta)
+        )
+    for module, records in by_module.items():
+        write_bench_file(root, module, records)
+    _RESULTS.clear()

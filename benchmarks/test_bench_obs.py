@@ -1,0 +1,98 @@
+"""Observability overhead guard.
+
+Three variants of the identical traffic-heavy scenario, interleaved
+round-robin so ambient machine noise hits all of them equally:
+
+* **baseline** — no observability object at all;
+* **disabled** — ``ObsConfig(enabled=False)`` (attach is a no-op, so
+  the per-cycle cost must be indistinguishable from baseline);
+* **enabled** — metrics + events + the 64-cycle windowed series.
+
+The bench asserts the pure-observer contract first (all three produce
+byte-identical ``NetworkStats``) and then pins the overhead: the
+disabled path within 3% of baseline, the fully enabled path within
+15% (both on min-of-rounds; relaxed under ``REPRO_BENCH_QUICK=1``
+where the workload is too small for stable timing).
+"""
+
+import os
+import time
+
+from repro.experiments.export import to_jsonable
+from repro.noc.config import PAPER_CONFIG
+from repro.obs.instrument import ObsConfig, Observability
+from repro.sim import DefenseSpec, Scenario, Simulation, SyntheticTraffic
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+DURATION = 400 if QUICK else 2000
+ROUNDS = 3 if QUICK else 5
+# timing floors: tight by default, loose on the quick smoke workload
+DISABLED_OVERHEAD = 0.30 if QUICK else 0.03
+ENABLED_OVERHEAD = 0.60 if QUICK else 0.15
+
+
+def obs_scenario() -> Scenario:
+    return Scenario(
+        name="bench-obs",
+        cfg=PAPER_CONFIG,
+        traffic=(
+            SyntheticTraffic(
+                pattern="uniform",
+                injection_rate=0.10,
+                duration=DURATION,
+                seed=11,
+            ),
+        ),
+        defense=DefenseSpec(mitigated=True),
+        max_cycles=DURATION + 6000,
+    )
+
+
+VARIANTS = {
+    "baseline": lambda: None,
+    "disabled": lambda: Observability(ObsConfig(enabled=False)),
+    "enabled": lambda: Observability(ObsConfig()),
+}
+
+
+def _timed(make_obs) -> tuple[float, int, dict]:
+    obs = make_obs()
+    sim = Simulation(obs_scenario(), obs=obs)
+    started = time.perf_counter()
+    result = sim.run()
+    elapsed = time.perf_counter() - started
+    assert result.completed
+    return elapsed, sim.network.cycle, to_jsonable(vars(sim.network.stats))
+
+
+def test_bench_obs_overhead(record_samples, bench_meta):
+    times: dict = {name: [] for name in VARIANTS}
+    stats: dict = {}
+    cycles = 0
+    for _ in range(ROUNDS):
+        for name, make_obs in VARIANTS.items():
+            elapsed, cycles, run_stats = _timed(make_obs)
+            times[name].append(elapsed)
+            stats.setdefault(name, run_stats)
+
+    # pure observer: attaching must not change a single stats byte
+    assert stats["disabled"] == stats["baseline"]
+    assert stats["enabled"] == stats["baseline"]
+
+    best = {name: min(samples) for name, samples in times.items()}
+    disabled_over = best["disabled"] / best["baseline"] - 1.0
+    enabled_over = best["enabled"] / best["baseline"] - 1.0
+    print(
+        f"\nobs overhead on {cycles} cycles (min of {ROUNDS}): "
+        f"baseline {best['baseline'] * 1e3:.0f}ms, "
+        f"disabled {disabled_over * 100:+.1f}%, "
+        f"enabled {enabled_over * 100:+.1f}%"
+    )
+    bench_meta["cycles"] = cycles
+    bench_meta["duration"] = DURATION
+    bench_meta["baseline_min_s"] = best["baseline"]
+    bench_meta["disabled_min_s"] = best["disabled"]
+    record_samples(times["enabled"], variant="enabled")
+
+    assert disabled_over < DISABLED_OVERHEAD
+    assert enabled_over < ENABLED_OVERHEAD

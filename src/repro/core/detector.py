@@ -87,6 +87,11 @@ class ThreatDetector:
         self.bist_report: Optional[BistReport] = None
         self._bist_requested = False
         # -- counters -----------------------------------------------------
+        # .. deprecated:: read these through the metrics registry
+        #    (``repro.obs.collectors.collect_security`` publishes them
+        #    as ``detector_*`` series and ``security_report`` is now an
+        #    adapter over that snapshot); the raw attributes remain the
+        #    mutation site only.
         self.faults_observed = 0
         self.transient_resolutions = 0
         self.obfuscation_successes = 0

@@ -12,7 +12,6 @@ from typing import Optional
 
 from repro.core.detector import LinkVerdict
 from repro.core.lob import ObMethod
-from repro.core.mitigation import DetectingReceiver
 from repro.noc.network import Network
 from repro.noc.topology import LinkKey
 
@@ -181,37 +180,54 @@ def security_report(network: Network) -> SecurityReport:
 
     Raises ``ValueError`` when the network has no threat detectors
     (built without :func:`repro.core.build_mitigated_network`).
+
+    This is a thin adapter over
+    :func:`repro.obs.collectors.collect_security` — the metrics
+    registry is the single source of truth for the security posture,
+    and this function merely reshapes one snapshot of it into the
+    report dataclasses.
     """
-    links: dict[LinkKey, LinkSecurityStatus] = {}
-    ob_sends: dict[ObMethod, int] = {m: 0 for m in ObMethod}
-    preemptive = 0
-    saw_detector = False
-    for key, link in network.links.items():
-        receiver = network.receiver_of(key)
-        if not isinstance(receiver, DetectingReceiver):
-            continue
-        saw_detector = True
-        detector = receiver.detector
-        links[key] = LinkSecurityStatus(
+    from repro.obs.collectors import collect_security, parse_link_label
+
+    snapshot = collect_security(network).snapshot()
+
+    def series(name: str) -> list[dict]:
+        return snapshot.get(name, {}).get("series", [])
+
+    def per_link(name: str) -> dict[LinkKey, int]:
+        return {
+            parse_link_label(child["labels"]["link"]): child["value"]
+            for child in series(name)
+        }
+
+    faults = per_link("detector_faults_observed")
+    ob_successes = per_link("detector_obfuscation_successes")
+    bist = per_link("detector_bist_scans")
+    corrupted = per_link("link_corrupted_traversals")
+    verdicts = {
+        parse_link_label(child["labels"]["link"]): LinkVerdict(
+            child["labels"]["verdict"]
+        )
+        for child in series("detector_verdict")
+    }
+    links = {
+        key: LinkSecurityStatus(
             link=key,
-            verdict=detector.verdict,
-            faults_observed=detector.faults_observed,
-            obfuscation_successes=detector.obfuscation_successes,
-            bist_scans=detector.bist_scans,
-            corrupted_traversals=link.corrupted_traversals,
+            verdict=verdict,
+            faults_observed=faults[key],
+            obfuscation_successes=ob_successes[key],
+            bist_scans=bist[key],
+            corrupted_traversals=corrupted[key],
         )
-        lob = network.output_port_of(key).lob
-        if lob is not None:
-            for method, count in lob.obfuscated_sends.items():
-                ob_sends[method] += count
-            preemptive += lob.preemptive_sends
-    if not saw_detector:
-        raise ValueError(
-            "network has no threat detectors; build it with "
-            "build_mitigated_network()"
-        )
+        for key, verdict in verdicts.items()
+    }
+    ob_sends: dict[ObMethod, int] = {m: 0 for m in ObMethod}
+    for child in series("lob_obfuscated_sends"):
+        ob_sends[ObMethod(child["labels"]["method"])] += child["value"]
     return SecurityReport(
         links=links,
         obfuscated_sends=ob_sends,
-        preemptive_sends=preemptive,
+        preemptive_sends=sum(
+            child["value"] for child in series("lob_preemptive_sends")
+        ),
     )

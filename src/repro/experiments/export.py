@@ -45,13 +45,24 @@ def to_jsonable(value: Any) -> Any:
     return repr(value)
 
 
-def save_result(result: Any, path: str | Path, experiment: str = "") -> Path:
-    """Serialize a result to a JSON file; returns the path written."""
+def save_result(
+    result: Any,
+    path: str | Path,
+    experiment: str = "",
+    metrics: Any = None,
+) -> Path:
+    """Serialize a result to a JSON file; returns the path written.
+
+    ``metrics`` (a ``repro.obs`` manifest dict) is embedded as the
+    payload's ``"metrics"`` section when given.
+    """
     path = Path(path)
     payload = {
         "experiment": experiment,
         "result": to_jsonable(result),
     }
+    if metrics is not None:
+        payload["metrics"] = metrics
     path.write_text(json.dumps(payload, indent=2, sort_keys=True))
     return path
 

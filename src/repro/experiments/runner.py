@@ -59,6 +59,7 @@ from repro.experiments.supervisor import (
     SupervisorInterrupt,
     TaskOutcome,
 )
+from repro.obs.profiler import ENV_FLAG as _PROFILE_ENV
 from repro.sim import ResultCache, spec_hash
 
 EXPERIMENTS = {
@@ -131,25 +132,59 @@ def run_experiment(
     json_path: Optional[str] = None,
     seed: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    obs_dir: Optional[str] = None,
 ) -> str:
     from repro.experiments.export import save_result, to_jsonable
+    from repro.obs import profiler as obs_profiler
+    from repro.obs.exporters import disabled_manifest
 
     module, _ = EXPERIMENTS[name]
     started = time.time()
-    cached = None
-    if cache is not None:
-        cached = cache.get(_cache_key(module, seed))
+    # with --obs-dir the run must actually execute (the exports are the
+    # point), so the cache is bypassed both ways
+    use_cache = cache is not None and obs_dir is None
+    cached = cache.get(_cache_key(module, seed)) if use_cache else None
+    metrics = disabled_manifest()
     if cached is not None:
         report = cached["report"]
         jsonable = cached["result"]
+        metrics = cached.get("metrics", metrics)
     else:
-        result = module.run(**_seed_kwargs(module, seed))
+        obs = None
+        if obs_dir is not None:
+            from repro.obs.instrument import (
+                ObsConfig,
+                disable_ambient,
+                enable_ambient,
+            )
+
+            obs_root = Path(obs_dir) / name
+            obs = enable_ambient(
+                ObsConfig(
+                    events_jsonl=str(obs_root / "events.jsonl"),
+                    metrics_json=str(obs_root / "metrics.json"),
+                    prometheus=str(obs_root / "metrics.prom"),
+                )
+            )
+        try:
+            result = module.run(**_seed_kwargs(module, seed))
+        finally:
+            if obs is not None:
+                disable_ambient()
         report = module.format_result(result)
         jsonable = to_jsonable(result)
-        if cache is not None:
+        if obs is not None:
+            metrics = obs.export()
+            report += f"\n[observability exported to {obs_root}]"
+        prof = obs_profiler.current()
+        if prof is not None and prof.seconds:
+            # per-experiment attribution: report, then reset the laps
+            report += "\n\n" + prof.report()
+            prof.reset()
+        if use_cache:
             cache.put(
                 _cache_key(module, seed),
-                {"report": report, "result": jsonable},
+                {"report": report, "result": jsonable, "metrics": metrics},
             )
     elapsed = time.time() - started
     if json_path:
@@ -157,13 +192,17 @@ def run_experiment(
             # same file format as save_result, replayed from the cache
             Path(json_path).write_text(
                 json.dumps(
-                    {"experiment": name, "result": jsonable},
+                    {
+                        "experiment": name,
+                        "result": jsonable,
+                        "metrics": metrics,
+                    },
                     indent=2,
                     sort_keys=True,
                 )
             )
         else:
-            save_result(result, json_path, experiment=name)
+            save_result(result, json_path, experiment=name, metrics=metrics)
         report += f"\n[result saved to {json_path}]"
     note = " (cached)" if cached is not None else ""
     return f"{report}\n\n[{name} completed in {elapsed:.1f}s{note}]"
@@ -183,7 +222,10 @@ def _worker(task: tuple) -> tuple[str, bool, float, str, str]:
     error column, and ``shrink`` additionally minimizes the failing
     scenario right here in the worker.
     """
-    name, seed, json_path, cache_dir, use_cache, forensics_dir, shrink = task
+    (
+        name, seed, json_path, cache_dir, use_cache,
+        forensics_dir, shrink, obs_dir,
+    ) = task
     cache = ResultCache(cache_dir) if use_cache else None
     started = time.time()
     try:
@@ -193,7 +235,8 @@ def _worker(task: tuple) -> tuple[str, bool, float, str, str]:
             )
         try:
             report = run_experiment(
-                name, json_path=json_path, seed=seed, cache=cache
+                name, json_path=json_path, seed=seed, cache=cache,
+                obs_dir=obs_dir,
             )
         finally:
             if forensics_dir:
@@ -231,16 +274,18 @@ def _state_key(
     seed: Optional[int],
     json_path: Optional[str],
     no_cache: bool,
+    obs_dir: Optional[str] = None,
 ) -> str:
     """Digest of everything that makes stored rows replayable: the
-    same plan invoked with a different seed or output path must not
-    resume from this state."""
+    same plan invoked with a different seed, output path or export
+    directory must not resume from this state."""
     return spec_hash(
         {
             "plan": list(plan),
             "seed": seed,
             "json": json_path,
             "no_cache": no_cache,
+            "obs": obs_dir,
         }
     )
 
@@ -390,10 +435,28 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="with --forensics-dir: delta-debug each failure's "
         "scenario to a 1-minimal shrunk bundle",
     )
+    parser.add_argument(
+        "--obs-dir",
+        default=None,
+        help="arm full observability per experiment and export "
+        "events.jsonl / metrics.json / metrics.prom under "
+        "DIR/<experiment> (bypasses the result cache)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile simulator phases (wall-clock per step phase); "
+        "implies --no-cache and appends the breakdown to each report",
+    )
     args = parser.parse_args(argv)
     if args.shrink and not args.forensics_dir:
         print("--shrink requires --forensics-dir", file=sys.stderr)
         return 2
+    if args.profile:
+        # the env flag survives the fork into worker processes, where
+        # each process then keeps its own per-experiment profiler
+        os.environ[_PROFILE_ENV] = "1"
+        args.no_cache = True
 
     if "list" in args.experiments:
         for name, (_, desc) in EXPERIMENTS.items():
@@ -425,6 +488,7 @@ def main(argv: Optional[list[str]] = None) -> int:
             not args.no_cache,
             args.forensics_dir,
             args.shrink,
+            args.obs_dir,
         )
         for name in plan
     ]
@@ -432,7 +496,9 @@ def main(argv: Optional[list[str]] = None) -> int:
     state_path = (
         Path(args.state) if args.state else _default_state_path(args.cache_dir)
     )
-    state_key = _state_key(plan, args.seed, args.json, args.no_cache)
+    state_key = _state_key(
+        plan, args.seed, args.json, args.no_cache, args.obs_dir
+    )
     rows_by_name: dict = {}
     if args.resume:
         # only successful rows are replayed; failures run again

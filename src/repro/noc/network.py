@@ -10,6 +10,7 @@ granting extra speed.
 from __future__ import annotations
 
 from collections import deque
+from time import perf_counter
 from typing import Callable, Optional
 
 from repro.ecc import SECDED_72_64, Secded
@@ -110,6 +111,9 @@ class Network:
         self.cycle = 0
         self.traffic: Optional[TrafficSource] = None
         self.sample_interval = 10
+        #: phase wall-clock attribution (repro.obs.profiler); None (the
+        #: default) costs one identity test per phase per cycle
+        self.profiler = None
         #: invoked with (flit, cycle, core) on every ejection
         self.ejection_hooks: list[Callable] = []
         #: invoked with (flit, cycle) on every injection (BW entry)
@@ -117,6 +121,21 @@ class Network:
         #: per-cycle observers (e.g. the resilience watchdog); each is
         #: called as ``monitor.on_cycle(network, cycle)`` at end of step
         self.monitors: list = []
+
+    # -- measurement cadence -------------------------------------------------
+    @property
+    def sample_interval(self) -> int:
+        """Back-pressure sampling cadence in cycles (0 disables
+        sampling entirely — the zero-allocation path: no Sample is ever
+        constructed).  The cadence is mirrored onto
+        ``stats.samples.interval`` so archived series are
+        self-describing."""
+        return self._sample_interval
+
+    @sample_interval.setter
+    def sample_interval(self, value: int) -> None:
+        self._sample_interval = value
+        self.stats.samples.interval = value or None
 
     # -- active-set stepping -------------------------------------------------
     @property
@@ -237,10 +256,14 @@ class Network:
     # -- cycle loop -------------------------------------------------------------
     def step(self) -> None:
         cycle = self.cycle
+        prof = self.profiler
+        _t = perf_counter() if prof is not None else 0.0
 
         if self.traffic is not None:
             for packet in self.traffic.generate(cycle):
                 self.add_packet(packet)
+        if prof is not None:
+            _t = prof.lap("traffic", _t)
 
         full = self._full_sweep
         if full:
@@ -260,10 +283,14 @@ class Network:
         for router in routers:
             for out in router.outputs.values():
                 out.credits.tick(cycle)
+        if prof is not None:
+            _t = prof.lap("credit", _t)
 
         # ACK/NACK processing (reverse wires).
         for router in routers:
             router.process_acks(cycle)
+        if prof is not None:
+            _t = prof.lap("ack", _t)
 
         # Link arrivals -> receive pipeline (ECC + detection).
         for key in link_keys:
@@ -290,6 +317,8 @@ class Network:
             if receiver.flits_discarded != discarded_before:
                 # Consuming a tombstone released an upstream credit.
                 self._active_routers.add(link.src_router)
+        if prof is not None:
+            _t = prof.lap("ecc", _t)
 
         # Ejection: cores consume.
         for router in routers:
@@ -302,6 +331,8 @@ class Network:
                 self.stats.on_flit_ejected(flit, cycle, core)
                 for hook in self.ejection_hooks:
                     hook(flit, cycle, core)
+        if prof is not None:
+            _t = prof.lap("eject", _t)
 
         # LT launch, ST, VA, RC.
         for router in routers:
@@ -312,21 +343,34 @@ class Network:
                 self._active_routers.add(
                     self._upstream_router[(router.id, direction)]
                 )
+        if prof is not None:
+            _t = prof.lap("traverse", _t)
         for router in routers:
             router.vc_allocate(cycle)
+        if prof is not None:
+            _t = prof.lap("arbitrate", _t)
         for router in routers:
             router.route_compute(cycle)
+        if prof is not None:
+            _t = prof.lap("route", _t)
 
         # Injection: one flit per core per cycle.
         self._inject(cycle)
+        if prof is not None:
+            _t = prof.lap("inject", _t)
 
         # Per-cycle observers (resilience watchdog etc.) see the fully
         # settled cycle state.
         for monitor in self.monitors:
             monitor.on_cycle(self, cycle)
+        if prof is not None:
+            _t = prof.lap("defense", _t)
 
-        if self.sample_interval and cycle % self.sample_interval == 0:
+        interval = self._sample_interval
+        if interval and cycle % interval == 0:
             self.collect_sample()
+        if prof is not None:
+            _t = prof.lap("sample", _t)
 
         self.cycle = cycle + 1
 
@@ -349,6 +393,8 @@ class Network:
                 if router.id in self._active_routers
                 and not self._router_settled(router)
             }
+        if prof is not None:
+            prof.lap("active", _t)
 
     def _inject(self, cycle: int) -> None:
         cfg = self.cfg

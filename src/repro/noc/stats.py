@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, TYPE_CHECKING
 
+from repro.obs.series import SampleSeries
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.noc.flit import Flit
 
@@ -72,7 +74,10 @@ class NetworkStats:
     """Aggregates collected while a :class:`repro.noc.network.Network` runs."""
 
     def __init__(self) -> None:
-        self.samples: list[Sample] = []
+        #: back-pressure snapshots; a list (bytes-compatible with the
+        #: historical ``list[Sample]``) that also records the sampling
+        #: cadence and offers windowed rollups (repro.obs.series)
+        self.samples: SampleSeries = SampleSeries()
         self.packets: dict[int, PacketRecord] = {}
         self.packets_completed = 0
         self.packets_injected = 0

@@ -1,0 +1,196 @@
+"""Typed, versioned simulation events with a non-blocking bus.
+
+The event catalog (:data:`EVENT_KINDS`) names every lifecycle moment
+the stack emits: flit injection/delivery, on-wire corruption and the
+retransmissions it causes, detector verdicts, L-Ob engagements,
+watchdog escalations, checkpoints and sentinel trips.  Each kind pins
+the data keys it may carry, and every serialized event carries the
+schema version (:data:`EVENT_SCHEMA_VERSION`), so a JSONL stream from
+one build is validated — not guessed at — by another.
+
+The :class:`EventBus` is deliberately boring: ``publish`` appends to
+each subscriber's bounded queue and **never blocks or raises**.  A
+full queue counts a drop on that subscription instead of stalling the
+simulation — observability must not be able to change simulated
+behaviour (the determinism proof in ``tests/test_obs_integration.py``
+depends on it).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+#: bump on incompatible changes to Event layout or kind semantics
+EVENT_SCHEMA_VERSION = 1
+
+#: event kind -> data keys it may carry (all optional per event)
+EVENT_KINDS: dict[str, tuple[str, ...]] = {
+    # flit lifecycle
+    "inject": ("pkt_id", "seq", "core"),
+    "deliver": ("pkt_id", "seq", "core"),
+    # the attack surface
+    "corrupt": ("pkt_id", "seq", "link", "bits"),
+    "retransmit": ("pkt_id", "seq", "link", "tag"),
+    # defense decisions
+    "verdict": ("link", "verdict"),
+    "obfuscate": ("pkt_id", "seq", "link", "method"),
+    "escalate": ("link", "stage", "pkt_id", "tag", "detail"),
+    # engine lifecycle
+    "checkpoint": ("checkpoint_cycle", "path"),
+    "sentinel_trip": ("trip_kind", "message"),
+}
+
+
+class EventSchemaError(ValueError):
+    """A serialized event does not match this build's schema."""
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """One structured observation.
+
+    ``run`` names the scenario that emitted it (one observability
+    instance may span several simulations in one experiment); ``data``
+    holds the kind-specific payload.
+    """
+
+    kind: str
+    cycle: int
+    run: str = ""
+    data: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """Flat JSON form, schema version included."""
+        out = {
+            "v": EVENT_SCHEMA_VERSION,
+            "kind": self.kind,
+            "cycle": self.cycle,
+            "run": self.run,
+        }
+        out.update(self.data)
+        return out
+
+
+def validate_event_dict(payload: dict) -> None:
+    """Raise :class:`EventSchemaError` unless ``payload`` is a valid
+    serialized event for this build's schema."""
+    if not isinstance(payload, dict):
+        raise EventSchemaError(f"event must be an object, got {payload!r}")
+    version = payload.get("v")
+    if version != EVENT_SCHEMA_VERSION:
+        raise EventSchemaError(
+            f"event schema version {version!r} not supported (this "
+            f"build reads version {EVENT_SCHEMA_VERSION})"
+        )
+    kind = payload.get("kind")
+    allowed = EVENT_KINDS.get(kind)
+    if allowed is None:
+        raise EventSchemaError(f"unknown event kind {kind!r}")
+    if not isinstance(payload.get("cycle"), int):
+        raise EventSchemaError(f"{kind}: cycle must be an integer")
+    if not isinstance(payload.get("run", ""), str):
+        raise EventSchemaError(f"{kind}: run must be a string")
+    extra = set(payload) - {"v", "kind", "cycle", "run"} - set(allowed)
+    if extra:
+        raise EventSchemaError(
+            f"{kind}: unexpected data keys {sorted(extra)} "
+            f"(allowed: {sorted(allowed)})"
+        )
+
+
+def event_from_dict(payload: dict) -> Event:
+    """Parse and validate one serialized event."""
+    validate_event_dict(payload)
+    data = {
+        key: value
+        for key, value in payload.items()
+        if key not in ("v", "kind", "cycle", "run")
+    }
+    return Event(
+        kind=payload["kind"],
+        cycle=payload["cycle"],
+        run=payload.get("run", ""),
+        data=data,
+    )
+
+
+class Subscription:
+    """A bounded event queue owned by one consumer.
+
+    The bus appends to it; the consumer :meth:`drain`\\ s it.  When the
+    queue is full new events are *dropped and counted* — never blocked
+    on — so a slow or absent consumer cannot stall the simulation.
+    """
+
+    __slots__ = ("capacity", "queue", "dropped", "received")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("subscription capacity must be positive")
+        self.capacity = capacity
+        self.queue: deque[Event] = deque()
+        self.dropped = 0
+        self.received = 0
+
+    def __len__(self) -> int:
+        return len(self.queue)
+
+    def drain(self) -> list[Event]:
+        """All queued events, removing them (oldest first)."""
+        out = list(self.queue)
+        self.queue.clear()
+        return out
+
+    def peek(self) -> Iterator[Event]:
+        return iter(self.queue)
+
+
+class EventBus:
+    """Fan-out of :class:`Event` values to bounded subscriptions."""
+
+    def __init__(self) -> None:
+        self.subscriptions: list[Subscription] = []
+        self.published = 0
+
+    @property
+    def active(self) -> bool:
+        """True when anyone is listening (hooks use this to skip the
+        Event construction entirely on the disabled path)."""
+        return bool(self.subscriptions)
+
+    def subscribe(self, capacity: int = 200_000) -> Subscription:
+        sub = Subscription(capacity)
+        self.subscriptions.append(sub)
+        return sub
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        try:
+            self.subscriptions.remove(sub)
+        except ValueError:
+            pass
+
+    def publish(self, event: Event) -> None:
+        self.published += 1
+        for sub in self.subscriptions:
+            if len(sub.queue) >= sub.capacity:
+                sub.dropped += 1
+            else:
+                sub.queue.append(event)
+                sub.received += 1
+
+    def emit(
+        self, kind: str, cycle: int, run: str = "", **data
+    ) -> Optional[Event]:
+        """Build and publish in one call; returns the event, or None
+        when nobody is subscribed (nothing is built in that case)."""
+        if not self.subscriptions:
+            return None
+        event = Event(kind=kind, cycle=cycle, run=run, data=data)
+        self.publish(event)
+        return event
+
+
+def events_to_jsonable(events: Iterable[Event]) -> list[dict]:
+    return [event.to_dict() for event in events]

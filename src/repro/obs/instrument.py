@@ -1,0 +1,412 @@
+"""Wiring: attach the observability layer to live simulations.
+
+An :class:`Observability` bundles one metrics registry, one event bus
+and one windowed back-pressure series, and :meth:`~Observability.attach`
+threads them through a :class:`~repro.sim.engine.Simulation` using only
+the network's existing public hook points — injection/ejection hooks,
+link launch/ack hooks, the monitor list and the watchdog's event hooks.
+It observes; it never mutates simulated state, so an observed run is
+byte-identical to an unobserved one.
+
+Hooks are module-level classes (not closures) so an instrumented
+simulation still pickles cleanly through :mod:`repro.sim.checkpoint`
+— the same rule :class:`repro.noc.tracing.FlitTracer` follows.
+
+One :class:`Observability` may span several simulations (experiments
+like fig11 run an attacked and a clean network); every emitted series
+and event carries the scenario name as its ``run`` label.  For that
+whole-experiment case the **ambient** instance exists: the runner's
+``--obs-dir`` flag arms it per experiment via :func:`enable_ambient`,
+and every :class:`~repro.sim.engine.Simulation` built while it is armed
+attaches automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, TYPE_CHECKING
+
+from repro.obs.events import EventBus, Subscription
+from repro.obs.registry import MetricsRegistry
+from repro.obs.series import WindowedSeries
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.noc.network import Network
+    from repro.sim.engine import Simulation
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """What to observe and where to export it.
+
+    ``enabled=False`` turns the whole layer off: :meth:`Observability.attach`
+    then attaches nothing, so the per-cycle cost is literally zero.
+    """
+
+    enabled: bool = True
+    #: collect metrics (counters/gauges/histograms)
+    metrics: bool = True
+    #: publish structured events to the export subscription
+    events: bool = True
+    #: back-pressure series window in cycles (0 disables the series)
+    window: int = 64
+    #: export subscription bound (overflow drops events, never blocks)
+    queue_capacity: int = 200_000
+    #: JSONL event stream path (None: no file export)
+    events_jsonl: Optional[str] = None
+    #: metrics.json manifest path (None: no file export)
+    metrics_json: Optional[str] = None
+    #: Prometheus-style text dump path (None: no file export)
+    prometheus: Optional[str] = None
+
+
+# ---------------------------------------------------------------------------
+# picklable hook classes (one per hook point)
+# ---------------------------------------------------------------------------
+class _InjectHook:
+    """``network.injection_hooks`` member: flit entered the NoC."""
+
+    def __init__(self, obs: "Observability", run: str):
+        self.obs = obs
+        self.counter = obs.registry.counter(
+            "noc_flits_injected", "flits accepted into the network",
+            run=run,
+        )
+        self.run = run
+
+    def __call__(self, flit, cycle: int) -> None:
+        self.counter.inc()
+        bus = self.obs.bus
+        if bus.subscriptions and self.obs.config.events:
+            bus.emit(
+                "inject", cycle, self.run,
+                pkt_id=flit.pkt_id, seq=flit.seq, core=flit.src_core,
+            )
+
+
+class _EjectHook:
+    """``network.ejection_hooks`` member: flit delivered to a core."""
+
+    def __init__(self, obs: "Observability", run: str):
+        self.obs = obs
+        self.counter = obs.registry.counter(
+            "noc_flits_ejected", "flits delivered to cores", run=run
+        )
+        self.run = run
+
+    def __call__(self, flit, cycle: int, core: int) -> None:
+        self.counter.inc()
+        bus = self.obs.bus
+        if bus.subscriptions and self.obs.config.events:
+            bus.emit(
+                "deliver", cycle, self.run,
+                pkt_id=flit.pkt_id, seq=flit.seq, core=core,
+            )
+
+
+class _LaunchHook:
+    """``link.launch_hooks`` member: corruption + L-Ob on the wire."""
+
+    def __init__(self, obs: "Observability", run: str, label: str):
+        self.obs = obs
+        self.run = run
+        self.label = label
+        self.corrupted = obs.registry.counter(
+            "link_corrupted", "launches a tamperer corrupted",
+            run=run, link=label,
+        )
+        self.obfuscated: dict = {}
+
+    def __call__(self, tx, cycle: int, original: int) -> None:
+        obs = self.obs
+        events = obs.config.events and obs.bus.subscriptions
+        if tx.codeword != original:
+            self.corrupted.inc()
+            if events:
+                obs.bus.emit(
+                    "corrupt", cycle, self.run,
+                    pkt_id=tx.flit.pkt_id, seq=tx.flit.seq,
+                    link=self.label,
+                    bits=(tx.codeword ^ original).bit_count(),
+                )
+        ob = tx.ob
+        if ob is not None:
+            counter = self.obfuscated.get(ob.method)
+            if counter is None:
+                counter = obs.registry.counter(
+                    "lob_obfuscated_launches",
+                    "launches sent through an L-Ob method",
+                    run=self.run, link=self.label,
+                    method=ob.method.value,
+                )
+                self.obfuscated[ob.method] = counter
+            counter.inc()
+            if events:
+                obs.bus.emit(
+                    "obfuscate", cycle, self.run,
+                    pkt_id=tx.flit.pkt_id, seq=tx.flit.seq,
+                    link=self.label, method=ob.method.value,
+                )
+
+
+class _AckHook:
+    """``link.ack_hooks`` member: NACKs mean a retransmission."""
+
+    def __init__(self, obs: "Observability", run: str, label: str):
+        self.obs = obs
+        self.run = run
+        self.label = label
+        self.nacks = obs.registry.counter(
+            "link_retransmissions", "NACKed transmissions (will retry)",
+            run=run, link=label,
+        )
+
+    def __call__(self, ack, cycle: int, flit) -> None:
+        if ack.ok:
+            return
+        self.nacks.inc()
+        obs = self.obs
+        if obs.config.events and obs.bus.subscriptions:
+            obs.bus.emit(
+                "retransmit", cycle, self.run,
+                pkt_id=flit.pkt_id if flit is not None else None,
+                seq=flit.seq if flit is not None else None,
+                link=self.label, tag=ack.tag,
+            )
+
+
+class _EscalateHook:
+    """``watchdog.event_hooks`` member: one ladder rung taken."""
+
+    def __init__(self, obs: "Observability", run: str):
+        self.obs = obs
+        self.run = run
+
+    def __call__(self, event) -> None:
+        from repro.obs.collectors import link_label
+
+        obs = self.obs
+        obs.registry.counter(
+            "watchdog_escalations", "ladder rungs taken",
+            run=self.run, stage=event.stage.value,
+        ).inc()
+        if obs.config.events and obs.bus.subscriptions:
+            obs.bus.emit(
+                "escalate", event.cycle, self.run,
+                link=link_label(event.link), stage=event.stage.value,
+                pkt_id=event.pkt_id, tag=event.tag, detail=event.detail,
+            )
+
+
+class _WindowCollector:
+    """``network.monitors`` member: the cycle-windowed scrape.
+
+    At every window boundary it folds chip-wide and per-component
+    back-pressure into the windowed series (the Fig. 11/12 heatmap
+    substrate) and turns detector verdict *changes* into ``verdict``
+    events.  Pure observer: reads only.
+    """
+
+    def __init__(self, obs: "Observability", run: str, window: int):
+        self.obs = obs
+        self.run = run
+        self.window = window
+        self._verdicts: dict = {}
+
+    def on_cycle(self, network: "Network", cycle: int) -> None:
+        if cycle % self.window:
+            return
+        from repro.obs.collectors import link_label
+
+        obs = self.obs
+        run = self.run
+        series = obs.series
+        if series is not None:
+            input_util = 0
+            for router in network.routers:
+                occupancy = router.link_input_occupancy()
+                input_util += occupancy
+                if occupancy:
+                    series.observe(
+                        cycle, f"{run}/router:{router.id}", occupancy
+                    )
+            series.observe(cycle, f"{run}/input_utilization", input_util)
+            series.observe(
+                cycle,
+                f"{run}/output_utilization",
+                sum(r.output_occupancy() for r in network.routers),
+            )
+            series.observe(
+                cycle,
+                f"{run}/injection_utilization",
+                sum(r.injection_occupancy() for r in network.routers),
+            )
+            series.observe(
+                cycle,
+                f"{run}/routers_blocked",
+                sum(
+                    1
+                    for r in network.routers
+                    if r.any_output_blocked(cycle)
+                ),
+            )
+            for key in network.links:
+                occupancy = network.output_port_of(key).retrans.occupancy
+                if occupancy:
+                    series.observe(
+                        cycle,
+                        f"{run}/retrans:{link_label(key)}",
+                        occupancy,
+                    )
+        # verdict transitions (mitigated networks only)
+        for key, link in network.links.items():
+            receiver = network.receiver_of(key)
+            detector = getattr(receiver, "detector", None)
+            if detector is None:
+                continue
+            verdict = detector.verdict
+            if self._verdicts.get(key) is verdict:
+                continue
+            self._verdicts[key] = verdict
+            from repro.core.detector import LinkVerdict
+
+            if verdict is LinkVerdict.UNKNOWN:
+                continue
+            obs.registry.counter(
+                "detector_verdict_changes",
+                "detector verdict transitions",
+                run=run, verdict=verdict.value,
+            ).inc()
+            if obs.config.events and obs.bus.subscriptions:
+                obs.bus.emit(
+                    "verdict", cycle, run,
+                    link=link_label(key), verdict=verdict.value,
+                )
+
+
+# ---------------------------------------------------------------------------
+# the bundle
+# ---------------------------------------------------------------------------
+class Observability:
+    """One registry + event bus + windowed series, attachable to any
+    number of simulations."""
+
+    def __init__(self, config: Optional[ObsConfig] = None):
+        self.config = config or ObsConfig()
+        enabled = self.config.enabled
+        self.registry = MetricsRegistry(
+            enabled=enabled and self.config.metrics
+        )
+        self.bus = EventBus()
+        self.export_sub: Optional[Subscription] = None
+        if enabled and self.config.events:
+            self.export_sub = self.bus.subscribe(
+                self.config.queue_capacity
+            )
+        self.series: Optional[WindowedSeries] = None
+        if enabled and self.config.window > 0:
+            self.series = WindowedSeries(self.config.window, agg="max")
+        #: scenario names attached so far, in order
+        self.runs: list[str] = []
+
+    # -- attachment ------------------------------------------------------
+    def attach(self, sim: "Simulation") -> "Observability":
+        """Thread this instance through one simulation's hook points."""
+        if not self.config.enabled:
+            return self
+        run = sim.scenario.name
+        self.attach_network(sim.network, run)
+        if sim.watchdog is not None:
+            sim.watchdog.event_hooks.append(_EscalateHook(self, run))
+        return self
+
+    def attach_network(self, network: "Network", run: str = "") -> None:
+        from repro.obs.collectors import link_label
+
+        if not self.config.enabled:
+            return
+        self.runs.append(run)
+        network.injection_hooks.append(_InjectHook(self, run))
+        network.ejection_hooks.append(_EjectHook(self, run))
+        for key, link in network.links.items():
+            label = link_label(key)
+            link.launch_hooks.append(_LaunchHook(self, run, label))
+            link.ack_hooks.append(_AckHook(self, run, label))
+        if self.config.window > 0:
+            network.monitors.append(
+                _WindowCollector(self, run, self.config.window)
+            )
+
+    # -- engine notifications -------------------------------------------
+    def notify_checkpoint(self, sim: "Simulation", path=None) -> None:
+        if self.config.events and self.bus.subscriptions:
+            cycle = sim.network.cycle
+            self.bus.emit(
+                "checkpoint", cycle, sim.scenario.name,
+                checkpoint_cycle=cycle,
+                path=str(path) if path is not None else None,
+            )
+
+    def on_failure(self, sim: "Simulation", exc: BaseException) -> None:
+        """Record a run-killing exception, then take the final scrape
+        (the registry keeps whatever the dying network counted)."""
+        if self.config.events and self.bus.subscriptions:
+            from repro.sim.forensics import failure_signature
+
+            self.bus.emit(
+                "sentinel_trip",
+                getattr(exc, "cycle", sim.network.cycle),
+                sim.scenario.name,
+                trip_kind=failure_signature(exc),
+                message=str(exc),
+            )
+        self.finalize(sim)
+
+    def finalize(self, sim: "Simulation") -> None:
+        """Final scrape of one finished simulation into the registry."""
+        if not self.config.enabled:
+            return
+        from repro.obs.collectors import collect_simulation
+
+        if self.registry.enabled:
+            collect_simulation(sim, self.registry)
+        if self.series is not None:
+            self.series.flush()
+
+    # -- output ----------------------------------------------------------
+    def manifest(self) -> dict:
+        """The per-run ``metrics.json`` payload (deterministic: counts
+        and series only, no wall-clock unless profiling is armed)."""
+        from repro.obs.exporters import build_manifest
+
+        return build_manifest(self)
+
+    def export(self) -> dict:
+        """Write every export path configured on :class:`ObsConfig`;
+        returns the manifest written (also built when no path is)."""
+        from repro.obs.exporters import export_all
+
+        return export_all(self)
+
+
+# ---------------------------------------------------------------------------
+# the ambient (per-process) instance
+# ---------------------------------------------------------------------------
+_AMBIENT: Optional[Observability] = None
+
+
+def enable_ambient(config: Optional[ObsConfig] = None) -> Observability:
+    """Arm process-wide observability: every Simulation built until
+    :func:`disable_ambient` attaches to the returned instance."""
+    global _AMBIENT
+    _AMBIENT = Observability(config)
+    return _AMBIENT
+
+
+def disable_ambient() -> None:
+    global _AMBIENT
+    _AMBIENT = None
+
+
+def ambient() -> Optional[Observability]:
+    return _AMBIENT

@@ -127,6 +127,10 @@ class CampaignReport:
     #: labels of the minimal injected-event subset that still produces
     #: this failure (empty unless explain_violations found one)
     minimal_events: tuple[str, ...] = ()
+    #: deterministic metrics-registry snapshot of the campaign counters
+    #: (:func:`repro.obs.collectors.campaign_metrics`); counter-valued
+    #: only, so identical runs embed byte-identical metrics
+    metrics: dict = field(default_factory=dict)
 
     @property
     def failed(self) -> bool:
@@ -441,7 +445,7 @@ class ChaosCampaign:
             r.packets_resubmitted for r in manager.reports
         )
 
-        return CampaignReport(
+        report = CampaignReport(
             name=spec.name,
             seed=spec.seed,
             cycles=net.cycle,
@@ -485,4 +489,11 @@ class ChaosCampaign:
             + sum(link.corrupted_traversals for link in net.links.values()),
             invariant_checks=checks_done,
             violations=tuple(violations),
+        )
+        import dataclasses
+
+        from repro.obs.collectors import campaign_metrics
+
+        return dataclasses.replace(
+            report, metrics=campaign_metrics(report)
         )

@@ -121,6 +121,10 @@ class RetransWatchdog:
         self._pending_drops: list[DropReport] = []
         self._pending_condemned: list[LinkKey] = []
         self.events: list[EscalationEvent] = []
+        #: observers called with every EscalationEvent as it is logged
+        #: (unbounded, unlike the trimmed ``events`` list); the
+        #: observability layer hangs its escalation hook here
+        self.event_hooks: list = []
         #: cycle of the very first ladder action (the bounded event log
         #: may have trimmed the event itself)
         self.first_event_cycle: Optional[int] = None
@@ -307,6 +311,8 @@ class RetransWatchdog:
         self.events.append(event)
         if len(self.events) > self.config.event_log_capacity:
             del self.events[: len(self.events) // 2]
+        for hook in self.event_hooks:
+            hook(event)
 
     @property
     def activity(self) -> int:

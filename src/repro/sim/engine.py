@@ -29,6 +29,8 @@ from repro.core.tasp import TaspTrojan
 from repro.faults.models import TransientFaultModel
 from repro.noc.flit import Packet
 from repro.noc.network import Network, TrafficSource
+from repro.obs import profiler as obs_profiler
+from repro.obs.instrument import ObsConfig, Observability, ambient
 from repro.resilience.watchdog import RetransWatchdog
 from repro.sim.scenario import (
     AppTraffic,
@@ -178,9 +180,21 @@ class Simulation:
         merged onto the network when there is more than one).
     watchdog:
         The attached :class:`RetransWatchdog`, or ``None``.
+    obs:
+        The attached :class:`~repro.obs.instrument.Observability`
+        bundle, or ``None``.  Pass an ``ObsConfig`` to create a
+        private bundle, an existing ``Observability`` to share one
+        across simulations, or leave it ``None`` to pick up the
+        ambient (process-wide) instance when one is armed.
     """
 
-    def __init__(self, scenario: Scenario, *, full_sweep: bool = False):
+    def __init__(
+        self,
+        scenario: Scenario,
+        *,
+        full_sweep: bool = False,
+        obs: "ObsConfig | Observability | None" = None,
+    ):
         self.scenario = scenario
         cfg = scenario.cfg
         defense = scenario.defense
@@ -262,6 +276,20 @@ class Simulation:
         #: cycle a restore resumed from (None for a fresh build)
         self.resumed_from_cycle: Optional[int] = None
 
+        # -- observability (last: the network is fully wired now) --------
+        if obs is None:
+            obs = ambient()
+        elif isinstance(obs, ObsConfig):
+            obs = Observability(obs)
+        self.obs: Optional[Observability] = obs
+        if obs is not None:
+            obs.attach(self)
+        # phase profiling is orthogonal to obs: armed per-process via
+        # repro.obs.profiler.enable() or the REPRO_PROFILE env var
+        prof = obs_profiler.current()
+        if prof is not None:
+            net.profiler = prof
+
     # -- checkpoint/restore ----------------------------------------------
     def snapshot(self) -> "Checkpoint":
         """Freeze the complete mutable simulation state.
@@ -316,11 +344,12 @@ class Simulation:
         from repro.sim.checkpoint import checkpoint_path, prune_checkpoints
 
         assert self._ckpt_dir is not None and self._ckpt_hash is not None
-        self.snapshot().save(
-            checkpoint_path(
-                self._ckpt_dir, self._ckpt_hash, self.network.cycle
-            )
+        path = checkpoint_path(
+            self._ckpt_dir, self._ckpt_hash, self.network.cycle
         )
+        self.snapshot().save(path)
+        if self.obs is not None:
+            self.obs.notify_checkpoint(self, path)
         prune_checkpoints(self._ckpt_dir, self._ckpt_hash, self._ckpt_keep)
         interval = self._ckpt_interval
         self._ckpt_next = (
@@ -410,6 +439,10 @@ class Simulation:
         try:
             return self._run()
         except Exception as exc:
+            if self.obs is not None:
+                # record the trip and take the final scrape first, so a
+                # forensics bundle can embed the finalized metrics
+                self.obs.on_failure(self, exc)
             if self.forensics is not None:
                 exc.repro_bundle = self.forensics.write_bundle(exc)
             raise
@@ -426,6 +459,8 @@ class Simulation:
             completed = self.run_until_drained(
                 remaining, scenario.stall_limit
             )
+        if self.obs is not None:
+            self.obs.finalize(self)
         net = self.network
         stats = net.stats
         return RunResult(
@@ -455,12 +490,16 @@ def resume_or_build(
     checkpoint_dir: "str | Path | None",
     *,
     full_sweep: bool = False,
+    obs: "ObsConfig | Observability | None" = None,
 ) -> Simulation:
     """The scenario's newest restorable checkpoint as a live
     simulation, or a fresh build when there is none (no directory, no
     matching file, or only corrupt/stale ones).
 
-    ``sim.resumed_from_cycle`` tells the caller which happened.
+    ``sim.resumed_from_cycle`` tells the caller which happened.  A
+    restored simulation keeps the observability bundle it was
+    checkpointed with (hooks and all); ``obs`` only applies to a fresh
+    build.
     """
     if checkpoint_dir is not None:
         from repro.sim.checkpoint import latest_checkpoint
@@ -468,7 +507,7 @@ def resume_or_build(
         checkpoint = latest_checkpoint(checkpoint_dir, scenario)
         if checkpoint is not None:
             return Simulation.restore(checkpoint)
-    return Simulation(scenario, full_sweep=full_sweep)
+    return Simulation(scenario, full_sweep=full_sweep, obs=obs)
 
 
 def run(
@@ -479,6 +518,7 @@ def run(
     checkpoint_dir: "str | Path | None" = None,
     resume: bool = False,
     forensics_dir: "str | Path | None" = None,
+    obs: "ObsConfig | Observability | None" = None,
 ) -> RunResult:
     """Build ``scenario`` and run it to its duration or drain limit.
 
@@ -492,15 +532,25 @@ def run(
     variable, which forked runner workers inherit) arms failure
     forensics: any exception escaping the run leaves a ``*.repro``
     bundle there and carries its path as ``exc.repro_bundle``.
+
+    ``obs`` attaches observability (see :class:`Simulation`); passing
+    an :class:`~repro.obs.instrument.ObsConfig` additionally writes
+    every export path configured on it when the run completes.
     """
     if resume:
-        sim = resume_or_build(scenario, checkpoint_dir, full_sweep=full_sweep)
+        sim = resume_or_build(
+            scenario, checkpoint_dir, full_sweep=full_sweep, obs=obs
+        )
     else:
-        sim = Simulation(scenario, full_sweep=full_sweep)
+        sim = Simulation(scenario, full_sweep=full_sweep, obs=obs)
     if checkpoint_interval is not None and checkpoint_dir is not None:
         sim.configure_checkpoints(checkpoint_dir, checkpoint_interval)
     if forensics_dir is None:
         forensics_dir = os.environ.get("REPRO_FORENSICS_DIR") or None
     if forensics_dir is not None:
         sim.enable_forensics(forensics_dir)
-    return sim.run()
+    result = sim.run()
+    if isinstance(obs, ObsConfig) and sim.obs is not None:
+        # the bundle was private to this run: write its exports now
+        sim.obs.export()
+    return result

@@ -23,6 +23,8 @@ On failure it writes a ``<scenario>-c<cycle>.repro/`` directory::
     violation.json    exception type/message/signature + the attached
                       ValidationReport, when there is one
     trace.log         the trace window, newest events last
+    metrics.json      observability snapshot at the failure (present
+                      when the sim had repro.obs attached)
 
 ``Simulation.replay(bundle)`` restores the checkpoint and re-runs;
 because every stochastic component is seeded, the run re-raises the
@@ -60,6 +62,8 @@ SCENARIO_NAME = "scenario.json"
 CHECKPOINT_NAME = "checkpoint.ckpt"
 VIOLATION_NAME = "violation.json"
 TRACE_NAME = "trace.log"
+#: observability snapshot (present when the failing sim had obs armed)
+METRICS_NAME = "metrics.json"
 
 
 class ForensicsError(RuntimeError):
@@ -168,6 +172,12 @@ class Forensics:
         (bundle / TRACE_NAME).write_text(
             (trace + "\n") if trace else "(no trace events)\n"
         )
+        obs = getattr(sim, "obs", None)
+        if obs is not None and obs.config.enabled:
+            # written before the manifest so iterdir() lists it below
+            (bundle / METRICS_NAME).write_text(
+                json.dumps(obs.manifest(), indent=2, sort_keys=True)
+            )
         manifest = {
             "format": BUNDLE_FORMAT,
             "name": scenario.name,

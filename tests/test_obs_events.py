@@ -1,0 +1,110 @@
+"""Tests for the structured event schema and bus (repro.obs.events)."""
+
+import pytest
+
+from repro.obs.events import (
+    EVENT_KINDS,
+    EVENT_SCHEMA_VERSION,
+    Event,
+    EventBus,
+    EventSchemaError,
+    Subscription,
+    event_from_dict,
+    events_to_jsonable,
+    validate_event_dict,
+)
+
+
+class TestSchema:
+    def test_round_trip(self):
+        event = Event(
+            kind="corrupt", cycle=42, run="fig11",
+            data={"pkt_id": 7, "seq": 1, "link": "0->EAST", "bits": 2},
+        )
+        payload = event.to_dict()
+        assert payload["v"] == EVENT_SCHEMA_VERSION
+        assert event_from_dict(payload) == event
+
+    @pytest.mark.parametrize("kind", sorted(EVENT_KINDS))
+    def test_every_kind_round_trips_with_full_payload(self, kind):
+        data = {key: 1 for key in EVENT_KINDS[kind]}
+        event = Event(kind=kind, cycle=0, run="r", data=data)
+        assert event_from_dict(event.to_dict()) == event
+
+    def test_version_mismatch_rejected(self):
+        payload = Event(kind="inject", cycle=1).to_dict()
+        payload["v"] = EVENT_SCHEMA_VERSION + 1
+        with pytest.raises(EventSchemaError, match="schema version"):
+            validate_event_dict(payload)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(EventSchemaError, match="unknown event kind"):
+            validate_event_dict({"v": EVENT_SCHEMA_VERSION,
+                                 "kind": "teleport", "cycle": 0})
+
+    def test_unexpected_data_keys_rejected(self):
+        payload = Event(kind="verdict", cycle=5).to_dict()
+        payload["surprise"] = True
+        with pytest.raises(EventSchemaError, match="unexpected data keys"):
+            validate_event_dict(payload)
+
+    def test_non_integer_cycle_rejected(self):
+        with pytest.raises(EventSchemaError, match="cycle"):
+            validate_event_dict({"v": EVENT_SCHEMA_VERSION,
+                                 "kind": "inject", "cycle": "soon"})
+
+    def test_events_to_jsonable(self):
+        events = [Event(kind="inject", cycle=c) for c in range(3)]
+        dicts = events_to_jsonable(events)
+        assert [d["cycle"] for d in dicts] == [0, 1, 2]
+
+
+class TestBus:
+    def test_emit_without_subscribers_builds_nothing(self):
+        bus = EventBus()
+        assert bus.emit("inject", 0, pkt_id=1) is None
+        assert bus.published == 0
+        assert not bus.active
+
+    def test_fan_out_to_all_subscriptions(self):
+        bus = EventBus()
+        a = bus.subscribe()
+        b = bus.subscribe()
+        event = bus.emit("deliver", 9, "run", pkt_id=3, seq=0, core=1)
+        assert event is not None and bus.published == 1
+        assert a.drain() == [event]
+        assert list(b.peek()) == [event]
+
+    def test_bounded_queue_drops_and_counts_never_blocks(self):
+        bus = EventBus()
+        sub = bus.subscribe(capacity=2)
+        for cycle in range(5):
+            bus.emit("inject", cycle)
+        assert len(sub) == 2
+        assert sub.dropped == 3
+        assert sub.received == 2
+        # the oldest events are the ones kept (drop-new policy)
+        assert [e.cycle for e in sub.drain()] == [0, 1]
+        assert len(sub) == 0
+        # publishing kept going the whole time
+        assert bus.published == 5
+
+    def test_slow_subscriber_does_not_affect_others(self):
+        bus = EventBus()
+        tiny = bus.subscribe(capacity=1)
+        big = bus.subscribe(capacity=100)
+        for cycle in range(4):
+            bus.emit("inject", cycle)
+        assert len(tiny) == 1 and tiny.dropped == 3
+        assert len(big) == 4 and big.dropped == 0
+
+    def test_unsubscribe_is_idempotent(self):
+        bus = EventBus()
+        sub = bus.subscribe()
+        bus.unsubscribe(sub)
+        bus.unsubscribe(sub)  # second removal is a no-op
+        assert bus.emit("inject", 0) is None
+
+    def test_subscription_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            Subscription(0)

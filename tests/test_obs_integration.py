@@ -1,0 +1,393 @@
+"""End-to-end observability: attach, observe, export — never perturb.
+
+The load-bearing contract is *pure observation*: a simulation run with
+the full observability stack attached must produce byte-identical
+``NetworkStats`` (and an equal :class:`RunResult`) to the same run with
+nothing attached.  Everything else — event capture, checkpoint/failure
+notifications, forensics embedding, the ambient instance, profiling,
+runner integration — layers on top of that guarantee.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core import TargetSpec
+from repro.core.detector import LinkVerdict
+from repro.core.telemetry import security_report
+from repro.experiments.export import to_jsonable
+from repro.noc.config import NoCConfig, PAPER_CONFIG
+from repro.noc.topology import Direction
+from repro.obs import profiler as obs_profiler
+from repro.obs.collectors import campaign_metrics, link_label
+from repro.experiments import runner
+from repro.obs.exporters import (
+    main as exporters_main,
+    validate_events_jsonl,
+    validate_metrics_json,
+)
+from repro.obs.instrument import (
+    ObsConfig,
+    Observability,
+    ambient,
+    disable_ambient,
+    enable_ambient,
+)
+from repro.resilience import (
+    CampaignSpec,
+    ChaosCampaign,
+    random_events,
+    uniform_traffic,
+)
+from repro.resilience.watchdog import (
+    EscalationEvent,
+    EscalationStage,
+    RetransWatchdog,
+    WatchdogConfig,
+)
+from repro.sim import (
+    DefenseSpec,
+    ExplicitTraffic,
+    PacketSpec,
+    Scenario,
+    Simulation,
+    SyntheticTraffic,
+    TrojanSpec,
+)
+
+
+def stats_snapshot(sim: Simulation) -> str:
+    """Every NetworkStats field as one canonical JSON string."""
+    return json.dumps(
+        to_jsonable(vars(sim.network.stats)), sort_keys=True
+    )
+
+
+def attacked_scenario(**overrides) -> Scenario:
+    """Targeted flow through an infected, mitigated link — exercises
+    corruption, retransmission, L-Ob and detector verdicts."""
+    packets = tuple(
+        PacketSpec(pkt_id=i, src_core=0, dst_core=PAPER_CONFIG.core_of(11, 1),
+                   mem_addr=0x100, inject_at=i * 40)
+        for i in range(8)
+    )
+    base = dict(
+        name="obs-attacked",
+        cfg=PAPER_CONFIG,
+        traffic=(ExplicitTraffic(packets=packets),),
+        trojans=(TrojanSpec((0, Direction.EAST), TargetSpec.for_dest(11)),),
+        defense=DefenseSpec(mitigated=True),
+        max_cycles=4000,
+        stall_limit=1500,
+    )
+    base.update(overrides)
+    return Scenario(**base)
+
+
+def quiet_scenario(**overrides) -> Scenario:
+    base = dict(
+        name="obs-quiet",
+        cfg=NoCConfig(mesh_width=3, mesh_height=3, concentration=1),
+        traffic=(SyntheticTraffic(injection_rate=0.05, duration=120, seed=3),),
+        max_cycles=600,
+        stall_limit=300,
+    )
+    base.update(overrides)
+    return Scenario(**base)
+
+
+class TestPureObserver:
+    def test_observed_run_is_byte_identical(self):
+        baseline = Simulation(attacked_scenario())
+        base_result = baseline.run()
+        base_stats = stats_snapshot(baseline)
+
+        observed = Simulation(attacked_scenario(), obs=ObsConfig())
+        obs_result = observed.run()
+
+        assert stats_snapshot(observed) == base_stats
+        assert dataclasses.asdict(obs_result) == dataclasses.asdict(
+            base_result
+        )
+        # ...while the observer actually saw the attack
+        obs = observed.obs
+        assert obs.registry.total("noc_flits_injected") > 0
+        assert obs.registry.total("link_corrupted") > 0
+        assert obs.registry.total("link_retransmissions") > 0
+
+    def test_no_obs_attaches_no_hooks(self):
+        sim = Simulation(quiet_scenario())
+        assert sim.obs is None
+        assert sim.network.injection_hooks == []
+        assert sim.network.ejection_hooks == []
+
+    def test_disabled_obs_attaches_no_hooks(self):
+        sim = Simulation(quiet_scenario(), obs=ObsConfig(enabled=False))
+        assert sim.obs is not None
+        assert sim.network.injection_hooks == []
+        assert sim.network.ejection_hooks == []
+        assert sim.network.monitors == []
+        # finalize on a disabled stack is a no-op, not an error
+        sim.run()
+        assert sim.obs.registry.snapshot() == {}
+
+
+class TestEventCapture:
+    def test_attack_run_publishes_the_expected_kinds(self):
+        sim = Simulation(attacked_scenario(), obs=ObsConfig())
+        sim.run()
+        events = sim.obs.export_sub.drain()
+        kinds = {e.kind for e in events}
+        assert {"inject", "deliver", "corrupt", "retransmit"} <= kinds
+        assert all(e.run == "obs-attacked" for e in events)
+        # cycles are monotone enough to archive: injects are ordered
+        injects = [e.cycle for e in events if e.kind == "inject"]
+        assert injects == sorted(injects)
+
+    def test_verdict_transitions_become_events_and_counters(self):
+        sim = Simulation(attacked_scenario(), obs=ObsConfig())
+        sim.run()
+        verdicts = [
+            e for e in sim.obs.export_sub.drain() if e.kind == "verdict"
+        ]
+        assert verdicts, "detector verdicts never surfaced as events"
+        infected = link_label((0, Direction.EAST))
+        assert any(e.data["link"] == infected for e in verdicts)
+        assert sim.obs.registry.total("detector_verdict_changes") >= len(
+            {(e.data["link"], e.data["verdict"]) for e in verdicts}
+        )
+
+    def test_windowed_series_carries_backpressure_channels(self):
+        sim = Simulation(attacked_scenario(), obs=ObsConfig(window=32))
+        sim.run()
+        series = sim.obs.series
+        channels = series.channels()
+        assert "obs-attacked/input_utilization" in channels
+        assert "obs-attacked/output_utilization" in channels
+        util = series.channel("obs-attacked/input_utilization")
+        assert util and all(start % 32 == 0 for start, _ in util)
+
+    def test_events_off_keeps_metrics_on(self):
+        sim = Simulation(attacked_scenario(), obs=ObsConfig(events=False))
+        sim.run()
+        assert sim.obs.export_sub is None
+        assert sim.obs.bus.published == 0
+        assert sim.obs.registry.total("noc_flits_injected") > 0
+
+
+class TestWatchdogEscalations:
+    def test_event_hooks_fire_through_the_ladder_log(self):
+        from repro.obs.instrument import _EscalateHook
+
+        obs = Observability(ObsConfig())
+        watchdog = RetransWatchdog(WatchdogConfig())
+        watchdog.event_hooks.append(_EscalateHook(obs, "ladder"))
+        watchdog._log(
+            EscalationEvent(
+                cycle=120,
+                link=(0, Direction.EAST),
+                stage=EscalationStage.OBFUSCATE,
+                pkt_id=7,
+                detail="forced L-Ob",
+            )
+        )
+        assert (
+            obs.registry.get(
+                "watchdog_escalations", run="ladder", stage="obfuscate"
+            ).value
+            == 1
+        )
+        (event,) = obs.export_sub.drain()
+        assert event.kind == "escalate"
+        assert event.data["link"] == "0->EAST"
+        assert event.data["stage"] == "obfuscate"
+        assert event.data["pkt_id"] == 7
+
+
+class TestEngineNotifications:
+    def test_checkpoints_emit_events_with_paths(self, tmp_path):
+        sim = Simulation(quiet_scenario(), obs=ObsConfig())
+        sim.configure_checkpoints(tmp_path, interval=100)
+        sim.run()
+        checkpoints = [
+            e for e in sim.obs.export_sub.drain() if e.kind == "checkpoint"
+        ]
+        assert checkpoints
+        for event in checkpoints:
+            assert event.data["checkpoint_cycle"] == event.cycle
+            assert event.data["path"].startswith(str(tmp_path))
+
+    def test_on_failure_records_the_trip_and_finalizes(self):
+        sim = Simulation(quiet_scenario(), obs=ObsConfig())
+        sim.advance_to(50)
+        sim.obs.on_failure(sim, RuntimeError("synthetic failure"))
+        (event,) = [
+            e
+            for e in sim.obs.export_sub.drain()
+            if e.kind == "sentinel_trip"
+        ]
+        assert event.data["trip_kind"] == "crash:RuntimeError"
+        assert event.data["message"] == "synthetic failure"
+        # the final scrape ran: the registry holds the dying state
+        assert sim.obs.registry.get("sim_cycles", run="obs-quiet") is not None
+
+    def test_forensics_bundle_embeds_the_metrics_manifest(self, tmp_path):
+        sim = Simulation(quiet_scenario(), obs=ObsConfig())
+        sim.enable_forensics(tmp_path)
+        sim.advance_to(30)
+        sim.obs.finalize(sim)
+        bundle = sim.forensics.write_bundle(RuntimeError("boom"))
+        manifest = json.loads((bundle / "manifest.json").read_text())
+        assert "metrics.json" in manifest["files"]
+        metrics = validate_metrics_json(bundle / "metrics.json")
+        assert metrics["enabled"] is True
+        assert "sim_cycles" in metrics["metrics"]
+
+    def test_observed_simulation_still_pickles(self, tmp_path):
+        sim = Simulation(quiet_scenario(), obs=ObsConfig())
+        sim.advance_to(40)
+        path = tmp_path / "mid.ckpt"
+        sim.snapshot().save(path)
+        clone = Simulation.restore(path)
+        assert clone.network.cycle == 40
+        assert clone.obs is not None
+        clone.run()
+
+
+class TestAmbient:
+    def test_armed_ambient_attaches_every_simulation(self):
+        obs = enable_ambient(ObsConfig())
+        try:
+            sim = Simulation(quiet_scenario())
+            assert sim.obs is obs is ambient()
+            assert sim.network.injection_hooks
+        finally:
+            disable_ambient()
+        assert ambient() is None
+        assert Simulation(quiet_scenario()).obs is None
+
+    def test_explicit_obs_wins_over_ambient(self):
+        enable_ambient(ObsConfig())
+        try:
+            mine = Observability(ObsConfig())
+            sim = Simulation(quiet_scenario(), obs=mine)
+            assert sim.obs is mine
+            assert sim.obs is not ambient()
+        finally:
+            disable_ambient()
+
+
+class TestProfiler:
+    def test_armed_profiler_attributes_wall_clock_to_phases(self):
+        prof = obs_profiler.enable()
+        try:
+            sim = Simulation(quiet_scenario())
+            assert sim.network.profiler is prof
+            sim.run()
+        finally:
+            obs_profiler.disable()
+        assert prof.total() > 0
+        assert set(prof.seconds) <= set(obs_profiler.PHASE_ORDER)
+        assert "traverse" in prof.seconds
+        assert "profile:" in prof.report()
+
+    def test_unarmed_simulations_carry_no_profiler(self):
+        assert Simulation(quiet_scenario()).network.profiler is None
+
+
+class TestSamplingCadence:
+    def test_zero_interval_disables_sampling(self):
+        sim = Simulation(quiet_scenario(sample_interval=0))
+        result = sim.run()
+        assert result.num_samples == 0
+        assert list(sim.network.stats.samples) == []
+        assert sim.network.stats.samples.interval is None
+
+    def test_cadence_is_mirrored_onto_the_series(self):
+        sim = Simulation(quiet_scenario(sample_interval=20))
+        sim.run()
+        samples = sim.network.stats.samples
+        assert samples.interval == 20
+        assert all(s.cycle % 20 == 0 for s in samples)
+        rolled = samples.rollup(40, ("input_utilization",), agg="max")
+        assert rolled.window == 40
+
+
+class TestSecurityReportAdapter:
+    def test_report_matches_raw_detector_state(self):
+        sim = Simulation(attacked_scenario())
+        sim.run()
+        net = sim.network
+        report = security_report(net)
+        assert set(report.links) == set(net.links)
+        for key, status in report.links.items():
+            detector = net.receiver_of(key).detector
+            assert status.verdict is detector.verdict
+            assert status.faults_observed == detector.faults_observed
+            assert status.bist_scans == detector.bist_scans
+        infected = report.links[(0, Direction.EAST)]
+        assert infected.verdict is LinkVerdict.TROJAN
+        assert infected.faults_observed > 0
+
+    def test_unmitigated_network_still_raises(self):
+        sim = Simulation(quiet_scenario())
+        with pytest.raises(ValueError, match="no threat detectors"):
+            security_report(sim.network)
+
+
+class TestRunnerIntegration:
+    def test_json_output_embeds_a_metrics_section(self, tmp_path):
+        out = tmp_path / "results.json"
+        assert runner.main(["table2", "--json", str(out), "--no-cache"]) == 0
+        payload = json.loads(out.read_text())
+        # without --obs-dir the section is the deterministic disabled
+        # manifest (the CI resume job byte-compares these files)
+        assert payload["metrics"] == {"format": 1, "enabled": False}
+
+    def test_obs_dir_arms_ambient_and_exports(self, tmp_path):
+        out = tmp_path / "results.json"
+        obs_dir = tmp_path / "obs"
+        report = runner.run_experiment(
+            "fig2", json_path=str(out), obs_dir=str(obs_dir)
+        )
+        assert "observability exported to" in report
+        exported = obs_dir / "fig2"
+        assert validate_events_jsonl(exported / "events.jsonl") > 0
+        manifest = validate_metrics_json(exported / "metrics.json")
+        assert manifest["enabled"] is True
+        assert manifest["runs"]
+        assert (exported / "metrics.prom").read_text()
+        assert exporters_main(["validate", str(exported)]) == 0
+        # the run result embeds the same manifest
+        payload = json.loads(out.read_text())
+        assert payload["metrics"]["enabled"] is True
+        # ambient is disarmed afterwards: later sims are unobserved
+        assert ambient() is None
+
+
+class TestCampaignMetrics:
+    FUZZ_CFG = NoCConfig(mesh_width=3, mesh_height=3, concentration=1)
+
+    def run_campaign(self):
+        spec = CampaignSpec(
+            name="obs-fuzz",
+            cfg=self.FUZZ_CFG,
+            traffic=uniform_traffic(self.FUZZ_CFG, 5, 20, interval=4),
+            events=random_events(self.FUZZ_CFG, 5, horizon=200),
+            max_cycles=2000,
+            validate_every=7,
+            seed=5,
+        )
+        return ChaosCampaign(spec).run()
+
+    def test_reports_embed_deterministic_metrics(self):
+        first = self.run_campaign()
+        second = self.run_campaign()
+        assert first.metrics == second.metrics
+        assert first.metrics == campaign_metrics(first)
+        delivered = first.metrics["campaign_packets_delivered"]["series"]
+        assert delivered[0]["labels"] == {"run": "obs-fuzz"}
+        assert (
+            delivered[0]["value"] == first.packets_delivered
+        )

@@ -287,7 +287,7 @@ class TestForensicsWiring:
             (self.doomed_module(tmp_path, bundle), "planted failure"),
         )
         name, ok, _, report, error = runner._worker(
-            ("doomed", None, None, None, False, str(tmp_path), False)
+            ("doomed", None, None, None, False, str(tmp_path), False, None)
         )
         assert (name, ok) == ("doomed", False)
         assert f"[bundle: {bundle}]" in error
@@ -310,7 +310,8 @@ class TestForensicsWiring:
         )
         monkeypatch.setitem(runner.EXPERIMENTS, "spy", (module, "spy"))
         _, ok, _, _, _ = runner._worker(
-            ("spy", None, None, None, False, str(tmp_path / "fx"), False)
+            ("spy", None, None, None, False, str(tmp_path / "fx"), False,
+             None)
         )
         assert ok
         assert seen["dir"] == str(tmp_path / "fx" / "spy")
@@ -335,7 +336,7 @@ class TestForensicsWiring:
             lambda b: (fake_result, shrunk),
         )
         _, ok, _, report, error = runner._worker(
-            ("doomed", None, None, None, False, str(tmp_path), True)
+            ("doomed", None, None, None, False, str(tmp_path), True, None)
         )
         assert not ok
         assert f"[shrunk: {shrunk}]" in error
@@ -350,7 +351,7 @@ class TestForensicsWiring:
             (self.doomed_module(tmp_path, bundle), "planted failure"),
         )
         _, ok, _, report, error = runner._worker(
-            ("doomed", None, None, None, False, str(tmp_path), True)
+            ("doomed", None, None, None, False, str(tmp_path), True, None)
         )
         assert not ok
         assert "[shrink failed:" in report  # bundle path doesn't exist
