@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.noc.flit import Flit, MEM_FIELD, Packet
+from repro.noc.flit import Flit, HeaderLayout, MEM_FIELD, PAPER_LAYOUT, Packet
 from repro.util.bits import extract_field, insert_field, mask
 from repro.util.rng import derive_seed
 
@@ -54,8 +54,15 @@ class E2EObfuscator:
     packet submission, :meth:`encode_flit` per injected flit and
     :meth:`decode_flit` per ejected flit."""
 
-    def __init__(self, config: E2EConfig = E2EConfig()):
+    def __init__(
+        self,
+        config: E2EConfig = E2EConfig(),
+        layout: HeaderLayout = PAPER_LAYOUT,
+    ):
         self.config = config
+        #: wire layout of head flits; must match the network's, or the
+        #: mem-field scramble would XOR routing bits instead
+        self.layout = layout
         self.flits_encoded = 0
         self.certificates_issued = 0
         self.certificates_verified = 0
@@ -147,9 +154,10 @@ class E2EObfuscator:
         key = self._key(flit.src_router, flit.dst_router)
         if flit.is_head:
             if self.config.scramble_mem:
-                mem = extract_field(flit.data, *MEM_FIELD)
-                mem ^= key & mask(MEM_FIELD[1])
-                flit.data = insert_field(flit.data, *MEM_FIELD, mem)
+                mem_field = self.layout.mem
+                mem = extract_field(flit.data, *mem_field)
+                mem ^= key & mask(mem_field[1])
+                flit.data = insert_field(flit.data, *mem_field, mem)
                 flit.mem_addr = mem
         elif self.config.scramble_payload:
             flit.data ^= key & mask(64)

@@ -16,7 +16,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.noc.flit import DST_FIELD, MEM_FIELD, SRC_FIELD, TYPE_FIELD, VC_FIELD
+from repro.noc.flit import (
+    DST_FIELD,
+    HeaderLayout,
+    MEM_FIELD,
+    PAPER_LAYOUT,
+    SRC_FIELD,
+    TYPE_FIELD,
+    VC_FIELD,
+)
 from repro.util.bits import extract_field, mask
 
 
@@ -41,10 +49,12 @@ class TargetSpec:
     head_only: bool = False
 
     def __post_init__(self) -> None:
-        if self.src is not None and not 0 <= self.src < 16:
-            raise ValueError("src target must fit 4 bits")
-        if self.dst is not None and not 0 <= self.dst < 16:
-            raise ValueError("dst target must fit 4 bits")
+        # Router-id bounds are layout-dependent (wide meshes widen the
+        # header fields); matches() re-checks against the actual layout.
+        if self.src is not None and not 0 <= self.src < (1 << 16):
+            raise ValueError("src target out of range")
+        if self.dst is not None and not 0 <= self.dst < (1 << 16):
+            raise ValueError("dst target out of range")
         if self.vc is not None and not 0 <= self.vc < 4:
             raise ValueError("vc target must fit 2 bits")
         if self.mem is not None and not 0 <= self.mem <= mask(32):
@@ -126,25 +136,29 @@ class TargetSpec:
         return width
 
     # -- matching -------------------------------------------------------------
-    def matches(self, wire_image: int) -> bool:
-        """Deep-packet-inspect a 64-bit wire image.
+    def matches(
+        self, wire_image: int, layout: HeaderLayout = PAPER_LAYOUT
+    ) -> bool:
+        """Deep-packet-inspect a wire image (64-bit at paper scale).
 
         The trojan taps raw link wires, so a body flit's payload bits are
         compared exactly as header bits would be — accidental triggers on
-        payload data are possible by design.
+        payload data are possible by design.  The comparator is wired for
+        one specific ``layout``; pass the mesh's (``flit.layout_for``)
+        when inspecting wide-mesh traffic.
         """
         if self.head_only:
-            ftype = extract_field(wire_image, *TYPE_FIELD)
+            ftype = extract_field(wire_image, *layout.ftype)
             if ftype not in (0, 3):  # FlitType.HEAD / FlitType.SINGLE
                 return False
-        if self.src is not None and extract_field(wire_image, *SRC_FIELD) != self.src:
+        if self.src is not None and extract_field(wire_image, *layout.src) != self.src:
             return False
-        if self.dst is not None and extract_field(wire_image, *DST_FIELD) != self.dst:
+        if self.dst is not None and extract_field(wire_image, *layout.dst) != self.dst:
             return False
-        if self.vc is not None and extract_field(wire_image, *VC_FIELD) != self.vc:
+        if self.vc is not None and extract_field(wire_image, *layout.vc) != self.vc:
             return False
         if self.mem is not None:
-            got = extract_field(wire_image, *MEM_FIELD) & self.mem_mask
+            got = extract_field(wire_image, *layout.mem) & self.mem_mask
             if got != self.mem & self.mem_mask:
                 return False
         return True

@@ -32,6 +32,7 @@ from typing import Optional, Sequence
 
 from repro.core.targets import TargetSpec
 from repro.ecc import SECDED_72_64, Secded
+from repro.noc.flit import HeaderLayout, PAPER_LAYOUT
 from repro.util.rng import SeededStream
 
 
@@ -88,10 +89,14 @@ class TaspTrojan:
         target: TargetSpec,
         config: TaspConfig = TaspConfig(),
         codec: Secded = SECDED_72_64,
+        layout: HeaderLayout = PAPER_LAYOUT,
     ):
         self.target = target
         self.config = config
         self.codec = codec
+        #: wire layout the comparators are tuned for (the attacker knows
+        #: the mesh's header format at design time)
+        self.layout = layout
 
         width = codec.codeword_bits
         if config.wires is not None:
@@ -156,7 +161,7 @@ class TaspTrojan:
         # The comparator taps the wires carrying the header fields; we
         # model the tap by extracting the data image from the codeword.
         wire_image = self.codec.extract(codeword)
-        if not self.target.matches(wire_image):
+        if not self.target.matches(wire_image, self.layout):
             return codeword
         self._seen_target = True
         self.triggers += 1

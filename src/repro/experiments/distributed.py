@@ -1,0 +1,239 @@
+"""Coordinated multi-trojan + distributed-DoS survival campaign.
+
+The single-trojan experiments (fig11, chaos) show one escalation ladder
+containing one attacker.  This campaign is the adversarial scale-up on
+an 8x8 mesh: N coordinated TASP trojans with a staggered activation
+schedule, a distributed flooding DDoS from compromised cores, and a
+gray-hole packet-drop attack on the recovery path — all at once —
+against the full defense stack (watchdog ladders supervised by the
+network-level :class:`~repro.resilience.containment.ContainmentCoordinator`).
+
+Survival is certified three ways per case:
+
+* the **sentinel** audits conservation/deadlock/livelock invariants
+  throughout; a trip aborts the run (so a finished case is proof of
+  zero trips);
+* every attacked link is **contained** (rerouted-around, quarantined,
+  or refused into drop-only mode) within a bounded cycle budget,
+  reported as per-link time-to-contain;
+* **benign throughput retained**: delivered benign packets (ids below
+  the flood band) are compared against an attack-free baseline run of
+  the same benign traffic.
+
+Quick mode (``REPRO_DISTRIBUTED_QUICK=1`` or ``run(quick=True)``)
+runs the N=3 case only with a shorter horizon — the CI smoke job.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.core.targets import TargetSpec
+from repro.core.tasp import TaspConfig
+from repro.noc.config import NoCConfig
+from repro.noc.topology import Direction
+from repro.resilience.containment import ContainmentConfig
+from repro.sim.engine import Simulation
+from repro.sim.scenario import (
+    DefenseSpec,
+    DropAttackSpec,
+    Scenario,
+    SyntheticTraffic,
+    coordinated_trojans,
+    distributed_flood,
+)
+from repro.sim.sentinel import SentinelSpec
+from repro.resilience.watchdog import WatchdogConfig
+
+#: the campaign mesh: 8x8 concentrated (256 cores), xy-routed so the
+#: coordinator can reroute onto west-first (xy's turn superset)
+MESH = NoCConfig(mesh_width=8, mesh_height=8)
+
+#: flood pkt-id band start; benign traffic lives strictly below it
+FLOOD_ID_BASE = 10_000_000
+
+#: EAST links on distinct rows/columns — eastbound wormholes have
+#: deadlock-free non-minimal detours, so these exercise the reroute
+#: path (a westbound condemnation would be refused into drop-only)
+ATTACK_LINKS: dict[int, list] = {
+    2: [(9, Direction.EAST), (45, Direction.EAST)],
+    3: [(9, Direction.EAST), (27, Direction.EAST), (45, Direction.EAST)],
+    5: [
+        (9, Direction.EAST),
+        (18, Direction.EAST),
+        (27, Direction.EAST),
+        (36, Direction.EAST),
+        (45, Direction.EAST),
+    ],
+}
+
+#: the gray-hole rides on a link not already hosting a trojan
+GRAYHOLE_LINK = (54, Direction.EAST)
+
+#: compromised cores (DDoS sources) and their victims: the rogues sit
+#: on the attacked rows' routers, the victims on the far column
+ROGUE_CORES = (36, 100, 164)
+VICTIM_CORES = (31 * 4, 47 * 4, 63 * 4)
+
+
+@dataclass(frozen=True)
+class DistributedCase:
+    """One N-trojan campaign against its attack-free baseline."""
+
+    n_trojans: int
+    cycles: int
+    sentinel_checks: int
+    #: benign packets delivered under attack / in the clean baseline
+    benign_delivered: int
+    baseline_delivered: int
+    throughput_retained: float
+    #: attacked links the coordinator acted on (any containment mode)
+    links_contained: int
+    links_attacked: int
+    max_time_to_contain: int
+    containment: dict
+
+
+@dataclass(frozen=True)
+class DistributedResult:
+    quick: bool
+    cases: tuple
+
+
+def _benign_delivered(sim: Simulation) -> int:
+    return sum(
+        1
+        for record in sim.network.stats.completed_records()
+        if record.pkt_id < FLOOD_ID_BASE
+    )
+
+
+def _benign_traffic(duration: int) -> SyntheticTraffic:
+    return SyntheticTraffic(
+        pattern="uniform",
+        injection_rate=0.02,
+        payload_words=2,
+        duration=duration,
+        seed=7,
+    )
+
+
+def _scenario(n: int, duration: int, attacked: bool) -> Scenario:
+    traffic: tuple = (_benign_traffic(duration - 200),)
+    trojans = ()
+    attacks = ()
+    if attacked:
+        traffic = traffic + distributed_flood(
+            ROGUE_CORES,
+            VICTIM_CORES,
+            rate=0.15,
+            start_cycle=200,
+            stop_cycle=duration - 200,
+            seed=11,
+        )
+        # vc-0 trigger: broad enough that benign wormholes through the
+        # infected links keep tripping the comparator (sustained DoS)
+        trojans = coordinated_trojans(
+            ATTACK_LINKS[n],
+            TargetSpec.for_vc(0),
+            TaspConfig(),
+            start=300,
+            stagger=100,
+        )
+        attacks = (
+            DropAttackSpec(
+                link=GRAYHOLE_LINK, drop_probability=1.0, enable_at=400
+            ),
+        )
+    return Scenario(
+        name=f"distributed-n{n}" if attacked else f"distributed-base-n{n}",
+        cfg=MESH,
+        traffic=traffic,
+        trojans=trojans,
+        attacks=attacks,
+        defense=DefenseSpec(
+            watchdog=WatchdogConfig(),
+            containment=ContainmentConfig(),
+        ),
+        duration=duration,
+        sentinel=SentinelSpec(every=200),
+        seed=n,
+    )
+
+
+def run_case(n: int, duration: int) -> DistributedCase:
+    baseline = Simulation(_scenario(n, duration, attacked=False))
+    baseline.run()
+    base_delivered = _benign_delivered(baseline)
+
+    sim = Simulation(_scenario(n, duration, attacked=True))
+    sim.run()  # a sentinel trip raises: finishing proves zero trips
+    delivered = _benign_delivered(sim)
+
+    coordinator = sim.containment
+    assert coordinator is not None
+    attacked_links = set(ATTACK_LINKS[n]) | {GRAYHOLE_LINK}
+    contained = attacked_links & coordinator.contained_links
+    summary = coordinator.summary()
+    return DistributedCase(
+        n_trojans=n,
+        cycles=sim.network.cycle,
+        sentinel_checks=(
+            sim.sentinel.checks if sim.sentinel is not None else 0
+        ),
+        benign_delivered=delivered,
+        baseline_delivered=base_delivered,
+        throughput_retained=(
+            delivered / base_delivered if base_delivered else 0.0
+        ),
+        links_contained=len(contained),
+        links_attacked=len(attacked_links),
+        max_time_to_contain=summary["max_time_to_contain"] or 0,
+        containment=summary,
+    )
+
+
+def run(quick: "bool | None" = None) -> DistributedResult:
+    if quick is None:
+        quick = bool(os.environ.get("REPRO_DISTRIBUTED_QUICK"))
+    ns = (3,) if quick else (2, 3, 5)
+    duration = 4000 if quick else 8000
+    return DistributedResult(
+        quick=quick,
+        cases=tuple(run_case(n, duration) for n in ns),
+    )
+
+
+def format_result(result: DistributedResult) -> str:
+    from repro.experiments.common import format_table
+
+    rows = []
+    for case in result.cases:
+        rows.append(
+            [
+                case.n_trojans,
+                case.cycles,
+                f"{case.links_contained}/{case.links_attacked}",
+                case.max_time_to_contain,
+                f"{case.throughput_retained:.2f}",
+                f"{case.benign_delivered}/{case.baseline_delivered}",
+                case.sentinel_checks,
+            ]
+        )
+    table = format_table(
+        [
+            "trojans", "cycles", "contained", "max-ttc",
+            "thpt-retained", "benign-delivered", "sentinel-checks",
+        ],
+        rows,
+    )
+    mode = "quick" if result.quick else "full"
+    return (
+        f"coordinated multi-trojan + DDoS survival (8x8 mesh, {mode})\n\n"
+        f"{table}"
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(format_result(run()))

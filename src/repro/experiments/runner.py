@@ -42,6 +42,7 @@ from typing import Optional, Sequence
 from repro.experiments import (
     ablations,
     chaos,
+    distributed,
     flood_routing,
     fig1_traffic,
     fig2_faults,
@@ -76,6 +77,10 @@ EXPERIMENTS = {
     "flood": (flood_routing, "flood DoS vs routing algorithms; flood vs trojan"),
     "load": (load_curve, "load-latency curves; xy vs adaptive saturation"),
     "chaos": (chaos, "resilience ladder under chaos campaigns"),
+    "distributed": (
+        distributed,
+        "coordinated multi-trojan + DDoS survival with containment",
+    ),
 }
 
 #: layout version of the runner's resume state file
@@ -290,35 +295,46 @@ def _state_key(
     )
 
 
-def _load_state(path: Path, key: str) -> dict:
-    """Completed rows from a previous interrupted run, or {} when the
-    file is missing, damaged, or belongs to a different invocation."""
+def _load_state(path: Path, key: str) -> tuple[dict, dict]:
+    """Completed rows (and per-task retry timing) from a previous
+    interrupted run, or empty dicts when the file is missing, damaged,
+    or belongs to a different invocation."""
     try:
         with open(path, encoding="utf-8") as fh:
             state = json.load(fh)
     except (FileNotFoundError, json.JSONDecodeError, UnicodeDecodeError,
             OSError):
-        return {}
+        return {}, {}
     if not isinstance(state, dict):
-        return {}
+        return {}, {}
     if state.get("format") != STATE_FORMAT or state.get("key") != key:
-        return {}
+        return {}, {}
     rows = state.get("rows")
     if not isinstance(rows, dict):
-        return {}
+        return {}, {}
     out = {}
     for name, row in rows.items():
         if isinstance(row, list) and len(row) == 5:
             out[name] = tuple(row)
-    return out
+    retries = state.get("retries")
+    if not isinstance(retries, dict):
+        retries = {}
+    return out, {
+        name: info
+        for name, info in retries.items()
+        if name in out and isinstance(info, dict)
+    }
 
 
-def _save_state(path: Path, key: str, rows: dict) -> None:
+def _save_state(
+    path: Path, key: str, rows: dict, retries: Optional[dict] = None
+) -> None:
     path.parent.mkdir(parents=True, exist_ok=True)
     state = {
         "format": STATE_FORMAT,
         "key": key,
         "rows": {name: list(row) for name, row in rows.items()},
+        "retries": dict(retries or {}),
     }
     fd, tmp = tempfile.mkstemp(
         dir=path.parent, prefix=path.name, suffix=".tmp"
@@ -500,18 +516,29 @@ def main(argv: Optional[list[str]] = None) -> int:
         plan, args.seed, args.json, args.no_cache, args.obs_dir
     )
     rows_by_name: dict = {}
+    retries_by_name: dict = {}
     if args.resume:
         # only successful rows are replayed; failures run again
+        loaded_rows, retries_by_name = _load_state(state_path, state_key)
         rows_by_name = {
-            name: row
-            for name, row in _load_state(state_path, state_key).items()
-            if row[1]
+            name: row for name, row in loaded_rows.items() if row[1]
+        }
+        retries_by_name = {
+            name: info
+            for name, info in retries_by_name.items()
+            if name in rows_by_name
         }
     to_run = [task for task in tasks if task[0] not in rows_by_name]
 
-    def record(row: tuple) -> None:
+    def record(row: tuple, outcome: Optional[TaskOutcome] = None) -> None:
         rows_by_name[row[0]] = row
-        _save_state(state_path, state_key, rows_by_name)
+        if outcome is not None and outcome.attempts > 1:
+            retries_by_name[row[0]] = {
+                "attempts": outcome.attempts,
+                "delays": [round(d, 3) for d in outcome.retry_delays],
+                "seconds": round(outcome.seconds, 3),
+            }
+        _save_state(state_path, state_key, rows_by_name, retries_by_name)
 
     def bundles_for(task_id: str) -> list[str]:
         """Repro bundles a failed experiment's workers left on disk."""
@@ -529,7 +556,8 @@ def main(argv: Optional[list[str]] = None) -> int:
                 max_retries=args.max_retries,
             ),
             on_complete=lambda outcome: record(
-                outcome.result if outcome.ok else _quarantine_row(outcome)
+                outcome.result if outcome.ok else _quarantine_row(outcome),
+                outcome,
             ),
             artifacts_for=bundles_for,
         )

@@ -12,7 +12,10 @@ loop that enforces the failure policy fault-injection campaigns need:
   (``os._exit``, OOM-kill, segfault) is a failed attempt, not a hang;
 * **retry with exponential backoff** — failed attempts are re-queued
   after ``backoff_base * 2**(attempt-1)`` seconds, capped at
-  ``backoff_cap``, up to ``max_retries`` retries;
+  ``backoff_cap``, up to ``max_retries`` retries; a seeded jitter
+  (deterministic per task and attempt) spreads simultaneous retries so
+  a batch of tasks felled by one shared cause does not re-stampede the
+  machine in lockstep;
 * **quarantine** — a task that fails every attempt is reported as
   quarantined (with every attempt's error) while the rest of the batch
   completes; the campaign is never aborted by one poison task;
@@ -35,6 +38,8 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
+from repro.util.rng import SeededStream
+
 #: (task_id, attempt, ok, payload_or_traceback)
 _ResultMsg = tuple
 
@@ -51,8 +56,13 @@ class SupervisorConfig:
     max_retries: int = 2
     #: first retry delay in seconds; doubles per attempt
     backoff_base: float = 0.5
-    #: retry delay ceiling in seconds
+    #: retry delay ceiling in seconds (jitter applied on top)
     backoff_cap: float = 30.0
+    #: retry delays are stretched by up to this fraction, drawn from a
+    #: stream seeded per (task, attempt) — reproducible desynchrony
+    jitter: float = 0.25
+    #: root seed of the jitter streams
+    seed: int = 0
     #: monitor loop poll period in seconds
     poll_interval: float = 0.05
     #: grace period for a dead worker's queued result to surface
@@ -78,6 +88,9 @@ class TaskOutcome:
     #: salvage pointers (e.g. repro-bundle paths) collected via the
     #: supervisor's ``artifacts_for`` hook when the task quarantines
     artifacts: tuple = ()
+    #: backoff applied before each retry, in seconds (jitter included),
+    #: oldest first — persisted so resumed batches keep retry history
+    retry_delays: tuple = ()
 
 
 class SupervisorInterrupt(KeyboardInterrupt):
@@ -111,6 +124,7 @@ class _Pending:
     not_before: float
     first_started: Optional[float]
     failures: list = field(default_factory=list)
+    retry_delays: list = field(default_factory=list)
 
 
 @dataclass
@@ -276,6 +290,7 @@ class Supervisor:
             seconds=now - (item.first_started or now),
             result=result,
             failures=tuple(item.failures),
+            retry_delays=tuple(item.retry_delays),
         )
         outcomes[item.task_id] = outcome
         if self.on_complete is not None:
@@ -289,6 +304,14 @@ class Supervisor:
                 cfg.backoff_cap,
                 cfg.backoff_base * (2 ** (item.attempt - 1)),
             )
+            # deterministic per (task, attempt): the same batch replays
+            # the same retry schedule, but concurrent casualties of a
+            # shared failure do not relaunch in lockstep
+            stream = SeededStream(
+                cfg.seed, "supervisor-retry", item.task_id, item.attempt
+            )
+            delay *= 1.0 + cfg.jitter * stream.random()
+            item.retry_delays.append(delay)
             pending.append(
                 _Pending(
                     item.task_id, item.fn, item.args,
@@ -296,6 +319,7 @@ class Supervisor:
                     not_before=now + delay,
                     first_started=item.first_started,
                     failures=item.failures,
+                    retry_delays=item.retry_delays,
                 )
             )
             return
@@ -314,6 +338,7 @@ class Supervisor:
             error=error.strip().splitlines()[-1] if error else "failed",
             failures=tuple(item.failures),
             artifacts=artifacts,
+            retry_delays=tuple(item.retry_delays),
         )
         outcomes[item.task_id] = outcome
         if self.on_complete is not None:

@@ -163,6 +163,65 @@ class LinkKillFault:
         return codeword ^ self.fault_mask
 
 
+class GrayholeAttack:
+    """Packet-drop attack on the retransmission/recovery path.
+
+    A compromised link controller that probabilistically destroys
+    traversals: each selected traversal takes a double-bit flip at
+    positions drawn fresh from the attack's stream.  Against SECDED two
+    flips are always DETECTED and never corrected, so every hit becomes
+    a NACK and consumes a retry — at ``drop_probability < 1`` this is a
+    classic gray-hole (a *fraction* of recovery traffic silently dies,
+    the hardest case for per-link statistics), and at ``1.0`` it
+    black-holes the link outright.  Unlike :class:`LinkKillFault` the
+    flip positions vary per event, so the fault signature never repeats
+    — mimicking transients and evading position-keyed detectors.
+
+    The attacker schedules it like a trojan kill switch: ``arm()`` /
+    ``disarm()`` (the scenario layer drives these from
+    ``DropAttackSpec.enable_at`` / ``disable_at``).
+    """
+
+    __slots__ = ("width", "drop_probability", "_stream", "armed",
+                 "traversals_seen", "events", "bits_flipped")
+
+    def __init__(
+        self,
+        width: int,
+        drop_probability: float,
+        stream: SeededStream,
+        armed: bool = False,
+    ):
+        if not 0.0 < drop_probability <= 1.0:
+            raise ValueError("drop_probability must be in (0, 1]")
+        self.width = width
+        self.drop_probability = drop_probability
+        self._stream = stream
+        self.armed = armed
+        self.traversals_seen = 0
+        self.events = 0
+        self.bits_flipped = 0
+
+    def arm(self) -> None:
+        self.armed = True
+
+    def disarm(self) -> None:
+        self.armed = False
+
+    def tamper(self, codeword: int, cycle: int) -> int:
+        if not self.armed:
+            return codeword
+        self.traversals_seen += 1
+        if not self._stream.chance(self.drop_probability):
+            return codeword
+        self.events += 1
+        fault = 0
+        while fault.bit_count() < 2:
+            fault |= 1 << self._stream.randint(0, self.width - 1)
+        self.bits_flipped += 2
+        return codeword ^ fault
+
+
 class CompositeTamperer:
     """Apply a sequence of tamperers in order (wire order on the link)."""
 

@@ -18,14 +18,27 @@ reproduce that comparison.
 The *selection function* picks, among the admissible productive
 directions, the output with the most downstream credits (least
 congested), falling back deterministically on ties.
+
+The containment coordinator (:mod:`repro.resilience.containment`)
+reuses these turn models to route *around* condemned links: an
+``avoid`` set removes links from the candidate sets, and a per-
+destination reachability fixpoint filters out candidates that would
+strand a packet behind the avoided region.  Because the xy turn set
+(E→N, E→S, W→N, W→S) is a subset of west-first's legal turns, switching
+a live network from xy to west-first mid-flight introduces no new turn
+cycles — the coordinator's default reroute model is therefore
+west-first.  Odd-even *forbids* EN/ES turns in even columns, which xy
+freely uses, so mixing odd-even with in-flight xy packets is not
+deadlock-safe; it remains available for networks already running
+odd-even.
 """
 
 from __future__ import annotations
 
-from typing import Optional, TYPE_CHECKING
+from typing import Iterable, Optional, TYPE_CHECKING
 
 from repro.noc.config import NoCConfig
-from repro.noc.topology import Direction, neighbor
+from repro.noc.topology import Direction, LinkKey, OPPOSITE, neighbor
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.noc.router import Router
@@ -102,13 +115,22 @@ class AdaptiveRouting:
 
     MODELS = ("west-first", "odd-even")
 
-    def __init__(self, cfg: NoCConfig, model: str = "west-first"):
+    def __init__(
+        self,
+        cfg: NoCConfig,
+        model: str = "west-first",
+        avoid: Iterable[LinkKey] = (),
+    ):
         if model not in self.MODELS:
             raise ValueError(f"unknown turn model {model!r}")
         self.cfg = cfg
         self.model = model
+        #: links removed from every candidate set (condemned/quarantined)
+        self.avoid: frozenset[LinkKey] = frozenset(avoid)
+        #: dst -> (router, banned-output) states that can still reach it
+        self._live: dict[int, frozenset] = {}
 
-    def candidates(
+    def _base_candidates(
         self, cur: int, dst: int, src: Optional[int] = None
     ) -> list[Direction]:
         if self.model == "west-first":
@@ -116,6 +138,191 @@ class AdaptiveRouting:
         return odd_even_candidates(
             self.cfg, cur, dst, src if src is not None else cur
         )
+
+    def _detour_candidates(self, cur: int, dst: int) -> list[Direction]:
+        """Non-minimal west-first moves, for when every productive
+        candidate is avoided.
+
+        West-first forbids only turns *into* west, so once a packet has
+        no remaining west moves (``ex >= 0``) any sequence of
+        east/north/south channels is legal — **provided 180-degree
+        turns are banned** (:meth:`route` drops the direction back into
+        the arrival port).  A channel-dependency cycle over {E, N, S}
+        channels has zero net displacement, so it can use no east
+        channel (nothing balances it without west) and must therefore
+        ping-pong inside one column, which requires a north/south
+        reversal somewhere — exactly the banned 180-degree turn.  Turns
+        *into* a west channel are forbidden by the model, so no cycle
+        can detour through westbound traffic either; this is Glass &
+        Ni's non-minimal west-first argument.  East moves are emitted
+        only when productive (``ex > 0``) so a packet never overshoots
+        its destination column — overshooting would demand a later
+        (forbidden) west move.  Westbound traffic (``ex < 0``) gets no
+        detours at all: any vertical or east move would require a turn
+        back into west — ``turn_model_connected`` therefore refuses
+        condemnations of west/vertical sole routes instead.
+        """
+        cx, _cy = self.cfg.router_xy(cur)
+        dx, _dy = self.cfg.router_xy(dst)
+        if dx < cx:
+            return []
+        options = []
+        for d in (Direction.EAST, Direction.NORTH, Direction.SOUTH):
+            if d is Direction.EAST and dx <= cx:
+                continue
+            if (cur, d) in self.avoid:
+                continue
+            if neighbor(self.cfg, cur, d) is not None:
+                options.append(d)
+        return options
+
+    def _strict_candidates(
+        self, cur: int, dst: int, src: Optional[int] = None
+    ) -> list[Direction]:
+        """Avoid-filtered candidates, detour-extended for west-first;
+        empty means ``cur`` genuinely cannot make legal progress."""
+        base = self._base_candidates(cur, dst, src)
+        if not self.avoid:
+            return base
+        allowed = [d for d in base if (cur, d) not in self.avoid]
+        if not allowed and self.model == "west-first":
+            allowed = self._detour_candidates(cur, dst)
+        return allowed
+
+    def _state_candidates(
+        self,
+        cur: int,
+        dst: int,
+        banned: Optional[Direction],
+        src: Optional[int] = None,
+    ) -> list[Direction]:
+        """Candidates for a packet whose arrival port bans ``banned``.
+
+        The no-reversal rule removes ``banned`` from the strict set; a
+        state whose *every* remaining move is that reversal extends
+        into the non-minimal detour set (west-first only) — e.g. a
+        packet that overshot its destination row while detouring may
+        legally keep overshooting and come back around, but may not
+        turn straight back."""
+        options = [
+            d
+            for d in self._strict_candidates(cur, dst, src)
+            if d is not banned
+        ]
+        if not options and banned is not None and self.model == "west-first":
+            options = [
+                d
+                for d in self._detour_candidates(cur, dst)
+                if d is not banned
+            ]
+        return options
+
+    def candidates(
+        self, cur: int, dst: int, src: Optional[int] = None
+    ) -> list[Direction]:
+        if not self.avoid:
+            return self._base_candidates(cur, dst, src)
+        allowed = self._strict_candidates(cur, dst, src)
+        if allowed:
+            return allowed
+        # If every legal move is avoided, keep the minimal set: a
+        # route_fn returning None would eject the packet at the wrong
+        # router, whereas steering into an avoided (still-draining)
+        # link merely feeds the watchdog's drop path.  Admission
+        # control (turn_model_connected) keeps this branch unreachable.
+        return self._base_candidates(cur, dst, src)
+
+    # -- reachability -----------------------------------------------------
+    # Reachability is computed over *states* ``(router, banned)`` where
+    # ``banned`` is the output direction a packet at that router may not
+    # take — the 180-degree turn back into its arrival port (None for a
+    # freshly injected packet).  The state space matters because the
+    # no-reversal rule that keeps non-minimal detours deadlock-free also
+    # means a router can be reachable yet stuck for packets that arrived
+    # from one particular side.
+
+    def live_states(
+        self, dst: int
+    ) -> "frozenset[tuple[int, Optional[Direction]]]":
+        """States from which ``dst`` is reachable under this turn model
+        with the avoided links removed and 180-degree turns banned.
+
+        Backward fixpoint over the strict candidate relation; for
+        odd-even the candidate set also depends on the packet's source
+        column, which is approximated with ``src=cur`` — a conservative
+        choice (it enables the source-column exception at every hop,
+        and the route-time filter re-checks the next hop anyway).
+        """
+        cached = self._live.get(dst)
+        if cached is not None:
+            return cached
+        banned_values = (None, *Direction)
+        live: set = {(dst, b) for b in banned_values}
+        changed = True
+        while changed:
+            changed = False
+            for cur in range(self.cfg.num_routers):
+                if cur == dst:
+                    continue
+                for banned in banned_values:
+                    state = (cur, banned)
+                    if state in live:
+                        continue
+                    for d in self._state_candidates(cur, dst, banned, src=cur):
+                        nxt = neighbor(self.cfg, cur, d)
+                        if nxt is None:
+                            continue
+                        if (nxt, OPPOSITE[d]) in live:
+                            live.add(state)
+                            changed = True
+                            break
+        result = frozenset(live)
+        self._live[dst] = result
+        return result
+
+    def dst_reachable(self, dst: int) -> bool:
+        """True iff no packet headed for ``dst`` can reach a stuck
+        state: every state forward-reachable from any injection point —
+        under the same next-hop choices :meth:`route` makes, including
+        its steer-toward-live-states filter — must itself be able to
+        reach ``dst``."""
+        live = self.live_states(dst)
+        frontier = [
+            (cur, None)
+            for cur in range(self.cfg.num_routers)
+            if cur != dst
+        ]
+        seen = set(frontier)
+        while frontier:
+            state = frontier.pop()
+            if state not in live:
+                return False
+            cur, banned = state
+            options = [
+                (d, nxt)
+                for d in self._state_candidates(cur, dst, banned, src=cur)
+                for nxt in (neighbor(self.cfg, cur, d),)
+                if nxt is not None
+            ]
+            # mirror route(): with several options the live filter
+            # steers away from dead-end successors; a sole option is
+            # taken unconditionally
+            if len(options) > 1:
+                live_next = [
+                    (d, nxt)
+                    for d, nxt in options
+                    if (nxt, OPPOSITE[d]) in live
+                ]
+                if live_next:
+                    options = live_next
+            for d, nxt in options:
+                if nxt == dst:
+                    continue
+                nxt_state = (nxt, OPPOSITE[d])
+                if nxt_state not in seen:
+                    seen.add(nxt_state)
+                    frontier.append(nxt_state)
+        return True
 
     @staticmethod
     def _congestion_score(router: "Router", direction: Direction) -> int:
@@ -145,6 +352,75 @@ class AdaptiveRouting:
         options = [
             d for d in options if neighbor(self.cfg, cur, d) is not None
         ]
+        if self.avoid:
+            options = self._containment_filter(cur, dst, options, router)
+        if not options:
+            return None
         if router is None or len(options) == 1:
             return options[0]
         return max(options, key=lambda d: self._congestion_score(router, d))
+
+    def _containment_filter(
+        self,
+        cur: int,
+        dst: int,
+        options: list[Direction],
+        router: Optional["Router"],
+    ) -> list[Direction]:
+        """Detour-mode safety filters: no 180-degree turns, and no
+        handing the packet to a neighbor-state that cannot reach dst."""
+        banned: Optional[Direction] = None
+        if router is not None:
+            arrival = getattr(router, "routing_input", None)
+            if isinstance(arrival, Direction):
+                banned = arrival
+        if banned is not None:
+            forward = self._state_candidates(cur, dst, banned, src=cur)
+            if forward:
+                options = forward
+            else:
+                # A stuck state (only escape is a reversal).  Taking the
+                # reversal could close a channel cycle, so steer into
+                # the base minimal set instead: that feeds an avoided
+                # (still-draining) link, whose watchdog drop path
+                # resubmits the packet end-to-end.  Admission control
+                # (turn_model_connected) refuses configurations where
+                # this state is reachable, so this is belt-and-braces.
+                base = [
+                    d
+                    for d in self._base_candidates(cur, dst, src=cur)
+                    if d is not banned
+                    and neighbor(self.cfg, cur, d) is not None
+                ]
+                return base if base else options
+        if len(options) > 1:
+            live = self.live_states(dst)
+            filtered = [
+                d
+                for d in options
+                if (neighbor(self.cfg, cur, d), OPPOSITE[d]) in live
+            ]
+            # admission control guarantees a live candidate exists; keep
+            # the unfiltered set as a defensive fallback because
+            # returning None here would eject the packet at the wrong
+            # router
+            if filtered:
+                options = filtered
+        return options
+
+
+def turn_model_connected(
+    cfg: NoCConfig, model: str, avoid: Iterable[LinkKey]
+) -> bool:
+    """True iff every router can still reach every other router under
+    ``model`` with the ``avoid`` links removed.
+
+    This is the containment coordinator's admission check: a
+    condemnation whose avoid-set fails it would strand some src/dst
+    pair, so the coordinator refuses it and falls back to
+    drop-with-notify instead.
+    """
+    routing = AdaptiveRouting(cfg, model, avoid)
+    return all(
+        routing.dst_reachable(dst) for dst in range(cfg.num_routers)
+    )

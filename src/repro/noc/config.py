@@ -49,11 +49,15 @@ class NoCConfig:
         if self.mesh_width < 1 or self.mesh_height < 1:
             raise ValueError("mesh dimensions must be at least 1x1")
         if self.num_routers > 16:
-            # The wire-image header carries 4-bit router ids (the paper's
-            # field widths).  Larger meshes would silently alias.
-            raise ValueError(
-                "header layout carries 4-bit router ids; at most 16 routers"
-            )
+            # Beyond the paper's 16 routers the header layout widens
+            # (flit.layout_for); router ids, vc and mem plus at least a
+            # 2-bit type and 1-bit pkt-id field must still fit the flit.
+            rb = (self.num_routers - 1).bit_length()
+            if 2 * rb + 36 >= self.flit_bits:
+                raise ValueError(
+                    f"{self.num_routers} routers need {rb}-bit ids; the "
+                    f"widened header does not fit a {self.flit_bits}-bit flit"
+                )
         if self.concentration < 1:
             raise ValueError("concentration must be at least 1")
         if self.num_vcs < 1 or self.num_vcs > 4:

@@ -16,11 +16,21 @@ Body/tail flits carry raw 64-bit payload words; a trojan performing deep
 packet inspection reads the *same wire positions* and may therefore
 mis-trigger on payload data — the "masking an unintended target" risk
 the paper discusses.
+
+Meshes beyond the paper's 16 routers do not fit 4-bit router ids; for
+those a :class:`HeaderLayout` is derived per configuration
+(:func:`layout_for`) with router-id fields just wide enough for the
+mesh, the memory address kept at 32 bits, and the packet-id field
+absorbing whatever is left.  ``layout_for`` of any <= 16-router mesh
+returns :data:`PAPER_LAYOUT` — the exact constants above — so every
+paper-scale wire image is bit-identical to what this module always
+produced.
 """
 
 from __future__ import annotations
 
 import enum
+import functools
 from dataclasses import dataclass, field
 
 from repro.noc.config import NoCConfig
@@ -51,6 +61,80 @@ HEADER_WINDOW = (0, 42)
 PAYLOAD_WINDOW = (42, 22)
 
 
+@dataclass(frozen=True)
+class HeaderLayout:
+    """Bit positions of every head-flit field on the wire.
+
+    ``(offset, width)`` pairs, mirroring the module-level constants.
+    ``full_window`` is the src+dst+vc+mem span the paper's "Full" TASP
+    comparator taps; ``header_window``/``payload_window`` are the L-Ob
+    granularity halves.
+    """
+
+    src: tuple[int, int]
+    dst: tuple[int, int]
+    vc: tuple[int, int]
+    mem: tuple[int, int]
+    ftype: tuple[int, int]
+    pid: tuple[int, int]
+    full_window: tuple[int, int]
+    header_window: tuple[int, int]
+    payload_window: tuple[int, int]
+
+    @property
+    def router_bits(self) -> int:
+        return self.src[1]
+
+
+#: the paper's §V-A layout (4-bit router ids, <= 16 routers)
+PAPER_LAYOUT = HeaderLayout(
+    src=SRC_FIELD,
+    dst=DST_FIELD,
+    vc=VC_FIELD,
+    mem=MEM_FIELD,
+    ftype=TYPE_FIELD,
+    pid=PID_FIELD,
+    full_window=FULL_WINDOW,
+    header_window=HEADER_WINDOW,
+    payload_window=PAYLOAD_WINDOW,
+)
+
+
+@functools.lru_cache(maxsize=None)
+def _layout(num_routers: int, flit_bits: int) -> HeaderLayout:
+    if num_routers <= 16 and flit_bits == 64:
+        return PAPER_LAYOUT
+    rb = max(4, (num_routers - 1).bit_length())
+    type_off = 2 * rb + 34
+    pid_off = type_off + 2
+    if pid_off >= flit_bits:
+        raise ValueError(
+            f"{num_routers} routers need {rb}-bit ids; the header does "
+            f"not fit a {flit_bits}-bit flit"
+        )
+    return HeaderLayout(
+        src=(0, rb),
+        dst=(rb, rb),
+        vc=(2 * rb, 2),
+        mem=(2 * rb + 2, 32),
+        ftype=(type_off, 2),
+        pid=(pid_off, flit_bits - pid_off),
+        full_window=(0, type_off),
+        header_window=(0, type_off),
+        payload_window=(type_off, flit_bits - type_off),
+    )
+
+
+def layout_for(cfg: "NoCConfig") -> HeaderLayout:
+    """The header layout ``cfg``'s wire images use.
+
+    :data:`PAPER_LAYOUT` for any mesh of at most 16 routers (keeping
+    every published figure's wire traffic bit-identical); a widened
+    layout with ``(num_routers-1).bit_length()``-bit router ids beyond.
+    """
+    return _layout(cfg.num_routers, cfg.flit_bits)
+
+
 def pack_header(
     src_router: int,
     dst_router: int,
@@ -58,27 +142,30 @@ def pack_header(
     mem_addr: int,
     ftype: FlitType,
     pkt_id: int,
+    layout: HeaderLayout = PAPER_LAYOUT,
 ) -> int:
-    """Build a head flit's 64-bit wire image."""
+    """Build a head flit's wire image (64-bit at paper scale)."""
     word = 0
-    word = insert_field(word, *SRC_FIELD, src_router)
-    word = insert_field(word, *DST_FIELD, dst_router)
-    word = insert_field(word, *VC_FIELD, vc_class)
-    word = insert_field(word, *MEM_FIELD, mem_addr & mask(32))
-    word = insert_field(word, *TYPE_FIELD, int(ftype))
-    word = insert_field(word, *PID_FIELD, pkt_id & mask(20))
+    word = insert_field(word, *layout.src, src_router)
+    word = insert_field(word, *layout.dst, dst_router)
+    word = insert_field(word, *layout.vc, vc_class)
+    word = insert_field(word, *layout.mem, mem_addr & mask(layout.mem[1]))
+    word = insert_field(word, *layout.ftype, int(ftype))
+    word = insert_field(word, *layout.pid, pkt_id & mask(layout.pid[1]))
     return word
 
 
-def unpack_header(word: int) -> dict[str, int]:
+def unpack_header(
+    word: int, layout: HeaderLayout = PAPER_LAYOUT
+) -> dict[str, int]:
     """Decode the head-flit fields out of a wire image."""
     return {
-        "src_router": extract_field(word, *SRC_FIELD),
-        "dst_router": extract_field(word, *DST_FIELD),
-        "vc_class": extract_field(word, *VC_FIELD),
-        "mem_addr": extract_field(word, *MEM_FIELD),
-        "ftype": extract_field(word, *TYPE_FIELD),
-        "pkt_id": extract_field(word, *PID_FIELD),
+        "src_router": extract_field(word, *layout.src),
+        "dst_router": extract_field(word, *layout.dst),
+        "vc_class": extract_field(word, *layout.vc),
+        "mem_addr": extract_field(word, *layout.mem),
+        "ftype": extract_field(word, *layout.ftype),
+        "pkt_id": extract_field(word, *layout.pid),
     }
 
 
@@ -219,6 +306,7 @@ class Packet:
                     self.mem_addr,
                     head_type,
                     self.pkt_id,
+                    layout_for(cfg),
                 ),
                 domain=self.domain,
             )

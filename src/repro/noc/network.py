@@ -217,6 +217,66 @@ class Network:
             for entry in list(out.retrans):
                 out.retrans.on_ack(entry.tag)
         out.holders = [None] * self.cfg.num_vcs
+        out.holder_pkts = [None] * self.cfg.num_vcs
+
+    def purge_packet(self, pkt_id: int, cycle: int) -> int:
+        """Flush every in-network trace of a condemned packet.
+
+        Dropping a packet at one port cuts its wormhole mid-flight:
+        flits that already crossed the drop point keep flowing with no
+        tail behind them, so the VC holders they pinned at downstream
+        outputs would never be released — a handful of drops can wedge
+        the whole mesh.  This models the control-plane flush a
+        fault-tolerant NoC broadcasts alongside the drop notification:
+        buffered flits of the packet are discarded with exact credit
+        and sequence accounting, its VC grants and pinned route state
+        are force-released, and every receiver is poisoned so in-flight
+        stragglers retire through the accept-and-discard path.
+
+        Returns the number of buffered/pinned flits purged.
+        """
+        from repro.noc.retrans import EntryState
+
+        purged = 0
+        for router in self.routers:
+            for key, port in router.inputs.items():
+                for vc_idx, vc in enumerate(port.vcs):
+                    doomed = [f for f in vc.buffer if f.pkt_id == pkt_id]
+                    if doomed:
+                        vc.buffer = deque(
+                            f for f in vc.buffer if f.pkt_id != pkt_id
+                        )
+                        for flit in doomed:
+                            self.stats.on_flit_degraded(flit)
+                            # the freed slot's credit goes back upstream
+                            if port.upstream_credits is not None:
+                                port.upstream_credits.release(vc_idx, cycle)
+                        purged += len(doomed)
+                    if vc.cur_pkt == pkt_id:
+                        vc.reset_packet_state()
+            for out in router.outputs.values():
+                receiver = self.receiver_of(out.link.key)
+                for entry in list(out.retrans):
+                    if (
+                        entry.flit.pkt_id != pkt_id
+                        or entry.state is not EntryState.READY
+                    ):
+                        # launched entries retire via the poisoned
+                        # receiver's OK-ACK
+                        continue
+                    out.retrans.drop(entry.tag)
+                    if entry.vc_seq >= 0:
+                        receiver.skip_seq(entry.out_vc, entry.vc_seq)
+                    out.credits.release(entry.out_vc, cycle)
+                    self.stats.on_flit_degraded(entry.flit)
+                    purged += 1
+                for v in range(self.cfg.num_vcs):
+                    if out.holder_pkts[v] == pkt_id:
+                        out.holders[v] = None
+                        out.holder_pkts[v] = None
+                receiver.poison_packet(pkt_id)
+        self.wake_all()
+        return purged
 
     def receiver_of(self, key: LinkKey) -> EccReceiver:
         """The receive pipeline at the downstream end of ``key``."""

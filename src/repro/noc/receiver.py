@@ -23,7 +23,7 @@ from collections import deque
 from typing import Optional, TYPE_CHECKING
 
 from repro.ecc import SECDED_72_64, DecodeResult, DecodeStatus, Secded
-from repro.noc.flit import unpack_header
+from repro.noc.flit import layout_for, unpack_header
 from repro.noc.link import AckMessage, Link, Transmission
 from repro.noc.retrans import NackAdvice
 
@@ -69,6 +69,7 @@ class EccReceiver:
         self.cfg = cfg
         self.link = link
         self.codec = codec
+        self.layout = layout_for(cfg)
         #: per-VC resequencing store: vc -> {vc_seq: StagedFlit}
         self._staging: dict[int, dict[int, StagedFlit]] = {
             vc: {} for vc in range(cfg.num_vcs)
@@ -179,7 +180,7 @@ class EccReceiver:
         silent data corruption on a head flit re-routes the packet."""
         flit.data = data
         if flit.is_head:
-            fields = unpack_header(data)
+            fields = unpack_header(data, self.layout)
             flit.src_router = fields["src_router"]
             flit.dst_router = fields["dst_router"]
             flit.mem_addr = fields["mem_addr"]

@@ -60,7 +60,7 @@ class VCState:
     """One virtual channel of an input port."""
 
     __slots__ = ("capacity", "buffer", "route_out", "rc_cycle", "out_vc",
-                 "va_cycle")
+                 "va_cycle", "cur_pkt")
 
     def __init__(self, capacity: int):
         self.capacity = capacity
@@ -69,6 +69,10 @@ class VCState:
         self.rc_cycle = -1
         self.out_vc: Optional[int] = None
         self.va_cycle = -1
+        #: pkt_id the pinned route/VC state belongs to, so a purge of a
+        #: dropped packet can find and reset stale per-VC state even
+        #: after the packet's flits have left the buffer
+        self.cur_pkt: Optional[int] = None
 
     @property
     def occupancy(self) -> int:
@@ -95,6 +99,7 @@ class VCState:
         self.rc_cycle = -1
         self.out_vc = None
         self.va_cycle = -1
+        self.cur_pkt = None
 
 
 class InputPort:
@@ -122,7 +127,7 @@ class OutputPort:
     """A direction output: retransmission buffer + link + credits."""
 
     __slots__ = ("direction", "link", "retrans", "credits", "holders",
-                 "lob", "vc_seq_counters", "last_ack_cycle")
+                 "holder_pkts", "lob", "vc_seq_counters", "last_ack_cycle")
 
     def __init__(self, direction: Direction, link: Link, cfg: NoCConfig):
         self.direction = direction
@@ -135,6 +140,9 @@ class OutputPort:
         #: VA until the packet's tail flit is ACKed by the neighbour, so
         #: retransmissions cannot interleave two packets on one VC
         self.holders: list[Optional[tuple[PortKey, int]]] = [None] * cfg.num_vcs
+        #: pkt_id behind each holder; a dropped packet whose tail will
+        #: never cross this link must have its grants force-released
+        self.holder_pkts: list[Optional[int]] = [None] * cfg.num_vcs
         self.lob: Optional["LObEncoder"] = None
         #: next per-VC link sequence number
         self.vc_seq_counters = [0] * cfg.num_vcs
@@ -219,6 +227,9 @@ class Router:
         #: network uses this to wake the upstream router under
         #: active-set stepping.
         self.credit_release_dirs: list[Direction] = []
+        #: input-port key of the head currently in route compute (an
+        #: adaptive route_fn reads it to refuse 180-degree turns)
+        self.routing_input: Optional[PortKey] = None
 
     # -- wiring (done by Network) ----------------------------------------
     def add_link_input(self, from_direction: Direction) -> InputPort:
@@ -259,10 +270,14 @@ class Router:
                     or head.last_move_cycle >= cycle
                 ):
                     continue
+                vc.cur_pkt = head.pkt_id
                 if head.dst_router == self.id:
                     local = head.dst_core % self.cfg.concentration
                     vc.route_out = ("ej", local)
                 else:
+                    # arrival port, for routing functions that forbid
+                    # 180-degree turns (non-minimal containment detours)
+                    self.routing_input = port.key
                     direction = self.route_fn(
                         self.id, head.dst_router, head.src_router, self
                     )
@@ -325,6 +340,7 @@ class Router:
             vc.out_vc = grant_vc
             vc.va_cycle = cycle
             out.holders[grant_vc] = (key, vc_idx)
+            out.holder_pkts[grant_vc] = vc.buffer[0].pkt_id
 
     # -- SA + ST -------------------------------------------------------------
     def _movable(self, port: InputPort, vc: VCState, cycle: int) -> bool:
@@ -458,6 +474,7 @@ class Router:
                         # Tail safely across: the downstream VC may now be
                         # re-allocated to another packet.
                         out.holders[entry.out_vc] = None
+                        out.holder_pkts[entry.out_vc] = None
                     if out.lob is not None and ack.ob_success is not None:
                         out.lob.record_success(
                             ack.flow_signature, ack.ob_success

@@ -205,6 +205,35 @@ def collect_watchdog(
     ).set(watchdog.links_condemned)
 
 
+def collect_containment(
+    containment,
+    registry: MetricsRegistry,
+    run: Optional[str] = None,
+) -> None:
+    """Containment coordinator posture: reroutes, refusals, seals,
+    quarantines, gate pressure and per-link time-to-contain."""
+    if containment is None:
+        return
+    extra = _run_labels(run)
+    gauges = {
+        "containment_links_rerouted": containment.links_rerouted,
+        "containment_links_refused": containment.links_refused,
+        "containment_links_sealed": containment.links_sealed,
+        "containment_quarantines": containment.quarantines,
+        "containment_actions_allowed": containment.actions_allowed,
+        "containment_actions_denied": containment.actions_denied,
+        "containment_partition_risks": len(containment.partition_risks),
+    }
+    for name, value in gauges.items():
+        registry.gauge(name, **extra).set(value)
+    for key, cycles in containment.time_to_contain.items():
+        registry.gauge(
+            "containment_time_to_contain",
+            "cycles from a link's first ladder action to containment",
+            link=link_label(key), **extra,
+        ).set(cycles)
+
+
 def collect_trojans(
     trojans,
     registry: MetricsRegistry,
@@ -238,6 +267,9 @@ def collect_simulation(sim, registry: MetricsRegistry) -> None:
     collect_stats(net.stats, registry, run=run)
     collect_links(net, registry, run=run)
     collect_watchdog(sim.watchdog, registry, run=run)
+    collect_containment(
+        getattr(sim, "containment", None), registry, run=run
+    )
     collect_trojans(sim.trojans, registry, run=run)
     if sim.sentinel is not None:
         registry.gauge(

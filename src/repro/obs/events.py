@@ -37,6 +37,9 @@ EVENT_KINDS: dict[str, tuple[str, ...]] = {
     "verdict": ("link", "verdict"),
     "obfuscate": ("pkt_id", "seq", "link", "method"),
     "escalate": ("link", "stage", "pkt_id", "tag", "detail"),
+    # network-level containment (coordinator decisions)
+    "contain": ("link", "action", "detail"),
+    "partition_risk": ("link", "detail"),
     # engine lifecycle
     "checkpoint": ("checkpoint_cycle", "path"),
     "sentinel_trip": ("trip_kind", "message"),

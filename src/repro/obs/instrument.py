@@ -198,6 +198,37 @@ class _EscalateHook:
             )
 
 
+class _ContainHook:
+    """``containment.event_hooks`` member: one coordinator decision."""
+
+    def __init__(self, obs: "Observability", run: str):
+        self.obs = obs
+        self.run = run
+
+    def __call__(self, event) -> None:
+        from repro.obs.collectors import link_label
+
+        obs = self.obs
+        obs.registry.counter(
+            "containment_events", "coordinator decisions taken",
+            run=self.run, action=event.kind,
+        ).inc()
+        if obs.config.events and obs.bus.subscriptions:
+            label = (
+                link_label(event.link) if event.link is not None else None
+            )
+            if event.kind == "partition_risk":
+                obs.bus.emit(
+                    "partition_risk", event.cycle, self.run,
+                    link=label, detail=event.detail,
+                )
+            else:
+                obs.bus.emit(
+                    "contain", event.cycle, self.run,
+                    link=label, action=event.kind, detail=event.detail,
+                )
+
+
 class _WindowCollector:
     """``network.monitors`` member: the cycle-windowed scrape.
 
@@ -318,6 +349,8 @@ class Observability:
         self.attach_network(sim.network, run)
         if sim.watchdog is not None:
             sim.watchdog.event_hooks.append(_EscalateHook(self, run))
+        if getattr(sim, "containment", None) is not None:
+            sim.containment.event_hooks.append(_ContainHook(self, run))
         return self
 
     def attach_network(self, network: "Network", run: str = "") -> None:

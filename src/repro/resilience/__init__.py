@@ -14,6 +14,12 @@ Three cooperating pieces on top of the NoC simulator:
   flit conservation, handing delivery to the end-to-end ledger.
 """
 
+from repro.resilience.containment import (
+    ContainmentConfig,
+    ContainmentCoordinator,
+    ContainmentEvent,
+    SAFE_REROUTE_MODELS,
+)
 from repro.resilience.campaign import (
     CampaignReport,
     CampaignSpec,
@@ -36,11 +42,17 @@ from repro.resilience.scenarios import (
 from repro.resilience.watchdog import (
     EscalationEvent,
     EscalationStage,
+    PartitionRisk,
     RetransWatchdog,
     WatchdogConfig,
 )
 
 __all__ = [
+    "ContainmentConfig",
+    "ContainmentCoordinator",
+    "ContainmentEvent",
+    "SAFE_REROUTE_MODELS",
+    "PartitionRisk",
     "CampaignReport",
     "CampaignSpec",
     "ChaosCampaign",

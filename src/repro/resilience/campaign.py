@@ -410,7 +410,12 @@ class ChaosCampaign:
                         watchdog.attach(net)
                         # the new epoch restarts every undelivered
                         # packet under its original id: reset the
-                        # attempt tracking
+                        # attempt tracking and flush drop notices from
+                        # the drained epoch (drop-only mode keeps
+                        # purging condemned links during the drain;
+                        # resubmitting those now-restarted packets
+                        # again would deliver them twice)
+                        watchdog.take_dropped()
                         latest.clear()
                         last_progress_cycle = net.cycle
 

@@ -1,0 +1,489 @@
+"""Network-level containment coordinator for coordinated attacks.
+
+The per-link :class:`~repro.resilience.watchdog.RetransWatchdog` ladder
+is locally sound but globally naive: under N simultaneous attackers,
+N independent escalations can force many drops in one cycle (a burst of
+end-to-end resubmissions that is itself a flood), and N independent
+condemnations can remove enough links to partition the mesh — turning
+the mitigation into the denial of service it was meant to stop.
+
+:class:`ContainmentCoordinator` owns the watchdog's escalations and
+makes them globally safe:
+
+* **action budget** — at most ``max_actions_per_cycle`` forced-L-Ob or
+  drop actions fire per cycle across the whole network (via the
+  watchdog's ``action_gate``); a link denied an action retries under
+  exponential backoff with seeded jitter, so N synchronized ladders
+  desynchronize instead of thundering together.
+* **deadlock-free reroute** — a condemned link is routed *around* using
+  a turn-model (:mod:`repro.noc.adaptive`) whose legal turns contain
+  the base routing's (xy ⊂ west-first), so switching mid-flight adds no
+  turn cycles.  Admission is guarded by
+  :func:`~repro.noc.adaptive.turn_model_connected`: a condemnation
+  whose avoid-set would disconnect any src/dst pair is **refused** and
+  the link falls back to the watchdog's drop-only mode instead
+  (drop-with-notify keeps end-to-end delivery alive).
+* **invariant-safe draining** — a rerouted link is not disabled while
+  it still holds protocol state; the watchdog's drop-only ladder clears
+  its pinned entries, and only once the retransmission buffer is empty
+  and the wire is idle is the link **sealed** (``disable_link`` then
+  touches nothing in flight).
+* **region quarantine** — when ``quarantine_threshold`` condemnations
+  correlate within ``quarantine_window`` cycles *and* their bounding
+  rectangle is small enough to be a localized attack
+  (``quarantine_max_fraction``), the coordinator escalates to
+  quarantining the rectangle preemptively: every link with
+  *both* endpoints inside the rectangle joins the avoid-set at once
+  (boundary-crossing links survive, so the rectangle never isolates the
+  outside), subject to the same connectivity admission; when the full
+  rectangle would partition — any westbound or same-column inner link
+  is a sole route under west-first — the detour-capable eastbound
+  subset is quarantined instead.
+
+The coordinator is a pure observer until the watchdog escalates: with
+no watchdog attached — or an attached watchdog that never condemns —
+it changes nothing about the simulation, which is what keeps the
+single-trojan paper figures byte-identical with containment enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.noc.adaptive import AdaptiveRouting, turn_model_connected
+from repro.noc.network import Network
+from repro.noc.topology import Direction, LinkKey, link_endpoints
+from repro.resilience.watchdog import (
+    EscalationStage,
+    PartitionRisk,
+    RetransWatchdog,
+)
+from repro.util.rng import SeededStream
+
+#: base routings the coordinator may reroute, and the turn model whose
+#: legal turns are a superset of theirs (mid-flight switch adds no turn
+#: cycles).  yx and table routings have no such safe superset here, so
+#: containment on those networks is drop-only.
+SAFE_REROUTE_MODELS = {
+    "xy": "west-first",
+    "west-first": "west-first",
+    "odd-even": "odd-even",
+}
+
+
+@dataclass(frozen=True)
+class ContainmentConfig:
+    """Coordinator policy knobs (all deterministic given ``seed``)."""
+
+    #: global cap on forced-L-Ob/drop actions per cycle
+    max_actions_per_cycle: int = 2
+    #: base retry delay (cycles) after a budget denial
+    retry_base: int = 8
+    #: retry delay ceiling
+    retry_cap: int = 256
+    #: jitter fraction on retry delays (0 = lockstep, 0.5 = up to +50%)
+    jitter: float = 0.5
+    #: seed for the jitter streams
+    seed: int = 0
+    #: turn model used to route around condemned links; "auto" derives
+    #: it from the network's base routing (SAFE_REROUTE_MODELS) and
+    #: disables rerouting when no deadlock-safe model exists
+    reroute_model: str = "auto"
+    #: escalate correlated condemnations into a region quarantine
+    quarantine: bool = True
+    #: condemnations within ``quarantine_window`` that trigger it
+    quarantine_threshold: int = 3
+    #: correlation window in cycles
+    quarantine_window: int = 2000
+    #: largest rectangle worth quarantining, as a fraction of the mesh;
+    #: correlated condemnations whose bounding rectangle exceeds this
+    #: are not a *localized* attack, and walling off most of the mesh
+    #: would cost more benign throughput than the per-link containment
+    #: already in force
+    quarantine_max_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_actions_per_cycle < 1:
+            raise ValueError("max_actions_per_cycle must be at least 1")
+        if self.retry_base < 1 or self.retry_cap < self.retry_base:
+            raise ValueError("retry delays must satisfy 1 <= base <= cap")
+        if not 0.0 <= self.jitter <= 4.0:
+            raise ValueError("jitter fraction out of range")
+        if self.reroute_model not in ("auto", "none", *SAFE_REROUTE_MODELS.values()):
+            raise ValueError(f"unknown reroute model {self.reroute_model!r}")
+        if self.quarantine_threshold < 2:
+            raise ValueError("quarantine needs at least 2 correlated links")
+        if self.quarantine_window < 1:
+            raise ValueError("quarantine_window must be positive")
+        if not 0.0 < self.quarantine_max_fraction <= 1.0:
+            raise ValueError("quarantine_max_fraction must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class ContainmentEvent:
+    """One coordinator decision (kept in full; the stream is small)."""
+
+    cycle: int
+    #: "contain" (rerouted around), "refuse" (partition risk, drop-only
+    #: fallback), "seal" (drained link disabled), "quarantine" (region),
+    #: "partition_risk" (watchdog flagged stranded xy destinations)
+    kind: str
+    link: Optional[LinkKey] = None
+    detail: str = ""
+
+
+class ContainmentCoordinator:
+    """Global supervisor over one network's watchdog escalations.
+
+    Attach after the watchdog so condemnations are consumed the same
+    cycle they are raised::
+
+        watchdog = RetransWatchdog(...).attach(net)
+        coordinator = ContainmentCoordinator().attach(net, watchdog)
+
+    The coordinator then *owns* the watchdog's ``take_condemned`` /
+    ``take_partition_risks`` queues and its ``action_gate``; callers
+    read containment state from the coordinator instead.
+    """
+
+    def __init__(self, config: Optional[ContainmentConfig] = None):
+        self.config = config or ContainmentConfig()
+        self.network: Optional[Network] = None
+        self.watchdog: Optional[RetransWatchdog] = None
+        #: resolved turn model, or None when rerouting is unsafe
+        self.reroute_model: Optional[str] = None
+        #: links removed from routing (draining or sealed)
+        self.avoid: frozenset[LinkKey] = frozenset()
+        #: link -> "draining" | "sealed" | "drop_only"
+        self.link_states: dict[LinkKey, str] = {}
+        #: link -> cycles from its first ladder action to containment
+        self.time_to_contain: dict[LinkKey, int] = {}
+        #: partition risks consumed from the watchdog
+        self.partition_risks: list[PartitionRisk] = []
+        self.events: list[ContainmentEvent] = []
+        #: observers called with every ContainmentEvent
+        self.event_hooks: list[Callable[[ContainmentEvent], None]] = []
+        # -- gate state ---------------------------------------------------
+        self._budget_cycle = -1
+        self._budget_left = 0
+        self._next_try: dict[LinkKey, int] = {}
+        self._deny_level: dict[LinkKey, int] = {}
+        # -- quarantine state ---------------------------------------------
+        self._condemn_history: list[tuple[LinkKey, int]] = []
+        self._quarantined_rects: list[tuple[int, int, int, int]] = []
+        # -- ladder onset tracking ----------------------------------------
+        self._first_ladder_cycle: dict[LinkKey, int] = {}
+        # -- counters -----------------------------------------------------
+        self.actions_allowed = 0
+        self.actions_denied = 0
+        self.links_rerouted = 0
+        self.links_refused = 0
+        self.links_sealed = 0
+        self.quarantines = 0
+
+    # -- wiring ------------------------------------------------------------
+    def attach(
+        self,
+        network: Network,
+        watchdog: Optional[RetransWatchdog] = None,
+    ) -> "ContainmentCoordinator":
+        """Register as a monitor; with a ``watchdog``, take ownership of
+        its escalation outputs and action gate."""
+        if self.network is not None:
+            self.detach()
+        self.network = network
+        network.monitors.append(self)
+        self.watchdog = watchdog
+        if watchdog is not None:
+            watchdog.action_gate = self._gate
+            watchdog.event_hooks.append(self._observe_ladder)
+        if self.config.reroute_model == "none":
+            self.reroute_model = None
+        elif self.config.reroute_model == "auto":
+            self.reroute_model = SAFE_REROUTE_MODELS.get(network.cfg.routing)
+        else:
+            self.reroute_model = self.config.reroute_model
+        return self
+
+    def detach(self) -> None:
+        if self.network is not None:
+            try:
+                self.network.monitors.remove(self)
+            except ValueError:
+                pass
+        if self.watchdog is not None:
+            if self.watchdog.action_gate == self._gate:
+                self.watchdog.action_gate = None
+            try:
+                self.watchdog.event_hooks.remove(self._observe_ladder)
+            except ValueError:
+                pass
+        self.network = None
+        self.watchdog = None
+
+    def _observe_ladder(self, event) -> None:
+        """Watchdog event hook: remember when each link's ladder began
+        (time-to-contain is measured from this onset)."""
+        self._first_ladder_cycle.setdefault(event.link, event.cycle)
+
+    # -- the action gate ----------------------------------------------------
+    def _gate(self, stage: EscalationStage, key: LinkKey, cycle: int) -> bool:
+        """Global budget + per-link jittered retry backoff.
+
+        Consulted by the watchdog before OBFUSCATE and DROP rungs; a
+        denial is cheap (the entry stays deferred and retries later).
+        """
+        if cycle != self._budget_cycle:
+            self._budget_cycle = cycle
+            self._budget_left = self.config.max_actions_per_cycle
+        if cycle < self._next_try.get(key, 0):
+            self.actions_denied += 1
+            return False
+        if self._budget_left <= 0:
+            level = self._deny_level.get(key, 0)
+            base = min(
+                self.config.retry_cap,
+                self.config.retry_base << min(level, 16),
+            )
+            jitter = SeededStream(
+                self.config.seed, "containment-gate", key[0], key[1].name, level
+            ).random()
+            delay = max(1, int(base * (1.0 + self.config.jitter * jitter)))
+            self._next_try[key] = cycle + delay
+            self._deny_level[key] = level + 1
+            self.actions_denied += 1
+            return False
+        self._budget_left -= 1
+        self._deny_level.pop(key, None)
+        self._next_try.pop(key, None)
+        self.actions_allowed += 1
+        return True
+
+    # -- per-cycle supervision ----------------------------------------------
+    def on_cycle(self, network: Network, cycle: int) -> None:
+        if self.watchdog is None:
+            return
+        for risk in self.watchdog.take_partition_risks():
+            self.partition_risks.append(risk)
+            self._log(
+                ContainmentEvent(
+                    risk.cycle, "partition_risk", risk.link,
+                    detail=f"stranded={len(risk.stranded_dsts)}",
+                )
+            )
+        fresh = self.watchdog.take_condemned()
+        for key in fresh:
+            self._handle_condemnation(network, key, cycle)
+        if fresh and self.config.quarantine:
+            self._maybe_quarantine(network, cycle)
+        if self.link_states:
+            self._advance_draining(network, cycle)
+
+    def _handle_condemnation(
+        self, network: Network, key: LinkKey, cycle: int
+    ) -> None:
+        if key in self.link_states:
+            return
+        self._condemn_history.append((key, cycle))
+        onset = self._first_ladder_cycle.get(key, cycle)
+        model = self.reroute_model
+        if model is not None and turn_model_connected(
+            network.cfg, model, self.avoid | {key}
+        ):
+            self._admit(network, key, cycle)
+            self.time_to_contain[key] = cycle - onset
+            self._log(
+                ContainmentEvent(
+                    cycle, "contain", key,
+                    detail=f"reroute={model} avoid={len(self.avoid)}",
+                )
+            )
+        else:
+            # Refusal is containment too: the watchdog's drop-only mode
+            # keeps purging the link into end-to-end resubmission.
+            self.link_states[key] = "drop_only"
+            self.links_refused += 1
+            self.time_to_contain[key] = cycle - onset
+            reason = (
+                "no deadlock-safe reroute model"
+                if model is None
+                else "reroute would partition the mesh"
+            )
+            self._log(
+                ContainmentEvent(cycle, "refuse", key, detail=reason)
+            )
+
+    def _admit(self, network: Network, key: LinkKey, cycle: int) -> None:
+        """Add ``key`` to the avoid-set and swap the routing function.
+        Only call after ``turn_model_connected`` has passed."""
+        self.avoid = self.avoid | {key}
+        network.set_route_fn(
+            AdaptiveRouting(
+                network.cfg, self.reroute_model, self.avoid
+            ).route
+        )
+        network.wake_all()
+        self.link_states[key] = "draining"
+        self.links_rerouted += 1
+
+    def _advance_draining(self, network: Network, cycle: int) -> None:
+        """Seal drained links: disable hardware only once nothing is
+        pinned, staged or in flight on it (invariant-safe by vacuity).
+
+        Besides an empty retransmission buffer and an idle wire, every
+        downstream VC holder must be clear (a held VC means a wormhole
+        is mid-transfer — sealing between its flits would cut it and
+        leak the holder at every later hop) and no upstream input VC may
+        be route-committed to this output (its head was routed before
+        the avoid-set grew; sealing now would strand it at VA forever,
+        since allocation skips disabled links).  Until then the link
+        simply stays avoided-but-enabled, which is already safe."""
+        for key, state in list(self.link_states.items()):
+            if state != "draining":
+                continue
+            out = network.output_port_of(key)
+            link = network.links[key]
+            if not (out.retrans.is_empty and link.idle and not link.disabled):
+                continue
+            if any(holder is not None for holder in out.holders):
+                continue
+            router = network.routers[key[0]]
+            committed = any(
+                vc.route_out == key[1]
+                and (vc.buffer or vc.cur_pkt is not None)
+                for port in router.inputs.values()
+                for vc in port.vcs
+            )
+            if committed:
+                continue
+            network.disable_link(key)
+            self.link_states[key] = "sealed"
+            self.links_sealed += 1
+            self._log(ContainmentEvent(cycle, "seal", key))
+
+    # -- region quarantine ---------------------------------------------------
+    def _maybe_quarantine(self, network: Network, cycle: int) -> None:
+        cfg = network.cfg
+        recent = [
+            k for k, c in self._condemn_history
+            if cycle - c <= self.config.quarantine_window
+        ]
+        if len(recent) < self.config.quarantine_threshold:
+            return
+        xs: list[int] = []
+        ys: list[int] = []
+        for key in recent:
+            for router in link_endpoints(cfg, key):
+                x, y = cfg.router_xy(router)
+                xs.append(x)
+                ys.append(y)
+        rect = (min(xs), min(ys), max(xs), max(ys))
+        if rect in self._quarantined_rects:
+            return
+        area = (rect[2] - rect[0] + 1) * (rect[3] - rect[1] + 1)
+        if area > self.config.quarantine_max_fraction * cfg.num_routers:
+            self._log(
+                ContainmentEvent(
+                    cycle, "refuse", None,
+                    detail=(
+                        f"quarantine rect={rect} covers {area} routers "
+                        "— attack not localized"
+                    ),
+                )
+            )
+            self._quarantined_rects.append(rect)
+            return
+        inside = {
+            r for r in range(cfg.num_routers)
+            if rect[0] <= cfg.router_xy(r)[0] <= rect[2]
+            and rect[1] <= cfg.router_xy(r)[1] <= rect[3]
+        }
+        # Only links wholly inside the rectangle are quarantined:
+        # boundary-crossing links survive, so the rectangle can never
+        # isolate the region (or the rest of the mesh) by itself —
+        # admission still re-checks global connectivity.
+        region = frozenset(
+            key for key in network.links
+            if link_endpoints(cfg, key)[0] in inside
+            and link_endpoints(cfg, key)[1] in inside
+        )
+        new = region - self.avoid
+        model = self.reroute_model
+        if not new or model is None:
+            return
+        admitted = new
+        scope = "full"
+        if not turn_model_connected(cfg, model, self.avoid | admitted):
+            # The full rectangle almost always contains a sole-route
+            # link (any westbound or same-column inner link under
+            # west-first), so fall back to the inner links that have
+            # non-minimal detours: the eastbound ones.  Everything the
+            # subset leaves out still drains through the watchdog's
+            # drop-only ladder if it ever misbehaves.
+            admitted = frozenset(
+                key for key in new if key[1] is Direction.EAST
+            )
+            scope = "east-subset"
+            if (
+                model != "west-first"
+                or not admitted
+                or not turn_model_connected(cfg, model, self.avoid | admitted)
+            ):
+                self._log(
+                    ContainmentEvent(
+                        cycle, "refuse", None,
+                        detail=f"quarantine rect={rect} would partition",
+                    )
+                )
+                self._quarantined_rects.append(rect)
+                return
+        self.avoid = self.avoid | admitted
+        network.set_route_fn(
+            AdaptiveRouting(cfg, model, self.avoid).route
+        )
+        network.wake_all()
+        for key in admitted:
+            if key not in self.link_states:
+                self.link_states[key] = "draining"
+        self.quarantines += 1
+        self._quarantined_rects.append(rect)
+        self._log(
+            ContainmentEvent(
+                cycle, "quarantine", None,
+                detail=f"rect={rect} scope={scope} links={len(admitted)}",
+            )
+        )
+
+    # -- reporting -----------------------------------------------------------
+    def _log(self, event: ContainmentEvent) -> None:
+        self.events.append(event)
+        for hook in self.event_hooks:
+            hook(event)
+
+    @property
+    def contained_links(self) -> frozenset[LinkKey]:
+        """Links the coordinator has taken action on, in any mode."""
+        return frozenset(self.link_states)
+
+    def summary(self) -> dict:
+        """JSON-friendly containment report (experiments embed this)."""
+        return {
+            "reroute_model": self.reroute_model,
+            "links_rerouted": self.links_rerouted,
+            "links_refused": self.links_refused,
+            "links_sealed": self.links_sealed,
+            "quarantines": self.quarantines,
+            "actions_allowed": self.actions_allowed,
+            "actions_denied": self.actions_denied,
+            "partition_risks": len(self.partition_risks),
+            "time_to_contain": {
+                f"{key[0]}->{key[1].name}": value
+                for key, value in sorted(self.time_to_contain.items())
+            },
+            "max_time_to_contain": (
+                max(self.time_to_contain.values())
+                if self.time_to_contain
+                else None
+            ),
+        }

@@ -22,7 +22,11 @@ Dropping from a wormhole network safely is all bookkeeping:
   (tombstoned), which drains the wormhole and keeps per-VC sequencing
   and credit accounting exact;
 * dropping the tail entry releases the held downstream VC (the ACK
-  that would normally clear the holder will never come).
+  that would normally clear the holder will never come);
+* finally the whole network is swept (:meth:`Network.purge_packet`):
+  flits of the packet that already crossed this port keep flowing with
+  no tail behind them, and the VC holders that head fragment pinned at
+  every later hop must be force-released or the mesh wedges.
 
 Every removed flit is counted through
 :meth:`repro.noc.stats.NetworkStats.on_flit_degraded`, so flit
@@ -54,6 +58,9 @@ class DropReport:
     entries_in_flight: int
     #: True when the drop released a held downstream VC
     holder_released: bool
+    #: flits of the packet purged network-wide (the wormhole fragments
+    #: up- and downstream of the dropping port)
+    flits_purged: int = 0
 
 
 def drop_packet_at_port(
@@ -93,10 +100,12 @@ def drop_packet_at_port(
             # The tail ACK that would release the downstream VC will
             # never arrive — release it here.
             out.holders[entry.out_vc] = None
+            out.holder_pkts[entry.out_vc] = None
             holder_released = True
 
     receiver.poison_packet(pkt_id)
     staged_discarded = receiver.discard_staged(pkt_id, cycle)
+    flits_purged = network.purge_packet(pkt_id, cycle)
     network.stats.degraded_packets += 1
     return DropReport(
         link=key,
@@ -106,4 +115,5 @@ def drop_packet_at_port(
         staged_discarded=staged_discarded,
         entries_in_flight=entries_in_flight,
         holder_released=holder_released,
+        flits_purged=flits_purged,
     )

@@ -37,7 +37,7 @@ from repro.faults.models import (
     TransientFaultModel,
 )
 from repro.noc.config import NoCConfig
-from repro.noc.flit import Packet
+from repro.noc.flit import Packet, layout_for
 from repro.noc.network import Network
 from repro.noc.topology import Direction, LinkKey, all_links
 from repro.util.rng import SeededStream
@@ -228,7 +228,9 @@ class TrojanActivation(ChaosEvent):
     def prepare(self, network: Network) -> None:
         # Implanted at design time, dormant: logic testing with the kill
         # switch deasserted can never expose it (paper §III).
-        self.trojan = TaspTrojan(self.target, self.config)
+        self.trojan = TaspTrojan(
+            self.target, self.config, layout=layout_for(network.cfg)
+        )
         network.attach_tamperer(self.link, self.trojan)
 
     def start(self, network: Network, cycle: int) -> None:

@@ -29,6 +29,19 @@ ladder:
    or stays pinned for ``condemn_pinned_age`` cycles despite the ladder
    is reported for epoch recovery (``take_condemned``).
 
+A condemned link is *not* abandoned: the ladder keeps running on it in
+**drop-only mode** (backoff + drop, no further obfuscation or condemn
+events), so pinned entries keep draining into end-to-end resubmission
+even when nobody consumes the condemnation.  Before this, traffic whose
+sole xy route crossed a condemned link stranded silently; now the link
+drains, and the strand hazard itself is surfaced as a structured
+:class:`PartitionRisk` (``take_partition_risks``) naming the
+destinations whose only minimal route dies with the link.
+
+A network-level coordinator can plug into ``action_gate`` to veto
+OBFUSCATE/DROP rungs (global action budgets, per-link retry backoff) —
+see :mod:`repro.resilience.containment`.
+
 The watchdog only *observes and advises* within the link-level
 protocol's own legal moves (defers, advice, READY-entry drops), so all
 conservation invariants hold whether or not it is attached — and it is
@@ -40,11 +53,11 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.noc.network import Network
 from repro.noc.retrans import EntryState, NackAdvice, RetransEntry
-from repro.noc.topology import LinkKey
+from repro.noc.topology import LinkKey, links_on_xy_path
 from repro.resilience.degrade import DropReport, drop_packet_at_port
 
 
@@ -53,6 +66,26 @@ class EscalationStage(enum.Enum):
     OBFUSCATE = "obfuscate"
     DROP = "drop"
     CONDEMN = "condemn"
+
+
+@dataclass(frozen=True)
+class PartitionRisk:
+    """A condemnation that strands traffic if the link stops serving.
+
+    Emitted alongside CONDEMN when, under minimal xy routing, the
+    condemned link is the sole first-hop route from its source router
+    to some destinations.  Consumers (the containment coordinator, the
+    obs layer) decide whether a reroute can absorb the risk; the
+    watchdog itself falls back to drop-only mode so nothing strands
+    silently either way.
+    """
+
+    cycle: int
+    link: LinkKey
+    #: destination routers whose only minimal route from the link's
+    #: source router dies with the link
+    stranded_dsts: tuple[int, ...] = ()
+    detail: str = ""
 
 
 @dataclass(frozen=True)
@@ -120,6 +153,16 @@ class RetransWatchdog:
         self._condemned: set[LinkKey] = set()
         self._pending_drops: list[DropReport] = []
         self._pending_condemned: list[LinkKey] = []
+        self._pending_risks: list[PartitionRisk] = []
+        #: every partition risk ever surfaced (unbounded, small)
+        self.partition_risks: list[PartitionRisk] = []
+        #: optional veto on OBFUSCATE/DROP rungs:
+        #: ``gate(stage, link, cycle) -> bool`` (False = hold this
+        #: cycle).  The containment coordinator enforces its global
+        #: action budget and per-link retry backoff here.
+        self.action_gate: Optional[
+            Callable[[EscalationStage, LinkKey, int], bool]
+        ] = None
         self.events: list[EscalationEvent] = []
         #: observers called with every EscalationEvent as it is logged
         #: (unbounded, unlike the trimmed ``events`` list); the
@@ -168,28 +211,53 @@ class RetransWatchdog:
         out, self._pending_condemned = self._pending_condemned, []
         return out
 
+    def take_partition_risks(self) -> list[PartitionRisk]:
+        """Partition risks surfaced since the last call."""
+        out, self._pending_risks = self._pending_risks, []
+        return out
+
+    @property
+    def condemned_links(self) -> frozenset[LinkKey]:
+        """Links condemned so far this epoch (drop-only mode)."""
+        return frozenset(self._condemned)
+
+    def _gate_allows(
+        self, stage: EscalationStage, key: LinkKey, cycle: int
+    ) -> bool:
+        return self.action_gate is None or self.action_gate(stage, key, cycle)
+
     # -- the per-cycle ladder ----------------------------------------------
     def on_cycle(self, network: Network, cycle: int) -> None:
         cfg = self.config
         for key in network.links:
             out = network.output_port_of(key)
-            if key in self._condemned or out.retrans.is_empty:
+            if out.retrans.is_empty:
                 continue
+            condemned = key in self._condemned
             ladder_active = False
             for entry in list(out.retrans):
                 sends = entry.send_count
                 if sends < cfg.backoff_after:
                     continue
                 ladder_active = True
-                if sends >= cfg.max_retries and entry.state is EntryState.READY:
+                if (
+                    sends >= cfg.max_retries
+                    and entry.state is EntryState.READY
+                    and self._gate_allows(EscalationStage.DROP, key, cycle)
+                ):
                     # READY means no transmission is on the wire (backoff
                     # deferral created this window) — safe to purge.
                     self._drop(network, key, entry, cycle)
                     continue
-                if sends >= cfg.obfuscate_after:
+                if (
+                    sends >= cfg.obfuscate_after
+                    and not condemned
+                    and self._gate_allows(EscalationStage.OBFUSCATE, key, cycle)
+                ):
                     self._force_obfuscation(network, key, entry, cycle)
                 self._apply_backoff(network, key, entry, cycle)
-            self._maybe_condemn(network, key, cycle, ladder_active)
+            if not condemned:
+                self._maybe_condemn(network, key, cycle, ladder_active)
         self._prune(network)
 
     # -- rungs ---------------------------------------------------------------
@@ -289,6 +357,31 @@ class RetransWatchdog:
                 detail="drop-threshold" if by_drops else "pinned-age",
             )
         )
+        self._surface_partition_risk(network, key, cycle)
+
+    def _surface_partition_risk(
+        self, network: Network, key: LinkKey, cycle: int
+    ) -> None:
+        """Name the destinations whose only minimal route dies with
+        ``key``; the link itself stays in drop-only mode regardless."""
+        cfg = network.cfg
+        src_router = key[0]
+        stranded = tuple(
+            dst
+            for dst in range(cfg.num_routers)
+            if dst != src_router
+            and links_on_xy_path(cfg, src_router, dst)[0] == key
+        )
+        if not stranded:
+            return
+        risk = PartitionRisk(
+            cycle=cycle,
+            link=key,
+            stranded_dsts=stranded,
+            detail=f"sole xy first hop from router {src_router}",
+        )
+        self.partition_risks.append(risk)
+        self._pending_risks.append(risk)
 
     # -- housekeeping --------------------------------------------------------
     def _prune(self, network: Network) -> None:

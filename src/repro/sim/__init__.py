@@ -20,6 +20,7 @@ minimal cause.
 from repro.sim.scenario import (
     AppTraffic,
     DefenseSpec,
+    DropAttackSpec,
     ExplicitTraffic,
     FloodTraffic,
     PacketSpec,
@@ -87,6 +88,7 @@ __all__ = [
     "resume_or_build",
     "AppTraffic",
     "DefenseSpec",
+    "DropAttackSpec",
     "ExplicitTraffic",
     "FloodTraffic",
     "PacketSpec",

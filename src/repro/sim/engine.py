@@ -26,11 +26,12 @@ from repro.baselines.reroute import apply_rerouting, updown_table
 from repro.baselines.tdm import TdmConfig, TdmPolicy
 from repro.core.mitigation import build_mitigated_network
 from repro.core.tasp import TaspTrojan
-from repro.faults.models import TransientFaultModel
-from repro.noc.flit import Packet
+from repro.faults.models import GrayholeAttack, TransientFaultModel
+from repro.noc.flit import Packet, layout_for
 from repro.noc.network import Network, TrafficSource
 from repro.obs import profiler as obs_profiler
 from repro.obs.instrument import ObsConfig, Observability, ambient
+from repro.resilience.containment import ContainmentCoordinator
 from repro.resilience.watchdog import RetransWatchdog
 from repro.sim.scenario import (
     AppTraffic,
@@ -88,8 +89,9 @@ def attach_trojan_specs(
     instances in spec order (the specs carry their exact per-instance
     seeds — see :func:`repro.sim.scenario.trojan_specs`)."""
     trojans = []
+    layout = layout_for(network.cfg)
     for spec in specs:
-        trojan = TaspTrojan(spec.target, spec.config)
+        trojan = TaspTrojan(spec.target, spec.config, layout=layout)
         if spec.enable_at is None and spec.enabled:
             trojan.enable()
         network.attach_tamperer(spec.link, trojan)
@@ -201,7 +203,7 @@ class Simulation:
 
         kwargs: dict = {}
         if defense.e2e:
-            kwargs["e2e"] = E2EObfuscator()
+            kwargs["e2e"] = E2EObfuscator(layout=layout_for(cfg))
         if defense.tdm_domains:
             kwargs["policy"] = TdmPolicy(
                 TdmConfig(num_domains=defense.tdm_domains), cfg.num_vcs
@@ -233,6 +235,26 @@ class Simulation:
             reverse=True,
         )
 
+        #: live gray-hole attack instances, in ``scenario.attacks`` order
+        self.attacks: list[GrayholeAttack] = []
+        attack_events: list[tuple[int, int, bool]] = []
+        for index, spec in enumerate(scenario.attacks):
+            attack = GrayholeAttack(
+                net.codec.codeword_bits,
+                spec.drop_probability,
+                SeededStream(
+                    spec.seed, "grayhole", spec.link[0], spec.link[1].name
+                ),
+                armed=spec.enable_at is None,
+            )
+            net.attach_tamperer(spec.link, attack)
+            self.attacks.append(attack)
+            if spec.enable_at is not None:
+                attack_events.append((spec.enable_at, index, True))
+            if spec.disable_at is not None:
+                attack_events.append((spec.disable_at, index, False))
+        self._pending_attack_events = sorted(attack_events, reverse=True)
+
         for fault in scenario.faults:
             net.attach_tamperer(
                 fault.link,
@@ -255,6 +277,20 @@ class Simulation:
         self.watchdog: Optional[RetransWatchdog] = None
         if defense.watchdog is not None:
             self.watchdog = RetransWatchdog(defense.watchdog).attach(net)
+
+        #: network-level containment coordinator (None = not configured).
+        #: Attached after the watchdog so each cycle the coordinator
+        #: consumes that cycle's fresh escalations.
+        self.containment: Optional[ContainmentCoordinator] = None
+        if defense.containment is not None:
+            if self.watchdog is None:
+                raise ValueError(
+                    "defense.containment requires defense.watchdog: the "
+                    "coordinator owns the watchdog's escalation ladder"
+                )
+            self.containment = ContainmentCoordinator(
+                defense.containment
+            ).attach(net, watchdog=self.watchdog)
 
         #: online invariant/progress monitor (None = not configured)
         self.sentinel: Optional[Sentinel] = None
@@ -362,6 +398,13 @@ class Simulation:
         while self._pending_enables and self._pending_enables[-1][0] <= cycle:
             _, index = self._pending_enables.pop()
             self.trojans[index].enable()
+        pending = self._pending_attack_events
+        while pending and pending[-1][0] <= cycle:
+            _, index, arm = pending.pop()
+            if arm:
+                self.attacks[index].arm()
+            else:
+                self.attacks[index].disarm()
 
     def step(self) -> None:
         self._fire_enables()

@@ -36,6 +36,7 @@ from repro.core.targets import TargetSpec
 from repro.core.tasp import TaspConfig
 from repro.noc.config import NoCConfig, PAPER_CONFIG
 from repro.noc.topology import Direction, LinkKey
+from repro.resilience.containment import ContainmentConfig
 from repro.resilience.watchdog import WatchdogConfig
 from repro.sim.sentinel import SentinelSpec
 
@@ -192,6 +193,25 @@ class TransientFaultSpec:
     labels: tuple = ()
 
 
+@dataclass(frozen=True)
+class DropAttackSpec:
+    """A gray-hole/packet-drop attack on one link's recovery path.
+
+    Backed by :class:`repro.faults.models.GrayholeAttack`: each selected
+    traversal takes a fresh double-bit flip, which SECDED always detects
+    and never corrects — so the "drop" manifests as retries consumed on
+    the retransmission path rather than silent loss.  ``enable_at`` /
+    ``disable_at`` schedule the compromise window (None = from cycle 0 /
+    never released).
+    """
+
+    link: LinkKey
+    drop_probability: float = 1.0
+    enable_at: Optional[int] = None
+    disable_at: Optional[int] = None
+    seed: int = 0
+
+
 def trojan_specs(
     links,
     target: TargetSpec,
@@ -211,6 +231,64 @@ def trojan_specs(
             enable_at=enable_at,
         )
         for i, key in enumerate(links)
+    )
+
+
+def coordinated_trojans(
+    links,
+    target: TargetSpec,
+    config: TaspConfig = TaspConfig(),
+    start: int = 0,
+    stagger: int = 0,
+) -> tuple[TrojanSpec, ...]:
+    """N TASP instances with a coordinated activation schedule.
+
+    The i-th link's trojan arms at ``start + i * stagger`` (stagger=0
+    is a simultaneous strike) and draws from seed ``config.seed + i``,
+    so the instances are correlated in *time* but not in payload
+    sequence — the coordinated-attacker model of ROADMAP item 2.
+    """
+    return tuple(
+        TrojanSpec(
+            link=key,
+            target=target,
+            config=dataclasses.replace(config, seed=config.seed + i),
+            enabled=False,
+            enable_at=start + i * stagger,
+        )
+        for i, key in enumerate(links)
+    )
+
+
+def distributed_flood(
+    rogue_cores,
+    victim_cores,
+    rate: float = 0.25,
+    payload_words: int = 3,
+    start_cycle: int = 0,
+    stop_cycle: Optional[int] = None,
+    seed: int = 0,
+) -> tuple[FloodTraffic, ...]:
+    """A distributed flooding DDoS: one independent flood source per
+    victim, each fed by every rogue core.
+
+    Splitting per victim gives each stream its own seed and packet-id
+    band, so delivered-throughput accounting can separate benign
+    traffic (ids below 10M) from each attacker's flood.
+    """
+    rogues = tuple(rogue_cores)
+    return tuple(
+        FloodTraffic(
+            rogue_cores=rogues,
+            victim_cores=(victim,),
+            rate=rate,
+            payload_words=payload_words,
+            start_cycle=start_cycle,
+            stop_cycle=stop_cycle,
+            seed=seed + i,
+            pkt_id_base=10_000_000 + i * 1_000_000,
+        )
+        for i, victim in enumerate(victim_cores)
     )
 
 
@@ -234,6 +312,9 @@ class DefenseSpec:
     #: links taken out of service via up*/down* rerouting (Ariadne
     #: baseline); non-empty forces table routing
     rerouted_links: tuple[LinkKey, ...] = ()
+    #: attach the network-level containment coordinator on top of the
+    #: watchdog (pure observer until the watchdog escalates)
+    containment: Optional[ContainmentConfig] = None
 
 
 # ---------------------------------------------------------------------------
@@ -247,6 +328,8 @@ class Scenario:
     cfg: NoCConfig = PAPER_CONFIG
     traffic: tuple[TrafficSpec, ...] = ()
     trojans: tuple[TrojanSpec, ...] = ()
+    #: scheduled packet-drop attacks on the recovery path
+    attacks: tuple[DropAttackSpec, ...] = ()
     faults: tuple[TransientFaultSpec, ...] = ()
     defense: DefenseSpec = DefenseSpec()
     #: run exactly this many cycles (None = run until drained)
@@ -265,7 +348,7 @@ class Scenario:
 
     # -- serialization ---------------------------------------------------
     def to_dict(self) -> dict:
-        return {
+        out = {
             "format": SCENARIO_FORMAT,
             "name": self.name,
             "cfg": _plain_fields(self.cfg),
@@ -280,6 +363,11 @@ class Scenario:
             "sentinel": _encode_sentinel(self.sentinel),
             "seed": self.seed,
         }
+        # encoded only when present so pre-existing scenario hashes
+        # (result cache keys, checkpoint provenance) stay unchanged
+        if self.attacks:
+            out["attacks"] = [_encode_attack(a) for a in self.attacks]
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "Scenario":
@@ -302,6 +390,10 @@ class Scenario:
             trojans=tuple(
                 _decode_trojan(t)
                 for t in _require(data, "trojans", "scenario")
+            ),
+            # tolerant .get: pre-attack scenario files stay decodable
+            attacks=tuple(
+                _decode_attack(a) for a in data.get("attacks", ())
             ),
             faults=tuple(
                 _decode_fault(f)
@@ -448,6 +540,24 @@ def _decode_fault(data: dict) -> TransientFaultSpec:
     )
 
 
+def _encode_attack(spec: DropAttackSpec) -> dict:
+    return {
+        "link": _encode_link(spec.link),
+        "drop_probability": spec.drop_probability,
+        "enable_at": spec.enable_at,
+        "disable_at": spec.disable_at,
+        "seed": spec.seed,
+    }
+
+
+def _decode_attack(data: dict) -> DropAttackSpec:
+    data = dict(data)
+    link = _decode_link(_require(data, "link", "attack spec"))
+    return _build_spec(
+        DropAttackSpec, {**data, "link": link}, "attack spec"
+    )
+
+
 def _encode_sentinel(spec: Optional[SentinelSpec]) -> Optional[dict]:
     if spec is None:
         return None
@@ -479,7 +589,7 @@ def _encode_defense(spec: DefenseSpec) -> dict:
     watchdog = (
         _plain_fields(spec.watchdog) if spec.watchdog is not None else None
     )
-    return {
+    out = {
         "mitigated": spec.mitigated,
         "mitigation": mitigation,
         "e2e": spec.e2e,
@@ -487,6 +597,10 @@ def _encode_defense(spec: DefenseSpec) -> dict:
         "tdm_domains": spec.tdm_domains,
         "rerouted_links": [_encode_link(k) for k in spec.rerouted_links],
     }
+    # key emitted only when set so pre-containment hashes are preserved
+    if spec.containment is not None:
+        out["containment"] = _plain_fields(spec.containment)
+    return out
 
 
 def _decode_defense(data: dict) -> DefenseSpec:
@@ -504,6 +618,13 @@ def _decode_defense(data: dict) -> DefenseSpec:
         if data["watchdog"] is not None
         else None
     )
+    raw_containment = data.get("containment")
+    containment = (
+        _build_spec(ContainmentConfig, dict(raw_containment),
+                    "containment spec")
+        if raw_containment is not None
+        else None
+    )
     return DefenseSpec(
         mitigated=data["mitigated"],
         mitigation=mitigation,
@@ -513,4 +634,5 @@ def _decode_defense(data: dict) -> DefenseSpec:
         rerouted_links=tuple(
             _decode_link(k) for k in data["rerouted_links"]
         ),
+        containment=containment,
     )

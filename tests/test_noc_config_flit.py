@@ -42,8 +42,13 @@ class TestNoCConfig:
         assert cfg.hop_distance(0, 3) == 3
 
     def test_too_many_routers_rejected(self):
+        # the widened header must still fit the flit: 2*rb + 36 bits
         with pytest.raises(ValueError):
-            NoCConfig(mesh_width=5, mesh_height=4)
+            NoCConfig(mesh_width=1 << 7, mesh_height=1 << 7)
+
+    def test_wide_mesh_accepted(self):
+        cfg = NoCConfig(mesh_width=8, mesh_height=8)
+        assert cfg.num_routers == 64
 
     def test_bad_vcs_rejected(self):
         with pytest.raises(ValueError):

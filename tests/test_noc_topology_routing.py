@@ -58,6 +58,59 @@ class TestTopology:
         with pytest.raises(ValueError):
             link_endpoints(CFG, (0, Direction.WEST))
 
+    def test_every_corner_loses_the_same_two_directions(self):
+        """Boundary sweep: each corner's off-mesh directions."""
+        corners = {
+            0: {Direction.WEST, Direction.SOUTH},
+            3: {Direction.EAST, Direction.SOUTH},
+            12: {Direction.WEST, Direction.NORTH},
+            15: {Direction.EAST, Direction.NORTH},
+        }
+        for router, off_mesh in corners.items():
+            for direction in Direction:
+                result = neighbor(CFG, router, direction)
+                assert (result is None) == (direction in off_mesh)
+
+    def test_8x8_link_count(self):
+        """2 directed links per interior edge: 2 * 2 * 7 * 8."""
+        from repro.noc import NoCConfig
+
+        mesh8 = NoCConfig(mesh_width=8, mesh_height=8)
+        links = all_links(mesh8)
+        assert len(links) == 224
+        assert len(set(links)) == 224
+
+    def test_xy_path_to_self_is_empty(self):
+        assert links_on_xy_path(CFG, 5, 5) == []
+
+    def test_xy_path_same_row_is_straight(self):
+        assert links_on_xy_path(CFG, 4, 7) == [
+            (4, Direction.EAST), (5, Direction.EAST), (6, Direction.EAST)
+        ]
+        assert links_on_xy_path(CFG, 7, 4) == [
+            (7, Direction.WEST), (6, Direction.WEST), (5, Direction.WEST)
+        ]
+
+    def test_xy_path_same_column_is_straight(self):
+        assert links_on_xy_path(CFG, 1, 13) == [
+            (1, Direction.NORTH), (5, Direction.NORTH),
+            (9, Direction.NORTH),
+        ]
+
+    @given(ROUTERS, ROUTERS)
+    def test_xy_path_links_chain_src_to_dst(self, src, dst):
+        """Each link starts where the previous one ended; the chain
+        spans src to dst with minimal length."""
+        path = links_on_xy_path(CFG, src, dst)
+        cur = src
+        for key in path:
+            assert key[0] == cur
+            cur = link_endpoints(CFG, key)[1]
+        assert cur == dst
+        sx, sy = CFG.router_xy(src)
+        dx, dy = CFG.router_xy(dst)
+        assert len(path) == abs(dx - sx) + abs(dy - sy)
+
 
 class TestXYRouting:
     @given(ROUTERS, ROUTERS)

@@ -1,0 +1,555 @@
+"""Containment coordinator: admission safety, budget, quarantine.
+
+The load-bearing guarantee is *no condemnation may strand traffic*:
+every avoid-set the coordinator admits keeps every src/dst pair
+routable under the reroute turn model with 180-degree turns banned —
+verified here both by the admission predicate and by literally walking
+packets through the rerouted mesh.  The rest covers the global action
+budget (jittered, deterministic), invariant-safe sealing, the region
+quarantine escalation with its locality gate, the pure-observer
+identity, and the network-wide packet purge behind the drop stage.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import TargetSpec
+from repro.noc.adaptive import AdaptiveRouting, turn_model_connected
+from repro.noc.config import NoCConfig, PAPER_CONFIG
+from repro.noc.invariants import NetworkValidator
+from repro.noc.network import Network
+from repro.noc.topology import Direction, OPPOSITE, all_links, neighbor
+from repro.resilience.containment import (
+    ContainmentConfig,
+    ContainmentCoordinator,
+    SAFE_REROUTE_MODELS,
+)
+from repro.resilience.watchdog import (
+    EscalationStage,
+    RetransWatchdog,
+    WatchdogConfig,
+)
+from repro.sim import (
+    DefenseSpec,
+    Scenario,
+    SentinelSpec,
+    Simulation,
+    SyntheticTraffic,
+    TrojanSpec,
+)
+from repro.sim.scenario import (
+    DropAttackSpec,
+    coordinated_trojans,
+    distributed_flood,
+)
+from tests.test_sim_engine import fig2_style, stats_snapshot
+
+CFG = PAPER_CONFIG
+MESH8 = NoCConfig(mesh_width=8, mesh_height=8)
+EAST = Direction.EAST
+
+
+class _Probe:
+    """Minimal router stand-in: carries the arrival port so route()
+    enforces the 180-degree ban, with no congestion information."""
+
+    outputs: dict = {}
+
+    def __init__(self, arrival):
+        self.routing_input = arrival
+
+
+def walk(routing: AdaptiveRouting, src: int, dst: int) -> list:
+    """Route one packet hop by hop; returns the traversed links.
+
+    Asserts the walk terminates at ``dst`` without ever crossing an
+    avoided link or taking a 180-degree turn.
+    """
+    cfg = routing.cfg
+    cur, arrival = src, None
+    links = []
+    for _ in range(cfg.num_routers * 4):
+        if cur == dst:
+            return links
+        d = routing.route(cur, dst, src, _Probe(arrival))
+        assert d is not None, f"stranded at {cur} en route {src}->{dst}"
+        assert (cur, d) not in routing.avoid, (
+            f"walk {src}->{dst} crossed avoided link {(cur, d)}"
+        )
+        assert d is not arrival, f"180-degree turn at {cur}"
+        links.append((cur, d))
+        cur = neighbor(cfg, cur, d)
+        assert cur is not None
+        arrival = OPPOSITE[d]
+    raise AssertionError(f"walk {src}->{dst} did not terminate: {links}")
+
+
+def admit_sequence(cfg: NoCConfig, candidates) -> frozenset:
+    """Replay the coordinator's admission policy over a condemnation
+    sequence: each link joins the avoid-set only if connectivity
+    survives; the rest are refused (drop-only fallback)."""
+    avoid: frozenset = frozenset()
+    for key in candidates:
+        if turn_model_connected(cfg, "west-first", avoid | {key}):
+            avoid = avoid | {key}
+    return avoid
+
+
+class TestAdmissionNeverStrands:
+    """Property: admitted avoid-sets keep every pair routable."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.sampled_from(all_links(CFG)),
+            min_size=1, max_size=6, unique=True,
+        )
+    )
+    def test_random_condemnation_sequences_4x4(self, condemned):
+        avoid = admit_sequence(CFG, condemned)
+        routing = AdaptiveRouting(CFG, "west-first", avoid)
+        for src in range(CFG.num_routers):
+            for dst in range(CFG.num_routers):
+                if src != dst:
+                    walk(routing, src, dst)
+
+    def test_coordinated_attack_set_8x8(self):
+        """The distributed campaign's five-trojan avoid-set, walked
+        exhaustively from every corner and every attacked row."""
+        condemned = [(9, EAST), (18, EAST), (27, EAST), (36, EAST),
+                     (45, EAST)]
+        avoid = admit_sequence(MESH8, condemned)
+        assert avoid == frozenset(condemned)  # all admissible
+        routing = AdaptiveRouting(MESH8, "west-first", avoid)
+        for src in (0, 7, 56, 63, 9, 18, 27, 36, 45):
+            for dst in range(MESH8.num_routers):
+                if src != dst:
+                    walk(routing, src, dst)
+
+    def test_westbound_sole_route_is_refused(self):
+        """A westbound link is its traffic's only legal route under
+        west-first (no turns into west exist), so condemning it must
+        fail the admission check."""
+        assert not turn_model_connected(
+            CFG, "west-first", {(1, Direction.WEST)}
+        )
+
+    def test_eastbound_link_is_admissible(self):
+        assert turn_model_connected(CFG, "west-first", {(0, EAST)})
+
+    def test_refused_set_would_really_strand(self):
+        """Admission refusals are not conservative noise: with the
+        refused link forced into the avoid-set anyway, the backward
+        fixpoint shows a genuinely dead state."""
+        routing = AdaptiveRouting(CFG, "west-first", {(1, Direction.WEST)})
+        live = routing.live_states(0)
+        assert (1, None) not in live
+
+
+def _attach(cfg, config=None):
+    net = Network(cfg)
+    watchdog = RetransWatchdog(WatchdogConfig()).attach(net)
+    coordinator = ContainmentCoordinator(config).attach(net, watchdog)
+    return net, watchdog, coordinator
+
+
+def _condemn(watchdog, *keys):
+    """Inject condemnations the way the ladder raises them."""
+    watchdog._condemned.update(keys)
+    watchdog._pending_condemned.extend(keys)
+
+
+class TestCoordinatorDecisions:
+    def test_eastbound_condemnation_is_rerouted(self):
+        net, wd, co = _attach(CFG)
+        _condemn(wd, (0, EAST))
+        co.on_cycle(net, cycle=100)
+        assert co.avoid == frozenset({(0, EAST)})
+        assert co.links_rerouted == 1 and co.links_refused == 0
+        # an idle network drains vacuously, so the same cycle seals it
+        assert [e.kind for e in co.events] == ["contain", "seal"]
+
+    def test_westbound_condemnation_falls_back_to_drop_only(self):
+        net, wd, co = _attach(CFG)
+        _condemn(wd, (1, Direction.WEST))
+        co.on_cycle(net, cycle=100)
+        assert co.link_states[(1, Direction.WEST)] == "drop_only"
+        assert co.avoid == frozenset()  # routing untouched
+        assert co.links_refused == 1
+        assert any(
+            e.kind == "refuse" and "partition" in e.detail
+            for e in co.events
+        )
+
+    def test_idle_draining_link_is_sealed(self):
+        net, wd, co = _attach(CFG)
+        _condemn(wd, (0, EAST))
+        co.on_cycle(net, cycle=100)
+        assert co.link_states[(0, EAST)] == "sealed"
+        assert net.links[(0, EAST)].disabled
+        assert co.links_sealed == 1
+
+    def test_sealing_waits_for_committed_upstream_packet(self):
+        """A head flit already route-computed toward the condemned
+        output pins the seal: disabling the link would strand it at VC
+        allocation forever."""
+        net, wd, co = _attach(CFG)
+        vc = net.routers[0].inputs[("inj", 0)].vcs[0]
+        vc.route_out = EAST
+        vc.cur_pkt = 7
+        _condemn(wd, (0, EAST))
+        co.on_cycle(net, cycle=100)
+        assert co.link_states[(0, EAST)] == "draining"
+        assert not net.links[(0, EAST)].disabled
+        vc.reset_packet_state()
+        co.on_cycle(net, cycle=101)
+        assert co.link_states[(0, EAST)] == "sealed"
+
+    def test_sealing_waits_for_held_downstream_vc(self):
+        """A held VC means a wormhole is mid-transfer: sealing between
+        its flits would cut it and leak holders downstream."""
+        net, wd, co = _attach(CFG)
+        out = net.output_port_of((0, EAST))
+        out.holders[0] = (("inj", 0), 0)
+        out.holder_pkts[0] = 7
+        _condemn(wd, (0, EAST))
+        co.on_cycle(net, cycle=100)
+        assert co.link_states[(0, EAST)] == "draining"
+        out.holders[0] = None
+        out.holder_pkts[0] = None
+        co.on_cycle(net, cycle=101)
+        assert co.link_states[(0, EAST)] == "sealed"
+
+    def test_partition_risks_are_consumed_and_logged(self):
+        net, wd, co = _attach(CFG)
+        wd._drops_per_link[(0, EAST)] = wd.config.condemn_after_drops
+        wd._maybe_condemn(net, (0, EAST), cycle=50, ladder_active=False)
+        co.on_cycle(net, cycle=50)
+        assert len(co.partition_risks) == 1
+        assert co.partition_risks[0].link == (0, EAST)
+        assert any(e.kind == "partition_risk" for e in co.events)
+
+    def test_summary_shape(self):
+        net, wd, co = _attach(CFG)
+        _condemn(wd, (0, EAST))
+        co.on_cycle(net, cycle=100)
+        summary = co.summary()
+        assert summary["reroute_model"] == "west-first"
+        assert summary["links_rerouted"] == 1
+        assert summary["time_to_contain"] == {"0->EAST": 0}
+        assert summary["max_time_to_contain"] == 0
+
+    def test_time_to_contain_measures_from_ladder_onset(self):
+        net, wd, co = _attach(CFG)
+        co._first_ladder_cycle[(0, EAST)] = 40
+        _condemn(wd, (0, EAST))
+        co.on_cycle(net, cycle=100)
+        assert co.time_to_contain[(0, EAST)] == 60
+
+    def test_detach_restores_watchdog_ownership(self):
+        net, wd, co = _attach(CFG)
+        assert wd.action_gate is not None
+        co.detach()
+        assert wd.action_gate is None
+        assert co not in net.monitors
+
+    def test_yx_routing_has_no_safe_reroute(self):
+        net = Network(dataclasses.replace(CFG, routing="yx"))
+        wd = RetransWatchdog(WatchdogConfig()).attach(net)
+        co = ContainmentCoordinator().attach(net, wd)
+        assert co.reroute_model is None
+        _condemn(wd, (0, EAST))
+        co.on_cycle(net, cycle=10)
+        assert co.link_states[(0, EAST)] == "drop_only"
+        assert any("no deadlock-safe" in e.detail for e in co.events)
+
+
+class TestActionBudget:
+    def _gate(self, co, key, cycle):
+        return co._gate(EscalationStage.DROP, key, cycle)
+
+    def test_budget_caps_actions_per_cycle(self):
+        _, _, co = _attach(CFG, ContainmentConfig(max_actions_per_cycle=2))
+        links = [(0, EAST), (1, EAST), (2, EAST)]
+        grants = [self._gate(co, k, 10) for k in links]
+        assert grants == [True, True, False]
+        assert co.actions_allowed == 2 and co.actions_denied == 1
+
+    def test_denied_link_backs_off_then_retries(self):
+        _, _, co = _attach(CFG, ContainmentConfig(
+            max_actions_per_cycle=1, retry_base=8, retry_cap=64,
+        ))
+        assert self._gate(co, (0, EAST), 10)
+        assert not self._gate(co, (1, EAST), 10)
+        retry_at = co._next_try[(1, EAST)]
+        assert 10 < retry_at <= 10 + 8 * 2  # base + full jitter
+        # retrying early is denied without consuming budget
+        assert not self._gate(co, (1, EAST), retry_at - 1)
+        assert self._gate(co, (1, EAST), retry_at)
+        assert (1, EAST) not in co._next_try  # state cleared on grant
+
+    def test_backoff_is_exponential_and_jitter_deterministic(self):
+        def deny_schedule():
+            _, _, co = _attach(CFG, ContainmentConfig(
+                max_actions_per_cycle=1, seed=5,
+            ))
+            delays = []
+            cycle = 0
+            for _ in range(5):
+                assert self._gate(co, (0, EAST), cycle)  # eats budget
+                assert not self._gate(co, (1, EAST), cycle)
+                delays.append(co._next_try[(1, EAST)] - cycle)
+                cycle = co._next_try[(1, EAST)]
+            return delays
+
+        first = deny_schedule()
+        assert first == deny_schedule()  # same seed, same schedule
+        assert first == sorted(first)  # monotone (exponential ladder)
+        assert first[-1] > first[0]
+
+    def test_desynchronizes_parallel_ladders(self):
+        """Two links denied in the same cycle must not retry in
+        lockstep — that is the thundering-herd the jitter exists for."""
+        _, _, co = _attach(CFG, ContainmentConfig(
+            max_actions_per_cycle=1, retry_base=64, retry_cap=4096,
+        ))
+        schedules = {}
+        for link in ((1, EAST), (2, EAST), (3, EAST)):
+            delays = []
+            for level in range(4):
+                assert self._gate(co, (0, EAST), level)  # eats budget
+                assert not self._gate(co, link, level)
+                delays.append(co._next_try[link] - level)
+                co._next_try.pop(link)  # isolate levels
+            schedules[link] = tuple(delays)
+        assert len(set(schedules.values())) == 3
+
+
+class TestRegionQuarantine:
+    CLUSTER = ((9, EAST), (10, EAST), (17, EAST))
+
+    def test_localized_cluster_escalates_to_quarantine(self):
+        net, wd, co = _attach(MESH8)
+        _condemn(wd, *self.CLUSTER)
+        co.on_cycle(net, cycle=500)
+        assert co.quarantines == 1
+        quarantine = [e for e in co.events if e.kind == "quarantine"]
+        assert len(quarantine) == 1
+        # the rectangle spans routers (1,1)..(3,2); its eastbound inner
+        # links are quarantined preemptively, including never-condemned
+        # (18, EAST)
+        assert (18, EAST) in co.avoid
+        # the idle network drains vacuously, so it is already sealed
+        assert co.link_states[(18, EAST)] == "sealed"
+        # westbound/vertical inner links survive (sole routes)
+        assert (10, Direction.WEST) not in co.avoid
+        assert turn_model_connected(MESH8, "west-first", co.avoid)
+
+    def test_scattered_attack_is_not_quarantined(self):
+        """Condemnations spread across the mesh fail the locality gate:
+        walling off most of the mesh would cost more than the per-link
+        containment already in force."""
+        net, wd, co = _attach(MESH8)
+        _condemn(wd, (9, EAST), (27, EAST), (45, EAST))
+        co.on_cycle(net, cycle=500)
+        assert co.quarantines == 0
+        assert any(
+            e.kind == "refuse" and "not localized" in e.detail
+            for e in co.events
+        )
+
+    def test_below_threshold_no_quarantine(self):
+        net, wd, co = _attach(MESH8)
+        _condemn(wd, (9, EAST), (10, EAST))
+        co.on_cycle(net, cycle=500)
+        assert co.quarantines == 0
+
+    def test_quarantine_can_be_disabled(self):
+        net, wd, co = _attach(MESH8, ContainmentConfig(quarantine=False))
+        _condemn(wd, *self.CLUSTER)
+        co.on_cycle(net, cycle=500)
+        assert co.quarantines == 0
+        assert (18, EAST) not in co.avoid
+
+    def test_rect_is_attempted_once(self):
+        net, wd, co = _attach(MESH8)
+        _condemn(wd, *self.CLUSTER)
+        co.on_cycle(net, cycle=500)
+        _condemn(wd, (18, EAST))  # same rectangle, already quarantined
+        co.on_cycle(net, cycle=600)
+        assert co.quarantines == 1
+
+
+class TestConfigValidation:
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ValueError):
+            ContainmentConfig(max_actions_per_cycle=0)
+        with pytest.raises(ValueError):
+            ContainmentConfig(retry_base=16, retry_cap=8)
+        with pytest.raises(ValueError):
+            ContainmentConfig(jitter=-0.1)
+        with pytest.raises(ValueError):
+            ContainmentConfig(reroute_model="zigzag")
+        with pytest.raises(ValueError):
+            ContainmentConfig(quarantine_threshold=1)
+        with pytest.raises(ValueError):
+            ContainmentConfig(quarantine_max_fraction=0.0)
+
+    def test_safe_models_cover_xy(self):
+        assert SAFE_REROUTE_MODELS["xy"] == "west-first"
+
+
+class TestPureObserver:
+    """With a watchdog that never condemns, the coordinator must be
+    byte-invisible — the single-trojan paper figures stay identical
+    with containment enabled."""
+
+    def test_fig2_style_bit_identical_with_containment(self):
+        def run(containment):
+            scenario = dataclasses.replace(
+                fig2_style(),
+                defense=DefenseSpec(
+                    mitigated=True,
+                    watchdog=WatchdogConfig(),
+                    containment=containment,
+                ),
+            )
+            sim = Simulation(scenario)
+            return sim, sim.run()
+
+        bare, rb = run(None)
+        contained, rc = run(ContainmentConfig())
+        assert rb == rc
+        assert stats_snapshot(bare.network) == stats_snapshot(
+            contained.network
+        )
+        assert contained.containment.contained_links == frozenset()
+        assert contained.containment.actions_denied == 0
+
+    def test_containment_requires_watchdog(self):
+        scenario = dataclasses.replace(
+            fig2_style(),
+            defense=DefenseSpec(containment=ContainmentConfig()),
+        )
+        with pytest.raises(ValueError, match="watchdog"):
+            Simulation(scenario)
+
+
+class TestPurgePacket:
+    """The network-wide flush behind the drop stage: no trace of the
+    condemned packet survives, and conservation still balances."""
+
+    def _sim_with_traffic(self):
+        scenario = Scenario(
+            name="purge-probe",
+            cfg=CFG,
+            traffic=(
+                SyntheticTraffic(
+                    injection_rate=0.1, duration=60, seed=3
+                ),
+            ),
+            max_cycles=2000,
+            stall_limit=500,
+        )
+        return Simulation(scenario)
+
+    def _in_flight_pkt(self, net):
+        for router in net.routers:
+            for port in router.inputs.items():
+                for vc in port[1].vcs:
+                    if vc.buffer:
+                        return vc.buffer[0].pkt_id
+        return None
+
+    def test_purge_removes_every_trace_and_conserves(self):
+        sim = self._sim_with_traffic()
+        for _ in range(40):
+            sim.step()
+        net = sim.network
+        pkt_id = self._in_flight_pkt(net)
+        assert pkt_id is not None
+        purged = net.purge_packet(pkt_id, net.cycle)
+        assert purged > 0
+        for router in net.routers:
+            for port in router.inputs.values():
+                for vc in port.vcs:
+                    assert all(f.pkt_id != pkt_id for f in vc.buffer)
+                    assert vc.cur_pkt != pkt_id
+            for out in router.outputs.values():
+                assert all(p != pkt_id for p in out.holder_pkts)
+        # conservation holds across the purge and the rest of the run
+        NetworkValidator(net).check(raise_on_violation=True)
+        sim.run()
+        NetworkValidator(net).check(raise_on_violation=True)
+
+
+def containment_acceptance_scenario() -> Scenario:
+    """A scaled-down distributed campaign that fits in the tier-1
+    budget: two coordinated trojans, a flood, and a gray-hole on a 4x4
+    mesh with the full defense stack and the sentinel auditing."""
+    duration = 2600
+    return Scenario(
+        name="containment-acceptance",
+        cfg=CFG,
+        traffic=(
+            SyntheticTraffic(
+                injection_rate=0.02, payload_words=2,
+                duration=duration - 200, seed=7,
+            ),
+        )
+        + distributed_flood(
+            rogue_cores=(4,), victim_cores=(60,),
+            rate=0.2, start_cycle=150,
+            stop_cycle=duration - 200, seed=11,
+        ),
+        trojans=coordinated_trojans(
+            ((1, EAST), (9, EAST)),
+            TargetSpec.for_vc(0),
+            start=200,
+            stagger=80,
+        ),
+        attacks=(
+            DropAttackSpec(
+                link=(6, EAST), drop_probability=1.0, enable_at=300
+            ),
+        ),
+        defense=DefenseSpec(
+            watchdog=WatchdogConfig(),
+            containment=ContainmentConfig(),
+        ),
+        duration=duration,
+        sentinel=SentinelSpec(every=100),
+        seed=2,
+    )
+
+
+class TestAcceptanceCampaign:
+    @pytest.fixture(scope="class")
+    def survived(self):
+        sim = Simulation(containment_acceptance_scenario())
+        sim.run()  # a sentinel trip raises: finishing proves zero trips
+        return sim
+
+    def test_sentinel_stayed_clean(self, survived):
+        assert survived.sentinel.checks >= 20
+        assert survived.sentinel.report.ok
+
+    def test_attacked_links_contained_in_bounded_time(self, survived):
+        co = survived.containment
+        assert {(1, EAST), (9, EAST)} <= co.contained_links
+        assert co.summary()["max_time_to_contain"] < 1500
+
+    def test_budget_actually_gated(self, survived):
+        co = survived.containment
+        assert co.actions_allowed > 0
+        assert co.actions_denied > 0
+
+    def test_benign_traffic_kept_flowing(self, survived):
+        delivered = sum(
+            1
+            for record in survived.network.stats.completed_records()
+            if record.pkt_id < 10_000_000
+        )
+        assert delivered > 500

@@ -163,6 +163,111 @@ class TestBareWatchdogSurvival:
         assert bare_watchdog_report.violations == ()
 
 
+class TestPartitionRisk:
+    """Condemnations that strand minimal-xy traffic must say so."""
+
+    def _condemn(self, link, cycle=100):
+        from repro.noc.network import Network
+
+        net = Network(PAPER_CONFIG)
+        watchdog = RetransWatchdog(WatchdogConfig()).attach(net)
+        watchdog._drops_per_link[link] = (
+            watchdog.config.condemn_after_drops
+        )
+        watchdog._maybe_condemn(net, link, cycle, ladder_active=False)
+        return watchdog
+
+    def test_corner_router_east_strands_three_quadrants(self):
+        """Regression: the corner router's east link is the sole xy
+        first hop for every destination off its column — the risk event
+        must name all twelve."""
+        watchdog = self._condemn((0, Direction.EAST))
+        risks = watchdog.take_partition_risks()
+        assert len(risks) == 1
+        risk = risks[0]
+        assert risk.link == (0, Direction.EAST)
+        assert len(risk.stranded_dsts) == 12
+        assert set(risk.stranded_dsts) == {
+            r for r in range(16) if r % 4 != 0
+        }
+
+    def test_corner_router_north_strands_own_column(self):
+        watchdog = self._condemn((0, Direction.NORTH))
+        (risk,) = watchdog.take_partition_risks()
+        assert set(risk.stranded_dsts) == {4, 8, 12}
+
+    def test_risk_rides_along_with_condemnation(self):
+        watchdog = self._condemn((0, Direction.EAST))
+        assert watchdog.take_condemned() == [(0, Direction.EAST)]
+        assert watchdog.partition_risks  # kept beyond the take() queue
+
+
+class TestSharedRouterLadders:
+    """Two infected links on one router run independent ladders."""
+
+    @pytest.fixture(scope="class")
+    def shared(self):
+        from repro.resilience.containment import ContainmentConfig
+        from repro.sim import (
+            DefenseSpec,
+            Scenario,
+            SentinelSpec,
+            Simulation,
+            SyntheticTraffic,
+            TrojanSpec,
+        )
+
+        scenario = Scenario(
+            name="shared-router",
+            cfg=PAPER_CONFIG,
+            traffic=(
+                SyntheticTraffic(
+                    injection_rate=0.04, duration=1500, seed=5
+                ),
+            ),
+            trojans=(
+                TrojanSpec((5, Direction.EAST), TargetSpec.for_vc(0),
+                           enable_at=100),
+                TrojanSpec((5, Direction.NORTH), TargetSpec.for_vc(0),
+                           enable_at=100),
+            ),
+            defense=DefenseSpec(
+                watchdog=WatchdogConfig(),
+                containment=ContainmentConfig(),
+            ),
+            duration=2200,
+            sentinel=SentinelSpec(every=100),
+            seed=9,
+        )
+        sim = Simulation(scenario)
+        ladder_links = set()
+        sim.watchdog.event_hooks.append(
+            lambda event: ladder_links.add(event.link)
+        )
+        sim.run()  # sentinel trip raises; finishing proves zero trips
+        return sim, ladder_links
+
+    def test_both_ladders_escalated(self, shared):
+        _, ladder_links = shared
+        assert {(5, Direction.EAST), (5, Direction.NORTH)} <= ladder_links
+
+    def test_both_links_contained_without_tripping(self, shared):
+        sim, _ = shared
+        assert sim.sentinel.report.ok
+        contained = sim.containment.contained_links
+        assert {(5, Direction.EAST), (5, Direction.NORTH)} <= contained
+
+    def test_vertical_link_fell_back_to_drop_only(self, shared):
+        """(5, NORTH) is a sole route for its column under west-first
+        (no vertical detours exist), so the coordinator must refuse the
+        reroute and leave the ladder in drop-only mode — while (5,
+        EAST) is rerouted around."""
+        sim, _ = shared
+        states = sim.containment.link_states
+        assert states[(5, Direction.NORTH)] == "drop_only"
+        assert states[(5, Direction.EAST)] in ("draining", "sealed")
+
+
 class TestWatchdogConfig:
     def test_rejects_misordered_ladder(self):
         with pytest.raises(ValueError):

@@ -221,6 +221,46 @@ class TestInterruptAndResume:
         assert calls == self.PLAN
 
 
+class TestStateRetryTiming:
+    """Retry timing rides along in the state file and survives resume."""
+
+    def test_retries_round_trip(self, tmp_path):
+        state = tmp_path / "state.json"
+        rows = {"fig9": ("fig9", True, 1.2, "[ok]", "")}
+        retries = {
+            "fig9": {"attempts": 3, "delays": [0.01, 0.02], "seconds": 4.5}
+        }
+        runner._save_state(state, "key-1", rows, retries)
+        loaded_rows, loaded_retries = runner._load_state(state, "key-1")
+        assert loaded_rows == rows
+        assert loaded_retries == retries
+
+    def test_pre_retry_state_files_still_load(self, tmp_path):
+        # state written before retry timing existed has no "retries" key
+        state = tmp_path / "state.json"
+        runner._save_state(
+            state, "key-1", {"fig9": ("fig9", True, 1.2, "[ok]", "")}
+        )
+        with open(state, encoding="utf-8") as fh:
+            data = json.load(fh)
+        del data["retries"]
+        state.write_text(json.dumps(data), encoding="utf-8")
+        rows, retries = runner._load_state(state, "key-1")
+        assert "fig9" in rows
+        assert retries == {}
+
+    def test_retries_for_unknown_rows_are_dropped(self, tmp_path):
+        state = tmp_path / "state.json"
+        runner._save_state(
+            state, "key-1",
+            {"fig9": ("fig9", True, 1.2, "[ok]", "")},
+            {"ghost": {"attempts": 2, "delays": [0.5], "seconds": 1.0},
+             "fig9": "not-a-dict"},
+        )
+        _, retries = runner._load_state(state, "key-1")
+        assert retries == {}
+
+
 class TestQuarantine:
     def test_dead_worker_is_quarantined_not_fatal(
         self, tmp_path, capsys, monkeypatch

@@ -14,10 +14,12 @@ from repro.core import (
 )
 from repro.noc.config import PAPER_CONFIG
 from repro.noc.topology import Direction
+from repro.resilience.containment import ContainmentConfig
 from repro.resilience.watchdog import WatchdogConfig
 from repro.sim import (
     AppTraffic,
     DefenseSpec,
+    DropAttackSpec,
     ExplicitTraffic,
     FloodTraffic,
     PacketSpec,
@@ -60,6 +62,10 @@ def rich_scenario() -> Scenario:
                                double_fraction=0.5, seed=2,
                                labels=("t", 3)),
         ),
+        attacks=(
+            DropAttackSpec(link=(3, Direction.EAST), drop_probability=0.8,
+                           enable_at=60, disable_at=350, seed=6),
+        ),
         defense=DefenseSpec(
             mitigated=True,
             mitigation=MitigationConfig(
@@ -67,6 +73,7 @@ def rich_scenario() -> Scenario:
             ),
             e2e=True,
             watchdog=WatchdogConfig(),
+            containment=ContainmentConfig(max_actions_per_cycle=2),
             tdm_domains=2,
             rerouted_links=((2, Direction.WEST),),
         ),
@@ -95,6 +102,24 @@ class TestRoundTrip:
         kinds = [type(t).__name__ for t in s.traffic]
         assert kinds == ["SyntheticTraffic", "AppTraffic", "FloodTraffic",
                          "ExplicitTraffic"]
+
+    def test_attack_and_containment_round_trip(self):
+        s = Scenario.from_json(rich_scenario().to_json())
+        (attack,) = s.attacks
+        assert isinstance(attack, DropAttackSpec)
+        assert attack.link == (3, Direction.EAST)
+        assert attack.drop_probability == 0.8
+        assert isinstance(s.defense.containment, ContainmentConfig)
+        assert s.defense.containment.max_actions_per_cycle == 2
+
+    def test_pre_containment_documents_still_decode(self):
+        # scenarios serialized before attacks/containment existed
+        data = json.loads(rich_scenario().to_json())
+        del data["attacks"]
+        del data["defense"]["containment"]
+        s = Scenario.from_dict(data)
+        assert s.attacks == ()
+        assert s.defense.containment is None
 
 
 class TestContentHash:

@@ -14,6 +14,7 @@ import pytest
 
 from repro.noc.topology import Direction
 from repro.sim import (
+    DefenseSpec,
     ExplicitTraffic,
     PacketSpec,
     Scenario,
@@ -24,6 +25,12 @@ from repro.sim import (
     planted_deadlock_scenario,
 )
 from tests.test_sim_engine import chaos_style, fig2_style, stats_snapshot
+
+
+def undefended_chaos_style() -> Scenario:
+    """chaos_style without the watchdog: the TASP trojan farms
+    retransmissions forever, the paper's baseline livelock."""
+    return dataclasses.replace(chaos_style(), defense=DefenseSpec())
 
 
 def with_sentinel(scenario: Scenario, **kwargs) -> Scenario:
@@ -51,11 +58,12 @@ class TestPureObserver:
         assert monitored.sentinel.report.ok
 
     def test_chaos_style_bit_identical(self):
-        # chaos_style genuinely livelocks (the bare run gives up via
-        # its stall limit), so run the invariant families only: the
-        # progress detectors would — correctly — trip first
+        # without the watchdog, chaos_style genuinely livelocks (the
+        # bare run gives up via its stall limit), so run the invariant
+        # families only: the progress detectors would — correctly —
+        # trip first
         bare, monitored, rb, rm = self.run_pair(
-            chaos_style(), livelock_sends=0, deadlock_window=0
+            undefended_chaos_style(), livelock_sends=0, deadlock_window=0
         )
         assert not rb.completed  # the workload really is pathological
         assert rb == rm
@@ -63,13 +71,24 @@ class TestPureObserver:
             monitored.network
         )
 
+    def test_chaos_style_defended_completes(self):
+        """With the watchdog ladder (and the network-wide purge behind
+        its drop stage) the same trojaned workload drains cleanly —
+        and the sentinel certifies it."""
+        bare, monitored, rb, rm = self.run_pair(chaos_style())
+        assert rb.completed
+        assert rb == rm
+        assert monitored.sentinel.checks > 0
+        assert monitored.sentinel.report.ok
+
     def test_chaos_style_livelock_caught_early(self):
-        """On the stalling chaos workload the default sentinel calls
-        livelock long before the engine's stall limit gives up."""
-        bare = Simulation(chaos_style())
+        """On the undefended, retry-forever chaos workload the default
+        sentinel calls livelock long before the engine's stall limit
+        gives up."""
+        bare = Simulation(undefended_chaos_style())
         stalled_at = bare.run().cycles
         with pytest.raises(SentinelTrip) as excinfo:
-            Simulation(with_sentinel(chaos_style())).run()
+            Simulation(with_sentinel(undefended_chaos_style())).run()
         assert excinfo.value.kind == "livelock"
         assert excinfo.value.cycle < stalled_at
 

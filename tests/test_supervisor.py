@@ -154,6 +154,42 @@ class TestCrashingWorker:
         assert len(outcome.failures) == 1
 
 
+class TestRetryJitter:
+    """Retry delays are jittered, bounded and seed-deterministic."""
+
+    CFG = dict(
+        jobs=1, max_retries=2, jitter=0.5,
+        backoff_base=0.01, backoff_cap=1.0, poll_interval=0.01,
+    )
+
+    def _delays(self, seed):
+        (outcome,) = Supervisor(
+            SupervisorConfig(seed=seed, **self.CFG)
+        ).run([("dead", _crash, ())])
+        return outcome.retry_delays
+
+    def test_delays_recorded_within_jitter_band(self):
+        delays = self._delays(seed=1)
+        assert len(delays) == 2  # one per retry, none for the final attempt
+        for attempt, delay in enumerate(delays):
+            base = 0.01 * (2 ** attempt)
+            assert base <= delay <= base * 1.5
+
+    def test_same_seed_replays_the_same_schedule(self):
+        assert self._delays(seed=3) == self._delays(seed=3)
+
+    def test_different_seeds_desynchronise(self):
+        assert self._delays(seed=3) != self._delays(seed=4)
+
+    def test_recovered_task_keeps_its_retry_history(self, tmp_path):
+        marker = str(tmp_path / "marker")
+        (outcome,) = Supervisor(
+            SupervisorConfig(jobs=1, max_retries=2, **FAST)
+        ).run([("flaky", _flaky, (marker,))])
+        assert outcome.ok
+        assert len(outcome.retry_delays) == 1
+
+
 class TestInterrupt:
     def test_interrupt_kills_workers_and_reports_partial(self, monkeypatch):
         finished = []
