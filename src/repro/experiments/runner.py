@@ -61,7 +61,7 @@ from repro.experiments.supervisor import (
     TaskOutcome,
 )
 from repro.obs.profiler import ENV_FLAG as _PROFILE_ENV
-from repro.sim import ResultCache, spec_hash
+from repro.sim import ENGINE_ENV, ResultCache, spec_hash
 
 EXPERIMENTS = {
     "fig1": (fig1_traffic, "Blackscholes traffic distributions"),
@@ -464,6 +464,16 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="profile simulator phases (wall-clock per step phase); "
         "implies --no-cache and appends the breakdown to each report",
     )
+    parser.add_argument(
+        "--engine",
+        choices=("sweep", "event"),
+        default=None,
+        help="simulation engine for every experiment: 'sweep' steps "
+        "every cycle, 'event' teleports over provably idle spans "
+        "(byte-identical results; see docs/performance.md).  Cached "
+        "results are shared between engines — pass --no-cache to "
+        "force fresh runs, e.g. for an oracle comparison",
+    )
     args = parser.parse_args(argv)
     if args.shrink and not args.forensics_dir:
         print("--shrink requires --forensics-dir", file=sys.stderr)
@@ -473,6 +483,10 @@ def main(argv: Optional[list[str]] = None) -> int:
         # each process then keeps its own per-experiment profiler
         os.environ[_PROFILE_ENV] = "1"
         args.no_cache = True
+    if args.engine:
+        # same fork-inheritance trick as --profile: worker processes
+        # pick the engine up from the environment
+        os.environ[ENGINE_ENV] = args.engine
 
     if "list" in args.experiments:
         for name, (_, desc) in EXPERIMENTS.items():

@@ -92,6 +92,22 @@ def render_router_grid(
     return "\n".join(lines)
 
 
+#: back-pressure map cell glyphs (paper Fig. 11).  Cells are three
+#: characters wide; the legend below is built from the same constants
+#: so the rendering stays self-describing.
+CELL_ALL_CORES_BLOCKED = "XXX"
+CELL_OUTPUT_STALLED = " ! "
+CELL_HALF_CORES_BLOCKED = " x "
+CELL_HEALTHY = " . "
+
+BACKPRESSURE_LEGEND = (
+    f"legend: '{CELL_HEALTHY.strip()}' healthy  "
+    f"'{CELL_HALF_CORES_BLOCKED.strip()}' >50% cores blocked  "
+    f"'{CELL_OUTPUT_STALLED.strip()}' output port stalled  "
+    f"'{CELL_ALL_CORES_BLOCKED}' all cores blocked"
+)
+
+
 def render_backpressure_map(net: Network, title: str = "") -> str:
     """The Fig. 11 view of a live network: per-router blockage state."""
     cfg = net.cfg
@@ -103,21 +119,18 @@ def render_backpressure_map(net: Network, title: str = "") -> str:
         ]
         full = sum(1 for core in cores if net.core_blocked(core))
         if full == cfg.concentration:
-            return "XXX"
+            return CELL_ALL_CORES_BLOCKED
         if router.any_output_blocked(net.cycle):
-            return " ! "
+            return CELL_OUTPUT_STALLED
         if full > cfg.concentration / 2:
-            return " x "
-        return " . "
+            return CELL_HALF_CORES_BLOCKED
+        return CELL_HEALTHY
 
     return render_router_grid(
         cfg,
         classify,
         title or f"back pressure @ cycle {net.cycle}",
-        legend=(
-            "legend: '.' healthy  'x' >50% cores blocked  "
-            "'!' output port stalled  'XXX' all cores blocked"
-        ),
+        legend=BACKPRESSURE_LEGEND,
     )
 
 

@@ -77,6 +77,15 @@ class CreditTracker:
         """Credits granted back but not yet visible."""
         return len(self._pending)
 
+    def next_visible_cycle(self) -> Optional[int]:
+        """Earliest cycle a pending credit return becomes visible, or
+        ``None`` when nothing is in flight.  Frozen trackers still
+        report their pending returns (conservative: the thaw itself is
+        driven by a monitor, which separately pins the clock)."""
+        if not self._pending:
+            return None
+        return min(visible for visible, _vc in self._pending)
+
     def outstanding(self, vc: int) -> int:
         """Slots of ``vc`` currently claimed by this upstream port."""
         pending_vc = sum(1 for _, v in self._pending if v == vc)

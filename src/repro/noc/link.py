@@ -146,6 +146,19 @@ class Link:
     def idle(self) -> bool:
         return not self._in_flight and not self._acks
 
+    def next_event_cycle(self) -> Optional[int]:
+        """Earliest arrival cycle of anything on the wire (forward
+        codewords or reverse ACKs), or ``None`` when the link is idle.
+        Consulted by the event engine before skipping the clock."""
+        best: Optional[int] = None
+        for when, _tx in self._in_flight:
+            if best is None or when < best:
+                best = when
+        for when, _ack in self._acks:
+            if best is None or when < best:
+                best = when
+        return best
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"Link({self.src_router}--{self.direction.name}-->"

@@ -45,6 +45,20 @@ class TrafficSource:
         """True when the source will never emit again (drain checks)."""
         return False
 
+    def next_active_cycle(self, cycle: int) -> Optional[int]:
+        """Earliest cycle >= ``cycle`` at which :meth:`generate` may
+        emit packets, advance seeded RNG state, or flip :meth:`done` —
+        ``None`` when the source is finished forever.
+
+        The event engine (:mod:`repro.sim.sched`) skips the clock
+        across cycles every source disclaims.  The default is maximally
+        conservative: an unfinished source demands every cycle (which
+        is also *exact* for the synthetic/app sources — they draw RNG
+        per non-done cycle, so skipping any would desynchronize the
+        stream).  Sources with known idle windows override this.
+        """
+        return None if self.done(cycle) else cycle
+
 
 class Network:
     """A concentrated-mesh NoC instance."""
@@ -95,6 +109,12 @@ class Network:
         # are frozen at wiring time so the active-set path visits
         # components in exactly the full-sweep order.
         self._link_keys: list[LinkKey] = list(self.links)
+        #: canonical position of each link key, so the active-set scan
+        #: can sort a handful of live keys instead of filtering the
+        #: full canonical list every cycle
+        self._link_order: dict[LinkKey, int] = {
+            key: index for index, key in enumerate(self._link_keys)
+        }
         self._upstream_router: dict[tuple[int, Direction], int] = {}
         for key in self._link_keys:
             link = self.links[key]
@@ -108,6 +128,9 @@ class Network:
         self._backlogs: list[deque[Flit]] = [
             deque() for _ in range(cfg.num_cores)
         ]
+        #: cores with a non-empty backlog (kept exact by add_packet and
+        #: _inject), so injection and idleness checks cost O(pending)
+        self._backlogged: set[int] = set()
         self.cycle = 0
         self.traffic: Optional[TrafficSource] = None
         self.sample_interval = 10
@@ -189,6 +212,53 @@ class Network:
             if eject.queue:
                 return False
         return True
+
+    @property
+    def quiescent(self) -> bool:
+        """No component holds work: the active sets and injection
+        backlogs are empty (only meaningful with active-set stepping —
+        a full sweep maintains no sets, so it is never quiescent).
+
+        The sets are pruned exactly at the end of every step, so
+        quiescence is the O(1) form of "drained except for traffic yet
+        to come and credit returns still in flight"."""
+        return not (
+            self._full_sweep
+            or self._active_routers
+            or self._active_links
+            or self._backlogged
+        )
+
+    def next_event_cycle(self) -> Optional[int]:
+        """Earliest cycle >= the current clock at which any tracked
+        component has pending work, or ``None`` when every component is
+        idle.  Consulted by the event engine (:mod:`repro.sim.sched`)
+        before skipping the clock; a full sweep pins every cycle.
+
+        Iterating the active *sets* here is deterministic even though
+        set order is not: a minimum is order-independent, and the
+        early exit returns the same ``cycle`` whichever member
+        triggers it.
+        """
+        cycle = self.cycle
+        if self._full_sweep or self._backlogged:
+            return cycle
+        best: Optional[int] = None
+        for rid in self._active_routers:
+            when = self.routers[rid].next_event_cycle(cycle)
+            if when is not None:
+                if when <= cycle:
+                    return cycle
+                if best is None or when < best:
+                    best = when
+        for key in self._active_links:
+            when = self.links[key].next_event_cycle()
+            if when is not None:
+                if when <= cycle:
+                    return cycle
+                if best is None or when < best:
+                    best = when
+        return best
 
     # -- wiring helpers ------------------------------------------------------
     def attach_tamperer(self, key: LinkKey, tamperer) -> None:
@@ -309,6 +379,7 @@ class Network:
         )
         self.stats.on_packet_created(record)
         self._backlogs[packet.src_core].extend(flits)
+        self._backlogged.add(packet.src_core)
 
     def backlog_depth(self, core: int) -> int:
         return len(self._backlogs[core])
@@ -334,10 +405,14 @@ class Network:
             # during this cycle join from the next step; per-flit cycle
             # guards make every phase a no-op for freshly arrived state
             # anyway, so the timing matches the full sweep exactly.
-            active_r = self._active_routers
-            routers = [r for r in self.routers if r.id in active_r]
-            active_l = self._active_links
-            link_keys = [k for k in self._link_keys if k in active_l]
+            # Router ids ARE their canonical positions and link keys
+            # sort by their wiring-time index, so sorting the live sets
+            # costs O(active log active) instead of an O(mesh) filter.
+            all_routers = self.routers
+            routers = [all_routers[rid] for rid in sorted(self._active_routers)]
+            link_keys = sorted(
+                self._active_links, key=self._link_order.__getitem__
+            )
 
         # Credit returns become visible.
         for router in routers:
@@ -440,7 +515,10 @@ class Network:
                 for out in router.outputs.values():
                     if not out.link.idle:
                         self._active_links.add(out.link.key)
-            # Lazy prune: drop whatever settled this cycle.
+            # Lazy prune: drop whatever settled this cycle.  Iterating
+            # the sets themselves (instead of the full canonical lists)
+            # keeps the prune O(active); membership results are
+            # identical and set-build order is irrelevant.
             self._active_links = {
                 key
                 for key in self._active_links
@@ -448,19 +526,21 @@ class Network:
                 or self.receiver_of(key).staged_count
             }
             self._active_routers = {
-                router.id
-                for router in self.routers
-                if router.id in self._active_routers
-                and not self._router_settled(router)
+                rid
+                for rid in self._active_routers
+                if not self._router_settled(self.routers[rid])
             }
         if prof is not None:
             prof.lap("active", _t)
 
     def _inject(self, cycle: int) -> None:
+        if not self._backlogged:
+            return
         cfg = self.cfg
-        for core, backlog in enumerate(self._backlogs):
-            if not backlog:
-                continue
+        # sorted() both fixes the visitation order (ascending core, the
+        # full-scan order) and snapshots the set before mutation
+        for core in sorted(self._backlogged):
+            backlog = self._backlogs[core]
             flit = backlog[0]
             if not self.policy.may_inject(flit, cycle):
                 continue
@@ -470,6 +550,8 @@ class Network:
             if vc.is_full:
                 continue
             backlog.popleft()
+            if not backlog:
+                self._backlogged.discard(core)
             flit.injected_cycle = cycle
             flit.last_move_cycle = cycle
             vc.push(flit)

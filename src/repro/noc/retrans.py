@@ -198,6 +198,29 @@ class RetransBuffer:
         self.dropped_total += 1
         return entry
 
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """Earliest cycle >= ``cycle`` this buffer may need service, or
+        ``None`` when empty.
+
+        A deferred READY entry sleeps until its ``defer_until`` (the
+        watchdog-backoff window the event engine profitably skips); a
+        launchable READY entry demands "now"; an IN_FLIGHT entry also
+        demands "now" — its ACK/NACK timing is interlocked with the
+        downstream receive pipeline, which is too entangled to prove
+        idle cheaply, so the engine stays conservative.
+        """
+        best: Optional[int] = None
+        for tag in self._order:
+            entry = self._entries[tag]
+            if entry.state is not EntryState.READY:
+                return cycle
+            when = entry.defer_until
+            if when <= cycle:
+                return cycle
+            if best is None or when < best:
+                best = when
+        return best
+
     def oldest_wait(self, cycle: int) -> int:
         """Age in cycles of the oldest unretired entry (0 if empty) —
         a back-pressure signal used by deadlock monitors."""

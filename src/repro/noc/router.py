@@ -515,5 +515,41 @@ class Router:
     def any_output_blocked(self, cycle: int) -> bool:
         return any(out.is_blocked(cycle) for out in self.outputs.values())
 
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """Earliest cycle >= ``cycle`` this router may do work, or
+        ``None`` when it holds no state at all.
+
+        Buffered flits, staged receiver deliveries and ejection queues
+        pin the clock to "now" (their pipeline guards are per-cycle);
+        the only *future* demands a router can prove are deferred
+        retransmission entries and credit returns still in flight.  Its
+        links' wires are accounted separately through the network's
+        active-link set.
+        """
+        for port in self.inputs.values():
+            if port.occupancy:
+                return cycle
+            receiver = port.receiver
+            if receiver is not None and receiver.staged_count:
+                return cycle
+        for eject in self.ejects.values():
+            if eject.queue:
+                return cycle
+        best: Optional[int] = None
+        for out in self.outputs.values():
+            when = out.retrans.next_event_cycle(cycle)
+            if when is not None:
+                if when <= cycle:
+                    return cycle
+                if best is None or when < best:
+                    best = when
+            when = out.credits.next_visible_cycle()
+            if when is not None:
+                if when <= cycle:
+                    return cycle
+                if best is None or when < best:
+                    best = when
+        return best
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Router(id={self.id})"

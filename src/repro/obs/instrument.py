@@ -244,6 +244,13 @@ class _WindowCollector:
         self.window = window
         self._verdicts: dict = {}
 
+    def next_event_cycle(self, network: "Network", cycle: int):
+        """Event-engine contract: scrapes happen only at window
+        boundaries, so only those cycles are demanded."""
+        if cycle % self.window == 0:
+            return cycle
+        return (cycle // self.window + 1) * self.window
+
     def on_cycle(self, network: "Network", cycle: int) -> None:
         if cycle % self.window:
             return

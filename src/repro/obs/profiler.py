@@ -36,6 +36,8 @@ PHASE_ORDER = (
     "defense",
     "sample",
     "active",
+    # event engine only: skip decisions + clock teleports (sim/sched.py)
+    "wheel",
 )
 
 

@@ -260,6 +260,21 @@ class ContainmentCoordinator:
         self.actions_allowed += 1
         return True
 
+    def next_event_cycle(self, network: Network, cycle: int):
+        """Event-engine contract: the coordinator consumes watchdog
+        escalations (which only exist on non-quiescent cycles) and
+        advances link draining, whose sealing cycle feeds
+        time-to-contain accounting — so any draining link or network
+        activity pins the clock.  Quiescent with nothing draining, the
+        watchdog has produced nothing to consume and :meth:`on_cycle`
+        is a proven no-op."""
+        if not network.quiescent:
+            return cycle
+        for state in self.link_states.values():
+            if state == "draining":
+                return cycle
+        return None
+
     # -- per-cycle supervision ----------------------------------------------
     def on_cycle(self, network: Network, cycle: int) -> None:
         if self.watchdog is None:

@@ -226,6 +226,15 @@ class RetransWatchdog:
     ) -> bool:
         return self.action_gate is None or self.action_gate(stage, key, cycle)
 
+    def next_event_cycle(self, network: Network, cycle: int):
+        """Event-engine contract: the ladder must observe every cycle
+        any retransmission buffer is non-empty — the drop rung fires on
+        the exact cycle an entry turns READY and the containment gate
+        draws per-denial jitter, both cycle-sensitive.  On a quiescent
+        network every buffer is empty and :meth:`on_cycle` is a proven
+        no-op, so the watchdog demands nothing."""
+        return None if network.quiescent else cycle
+
     # -- the per-cycle ladder ----------------------------------------------
     def on_cycle(self, network: Network, cycle: int) -> None:
         cfg = self.config

@@ -32,6 +32,7 @@ from repro.sim.scenario import (
     trojan_specs,
 )
 from repro.sim.engine import (
+    ENGINE_ENV,
     RunResult,
     Simulation,
     attach_trojan_specs,
@@ -39,6 +40,7 @@ from repro.sim.engine import (
     resume_or_build,
     run,
 )
+from repro.sim.sched import EventCore, WakeupWheel
 from repro.sim.cache import ResultCache, cached_run, code_version, spec_hash
 from repro.sim.checkpoint import (
     Checkpoint,
@@ -65,6 +67,9 @@ from repro.sim.shrink import (
 )
 
 __all__ = [
+    "ENGINE_ENV",
+    "EventCore",
+    "WakeupWheel",
     "Checkpoint",
     "CheckpointError",
     "Forensics",

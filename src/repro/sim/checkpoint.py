@@ -52,8 +52,10 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.scenario import Scenario
 
 #: bump on incompatible checkpoint layout changes; old files are then
-#: treated as absent rather than misparsed
-CHECKPOINT_FORMAT = 1
+#: treated as absent rather than misparsed.  Format 2: simulations
+#: carry the engine mode and (in event mode) the wakeup-scheduler
+#: wheel (repro.sim.sched), and networks track the backlogged-core set.
+CHECKPOINT_FORMAT = 2
 
 CHECKPOINT_SUFFIX = ".ckpt"
 

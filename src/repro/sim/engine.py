@@ -41,11 +41,36 @@ from repro.sim.scenario import (
     SyntheticTraffic,
     TrojanSpec,
 )
+from repro.sim.sched import EventCore
 from repro.sim.sentinel import Sentinel
 from repro.traffic.apps import PROFILES, AppTraceSource
 from repro.traffic.flood import FloodConfig, FloodSource, MergedSource
 from repro.traffic.synthetic import PATTERNS, SyntheticConfig, SyntheticSource
 from repro.util.rng import SeededStream
+
+#: environment override for the engine mode; forked runner workers
+#: inherit it (the runner's --engine flag sets it before dispatch)
+ENGINE_ENV = "REPRO_ENGINE"
+
+#: valid Scenario.engine / Simulation(engine=...) values
+ENGINES = ("sweep", "event")
+
+
+def _resolve_engine(
+    explicit: Optional[str], scenario_engine: str, full_sweep: bool
+) -> str:
+    """Engine mode precedence: explicit argument > ``REPRO_ENGINE`` env
+    var > ``Scenario.engine``.  ``full_sweep=True`` always forces the
+    sweep engine — the exhaustive oracle path has no skip semantics, so
+    a global env override must not hijack oracle runs."""
+    mode = explicit or os.environ.get(ENGINE_ENV) or scenario_engine
+    if mode not in ENGINES:
+        raise ValueError(
+            f"unknown engine {mode!r} (expected one of {ENGINES})"
+        )
+    if full_sweep:
+        return "sweep"
+    return mode
 
 
 class ScheduledSource(TrafficSource):
@@ -80,6 +105,15 @@ class ScheduledSource(TrafficSource):
 
     def done(self, cycle: int) -> bool:
         return self._remaining == 0
+
+    def next_active_cycle(self, cycle: int) -> Optional[int]:
+        """Next scheduled injection at or after ``cycle`` (stale
+        past-due entries are ignored — the sweep engine never emits
+        them either, it just times out at the drain budget)."""
+        upcoming = [at for at in self._by_cycle if at >= cycle]
+        if upcoming:
+            return min(upcoming)
+        return None
 
 
 def attach_trojan_specs(
@@ -195,6 +229,7 @@ class Simulation:
         scenario: Scenario,
         *,
         full_sweep: bool = False,
+        engine: Optional[str] = None,
         obs: "ObsConfig | Observability | None" = None,
     ):
         self.scenario = scenario
@@ -312,6 +347,18 @@ class Simulation:
         #: cycle a restore resumed from (None for a fresh build)
         self.resumed_from_cycle: Optional[int] = None
 
+        # -- engine mode --------------------------------------------------
+        #: "sweep" (per-cycle oracle) or "event" (wakeup scheduler);
+        #: both produce byte-identical reports — see docs/performance.md
+        self.engine: str = _resolve_engine(
+            engine, scenario.engine, full_sweep
+        )
+        #: event-driven advance core (None in sweep mode); checkpoints
+        #: carry it, wheel state included
+        self.event_core: Optional[EventCore] = (
+            EventCore(self) if self.engine == "event" else None
+        )
+
         # -- observability (last: the network is fully wired now) --------
         if obs is None:
             obs = ambient()
@@ -418,7 +465,12 @@ class Simulation:
 
     def advance_to(self, cycle: int) -> None:
         """Step until the network clock reaches ``cycle``, firing any
-        scheduled trojan enables on the way."""
+        scheduled trojan enables on the way.  In event mode, cycles no
+        component claims are skipped without stepping (byte-identical
+        results — see :mod:`repro.sim.sched`)."""
+        if self.event_core is not None:
+            self.event_core.advance_to(cycle)
+            return
         while self.network.cycle < cycle:
             self.step()
         self._fire_enables()
@@ -426,6 +478,8 @@ class Simulation:
     def run_until_drained(
         self, max_cycles: int, stall_limit: Optional[int] = None
     ) -> bool:
+        if self.event_core is not None:
+            return self.event_core.run_until_drained(max_cycles, stall_limit)
         net = self.network
         for _ in range(max_cycles):
             if net.drained:
@@ -533,6 +587,7 @@ def resume_or_build(
     checkpoint_dir: "str | Path | None",
     *,
     full_sweep: bool = False,
+    engine: Optional[str] = None,
     obs: "ObsConfig | Observability | None" = None,
 ) -> Simulation:
     """The scenario's newest restorable checkpoint as a live
@@ -540,9 +595,9 @@ def resume_or_build(
     matching file, or only corrupt/stale ones).
 
     ``sim.resumed_from_cycle`` tells the caller which happened.  A
-    restored simulation keeps the observability bundle it was
-    checkpointed with (hooks and all); ``obs`` only applies to a fresh
-    build.
+    restored simulation keeps the observability bundle *and engine
+    mode* it was checkpointed with; ``obs`` and ``engine`` only apply
+    to a fresh build.
     """
     if checkpoint_dir is not None:
         from repro.sim.checkpoint import latest_checkpoint
@@ -550,13 +605,16 @@ def resume_or_build(
         checkpoint = latest_checkpoint(checkpoint_dir, scenario)
         if checkpoint is not None:
             return Simulation.restore(checkpoint)
-    return Simulation(scenario, full_sweep=full_sweep, obs=obs)
+    return Simulation(
+        scenario, full_sweep=full_sweep, engine=engine, obs=obs
+    )
 
 
 def run(
     scenario: Scenario,
     *,
     full_sweep: bool = False,
+    engine: Optional[str] = None,
     checkpoint_interval: Optional[int] = None,
     checkpoint_dir: "str | Path | None" = None,
     resume: bool = False,
@@ -564,6 +622,11 @@ def run(
     obs: "ObsConfig | Observability | None" = None,
 ) -> RunResult:
     """Build ``scenario`` and run it to its duration or drain limit.
+
+    ``engine`` picks the advance loop ("sweep" or "event"); left
+    ``None`` it falls back to the ``REPRO_ENGINE`` env var, then to
+    ``scenario.engine``.  Both engines produce byte-identical results;
+    the event engine skips provably idle cycles (docs/performance.md).
 
     With ``checkpoint_interval`` and ``checkpoint_dir`` set, the run
     emits an atomic state checkpoint every ``interval`` cycles;
@@ -582,10 +645,16 @@ def run(
     """
     if resume:
         sim = resume_or_build(
-            scenario, checkpoint_dir, full_sweep=full_sweep, obs=obs
+            scenario,
+            checkpoint_dir,
+            full_sweep=full_sweep,
+            engine=engine,
+            obs=obs,
         )
     else:
-        sim = Simulation(scenario, full_sweep=full_sweep, obs=obs)
+        sim = Simulation(
+            scenario, full_sweep=full_sweep, engine=engine, obs=obs
+        )
     if checkpoint_interval is not None and checkpoint_dir is not None:
         sim.configure_checkpoints(checkpoint_dir, checkpoint_interval)
     if forensics_dir is None:

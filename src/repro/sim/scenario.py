@@ -345,6 +345,18 @@ class Scenario:
     #: experiment-level seed, recorded for provenance/hashing; the
     #: traffic and fault specs carry the derived per-stream seeds
     seed: int = 0
+    #: advance loop: "sweep" (per-cycle oracle) or "event" (wakeup
+    #: scheduler).  The two are byte-identical by contract, so the
+    #: engine is *excluded* from the content hash — results cache and
+    #: checkpoints are shared across engines.
+    engine: str = "sweep"
+
+    def __post_init__(self) -> None:
+        if self.engine not in ("sweep", "event"):
+            raise ValueError(
+                f"unknown engine {self.engine!r} "
+                "(expected 'sweep' or 'event')"
+            )
 
     # -- serialization ---------------------------------------------------
     def to_dict(self) -> dict:
@@ -367,6 +379,8 @@ class Scenario:
         # (result cache keys, checkpoint provenance) stay unchanged
         if self.attacks:
             out["attacks"] = [_encode_attack(a) for a in self.attacks]
+        if self.engine != "sweep":
+            out["engine"] = self.engine
         return out
 
     @classmethod
@@ -407,6 +421,8 @@ class Scenario:
             # tolerant .get: pre-sentinel scenario files stay decodable
             sentinel=_decode_sentinel(data.get("sentinel")),
             seed=_require(data, "seed", "scenario"),
+            # tolerant .get: pre-engine scenario files stay decodable
+            engine=_decode_engine(data.get("engine", "sweep")),
         )
 
     def to_json(self, indent: Optional[int] = 2) -> str:
@@ -417,9 +433,17 @@ class Scenario:
         return cls.from_dict(json.loads(text))
 
     def content_hash(self) -> str:
-        """Stable hex digest of the canonical serialized form."""
+        """Stable hex digest of the canonical serialized form.
+
+        The engine mode is stripped before hashing: the two engines
+        are byte-identical by contract (enforced by the CI
+        engine-oracle job), so sweep and event variants of a scenario
+        share cache entries and checkpoint provenance.
+        """
+        payload = self.to_dict()
+        payload.pop("engine", None)
         canonical = json.dumps(
-            self.to_dict(), sort_keys=True, separators=(",", ":")
+            payload, sort_keys=True, separators=(",", ":")
         )
         return hashlib.sha256(canonical.encode()).hexdigest()
 
@@ -573,6 +597,15 @@ def _decode_sentinel(data: Optional[dict]) -> Optional[SentinelSpec]:
     if "families" in data:
         data["families"] = tuple(data["families"])
     return _build_spec(SentinelSpec, data, "sentinel spec")
+
+
+def _decode_engine(value) -> str:
+    if value not in ("sweep", "event"):
+        raise ScenarioDecodeError(
+            f"scenario: unknown engine {value!r} "
+            "(expected 'sweep' or 'event')"
+        )
+    return value
 
 
 def _encode_defense(spec: DefenseSpec) -> dict:

@@ -151,6 +151,17 @@ class Sentinel:
             - stats.dropped_flits
         )
 
+    def next_event_cycle(self, network: Network, cycle: int):
+        """Event-engine contract: the sentinel is a pure cadence — all
+        of its state updates and detections happen on audit cycles
+        (multiples of ``spec.every``), so it only demands those."""
+        every = self.spec.every
+        if every <= 0:
+            return None
+        if cycle % every == 0:
+            return cycle
+        return (cycle // every + 1) * every
+
     # ------------------------------------------------------------------
     def on_cycle(self, network: Network, cycle: int) -> None:
         spec = self.spec

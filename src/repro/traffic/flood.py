@@ -91,6 +91,20 @@ class FloodSource(TrafficSource):
             and cycle >= self.flood.stop_cycle
         )
 
+    def next_active_cycle(self, cycle: int) -> Optional[int]:
+        """Idle until ``start_cycle`` (no packets, no RNG draws), every
+        cycle inside the flood window, never again after stop.  The
+        stop edge itself stays a candidate so drain detection observes
+        :meth:`done` flipping at exactly the sweep engine's cycle."""
+        flood = self.flood
+        if self.done(cycle):
+            return None
+        if cycle < flood.start_cycle:
+            if flood.stop_cycle is not None:
+                return min(flood.start_cycle, flood.stop_cycle)
+            return flood.start_cycle
+        return cycle
+
 
 class MergedSource(TrafficSource):
     """Superpose several traffic sources (e.g. application + flood)."""
@@ -108,3 +122,11 @@ class MergedSource(TrafficSource):
 
     def done(self, cycle: int) -> bool:
         return all(source.done(cycle) for source in self.sources)
+
+    def next_active_cycle(self, cycle: int) -> Optional[int]:
+        best: Optional[int] = None
+        for source in self.sources:
+            when = source.next_active_cycle(cycle)
+            if when is not None and (best is None or when < best):
+                best = when
+        return best

@@ -1,0 +1,128 @@
+"""Cross-process oracle checks for the event engine.
+
+Byte-identity between the sweep and event engines must hold in *fresh
+interpreters with different hash seeds* — that is what rules out any
+accidental dependence on set/dict iteration order in the skip decision
+(``repro.sim.sched`` re-derives candidates from live set-typed active
+sets).  Forensics bundles captured from failing runs must also replay
+identically when the replay itself runs under the event engine.
+"""
+
+import dataclasses
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.sim import (
+    Simulation,
+    failure_signature,
+    load_bundle,
+    planted_deadlock_scenario,
+    replay_bundle,
+    shrink_bundle,
+)
+from repro.sim.sentinel import SentinelTrip
+
+from tests.test_sim_engine import chaos_style, fig2_style
+
+SRC_DIR = str(Path(__file__).resolve().parent.parent / "src")
+
+# Runs one scenario under one engine and prints a canonical digest of
+# everything observable: the result record and every stats field.
+_CHILD = """
+import dataclasses, hashlib, json, sys
+from repro.experiments.export import to_jsonable
+from tests.test_sim_engine import chaos_style, fig2_style
+from repro.sim import Simulation
+
+build = {"fig2": fig2_style, "chaos": chaos_style}[sys.argv[1]]
+sim = Simulation(build(), engine=sys.argv[2])
+result = sim.run()
+payload = json.dumps(
+    {
+        "result": dataclasses.asdict(result),
+        "stats": to_jsonable(vars(sim.network.stats)),
+    },
+    sort_keys=True,
+)
+print(hashlib.sha256(payload.encode()).hexdigest())
+"""
+
+
+def _run_child(scenario_key: str, engine: str, hash_seed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        SRC_DIR
+        + os.pathsep
+        + str(Path(SRC_DIR).parent)
+        + os.pathsep
+        + env.get("PYTHONPATH", "")
+    )
+    env["PYTHONHASHSEED"] = hash_seed
+    env.pop("REPRO_ENGINE", None)
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHILD, scenario_key, engine],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=600,
+        cwd=str(Path(SRC_DIR).parent),
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout.strip()
+
+
+class TestHashSeedImmunity:
+    @pytest.mark.parametrize("scenario_key", ["fig2", "chaos"])
+    def test_engines_agree_across_hash_seeds(self, scenario_key):
+        digests = {
+            _run_child(scenario_key, engine, seed)
+            for engine in ("sweep", "event")
+            for seed in ("0", "1", "12345")
+        }
+        # one digest across 2 engines x 3 interpreter hash seeds
+        assert len(digests) == 1, digests
+
+
+class TestForensicsUnderEventEngine:
+    @pytest.fixture(scope="class")
+    def event_bundle(self, tmp_path_factory):
+        """A failure bundle captured from an event-engine run."""
+        scenario = dataclasses.replace(
+            planted_deadlock_scenario(), engine="event"
+        )
+        out = tmp_path_factory.mktemp("event-forensics")
+        sim = Simulation(scenario)
+        assert sim.engine == "event"
+        sim.enable_forensics(out)
+        with pytest.raises(SentinelTrip) as excinfo:
+            sim.run()
+        return excinfo.value, excinfo.value.repro_bundle
+
+    def test_failure_matches_sweep_engine(self, event_bundle):
+        exc, bundle = event_bundle
+        sweep = Simulation(planted_deadlock_scenario())
+        with pytest.raises(SentinelTrip) as sweep_exc:
+            sweep.run()
+        assert failure_signature(exc) == failure_signature(sweep_exc.value)
+        assert exc.cycle == sweep_exc.value.cycle
+
+    def test_bundle_replays_identically(self, event_bundle):
+        _, bundle = event_bundle
+        # the bundled scenario carries engine="event", so the replay
+        # itself runs event-mode — and must re-raise the same failure
+        # at the same cycle
+        assert load_bundle(bundle).scenario.engine == "event"
+        replayed = replay_bundle(bundle)
+        assert isinstance(replayed, SentinelTrip)
+
+    def test_shrunk_bundle_replays_identically(self, event_bundle):
+        _, bundle = event_bundle
+        result, shrunk_path = shrink_bundle(bundle, max_runs=120)
+        assert result.shrunk.engine == "event"
+        replayed = replay_bundle(shrunk_path)
+        assert isinstance(replayed, SentinelTrip)

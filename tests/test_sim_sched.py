@@ -1,0 +1,352 @@
+"""Event engine: wheel mechanics, engine selection, oracle identity.
+
+The sweep engine is the oracle: every behaviour-bearing artifact
+(stats, results, checkpoints) produced under ``engine="event"`` must be
+bit-identical to the sweep run of the same scenario.  Cross-process
+``PYTHONHASHSEED`` immunity lives in ``tests/test_engine_oracle.py``.
+"""
+
+import dataclasses
+import json
+import os
+import pickle
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.export import to_jsonable
+from repro.sim import (
+    ENGINE_ENV,
+    EventCore,
+    Scenario,
+    ScenarioDecodeError,
+    Simulation,
+    SyntheticTraffic,
+    WakeupWheel,
+    engine,
+)
+
+from tests.test_sim_engine import chaos_style, fig2_style, stats_snapshot
+
+SRC_DIR = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def canonical(result, net) -> str:
+    return json.dumps(
+        {
+            "result": dataclasses.asdict(result),
+            "stats": stats_snapshot(net),
+        },
+        sort_keys=True,
+    )
+
+
+# ---------------------------------------------------------------------------
+# wheel mechanics
+# ---------------------------------------------------------------------------
+class TestWakeupWheel:
+    def test_fifo_within_a_cycle(self):
+        wheel = WakeupWheel()
+        wheel.schedule(5, "b")
+        wheel.schedule(5, "a")
+        wheel.schedule(5, "c")
+        assert wheel.pop_due(5) == ["b", "a", "c"]
+
+    def test_cycle_order_across_buckets(self):
+        wheel = WakeupWheel()
+        wheel.schedule(9, "late")
+        wheel.schedule(3, "early")
+        wheel.schedule(6, "mid")
+        assert wheel.pop_due(10) == ["early", "mid", "late"]
+
+    def test_schedule_is_idempotent_per_cycle(self):
+        wheel = WakeupWheel()
+        for _ in range(4):
+            wheel.schedule(2, "t")
+        wheel.schedule(3, "t")  # same token, other cycle: kept
+        assert len(wheel) == 2
+        assert wheel.pop_due(99) == ["t", "t"]
+
+    def test_next_cycle_discards_stale_buckets(self):
+        wheel = WakeupWheel()
+        wheel.schedule(1, "old")
+        wheel.schedule(8, "new")
+        assert wheel.next_cycle(5) == 8
+        # the stale bucket is really gone, not just skipped
+        assert len(wheel) == 1
+
+    def test_next_cycle_empty(self):
+        assert WakeupWheel().next_cycle(0) is None
+        assert not WakeupWheel()
+
+    def test_pop_due_leaves_future_buckets(self):
+        wheel = WakeupWheel()
+        wheel.schedule(4, "now")
+        wheel.schedule(7, "later")
+        assert wheel.pop_due(4) == ["now"]
+        assert wheel.next_cycle(0) == 7
+
+    def test_pickle_round_trip_preserves_order(self):
+        wheel = WakeupWheel()
+        wheel.schedule(5, "b")
+        wheel.schedule(5, "a")
+        wheel.schedule(2, "z")
+        clone = pickle.loads(pickle.dumps(wheel))
+        assert clone.pop_due(9) == ["z", "b", "a"]
+
+
+# ---------------------------------------------------------------------------
+# engine selection
+# ---------------------------------------------------------------------------
+class TestEngineSelection:
+    def test_default_is_sweep(self):
+        sim = Simulation(fig2_style())
+        assert sim.engine == "sweep"
+        assert sim.event_core is None
+
+    def test_explicit_event(self):
+        sim = Simulation(fig2_style(), engine="event")
+        assert sim.engine == "event"
+        assert isinstance(sim.event_core, EventCore)
+
+    def test_scenario_field_selects_event(self):
+        scenario = dataclasses.replace(fig2_style(), engine="event")
+        sim = Simulation(scenario)
+        assert sim.engine == "event"
+
+    def test_env_var_overrides_scenario(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV, "event")
+        sim = Simulation(fig2_style())
+        assert sim.engine == "event"
+
+    def test_explicit_param_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV, "event")
+        sim = Simulation(fig2_style(), engine="sweep")
+        assert sim.engine == "sweep"
+
+    def test_full_sweep_forces_sweep_engine(self):
+        sim = Simulation(fig2_style(), full_sweep=True, engine="event")
+        assert sim.engine == "sweep"
+        assert sim.event_core is None
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            Simulation(fig2_style(), engine="warp")
+
+    def test_unknown_env_engine_rejected(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV, "warp")
+        with pytest.raises(ValueError, match="unknown engine"):
+            Simulation(fig2_style())
+
+
+class TestScenarioEngineField:
+    def test_round_trip(self):
+        scenario = dataclasses.replace(fig2_style(), engine="event")
+        clone = Scenario.from_dict(scenario.to_dict())
+        assert clone == scenario
+
+    def test_sweep_not_emitted(self):
+        # older scenario files stay byte-stable: the default engine is
+        # omitted from the encoding entirely
+        assert "engine" not in fig2_style().to_dict()
+
+    def test_content_hash_ignores_engine(self):
+        # both engines produce identical artifacts, so cache entries
+        # and checkpoints are shared across them by design
+        base = fig2_style()
+        event = dataclasses.replace(base, engine="event")
+        assert base.content_hash() == event.content_hash()
+
+    def test_unknown_engine_value_rejected(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(fig2_style(), engine="warp")
+
+    def test_unknown_encoded_engine_rejected(self):
+        data = fig2_style().to_dict()
+        data["engine"] = "warp"
+        with pytest.raises(ScenarioDecodeError):
+            Scenario.from_dict(data)
+
+
+# ---------------------------------------------------------------------------
+# oracle identity
+# ---------------------------------------------------------------------------
+class TestEventVsSweepIdentity:
+    def run_both(self, scenario):
+        sweep = Simulation(scenario, engine="sweep")
+        event = Simulation(scenario, engine="event")
+        return sweep, event, sweep.run(), event.run()
+
+    @pytest.mark.parametrize("build", [fig2_style, chaos_style])
+    def test_bit_identical(self, build):
+        sweep, event, rs, re_ = self.run_both(build())
+        assert rs == re_
+        assert canonical(rs, sweep.network) == canonical(re_, event.network)
+
+    def test_event_engine_actually_skips(self):
+        _, event, _, result = self.run_both(fig2_style())
+        core = event.event_core
+        assert core.cycles_skipped > 0
+        assert core.leaps > 0
+        # every skipped cycle still counts against the simulated total
+        assert result.cycles == event.network.cycle
+
+    def test_wake_accounting_is_deterministic(self):
+        a = Simulation(fig2_style(), engine="event")
+        b = Simulation(fig2_style(), engine="event")
+        a.run()
+        b.run()
+        assert a.event_core.wake_counts == b.event_core.wake_counts
+        assert a.event_core.cycles_skipped == b.event_core.cycles_skipped
+
+    def test_delayed_trojan_fires_identically(self):
+        # chaos_style arms its trojan at cycle 50 via a scheduled
+        # enable; the event engine must not teleport past the edge
+        sweep, event, _, _ = self.run_both(chaos_style())
+        assert event.trojans[0].triggers == sweep.trojans[0].triggers > 0
+
+    def test_stall_abort_identical(self):
+        # a flow that dies mid-run must abort at the same cycle: the
+        # trojan drops everything and nothing is mitigated
+        from repro.sim import DefenseSpec
+
+        scenario = dataclasses.replace(
+            fig2_style(),
+            defense=DefenseSpec(),
+            max_cycles=4000,
+            stall_limit=300,
+        )
+        sweep, event, rs, re_ = self.run_both(scenario)
+        assert not rs.completed
+        assert rs == re_
+        assert canonical(rs, sweep.network) == canonical(re_, event.network)
+
+    def test_advance_to_duration_identical(self):
+        scenario = chaos_style()
+        sweep = Simulation(scenario, engine="sweep")
+        event = Simulation(scenario, engine="event")
+        for target in (30, 49, 50, 51, 400, 1500):
+            sweep.advance_to(target)
+            event.advance_to(target)
+            assert sweep.network.cycle == event.network.cycle == target
+            assert stats_snapshot(sweep.network) == stats_snapshot(
+                event.network
+            )
+
+    def test_synthetic_traffic_pins_the_clock(self):
+        # Bernoulli sources draw RNG every non-done cycle, so nothing
+        # may be skipped while one is live
+        scenario = Scenario(
+            cfg=fig2_style().cfg,
+            traffic=(SyntheticTraffic(injection_rate=0.005, duration=300),),
+            max_cycles=2000,
+            stall_limit=800,
+        )
+        sweep, event, rs, re_ = self.run_both(scenario)
+        assert rs == re_
+        assert canonical(rs, sweep.network) == canonical(re_, event.network)
+
+    def test_sentinel_cadence_identical(self):
+        from repro.sim.sentinel import SentinelSpec
+
+        scenario = dataclasses.replace(
+            fig2_style(), sentinel=SentinelSpec(every=50)
+        )
+        sweep, event, rs, re_ = self.run_both(scenario)
+        assert rs == re_
+        assert sweep.sentinel.checks == event.sentinel.checks > 0
+        assert canonical(rs, sweep.network) == canonical(re_, event.network)
+
+
+# ---------------------------------------------------------------------------
+# checkpoints carry the scheduler
+# ---------------------------------------------------------------------------
+_CHILD = """
+import dataclasses, json, sys
+from repro.experiments.export import to_jsonable
+from repro.sim import Simulation
+sim = Simulation.restore(sys.argv[1])
+result = sim.run()
+print(json.dumps(
+    {
+        "engine": sim.engine,
+        "result": dataclasses.asdict(result),
+        "stats": to_jsonable(vars(sim.network.stats)),
+    },
+    sort_keys=True,
+))
+"""
+
+
+class TestEventCheckpoints:
+    def test_mid_run_restore_continues_identically(self):
+        scenario = fig2_style()
+        straight = Simulation(scenario, engine="event")
+        expected_result = straight.run()
+        expected = canonical(expected_result, straight.network)
+
+        sim = Simulation(scenario, engine="event")
+        sim.advance_to(120)
+        resumed = Simulation.restore(sim.snapshot())
+        assert resumed.engine == "event"
+        assert resumed.event_core is not None
+        resumed_result = resumed.run()
+        assert resumed_result == expected_result
+        assert canonical(resumed_result, resumed.network) == expected
+
+    def test_restore_in_fresh_process(self, tmp_path):
+        scenario = fig2_style()
+        straight = Simulation(scenario, engine="event")
+        expected = {
+            "engine": "event",
+            "result": dataclasses.asdict(straight.run()),
+            "stats": stats_snapshot(straight.network),
+        }
+
+        sim = Simulation(scenario, engine="event")
+        sim.advance_to(120)
+        path = sim.snapshot().save(tmp_path / "state.ckpt")
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c", _CHILD, str(path)],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == json.dumps(expected, sort_keys=True)
+
+    def test_periodic_checkpoints_identical_under_event(self, tmp_path):
+        # the checkpoint cadence lands cycles, so checkpointed event
+        # runs still match the sweep bit-for-bit
+        scenario = fig2_style()
+        sweep = Simulation(scenario, engine="sweep")
+        rs = sweep.run()
+
+        event = Simulation(scenario, engine="event")
+        event.configure_checkpoints(tmp_path, interval=60)
+        re_ = event.run()
+        assert rs == re_
+        assert canonical(rs, sweep.network) == canonical(re_, event.network)
+        assert list(tmp_path.glob("*.ckpt"))
+
+    def test_engine_mode_survives_resume_or_build(self, tmp_path):
+        scenario = fig2_style()
+        sim = Simulation(scenario, engine="event")
+        sim.configure_checkpoints(tmp_path, interval=50)
+        sim.advance_to(130)  # "killed" here; checkpoints exist
+
+        resumed = engine.resume_or_build(
+            scenario, tmp_path, engine="event"
+        )
+        assert resumed.resumed_from_cycle is not None
+        assert resumed.engine == "event"
+        result = resumed.run()
+
+        straight = Simulation(scenario, engine="sweep").run()
+        assert result == straight

@@ -3,6 +3,11 @@
 import pytest
 
 from repro.experiments.viz import (
+    BACKPRESSURE_LEGEND,
+    CELL_ALL_CORES_BLOCKED,
+    CELL_HALF_CORES_BLOCKED,
+    CELL_HEALTHY,
+    CELL_OUTPUT_STALLED,
     HEAT_RAMP,
     render_backpressure_map,
     render_link_heatmap,
@@ -78,5 +83,22 @@ class TestRouterGrid:
             )
         net.run(1000)
         out = render_backpressure_map(net)
-        assert "XXX" in out or " ! " in out
+        assert CELL_ALL_CORES_BLOCKED in out or CELL_OUTPUT_STALLED in out
         assert "legend" in out
+
+    def test_legend_names_every_cell_glyph(self):
+        # the legend is built from the same constants classify returns,
+        # so renaming a glyph cannot silently desynchronize the two
+        assert BACKPRESSURE_LEGEND.startswith("legend:")
+        for glyph in (
+            CELL_HEALTHY,
+            CELL_HALF_CORES_BLOCKED,
+            CELL_OUTPUT_STALLED,
+            CELL_ALL_CORES_BLOCKED,
+        ):
+            assert glyph.strip() in BACKPRESSURE_LEGEND
+        net = Network(CFG)
+        net.run(10)
+        assert render_backpressure_map(net).splitlines()[-1] == (
+            BACKPRESSURE_LEGEND
+        )
