@@ -1,0 +1,106 @@
+"""Recovery-loop overhead guard: detector + prober stay under 5%.
+
+Two variants of the same benign traffic-heavy run, interleaved
+round-robin so machine noise hits both equally:
+
+* **baseline** — the PR-7 defense stack (watchdog + containment);
+* **recovery** — the same stack plus the traffic-statistics detector
+  and probation (the full self-healing loop armed but, on a benign
+  run, never firing).
+
+The bench asserts the false-positive contract first — on stationary
+benign traffic the detector flags nothing, so both variants produce
+byte-identical ``NetworkStats`` — and then pins the wall-clock cost of
+carrying the recovery loop at under 5% (min-of-rounds; relaxed under
+``REPRO_BENCH_QUICK=1`` where the workload is too small for stable
+timing).
+"""
+
+import os
+import time
+
+from repro.experiments.export import to_jsonable
+from repro.noc.config import PAPER_CONFIG
+from repro.resilience.containment import ContainmentConfig, ProbationConfig
+from repro.resilience.detect import DetectConfig
+from repro.resilience.watchdog import WatchdogConfig
+from repro.sim import DefenseSpec, Scenario, Simulation, SyntheticTraffic
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+DURATION = 400 if QUICK else 2000
+ROUNDS = 3 if QUICK else 5
+RECOVERY_OVERHEAD = 0.50 if QUICK else 0.05
+
+
+def _defense(recovery: bool) -> DefenseSpec:
+    return DefenseSpec(
+        watchdog=WatchdogConfig(),
+        containment=ContainmentConfig(),
+        probation=ProbationConfig() if recovery else None,
+        detector=DetectConfig() if recovery else None,
+    )
+
+
+def _scenario(recovery: bool) -> Scenario:
+    return Scenario(
+        name="bench-detect-recovery" if recovery else "bench-detect-base",
+        cfg=PAPER_CONFIG,
+        traffic=(
+            SyntheticTraffic(
+                pattern="uniform",
+                injection_rate=0.10,
+                duration=DURATION,
+                seed=11,
+            ),
+        ),
+        defense=_defense(recovery),
+        max_cycles=DURATION + 6000,
+    )
+
+
+def _timed(recovery: bool) -> tuple[float, int, dict, "Simulation"]:
+    sim = Simulation(_scenario(recovery))
+    started = time.perf_counter()
+    result = sim.run()
+    elapsed = time.perf_counter() - started
+    assert result.completed
+    return (
+        elapsed,
+        sim.network.cycle,
+        to_jsonable(vars(sim.network.stats)),
+        sim,
+    )
+
+
+def test_bench_detect_overhead(record_samples, bench_meta):
+    times: dict = {"baseline": [], "recovery": []}
+    stats: dict = {}
+    cycles = 0
+    last_sim = None
+    for _ in range(ROUNDS):
+        for name, recovery in (("baseline", False), ("recovery", True)):
+            elapsed, cycles, run_stats, sim = _timed(recovery)
+            times[name].append(elapsed)
+            stats.setdefault(name, run_stats)
+            if recovery:
+                last_sim = sim
+
+    # false-positive contract: benign traffic flags nothing, probes
+    # nothing, and therefore changes nothing
+    assert last_sim.detector.summary()["suspect_links"] == []
+    assert last_sim.containment.summary()["probation"]["trials_run"] == 0
+    assert stats["recovery"] == stats["baseline"]
+
+    best = {name: min(samples) for name, samples in times.items()}
+    overhead = best["recovery"] / best["baseline"] - 1.0
+    print(
+        f"\nrecovery-loop overhead on {cycles} cycles "
+        f"(min of {ROUNDS}): baseline {best['baseline'] * 1e3:.0f}ms, "
+        f"detector+probation {overhead * 100:+.1f}%"
+    )
+    bench_meta["cycles"] = cycles
+    bench_meta["duration"] = DURATION
+    bench_meta["baseline_min_s"] = best["baseline"]
+    record_samples(times["recovery"], variant="recovery")
+
+    assert overhead < RECOVERY_OVERHEAD

@@ -32,6 +32,7 @@ from repro.experiments import (
     fig11_backpressure,
     fig12_qos,
     load_curve,
+    reinstate,
     table1_tasp,
     table2_mitigation,
     viz,
@@ -49,6 +50,7 @@ __all__ = [
     "fig11_backpressure",
     "fig12_qos",
     "load_curve",
+    "reinstate",
     "table1_tasp",
     "table2_mitigation",
     "viz",

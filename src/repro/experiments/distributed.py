@@ -22,6 +22,12 @@ Survival is certified three ways per case:
 
 Quick mode (``REPRO_DISTRIBUTED_QUICK=1`` or ``run(quick=True)``)
 runs the N=3 case only with a shorter horizon — the CI smoke job.
+
+This module is also the canonical home of the campaign surface
+(:data:`MESH`, :data:`ATTACK_LINKS`, the benign load): the
+``reinstate`` experiment replays the N=3 strike with deactivating and
+flapping attackers to certify the *recovery* half of the story —
+survival here, self-healing there.
 """
 
 from __future__ import annotations
@@ -109,7 +115,7 @@ def _benign_delivered(sim: Simulation) -> int:
     )
 
 
-def _benign_traffic(duration: int) -> SyntheticTraffic:
+def benign_traffic(duration: int) -> SyntheticTraffic:
     return SyntheticTraffic(
         pattern="uniform",
         injection_rate=0.02,
@@ -120,7 +126,7 @@ def _benign_traffic(duration: int) -> SyntheticTraffic:
 
 
 def _scenario(n: int, duration: int, attacked: bool) -> Scenario:
-    traffic: tuple = (_benign_traffic(duration - 200),)
+    traffic: tuple = (benign_traffic(duration - 200),)
     trojans = ()
     attacks = ()
     if attacked:

@@ -1,0 +1,302 @@
+"""Self-healing containment: recovery after a transient attack.
+
+The distributed campaign proves the mesh *survives* a coordinated
+strike; this experiment proves it *heals*.  Two cases on the same 8x8
+mesh and full defense stack (early detector -> watchdog ladders ->
+containment coordinator -> probation):
+
+* **recovery** — three coordinated TASP trojans arm mid-run and then
+  deactivate (a kill-switch withdrawal: the trigger campaign ends).
+  The coordinator must reinstate every condemned link within its probe
+  budget, and benign throughput over the post-recovery tail window
+  must return to >= 0.98 of an attack-free baseline of the same
+  traffic.
+* **flap** — a single *reactive* attacker that goes quiet whenever its
+  link is contained (so probes scan clean) and re-arms the moment the
+  link is reinstated.  Each reinstate->re-condemn round is a flap; the
+  exponential flap damping must converge the link to permanent
+  condemnation within ``max_flaps`` (3) rounds instead of letting the
+  attacker farm reinstatements forever.
+
+Both cases run under the invariant sentinel throughout — a trip aborts
+the run, so a finished case is proof of zero trips.  Every decision on
+the way (probe verdicts, reinstatements, flap damping) is deterministic
+and engine-independent: the CI ``reinstate-smoke`` job byte-compares
+this experiment's JSON across the sweep and event engines.
+
+Quick mode (``REPRO_REINSTATE_QUICK=1`` or ``run(quick=True)``)
+shortens both horizons — the CI smoke job.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.core.targets import TargetSpec
+from repro.core.tasp import TaspConfig
+from repro.experiments.distributed import ATTACK_LINKS, MESH, benign_traffic
+from repro.noc.topology import Direction
+from repro.resilience.containment import ContainmentConfig, ProbationConfig
+from repro.resilience.detect import DetectConfig
+from repro.resilience.watchdog import WatchdogConfig
+from repro.sim.engine import Simulation
+from repro.sim.scenario import DefenseSpec, Scenario, coordinated_trojans
+from repro.sim.sentinel import SentinelSpec
+
+#: the distributed campaign's N=3 strike surface: EAST links on
+#: distinct rows, all reroutable (so all *reinstatable* in reverse)
+RECOVERY_LINKS = ATTACK_LINKS[3]
+FLAP_LINK = (27, Direction.EAST)
+
+#: fraction of attack-free tail-window throughput that must return
+RECOVERY_THRESHOLD = 0.98
+
+
+@dataclass(frozen=True)
+class RecoveryCase:
+    """Transient coordinated strike -> full reinstatement."""
+
+    cycles: int
+    trojans_off_at: int
+    links_condemned: int
+    links_reinstated: int
+    last_reinstate_cycle: int
+    max_time_to_reinstate: int
+    probe_trials: int
+    #: benign packets completed inside the post-recovery tail window
+    tail_delivered: int
+    baseline_tail_delivered: int
+    throughput_recovered: float
+    recovered: bool
+    sentinel_checks: int
+    probation: dict
+
+
+@dataclass(frozen=True)
+class FlapCase:
+    """Reactive (toggling) attacker -> permanent condemnation."""
+
+    cycles: int
+    flaps: int
+    max_flaps: int
+    links_permanent: int
+    converged: bool
+    probe_trials: int
+    sentinel_checks: int
+    events: tuple
+
+
+@dataclass(frozen=True)
+class ReinstateResult:
+    quick: bool
+    recovery: RecoveryCase
+    flap: FlapCase
+
+
+def _defense(probation: ProbationConfig) -> DefenseSpec:
+    return DefenseSpec(
+        watchdog=WatchdogConfig(),
+        containment=ContainmentConfig(),
+        probation=probation,
+        detector=DetectConfig(),
+    )
+
+
+def _tail_delivered(sim: Simulation, tail_start: int) -> int:
+    """Benign packets fully delivered inside the tail window."""
+    return sum(
+        1
+        for record in sim.network.stats.completed_records()
+        if record.tail_ejected_cycle >= tail_start
+    )
+
+
+# ---------------------------------------------------------------------------
+# case 1: deactivating trojans -> throughput recovers
+# ---------------------------------------------------------------------------
+def _recovery_scenario(
+    duration: int, stop: int, attacked: bool, probation: ProbationConfig
+) -> Scenario:
+    trojans = ()
+    if attacked:
+        # vc-0 trigger: benign wormholes keep tripping the comparator
+        # while armed, so the ladder condemns; after ``stop`` the same
+        # links probe clean
+        trojans = coordinated_trojans(
+            RECOVERY_LINKS,
+            TargetSpec.for_vc(0),
+            TaspConfig(),
+            start=300,
+            stagger=100,
+            stop=stop,
+        )
+    return Scenario(
+        name="reinstate-recovery" if attacked else "reinstate-base",
+        cfg=MESH,
+        traffic=(benign_traffic(duration - 200),),
+        trojans=trojans,
+        defense=_defense(probation),
+        duration=duration,
+        sentinel=SentinelSpec(every=200),
+        seed=3,
+    )
+
+
+def run_recovery(duration: int, stop: int) -> RecoveryCase:
+    probation = ProbationConfig(
+        start_after=400, probe_period=200, required_clean=3
+    )
+    tail_start = (duration * 2) // 3
+
+    baseline = Simulation(
+        _recovery_scenario(duration, stop, False, probation)
+    )
+    baseline.run()
+    base_tail = _tail_delivered(baseline, tail_start)
+
+    sim = Simulation(_recovery_scenario(duration, stop, True, probation))
+    sim.run()  # a sentinel trip raises: finishing proves zero trips
+    tail = _tail_delivered(sim, tail_start)
+
+    coordinator = sim.containment
+    assert coordinator is not None
+    reinstates = [
+        e for e in coordinator.events if e.kind == "reinstate"
+    ]
+    summary = coordinator.summary()["probation"]
+    recovered = (
+        coordinator.links_reinstated >= len(RECOVERY_LINKS)
+        and not coordinator.link_states
+        and base_tail > 0
+        and tail / base_tail >= RECOVERY_THRESHOLD
+    )
+    return RecoveryCase(
+        cycles=sim.network.cycle,
+        trojans_off_at=stop,
+        links_condemned=len(coordinator.time_to_contain),
+        links_reinstated=coordinator.links_reinstated,
+        last_reinstate_cycle=(
+            max(e.cycle for e in reinstates) if reinstates else -1
+        ),
+        max_time_to_reinstate=summary["max_time_to_reinstate"] or 0,
+        probe_trials=summary["trials_run"],
+        tail_delivered=tail,
+        baseline_tail_delivered=base_tail,
+        throughput_recovered=(tail / base_tail if base_tail else 0.0),
+        recovered=recovered,
+        sentinel_checks=(
+            sim.sentinel.checks if sim.sentinel is not None else 0
+        ),
+        probation=summary,
+    )
+
+
+# ---------------------------------------------------------------------------
+# case 2: reactive toggling attacker -> flap damping converges
+# ---------------------------------------------------------------------------
+def run_flap(horizon: int) -> FlapCase:
+    probation = ProbationConfig(
+        start_after=300, probe_period=150, required_clean=2, max_flaps=3
+    )
+    scenario = Scenario(
+        name="reinstate-flap",
+        cfg=MESH,
+        traffic=(benign_traffic(horizon - 200),),
+        trojans=coordinated_trojans(
+            [FLAP_LINK], TargetSpec.for_vc(0), TaspConfig(), start=300
+        ),
+        defense=_defense(probation),
+        duration=horizon,
+        sentinel=SentinelSpec(every=200),
+        seed=5,
+    )
+    sim = Simulation(scenario)
+    coordinator = sim.containment
+    assert coordinator is not None
+    trojan = sim.trojans[0]
+
+    # The reactive attacker: disarm while contained (evade the probes),
+    # re-arm on reinstatement.  Polled every 50 cycles — deterministic
+    # in both engines, since advance_to stops on exact cycles and the
+    # coordinator state it reads is engine-independent.  The scenario's
+    # own schedule performs the first arm at 300; the loop takes over
+    # after that.
+    step = 50
+    cycle = 0
+    while cycle < horizon:
+        cycle = min(cycle + step, horizon)
+        sim.advance_to(cycle)
+        if coordinator.links_permanent:
+            break
+        if cycle < 300:
+            continue
+        contained = FLAP_LINK in coordinator.link_states
+        if contained and trojan.kill_switch:
+            trojan.disable()
+        elif not contained and not trojan.kill_switch:
+            trojan.enable()
+
+    flaps = coordinator.flap_counts.get(FLAP_LINK, 0)
+    return FlapCase(
+        cycles=sim.network.cycle,
+        flaps=flaps,
+        max_flaps=probation.max_flaps,
+        links_permanent=coordinator.links_permanent,
+        converged=(
+            coordinator.links_permanent == 1
+            and flaps <= probation.max_flaps
+        ),
+        probe_trials=coordinator.summary()["probation"]["trials_run"],
+        sentinel_checks=(
+            sim.sentinel.checks if sim.sentinel is not None else 0
+        ),
+        events=tuple(
+            (e.cycle, e.kind, e.detail)
+            for e in coordinator.events
+            if e.kind in ("contain", "refuse", "seal", "reinstate",
+                          "flap_damp")
+        ),
+    )
+
+
+def run(quick: "bool | None" = None) -> ReinstateResult:
+    if quick is None:
+        quick = bool(os.environ.get("REPRO_REINSTATE_QUICK"))
+    if quick:
+        recovery = run_recovery(duration=6000, stop=1500)
+        flap = run_flap(horizon=20000)
+    else:
+        recovery = run_recovery(duration=9000, stop=2500)
+        flap = run_flap(horizon=30000)
+    return ReinstateResult(quick=quick, recovery=recovery, flap=flap)
+
+
+def format_result(result: ReinstateResult) -> str:
+    r = result.recovery
+    f = result.flap
+    lines = [
+        "reinstate: self-healing containment"
+        + (" (quick)" if result.quick else ""),
+        "",
+        "[recovery] 3 coordinated trojans deactivate "
+        f"at {r.trojans_off_at}",
+        f"  condemned={r.links_condemned} "
+        f"reinstated={r.links_reinstated} "
+        f"last-reinstate@{r.last_reinstate_cycle} "
+        f"(max ttr {r.max_time_to_reinstate}, "
+        f"{r.probe_trials} probe trials)",
+        f"  tail throughput {r.tail_delivered}/{r.baseline_tail_delivered}"
+        f" = {r.throughput_recovered:.3f} "
+        f"(threshold {RECOVERY_THRESHOLD}) "
+        f"recovered={'yes' if r.recovered else 'NO'}",
+        f"  sentinel checks={r.sentinel_checks} (zero trips)",
+        "",
+        "[flap] reactive attacker toggling with reinstatement",
+        f"  flaps={f.flaps}/{f.max_flaps} permanent={f.links_permanent} "
+        f"converged={'yes' if f.converged else 'NO'} "
+        f"({f.probe_trials} probe trials, {f.cycles} cycles)",
+    ]
+    for cycle, kind, detail in f.events:
+        lines.append(f"    {cycle:>6} {kind:<10} {detail}")
+    return "\n".join(lines)

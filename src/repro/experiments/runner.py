@@ -51,6 +51,7 @@ from repro.experiments import (
     fig11_backpressure,
     fig12_qos,
     load_curve,
+    reinstate,
     table1_tasp,
     table2_mitigation,
 )
@@ -80,6 +81,10 @@ EXPERIMENTS = {
     "distributed": (
         distributed,
         "coordinated multi-trojan + DDoS survival with containment",
+    ),
+    "reinstate": (
+        reinstate,
+        "self-healing: probation reinstatement + flap damping",
     ),
 }
 

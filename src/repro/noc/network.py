@@ -289,6 +289,36 @@ class Network:
         out.holders = [None] * self.cfg.num_vcs
         out.holder_pkts = [None] * self.cfg.num_vcs
 
+    def reinstate_link(self, key: LinkKey) -> None:
+        """Return a sealed link to service (probation recovery).
+
+        The inverse of :meth:`disable_link`, with the same invariant
+        discipline run in reverse: it is only legal while the link
+        holds no protocol state — which sealing already guaranteed and
+        this method re-checks.  Both ends' per-VC sequence state is
+        re-zeroed as one atomic epoch change (``disable_link`` retires
+        pinned entries without ``skip_seq``, so the old counters have
+        diverged), and the receiver's skip/poison tombstones from the
+        condemned era are cleared so fresh deliveries are not
+        misclassified as stale duplicates.
+        """
+        link = self.links[key]
+        if not link.disabled:
+            raise RuntimeError(f"link {key} is not disabled")
+        out = self.output_port_of(key)
+        if not out.retrans.is_empty or not link.idle:
+            raise RuntimeError(
+                f"link {key} still holds protocol state; reinstate only "
+                "a sealed link"
+            )
+        receiver = self.receiver_of(key)
+        receiver.reset_sequencing()
+        out.vc_seq_counters = [0] * self.cfg.num_vcs
+        link.disabled = False
+        # Allocation skipped this output while it was disabled; wake
+        # everything so stalled heads re-arbitrate from live state.
+        self.wake_all()
+
     def purge_packet(self, pkt_id: int, cycle: int) -> int:
         """Flush every in-network trace of a condemned packet.
 

@@ -211,6 +211,35 @@ class EccReceiver:
         while len(self._poison_order) > capacity:
             self.poisoned_packets.discard(self._poison_order.popleft())
 
+    def reset_sequencing(self) -> None:
+        """Start a fresh link epoch after reinstatement.
+
+        A sealed link retired its pinned retransmission entries without
+        delivering them, so the upstream per-VC ``vc_seq`` counters and
+        this receiver's ``_expected_seq`` have diverged — and the
+        ``_skipped`` sets still hold sequence numbers from the sealed
+        era, which would misclassify fresh post-reinstatement arrivals
+        as stale duplicates (they are re-ACKed and silently dropped).
+        Reinstatement re-zeroes both ends instead: legal exactly
+        because sealing guaranteed the wire is idle, the
+        retransmission buffer is empty and nothing is staged here, so
+        no in-flight sequence number can straddle the reset.
+
+        Poison tombstones are cleared for the same reason: packets
+        purged while this link was condemned retired long ago (their
+        resubmitted aliases carry fresh ids), so stale entries only
+        risk eating a future wrapped pkt_id.
+        """
+        if self.staged_count:
+            raise RuntimeError(
+                "cannot reset sequencing with staged flits pending"
+            )
+        self._expected_seq = [0] * self.cfg.num_vcs
+        for skipped in self._skipped.values():
+            skipped.clear()
+        self.poisoned_packets.clear()
+        self._poison_order.clear()
+
     def discard_staged(self, pkt_id: int, cycle: int) -> int:
         """Turn already-staged (undelivered) flits of a condemned packet
         into tombstones; returns how many were condemned.  Flits blocked

@@ -23,7 +23,8 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Optional
 
 #: bump on incompatible changes to Event layout or kind semantics
-EVENT_SCHEMA_VERSION = 1
+#: (v2 adds the recovery loop: probe / reinstate / flap_damp / detect)
+EVENT_SCHEMA_VERSION = 2
 
 #: event kind -> data keys it may carry (all optional per event)
 EVENT_KINDS: dict[str, tuple[str, ...]] = {
@@ -40,6 +41,11 @@ EVENT_KINDS: dict[str, tuple[str, ...]] = {
     # network-level containment (coordinator decisions)
     "contain": ("link", "action", "detail"),
     "partition_risk": ("link", "detail"),
+    # the recovery loop (probation / early detection)
+    "probe": ("link", "detail"),
+    "reinstate": ("link", "detail"),
+    "flap_damp": ("link", "detail"),
+    "detect": ("link", "router", "z", "detail"),
     # engine lifecycle
     "checkpoint": ("checkpoint_cycle", "path"),
     "sentinel_trip": ("trip_kind", "message"),

@@ -217,9 +217,12 @@ class _ContainHook:
             label = (
                 link_label(event.link) if event.link is not None else None
             )
-            if event.kind == "partition_risk":
+            if event.kind in ("partition_risk", "probe", "reinstate",
+                              "flap_damp"):
+                # first-class bus kinds: the recovery loop's stream is
+                # what the reinstate experiment and dashboards consume
                 obs.bus.emit(
-                    "partition_risk", event.cycle, self.run,
+                    event.kind, event.cycle, self.run,
                     link=label, detail=event.detail,
                 )
             else:
@@ -227,6 +230,33 @@ class _ContainHook:
                     "contain", event.cycle, self.run,
                     link=label, action=event.kind, detail=event.detail,
                 )
+
+
+class _DetectHook:
+    """``detector.event_hooks`` member: one statistical flag raised."""
+
+    def __init__(self, obs: "Observability", run: str):
+        self.obs = obs
+        self.run = run
+
+    def __call__(self, event) -> None:
+        from repro.obs.collectors import link_label
+
+        obs = self.obs
+        obs.registry.counter(
+            "detector_flags", "traffic-statistics channels flagged",
+            run=self.run, kind=event.kind,
+        ).inc()
+        if obs.config.events and obs.bus.subscriptions:
+            obs.bus.emit(
+                "detect", event.cycle, self.run,
+                link=(
+                    link_label(event.link)
+                    if event.link is not None
+                    else None
+                ),
+                router=event.router, z=event.z, detail=event.detail,
+            )
 
 
 class _WindowCollector:
@@ -358,6 +388,8 @@ class Observability:
             sim.watchdog.event_hooks.append(_EscalateHook(self, run))
         if getattr(sim, "containment", None) is not None:
             sim.containment.event_hooks.append(_ContainHook(self, run))
+        if getattr(sim, "detector", None) is not None:
+            sim.detector.event_hooks.append(_DetectHook(self, run))
         return self
 
     def attach_network(self, network: "Network", run: str = "") -> None:

@@ -11,14 +11,33 @@ Three cooperating pieces on top of the NoC simulator:
   (exponential backoff -> forced L-Ob -> drop-with-notify -> condemn);
 * :mod:`repro.resilience.degrade` — the graceful-degradation drop path
   that purges a condemned packet without breaking credit, sequence or
-  flit conservation, handing delivery to the end-to-end ledger.
+  flit conservation, handing delivery to the end-to-end ledger;
+* :mod:`repro.resilience.detect` — an online traffic-statistics
+  detector (windowed retransmission-rate and back-pressure z-scores)
+  that feeds the watchdog ladder early;
+* :mod:`repro.resilience.probe` / probation in
+  :mod:`repro.resilience.containment` — the recovery half of the loop:
+  BIST-style traffic-shaped probing of contained links, hysteretic
+  reinstatement, exponential flap damping.
 """
 
 from repro.resilience.containment import (
     ContainmentConfig,
     ContainmentCoordinator,
     ContainmentEvent,
+    ProbationConfig,
     SAFE_REROUTE_MODELS,
+)
+from repro.resilience.detect import (
+    DetectConfig,
+    DetectionEvent,
+    TrafficStatsDetector,
+)
+from repro.resilience.probe import (
+    LinkProber,
+    ProbeConfig,
+    ProbeTrial,
+    ProbeVerdict,
 )
 from repro.resilience.campaign import (
     CampaignReport,
@@ -51,7 +70,15 @@ __all__ = [
     "ContainmentConfig",
     "ContainmentCoordinator",
     "ContainmentEvent",
+    "ProbationConfig",
     "SAFE_REROUTE_MODELS",
+    "DetectConfig",
+    "DetectionEvent",
+    "TrafficStatsDetector",
+    "LinkProber",
+    "ProbeConfig",
+    "ProbeTrial",
+    "ProbeVerdict",
     "PartitionRisk",
     "CampaignReport",
     "CampaignSpec",

@@ -44,6 +44,28 @@ The coordinator is a pure observer until the watchdog escalates: with
 no watchdog attached — or an attached watchdog that never condemns —
 it changes nothing about the simulation, which is what keeps the
 single-trojan paper figures byte-identical with containment enabled.
+
+**Probation** closes the loop in the other direction.  A TASP trojan
+is target-activated: when its trigger stream ends the hardware is a
+perfectly good link again, yet without recovery every condemnation is
+forever and the mesh stays degraded after the attack stops.  With a
+:class:`ProbationConfig`, contained links (sealed or drop-only) are
+periodically exercised by a :class:`~repro.resilience.probe.LinkProber`
+on a seeded schedule; ``required_clean`` *consecutive* CLEAN trials
+reinstate the link — the seal is undone in reverse order of how it was
+applied (re-enable hardware, shrink the avoid-set, restore the base
+routing once the avoid-set empties, restart the watchdog ladder from
+rung 0).  Shrinking the avoid-set can only add legal routes, so the
+``turn_model_connected`` invariant that admitted the condemnation is
+preserved by construction (and re-checked anyway).  A link that gets
+re-condemned after reinstatement is *flapping* — a toggling trojan
+farming the recovery path — so each flap multiplies its probe delays
+by ``flap_multiplier`` (exponential damping) and ``max_flaps`` flaps,
+or exhausting the lifetime ``max_trials`` probe budget, condemns it
+permanently.  False positives from an early detector are therefore
+safe: a healthy link that lands in containment probes clean and is
+back in service within ``start_after + required_clean·probe_period``
+cycles.
 """
 
 from __future__ import annotations
@@ -54,6 +76,7 @@ from typing import Callable, Optional
 from repro.noc.adaptive import AdaptiveRouting, turn_model_connected
 from repro.noc.network import Network
 from repro.noc.topology import Direction, LinkKey, link_endpoints
+from repro.resilience.probe import LinkProber, ProbeConfig, ProbeVerdict
 from repro.resilience.watchdog import (
     EscalationStage,
     PartitionRisk,
@@ -121,13 +144,67 @@ class ContainmentConfig:
 
 
 @dataclass(frozen=True)
+class ProbationConfig:
+    """Recovery policy: when and how contained links earn reinstatement.
+
+    All schedules are deterministic given ``seed``; the probe content
+    is independent of the cycle numbers, so sweep and event engines
+    reach byte-identical verdicts.
+    """
+
+    #: quiet period (cycles) between containment and the first probe —
+    #: long enough for a burst-triggered trojan's trigger tail to pass
+    start_after: int = 400
+    #: cycles between probe trials on one link
+    probe_period: int = 200
+    #: consecutive CLEAN trials required to reinstate (hysteresis)
+    required_clean: int = 3
+    #: lifetime probe budget per link; exhausting it → permanent
+    max_trials: int = 25
+    #: each flap multiplies that link's probe delays by this factor
+    flap_multiplier: int = 2
+    #: flaps (re-condemnations after reinstatement) → permanent
+    max_flaps: int = 3
+    #: random traffic-shaped probes per trial (on top of the id sweeps)
+    random_probes: int = 8
+    #: also drive every probe word through L-Ob (invert/shuffle) —
+    #: distinguishes content-triggered trojans from stuck faults
+    obfuscated: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.start_after < 1 or self.probe_period < 1:
+            raise ValueError("probe delays must be positive")
+        if self.required_clean < 1:
+            raise ValueError("required_clean must be at least 1")
+        if self.max_trials < self.required_clean:
+            raise ValueError("max_trials must cover required_clean trials")
+        if self.flap_multiplier < 1:
+            raise ValueError("flap_multiplier must be at least 1")
+        if self.max_flaps < 1:
+            raise ValueError("max_flaps must be at least 1")
+        if self.random_probes < 0:
+            raise ValueError("random_probes must be >= 0")
+
+    def probe_config(self) -> ProbeConfig:
+        """The per-trial probe shape this policy implies."""
+        return ProbeConfig(
+            random_probes=self.random_probes,
+            obfuscated=self.obfuscated,
+            seed=self.seed,
+        )
+
+
+@dataclass(frozen=True)
 class ContainmentEvent:
     """One coordinator decision (kept in full; the stream is small)."""
 
     cycle: int
     #: "contain" (rerouted around), "refuse" (partition risk, drop-only
     #: fallback), "seal" (drained link disabled), "quarantine" (region),
-    #: "partition_risk" (watchdog flagged stranded xy destinations)
+    #: "partition_risk" (watchdog flagged stranded xy destinations),
+    #: "probe" (probation trial verdict), "reinstate" (link returned to
+    #: service), "flap_damp" (flap counted / link made permanent)
     kind: str
     link: Optional[LinkKey] = None
     detail: str = ""
@@ -147,10 +224,19 @@ class ContainmentCoordinator:
     read containment state from the coordinator instead.
     """
 
-    def __init__(self, config: Optional[ContainmentConfig] = None):
+    def __init__(
+        self,
+        config: Optional[ContainmentConfig] = None,
+        probation: Optional[ProbationConfig] = None,
+    ):
         self.config = config or ContainmentConfig()
+        #: recovery policy; None keeps every condemnation permanent
+        #: (the pre-probation behavior, byte-identical)
+        self.probation = probation
+        self.prober: Optional[LinkProber] = None
         self.network: Optional[Network] = None
         self.watchdog: Optional[RetransWatchdog] = None
+        self._base_route_fn = None
         #: resolved turn model, or None when rerouting is unsafe
         self.reroute_model: Optional[str] = None
         #: links removed from routing (draining or sealed)
@@ -174,6 +260,25 @@ class ContainmentCoordinator:
         self._quarantined_rects: list[tuple[int, int, int, int]] = []
         # -- ladder onset tracking ----------------------------------------
         self._first_ladder_cycle: dict[LinkKey, int] = {}
+        # -- probation state ----------------------------------------------
+        #: link -> cycle of its next probe trial
+        self._probe_due: dict[LinkKey, int] = {}
+        #: link -> consecutive CLEAN trials so far
+        self._clean_trials: dict[LinkKey, int] = {}
+        #: link -> lifetime probe trials (survives flaps: the budget is
+        #: per link, not per condemnation)
+        self._trials: dict[LinkKey, int] = {}
+        #: link -> cycle it entered containment (this episode)
+        self._contain_cycle: dict[LinkKey, int] = {}
+        #: links reinstated at least once — a later condemnation of one
+        #: of these is a flap
+        self._reinstated_once: set[LinkKey] = set()
+        #: links condemned forever (flapped out or budget exhausted)
+        self._permanent: set[LinkKey] = set()
+        #: link -> flap count (re-condemnations after reinstatement)
+        self.flap_counts: dict[LinkKey, int] = {}
+        #: link -> cycles from (latest) condemnation to reinstatement
+        self.time_to_reinstate: dict[LinkKey, int] = {}
         # -- counters -----------------------------------------------------
         self.actions_allowed = 0
         self.actions_denied = 0
@@ -181,6 +286,8 @@ class ContainmentCoordinator:
         self.links_refused = 0
         self.links_sealed = 0
         self.quarantines = 0
+        self.links_reinstated = 0
+        self.links_permanent = 0
 
     # -- wiring ------------------------------------------------------------
     def attach(
@@ -198,6 +305,13 @@ class ContainmentCoordinator:
         if watchdog is not None:
             watchdog.action_gate = self._gate
             watchdog.event_hooks.append(self._observe_ladder)
+        #: the routing in force before any containment — restored when
+        #: the last avoided link is reinstated
+        self._base_route_fn = network.route_fn
+        if self.probation is not None:
+            self.prober = LinkProber(
+                network.cfg, self.probation.probe_config()
+            )
         if self.config.reroute_model == "none":
             self.reroute_model = None
         elif self.config.reroute_model == "auto":
@@ -221,6 +335,8 @@ class ContainmentCoordinator:
                 pass
         self.network = None
         self.watchdog = None
+        self.prober = None
+        self._base_route_fn = None
 
     def _observe_ladder(self, event) -> None:
         """Watchdog event hook: remember when each link's ladder began
@@ -266,14 +382,26 @@ class ContainmentCoordinator:
         advances link draining, whose sealing cycle feeds
         time-to-contain accounting — so any draining link or network
         activity pins the clock.  Quiescent with nothing draining, the
-        watchdog has produced nothing to consume and :meth:`on_cycle`
-        is a proven no-op."""
+        only remaining work is the probe schedule, whose due cycles are
+        known exactly; with no probation (or nothing probe-eligible)
+        :meth:`on_cycle` is a proven no-op."""
         if not network.quiescent:
             return cycle
         for state in self.link_states.values():
             if state == "draining":
                 return cycle
-        return None
+        wake = None
+        if self.probation is not None:
+            for key, state in self.link_states.items():
+                if state == "draining" or key in self._permanent:
+                    continue
+                due = self._probe_due.get(key)
+                if due is None:
+                    continue
+                due = max(due, cycle)
+                if wake is None or due < wake:
+                    wake = due
+        return wake
 
     # -- per-cycle supervision ----------------------------------------------
     def on_cycle(self, network: Network, cycle: int) -> None:
@@ -294,6 +422,8 @@ class ContainmentCoordinator:
             self._maybe_quarantine(network, cycle)
         if self.link_states:
             self._advance_draining(network, cycle)
+        if self.probation is not None and self.link_states:
+            self._advance_probation(network, cycle)
 
     def _handle_condemnation(
         self, network: Network, key: LinkKey, cycle: int
@@ -301,6 +431,9 @@ class ContainmentCoordinator:
         if key in self.link_states:
             return
         self._condemn_history.append((key, cycle))
+        self._contain_cycle[key] = cycle
+        if key in self._reinstated_once:
+            self._count_flap(key, cycle)
         onset = self._first_ladder_cycle.get(key, cycle)
         model = self.reroute_model
         if model is not None and turn_model_connected(
@@ -320,6 +453,7 @@ class ContainmentCoordinator:
             self.link_states[key] = "drop_only"
             self.links_refused += 1
             self.time_to_contain[key] = cycle - onset
+            self._schedule_first_probe(key, cycle)
             reason = (
                 "no deadlock-safe reroute model"
                 if model is None
@@ -376,6 +510,147 @@ class ContainmentCoordinator:
             self.link_states[key] = "sealed"
             self.links_sealed += 1
             self._log(ContainmentEvent(cycle, "seal", key))
+            self._schedule_first_probe(key, cycle)
+
+    # -- probation ----------------------------------------------------------
+    def _damp(self, key: LinkKey) -> int:
+        """Flap-damping multiplier on this link's probe delays."""
+        if self.probation is None:
+            return 1
+        flaps = self.flap_counts.get(key, 0)
+        # 16 doublings put the next probe past any realistic run length;
+        # the cap only guards against integer blow-up.
+        return self.probation.flap_multiplier ** min(flaps, 16)
+
+    def _count_flap(self, key: LinkKey, cycle: int) -> None:
+        """A reinstated link was condemned again: the trojan toggled
+        through a probe window.  Damp its future probes exponentially;
+        enough flaps prove the link is gamed and condemn it for good."""
+        flaps = self.flap_counts.get(key, 0) + 1
+        self.flap_counts[key] = flaps
+        assert self.probation is not None
+        if flaps >= self.probation.max_flaps:
+            self._permanent.add(key)
+            self._probe_due.pop(key, None)
+            self.links_permanent += 1
+            detail = f"flaps={flaps} — condemned permanently"
+        else:
+            detail = f"flaps={flaps} damp=x{self._damp(key)}"
+        self._log(ContainmentEvent(cycle, "flap_damp", key, detail=detail))
+
+    def _schedule_first_probe(self, key: LinkKey, cycle: int) -> None:
+        """Containment is final (link sealed / drop-only): start the
+        probation clock, flap-damped."""
+        if self.probation is None or key in self._permanent:
+            return
+        self._clean_trials[key] = 0
+        self._probe_due[key] = (
+            cycle + self.probation.start_after * self._damp(key)
+        )
+
+    def _advance_probation(self, network: Network, cycle: int) -> None:
+        """Run due probe trials and reinstate links that earned it."""
+        probation = self.probation
+        prober = self.prober
+        assert probation is not None and prober is not None
+        for key, state in list(self.link_states.items()):
+            if state == "draining" or key in self._permanent:
+                continue
+            due = self._probe_due.get(key)
+            if due is None or cycle < due:
+                continue
+            trials = self._trials.get(key, 0)
+            if trials >= probation.max_trials:
+                self._permanent.add(key)
+                self._probe_due.pop(key, None)
+                self.links_permanent += 1
+                self._log(
+                    ContainmentEvent(
+                        cycle, "flap_damp", key,
+                        detail=(
+                            f"probe budget exhausted after {trials} "
+                            "trials — condemned permanently"
+                        ),
+                    )
+                )
+                continue
+            trial = prober.trial(network.links[key], cycle, trials)
+            self._trials[key] = trials + 1
+            self._probe_due[key] = (
+                cycle + probation.probe_period * self._damp(key)
+            )
+            if trial.verdict is ProbeVerdict.CLEAN:
+                clean = self._clean_trials.get(key, 0) + 1
+            else:
+                clean = 0
+            self._clean_trials[key] = clean
+            verdict = trial.verdict.value
+            if trial.detail:
+                verdict += f":{trial.detail}"
+            self._log(
+                ContainmentEvent(
+                    cycle, "probe", key,
+                    detail=(
+                        f"verdict={verdict} "
+                        f"clean={clean}/{probation.required_clean}"
+                    ),
+                )
+            )
+            if clean >= probation.required_clean:
+                self._reinstate(network, key, cycle, state)
+
+    def _reinstate(
+        self, network: Network, key: LinkKey, cycle: int, state: str
+    ) -> None:
+        """Return a contained link to service — sealing run in reverse.
+
+        Sealed links get their hardware re-enabled (fresh sequencing
+        epoch, stale poison tombstones cleared) and leave the avoid-set;
+        shrinking the avoid-set only adds legal routes, so connectivity
+        is preserved by construction, but the admission predicate is
+        re-checked all the same.  Either mode restarts the watchdog
+        ladder from rung 0 — a reinstated link has earned a clean
+        record, not a resumed escalation.
+        """
+        model = self.reroute_model
+        if state == "sealed":
+            if key in self.avoid:
+                remaining = self.avoid - {key}
+                if model is not None and not turn_model_connected(
+                    network.cfg, model, remaining
+                ):  # pragma: no cover - shrinking avoid cannot disconnect
+                    return
+                network.reinstate_link(key)
+                self.avoid = remaining
+                if self.avoid:
+                    network.set_route_fn(
+                        AdaptiveRouting(network.cfg, model, self.avoid).route
+                    )
+                else:
+                    network.set_route_fn(self._base_route_fn)
+            else:
+                network.reinstate_link(key)
+        if self.watchdog is not None:
+            self.watchdog.reset_link(key)
+        del self.link_states[key]
+        self._next_try.pop(key, None)
+        self._deny_level.pop(key, None)
+        self._first_ladder_cycle.pop(key, None)
+        self._probe_due.pop(key, None)
+        self._clean_trials.pop(key, None)
+        self._reinstated_once.add(key)
+        self.links_reinstated += 1
+        contained_at = self._contain_cycle.get(key, cycle)
+        self.time_to_reinstate[key] = cycle - contained_at
+        self._log(
+            ContainmentEvent(
+                cycle, "reinstate", key,
+                detail=(
+                    f"mode={state} after "
+                    f"{self._trials.get(key, 0)} trials"
+                ),
+            )
+        )
 
     # -- region quarantine ---------------------------------------------------
     def _maybe_quarantine(self, network: Network, cycle: int) -> None:
@@ -461,6 +736,7 @@ class ContainmentCoordinator:
         for key in admitted:
             if key not in self.link_states:
                 self.link_states[key] = "draining"
+                self._contain_cycle[key] = cycle
         self.quarantines += 1
         self._quarantined_rects.append(rect)
         self._log(
@@ -499,6 +775,31 @@ class ContainmentCoordinator:
             "max_time_to_contain": (
                 max(self.time_to_contain.values())
                 if self.time_to_contain
+                else None
+            ),
+            "probation": self._probation_summary(),
+        }
+
+    def _probation_summary(self) -> Optional[dict]:
+        if self.probation is None:
+            return None
+        return {
+            "links_reinstated": self.links_reinstated,
+            "links_permanent": self.links_permanent,
+            "still_contained": len(self.link_states),
+            "trials_run": self.prober.trials_run if self.prober else 0,
+            "probes_sent": self.prober.probes_sent if self.prober else 0,
+            "flap_counts": {
+                f"{key[0]}->{key[1].name}": value
+                for key, value in sorted(self.flap_counts.items())
+            },
+            "time_to_reinstate": {
+                f"{key[0]}->{key[1].name}": value
+                for key, value in sorted(self.time_to_reinstate.items())
+            },
+            "max_time_to_reinstate": (
+                max(self.time_to_reinstate.values())
+                if self.time_to_reinstate
                 else None
             ),
         }

@@ -1,0 +1,230 @@
+"""BIST-style probe-flit prober for quarantined links.
+
+:mod:`repro.faults.bist` answers "is a wire stuck?" with raw test
+patterns; a *target-activated* trojan (TASP) sleeps straight through
+such a scan because its comparators inspect decoded header fields, not
+wire toggles.  :class:`LinkProber` closes that gap: it drives
+**traffic-shaped** probes — realistically encoded head-flit headers
+sweeping every src/dst id the mesh can name, plus seeded random
+payload words — through the link's tamper chain, each both in the
+clear and through L-Ob, and classifies the link from the difference:
+
+* every probe arrives intact → :attr:`ProbeVerdict.CLEAN`;
+* plain probes fault but their obfuscated twins pass →
+  :attr:`ProbeVerdict.INFECTED` (``content-triggered``: the scrambled
+  wire image no longer matches a comparator — the trojan's own evasion
+  trick turned into its fingerprint);
+* every probe faults in both forms → :attr:`ProbeVerdict.INFECTED`
+  (``stuck``: a permanent fault or an always-on gray-hole);
+* anything in between → :attr:`ProbeVerdict.FLAKY` (transient storm,
+  or a trojan the probe set only grazes).
+
+Probing is out-of-band: words go through :meth:`Link.apply_tamper`
+directly, never onto the wire's in-flight queue, so a sealed link can
+be exercised while disabled.  The prober carries its *own*
+:class:`~repro.core.lob.LObCodec` — it is both sender and checker, so
+it needs no link secret and works on networks built without L-Ob.
+
+Blind spots are deliberate and safe: a trojan keyed to a full 32-bit
+memory address will not match any probe, scan CLEAN and be reinstated
+— whereupon real traffic re-triggers it, the watchdog re-condemns it,
+and the coordinator's flap damping (see
+:mod:`repro.resilience.containment`) converges the link to permanent
+condemnation within ``max_flaps`` rounds.  The probe does not have to
+be complete for the closed loop to be sound.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.lob import Granularity, LObCodec, ObMethod
+from repro.ecc import SECDED_72_64, DecodeStatus, Secded
+from repro.noc.config import NoCConfig
+from repro.noc.flit import FlitType, layout_for, pack_header
+from repro.noc.link import Link
+from repro.util.bits import mask
+from repro.util.rng import SeededStream
+
+#: pkt-id band probes carry; never enters the network, only the wire
+PROBE_PKT_ID_BASE = 0x3F_0000
+
+
+class ProbeVerdict(enum.Enum):
+    CLEAN = "clean"
+    INFECTED = "infected"
+    FLAKY = "flaky"
+
+
+@dataclass(frozen=True)
+class ProbeTrial:
+    """Outcome of one probe trial on one link."""
+
+    cycle: int
+    trial_index: int
+    verdict: ProbeVerdict
+    plain_sent: int = 0
+    plain_failed: int = 0
+    ob_sent: int = 0
+    ob_failed: int = 0
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class ProbeConfig:
+    """Shape of one probe trial (deterministic given ``seed``)."""
+
+    #: sweep every router id through the src and dst header fields —
+    #: guarantees any src/dst/vc-targeted comparator sees its trigger
+    sweep_ids: bool = True
+    #: seeded random head-flit headers + raw payload words per trial
+    random_probes: int = 8
+    #: send each probe word a second time through L-Ob (invert/shuffle)
+    obfuscated: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.random_probes < 0:
+            raise ValueError("random_probes must be >= 0")
+        if not self.sweep_ids and self.random_probes == 0:
+            raise ValueError("a trial needs at least one probe source")
+
+
+class LinkProber:
+    """Drive traffic-shaped probe words through one network's links."""
+
+    def __init__(
+        self,
+        cfg: NoCConfig,
+        config: ProbeConfig | None = None,
+        codec: Secded = SECDED_72_64,
+    ):
+        self.cfg = cfg
+        self.config = config or ProbeConfig()
+        self.codec = codec
+        self.layout = layout_for(cfg)
+        #: the prober's private obfuscation codec (sender == checker,
+        #: so no link secret is needed)
+        self.lob = LObCodec(flit_bits=64, seed=self.config.seed)
+        self.trials_run = 0
+        self.probes_sent = 0
+
+    # -- probe word generation ---------------------------------------------
+    def _probe_words(self, link: Link, trial_index: int) -> list[int]:
+        """The trial's wire images (pre-ECC 64-bit data words)."""
+        cfg = self.cfg
+        stream = SeededStream(
+            self.config.seed,
+            "probe",
+            link.src_router,
+            link.direction.name,
+            trial_index,
+        )
+        words: list[int] = []
+        probe_id = 0
+        if self.config.sweep_ids:
+            # Realistic flows crossing this link: the dst sweep models
+            # every destination routed through it, the src sweep every
+            # origin feeding it.  Together they trip any comparator
+            # keyed on router ids or VC classes.
+            for dst in range(cfg.num_routers):
+                words.append(
+                    pack_header(
+                        link.src_router,
+                        dst,
+                        dst % cfg.num_vcs,
+                        stream.bits(32),
+                        FlitType.HEAD,
+                        PROBE_PKT_ID_BASE + probe_id,
+                        self.layout,
+                    )
+                )
+                probe_id += 1
+            for src in range(cfg.num_routers):
+                words.append(
+                    pack_header(
+                        src,
+                        link.dst_router,
+                        src % cfg.num_vcs,
+                        stream.bits(32),
+                        FlitType.HEAD,
+                        PROBE_PKT_ID_BASE + probe_id,
+                        self.layout,
+                    )
+                )
+                probe_id += 1
+        for _ in range(self.config.random_probes):
+            if stream.chance(0.5):
+                words.append(
+                    pack_header(
+                        stream.randint(0, cfg.num_routers - 1),
+                        stream.randint(0, cfg.num_routers - 1),
+                        stream.randint(0, cfg.num_vcs - 1),
+                        stream.bits(32),
+                        FlitType.HEAD,
+                        PROBE_PKT_ID_BASE + probe_id,
+                        self.layout,
+                    )
+                )
+            else:
+                # raw payload word: body flits cross the link too
+                words.append(stream.bits(64))
+            probe_id += 1
+        return words
+
+    # -- the trial -----------------------------------------------------------
+    def _drive(self, link: Link, word: int, cycle: int) -> bool:
+        """Send one data word through the tamper chain; True = failed
+        (an uncorrectable fault or a miscorrection on arrival)."""
+        self.probes_sent += 1
+        codeword = self.codec.encode(word & mask(64))
+        received = link.apply_tamper(codeword, cycle)
+        result = self.codec.decode(received)
+        if result.status is DecodeStatus.DETECTED:
+            return True
+        return result.data != (word & mask(64))
+
+    def trial(self, link: Link, cycle: int, trial_index: int) -> ProbeTrial:
+        """One full probe trial against ``link`` at ``cycle``.
+
+        Deterministic in ``(seed, link, trial_index)`` — the schedule's
+        cycle numbers never touch the probe content, so sweep and event
+        engines produce identical verdicts.
+        """
+        self.trials_run += 1
+        words = self._probe_words(link, trial_index)
+        plain_failed = 0
+        ob_sent = 0
+        ob_failed = 0
+        for index, word in enumerate(words):
+            if self._drive(link, word, cycle):
+                plain_failed += 1
+            if self.config.obfuscated:
+                method = (
+                    ObMethod.INVERT if index % 2 == 0 else ObMethod.SHUFFLE
+                )
+                ob_word = self.lob.apply(word & mask(64), method,
+                                         Granularity.FULL)
+                ob_sent += 1
+                if self._drive(link, ob_word, cycle):
+                    ob_failed += 1
+        plain_sent = len(words)
+        if plain_failed == 0 and ob_failed == 0:
+            verdict, detail = ProbeVerdict.CLEAN, ""
+        elif ob_failed == 0:
+            verdict, detail = ProbeVerdict.INFECTED, "content-triggered"
+        elif plain_failed == plain_sent and ob_failed == ob_sent:
+            verdict, detail = ProbeVerdict.INFECTED, "stuck"
+        else:
+            verdict, detail = ProbeVerdict.FLAKY, "sporadic"
+        return ProbeTrial(
+            cycle=cycle,
+            trial_index=trial_index,
+            verdict=verdict,
+            plain_sent=plain_sent,
+            plain_failed=plain_failed,
+            ob_sent=ob_sent,
+            ob_failed=ob_failed,
+            detail=detail,
+        )

@@ -151,6 +151,9 @@ class RetransWatchdog:
         self._advised: set[tuple[LinkKey, int]] = set()
         self._drops_per_link: dict[LinkKey, int] = {}
         self._condemned: set[LinkKey] = set()
+        #: links an early detector flagged; their ladder thresholds are
+        #: halved so containment starts before the tree saturates
+        self._suspect: set[LinkKey] = set()
         self._pending_drops: list[DropReport] = []
         self._pending_condemned: list[LinkKey] = []
         self._pending_risks: list[PartitionRisk] = []
@@ -190,6 +193,7 @@ class RetransWatchdog:
         self._advised.clear()
         self._drops_per_link.clear()
         self._condemned.clear()
+        self._suspect.clear()
         return self
 
     def detach(self) -> None:
@@ -221,6 +225,68 @@ class RetransWatchdog:
         """Links condemned so far this epoch (drop-only mode)."""
         return frozenset(self._condemned)
 
+    @property
+    def suspect_links(self) -> frozenset[LinkKey]:
+        """Links under detector-accelerated ladder thresholds."""
+        return frozenset(self._suspect)
+
+    # -- early-detector feed ------------------------------------------------
+    def mark_suspect(self, key: LinkKey) -> None:
+        """An online detector flagged ``key`` as statistically anomalous
+        *before* the ladder completed on its own.  The ladder keeps its
+        shape but every later rung fires at half its configured send
+        threshold (ordering preserved), so containment starts early on
+        the flagged link while unflagged links see the exact default
+        ladder.  Idempotent; cleared by :meth:`reset_link`."""
+        self._suspect.add(key)
+
+    def _ladder_thresholds(self, key: LinkKey) -> tuple[int, int, int, int]:
+        """Effective (obfuscate_after, max_retries, condemn_after_drops,
+        condemn_pinned_age) for ``key``: the configured values, halved
+        — without breaking ladder ordering — while the link is suspect."""
+        cfg = self.config
+        if key not in self._suspect:
+            return (
+                cfg.obfuscate_after,
+                cfg.max_retries,
+                cfg.condemn_after_drops,
+                cfg.condemn_pinned_age,
+            )
+        obfuscate_after = max(cfg.backoff_after, cfg.obfuscate_after // 2)
+        return (
+            obfuscate_after,
+            max(obfuscate_after, cfg.max_retries // 2),
+            max(1, cfg.condemn_after_drops // 2),
+            max(1, cfg.condemn_pinned_age // 2),
+        )
+
+    # -- reinstatement -------------------------------------------------------
+    def reset_link(self, key: LinkKey) -> None:
+        """Restart the ladder from rung 0 for a reinstated link.
+
+        Condemnation used to be terminal, so per-link ladder state
+        (backoff levels, forced-advice marks, the drop tally, the
+        condemned flag, detector suspicion) survived it; a link
+        returned to service would have resumed mid-ladder and been
+        re-condemned by its *old* drop count on the first slip.  The
+        probation path calls this so a reinstated link is judged like
+        a fresh one."""
+        self._condemned.discard(key)
+        self._suspect.discard(key)
+        self._drops_per_link.pop(key, None)
+        self._backed_off = {
+            state_key: sends
+            for state_key, sends in self._backed_off.items()
+            if state_key[0] != key
+        }
+        self._advised = {
+            state_key for state_key in self._advised if state_key[0] != key
+        }
+        if key in self._pending_condemned:
+            self._pending_condemned = [
+                k for k in self._pending_condemned if k != key
+            ]
+
     def _gate_allows(
         self, stage: EscalationStage, key: LinkKey, cycle: int
     ) -> bool:
@@ -243,6 +309,7 @@ class RetransWatchdog:
             if out.retrans.is_empty:
                 continue
             condemned = key in self._condemned
+            obfuscate_after, max_retries, _, _ = self._ladder_thresholds(key)
             ladder_active = False
             for entry in list(out.retrans):
                 sends = entry.send_count
@@ -250,7 +317,7 @@ class RetransWatchdog:
                     continue
                 ladder_active = True
                 if (
-                    sends >= cfg.max_retries
+                    sends >= max_retries
                     and entry.state is EntryState.READY
                     and self._gate_allows(EscalationStage.DROP, key, cycle)
                 ):
@@ -259,7 +326,7 @@ class RetransWatchdog:
                     self._drop(network, key, entry, cycle)
                     continue
                 if (
-                    sends >= cfg.obfuscate_after
+                    sends >= obfuscate_after
                     and not condemned
                     and self._gate_allows(EscalationStage.OBFUSCATE, key, cycle)
                 ):
@@ -311,7 +378,9 @@ class RetransWatchdog:
             and entry.ob_advice.enable_obfuscation
         )
         if not already:
-            method = entry.send_count - self.config.obfuscate_after
+            # suspect links reach this rung below the configured send
+            # threshold; clamp so the method ladder starts at step 0
+            method = max(0, entry.send_count - self.config.obfuscate_after)
             entry.ob_advice = NackAdvice(
                 enable_obfuscation=True, method_index=method
             )
@@ -348,12 +417,14 @@ class RetransWatchdog:
     def _maybe_condemn(
         self, network: Network, key: LinkKey, cycle: int, ladder_active: bool
     ) -> None:
-        cfg = self.config
         out = network.output_port_of(key)
-        by_drops = self._drops_per_link.get(key, 0) >= cfg.condemn_after_drops
+        _, _, condemn_after_drops, condemn_pinned_age = (
+            self._ladder_thresholds(key)
+        )
+        by_drops = self._drops_per_link.get(key, 0) >= condemn_after_drops
         by_age = (
             ladder_active
-            and out.retrans.oldest_wait(cycle) > cfg.condemn_pinned_age
+            and out.retrans.oldest_wait(cycle) > condemn_pinned_age
         )
         if not (by_drops or by_age):
             return

@@ -32,6 +32,7 @@ from repro.noc.network import Network, TrafficSource
 from repro.obs import profiler as obs_profiler
 from repro.obs.instrument import ObsConfig, Observability, ambient
 from repro.resilience.containment import ContainmentCoordinator
+from repro.resilience.detect import TrafficStatsDetector
 from repro.resilience.watchdog import RetransWatchdog
 from repro.sim.scenario import (
     AppTraffic,
@@ -261,14 +262,16 @@ class Simulation:
 
         self.network = net
         self.trojans = attach_trojan_specs(net, scenario.trojans)
-        self._pending_enables = sorted(
-            (
-                (spec.enable_at, index)
-                for index, spec in enumerate(scenario.trojans)
-                if spec.enable_at is not None
-            ),
-            reverse=True,
-        )
+        # (cycle, index, arm) triples: arm=True fires enable(), False
+        # fires disable() (the kill-switch withdrawal probation recovers
+        # from)
+        trojan_events: list[tuple[int, int, bool]] = []
+        for index, spec in enumerate(scenario.trojans):
+            if spec.enable_at is not None:
+                trojan_events.append((spec.enable_at, index, True))
+            if spec.disable_at is not None:
+                trojan_events.append((spec.disable_at, index, False))
+        self._pending_enables = sorted(trojan_events, reverse=True)
 
         #: live gray-hole attack instances, in ``scenario.attacks`` order
         self.attacks: list[GrayholeAttack] = []
@@ -309,14 +312,28 @@ class Simulation:
         elif self.sources:
             net.set_traffic(MergedSource(self.sources))
 
+        #: early traffic-statistics detector (None = not configured).
+        #: Attached *before* the watchdog so a link flagged at a window
+        #: boundary shortens that same cycle's ladder evaluation.
+        self.detector: Optional[TrafficStatsDetector] = None
+        if defense.detector is not None:
+            self.detector = TrafficStatsDetector(defense.detector).attach(net)
+
         self.watchdog: Optional[RetransWatchdog] = None
         if defense.watchdog is not None:
             self.watchdog = RetransWatchdog(defense.watchdog).attach(net)
+        if self.detector is not None:
+            self.detector.watchdog = self.watchdog
 
         #: network-level containment coordinator (None = not configured).
         #: Attached after the watchdog so each cycle the coordinator
         #: consumes that cycle's fresh escalations.
         self.containment: Optional[ContainmentCoordinator] = None
+        if defense.probation is not None and defense.containment is None:
+            raise ValueError(
+                "defense.probation requires defense.containment: "
+                "probation is the coordinator's recovery loop"
+            )
         if defense.containment is not None:
             if self.watchdog is None:
                 raise ValueError(
@@ -324,7 +341,7 @@ class Simulation:
                     "coordinator owns the watchdog's escalation ladder"
                 )
             self.containment = ContainmentCoordinator(
-                defense.containment
+                defense.containment, probation=defense.probation
             ).attach(net, watchdog=self.watchdog)
 
         #: online invariant/progress monitor (None = not configured)
@@ -443,8 +460,11 @@ class Simulation:
     def _fire_enables(self) -> None:
         cycle = self.network.cycle
         while self._pending_enables and self._pending_enables[-1][0] <= cycle:
-            _, index = self._pending_enables.pop()
-            self.trojans[index].enable()
+            _, index, arm = self._pending_enables.pop()
+            if arm:
+                self.trojans[index].enable()
+            else:
+                self.trojans[index].disable()
         pending = self._pending_attack_events
         while pending and pending[-1][0] <= cycle:
             _, index, arm = pending.pop()

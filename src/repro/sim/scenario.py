@@ -36,7 +36,8 @@ from repro.core.targets import TargetSpec
 from repro.core.tasp import TaspConfig
 from repro.noc.config import NoCConfig, PAPER_CONFIG
 from repro.noc.topology import Direction, LinkKey
-from repro.resilience.containment import ContainmentConfig
+from repro.resilience.containment import ContainmentConfig, ProbationConfig
+from repro.resilience.detect import DetectConfig
 from repro.resilience.watchdog import WatchdogConfig
 from repro.sim.sentinel import SentinelSpec
 
@@ -168,6 +169,9 @@ class TrojanSpec:
     ``enable_at`` arms the trojan once the simulation clock reaches
     that cycle (the Fig. 11/12 mid-run activations); ``enabled`` arms
     it from cycle 0.  A spec with both off models dormant silicon.
+    ``disable_at`` disarms it again mid-run — the transient-attacker
+    model the probation/reinstatement loop recovers from (a kill-switch
+    withdrawal, a trigger stream ending, or an attacker going quiet).
     """
 
     link: LinkKey
@@ -175,6 +179,15 @@ class TrojanSpec:
     config: TaspConfig = TaspConfig()
     enabled: bool = True
     enable_at: Optional[int] = None
+    disable_at: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if (
+            self.disable_at is not None
+            and self.enable_at is not None
+            and self.disable_at <= self.enable_at
+        ):
+            raise ValueError("disable_at must come after enable_at")
 
 
 @dataclass(frozen=True)
@@ -240,6 +253,7 @@ def coordinated_trojans(
     config: TaspConfig = TaspConfig(),
     start: int = 0,
     stagger: int = 0,
+    stop: Optional[int] = None,
 ) -> tuple[TrojanSpec, ...]:
     """N TASP instances with a coordinated activation schedule.
 
@@ -247,6 +261,9 @@ def coordinated_trojans(
     is a simultaneous strike) and draws from seed ``config.seed + i``,
     so the instances are correlated in *time* but not in payload
     sequence — the coordinated-attacker model of ROADMAP item 2.
+    With ``stop``, every instance disarms at that cycle — the
+    transient coordinated strike the reinstatement experiment recovers
+    from.
     """
     return tuple(
         TrojanSpec(
@@ -255,6 +272,7 @@ def coordinated_trojans(
             config=dataclasses.replace(config, seed=config.seed + i),
             enabled=False,
             enable_at=start + i * stagger,
+            disable_at=stop,
         )
         for i, key in enumerate(links)
     )
@@ -315,6 +333,12 @@ class DefenseSpec:
     #: attach the network-level containment coordinator on top of the
     #: watchdog (pure observer until the watchdog escalates)
     containment: Optional[ContainmentConfig] = None
+    #: probe-based probation/reinstatement of contained links (requires
+    #: ``containment``); None keeps every condemnation permanent
+    probation: Optional[ProbationConfig] = None
+    #: early traffic-statistics detector feeding the watchdog ladder
+    #: (requires ``watchdog`` to act on link flags)
+    detector: Optional[DetectConfig] = None
 
 
 # ---------------------------------------------------------------------------
@@ -522,13 +546,17 @@ def _encode_trojan(spec: TrojanSpec) -> dict:
     config = _plain_fields(spec.config)
     if config["wires"] is not None:
         config["wires"] = list(config["wires"])
-    return {
+    out = {
         "link": _encode_link(spec.link),
         "target": _plain_fields(spec.target),
         "config": config,
         "enabled": spec.enabled,
         "enable_at": spec.enable_at,
     }
+    # key emitted only when set so pre-deactivation hashes are preserved
+    if spec.disable_at is not None:
+        out["disable_at"] = spec.disable_at
+    return out
 
 
 def _decode_trojan(data: dict) -> TrojanSpec:
@@ -541,6 +569,8 @@ def _decode_trojan(data: dict) -> TrojanSpec:
         config=TaspConfig(**config),
         enabled=data["enabled"],
         enable_at=data["enable_at"],
+        # tolerant .get: pre-deactivation scenario files stay decodable
+        disable_at=data.get("disable_at"),
     )
 
 
@@ -630,9 +660,14 @@ def _encode_defense(spec: DefenseSpec) -> dict:
         "tdm_domains": spec.tdm_domains,
         "rerouted_links": [_encode_link(k) for k in spec.rerouted_links],
     }
-    # key emitted only when set so pre-containment hashes are preserved
+    # keys emitted only when set so pre-containment / pre-probation
+    # hashes are preserved
     if spec.containment is not None:
         out["containment"] = _plain_fields(spec.containment)
+    if spec.probation is not None:
+        out["probation"] = _plain_fields(spec.probation)
+    if spec.detector is not None:
+        out["detector"] = _plain_fields(spec.detector)
     return out
 
 
@@ -658,6 +693,19 @@ def _decode_defense(data: dict) -> DefenseSpec:
         if raw_containment is not None
         else None
     )
+    # tolerant .get: pre-probation scenario files stay decodable
+    raw_probation = data.get("probation")
+    probation = (
+        _build_spec(ProbationConfig, dict(raw_probation), "probation spec")
+        if raw_probation is not None
+        else None
+    )
+    raw_detector = data.get("detector")
+    detector = (
+        _build_spec(DetectConfig, dict(raw_detector), "detector spec")
+        if raw_detector is not None
+        else None
+    )
     return DefenseSpec(
         mitigated=data["mitigated"],
         mitigation=mitigation,
@@ -668,4 +716,6 @@ def _decode_defense(data: dict) -> DefenseSpec:
             _decode_link(k) for k in data["rerouted_links"]
         ),
         containment=containment,
+        probation=probation,
+        detector=detector,
     )

@@ -169,8 +169,10 @@ class EventCore:
         self.decisions = 0
         # Statically known wakes: scheduled trojan enables and attack
         # arm/disarm edges self-schedule at build time.
-        for at, _index in sim._pending_enables:
-            self.wheel.schedule(at, "trojan-enable")
+        for at, _index, arm in sim._pending_enables:
+            self.wheel.schedule(
+                at, "trojan-enable" if arm else "trojan-disable"
+            )
         for at, _index, arm in sim._pending_attack_events:
             self.wheel.schedule(at, "attack-arm" if arm else "attack-disarm")
 

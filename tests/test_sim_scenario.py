@@ -14,7 +14,8 @@ from repro.core import (
 )
 from repro.noc.config import PAPER_CONFIG
 from repro.noc.topology import Direction
-from repro.resilience.containment import ContainmentConfig
+from repro.resilience.containment import ContainmentConfig, ProbationConfig
+from repro.resilience.detect import DetectConfig
 from repro.resilience.watchdog import WatchdogConfig
 from repro.sim import (
     AppTraffic,
@@ -55,7 +56,7 @@ def rich_scenario() -> Scenario:
             TrojanSpec(link=(0, Direction.EAST),
                        target=TargetSpec.for_dest(15),
                        config=TaspConfig(seed=4), enabled=False,
-                       enable_at=100),
+                       enable_at=100, disable_at=250),
         ),
         faults=(
             TransientFaultSpec(link=(1, Direction.NORTH), rate=0.1,
@@ -74,6 +75,8 @@ def rich_scenario() -> Scenario:
             e2e=True,
             watchdog=WatchdogConfig(),
             containment=ContainmentConfig(max_actions_per_cycle=2),
+            probation=ProbationConfig(required_clean=4, max_flaps=2),
+            detector=DetectConfig(window=32, consecutive=3),
             tdm_domains=2,
             rerouted_links=((2, Direction.WEST),),
         ),
@@ -111,6 +114,16 @@ class TestRoundTrip:
         assert attack.drop_probability == 0.8
         assert isinstance(s.defense.containment, ContainmentConfig)
         assert s.defense.containment.max_actions_per_cycle == 2
+
+    def test_probation_and_detector_round_trip(self):
+        s = Scenario.from_json(rich_scenario().to_json())
+        assert isinstance(s.defense.probation, ProbationConfig)
+        assert s.defense.probation.required_clean == 4
+        assert s.defense.probation.max_flaps == 2
+        assert isinstance(s.defense.detector, DetectConfig)
+        assert s.defense.detector.window == 32
+        (trojan,) = s.trojans
+        assert trojan.disable_at == 250
 
     def test_pre_containment_documents_still_decode(self):
         # scenarios serialized before attacks/containment existed
@@ -169,6 +182,70 @@ class TestContentHash:
             config=TaspConfig(seed=10),
         )
         assert [s.config.seed for s in specs] == [10, 11]
+
+
+class TestRecoveryBackCompat:
+    """The recovery-loop fields (``TrojanSpec.disable_at``,
+    ``DefenseSpec.probation`` / ``.detector``) are encoded only when
+    set, so every scenario from before this layer existed serializes —
+    and therefore content-hashes — byte-identically."""
+
+    def pr7_scenario(self) -> Scenario:
+        """A scenario using everything *except* the recovery loop."""
+        return Scenario(
+            name="pre-recovery",
+            trojans=trojan_specs([(0, Direction.EAST)],
+                                 TargetSpec.for_dest(15)),
+            defense=DefenseSpec(
+                mitigated=True,
+                watchdog=WatchdogConfig(),
+                containment=ContainmentConfig(),
+            ),
+            duration=400,
+            seed=11,
+        )
+
+    def test_unset_fields_never_reach_the_wire(self):
+        data = json.loads(self.pr7_scenario().to_json())
+        assert "probation" not in data["defense"]
+        assert "detector" not in data["defense"]
+        assert all("disable_at" not in t for t in data["trojans"])
+
+    def test_pre_recovery_documents_still_decode(self):
+        data = json.loads(self.pr7_scenario().to_json())
+        s = Scenario.from_dict(data)
+        assert s.defense.probation is None
+        assert s.defense.detector is None
+        assert s.trojans[0].disable_at is None
+
+    def test_hash_unchanged_by_the_new_fields_existing(self):
+        # the canonical JSON is the hash input: no new keys on the
+        # unset path means the hash is the pre-recovery hash
+        s = self.pr7_scenario()
+        assert Scenario.from_json(s.to_json()).content_hash() == \
+            s.content_hash()
+
+    def test_recovery_fields_are_part_of_identity(self):
+        s = self.pr7_scenario()
+        probed = dataclasses.replace(
+            s, defense=dataclasses.replace(
+                s.defense, probation=ProbationConfig()
+            )
+        )
+        detected = dataclasses.replace(
+            s, defense=dataclasses.replace(
+                s.defense, detector=DetectConfig()
+            )
+        )
+        hashes = {s.content_hash(), probed.content_hash(),
+                  detected.content_hash()}
+        assert len(hashes) == 3
+
+    def test_disable_at_must_follow_enable_at(self):
+        with pytest.raises(ValueError):
+            TrojanSpec(link=(0, Direction.EAST),
+                       target=TargetSpec.for_dest(15),
+                       enable_at=200, disable_at=100)
 
 
 class TestDecodeErrors:
