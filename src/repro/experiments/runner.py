@@ -44,6 +44,7 @@ from repro.experiments import (
     chaos,
     distributed,
     flood_routing,
+    largescale,
     fig1_traffic,
     fig2_faults,
     fig8_overhead,
@@ -85,6 +86,10 @@ EXPERIMENTS = {
     "reinstate": (
         reinstate,
         "self-healing: probation reinstatement + flap damping",
+    ),
+    "largescale": (
+        largescale,
+        "topology-robust containment: 16x16 mesh + torus with localization",
     ),
 }
 

@@ -31,6 +31,19 @@ def _heat_glyph(value: float, peak: float) -> str:
     return HEAT_RAMP[idx]
 
 
+def _planar(cfg: NoCConfig, key: LinkKey) -> bool:
+    """True when the link is drawable as a planar mesh segment —
+    a base-direction link that neither wraps nor skips routers."""
+    router, direction = key
+    x, y = cfg.router_xy(router)
+    return (
+        (direction is Direction.EAST and x < cfg.mesh_width - 1)
+        or (direction is Direction.WEST and x > 0)
+        or (direction is Direction.NORTH and y < cfg.mesh_height - 1)
+        or (direction is Direction.SOUTH and y > 0)
+    )
+
+
 def render_link_heatmap(
     cfg: NoCConfig,
     loads: Mapping[LinkKey, float],
@@ -40,8 +53,17 @@ def render_link_heatmap(
 
     Horizontal links show the eastbound load left of the westbound one
     (``>g1 <g2``); vertical links stack northbound over southbound.
+    Router cells widen to fit the largest id, so non-square and large
+    meshes stay column-aligned.  Links with no planar segment — torus
+    wrap-around channels and express channels — cannot be drawn in the
+    grid; they are listed in a legend-noted overflow section below it,
+    scaled on the same ramp (the peak includes them).
     """
     peak = max(loads.values(), default=0.0)
+    idw = max(2, len(str(cfg.num_routers - 1)))
+    # one column: "[id]" + " >g<g " — vertical rows pad to the same
+    # stride so segments line up under their cells
+    stride = idw + 8
 
     def h_seg(router: int) -> str:
         east = loads.get((router, Direction.EAST), 0.0)
@@ -60,16 +82,30 @@ def render_link_heatmap(
         row = []
         for x in range(cfg.mesh_width):
             router = cfg.router_at(x, y)
-            row.append(f"[{router:2d}]")
+            cell = f"[{router:{idw}d}]"
             if x < cfg.mesh_width - 1:
-                row.append(h_seg(router))
-        lines.append(" ".join(row))
+                cell += f" {h_seg(router)} "
+            row.append(cell)
+        lines.append("".join(row).rstrip())
         if y > 0:
             vrow = []
             for x in range(cfg.mesh_width):
                 below = cfg.router_at(x, y - 1)
-                vrow.append(f" {v_seg(below)}")
-            lines.append("  ".join(vrow))
+                vrow.append(f" {v_seg(below)}".ljust(stride))
+            lines.append("".join(vrow).rstrip())
+    overflow = sorted(key for key in loads if not _planar(cfg, key))
+    if overflow:
+        lines.append(
+            f"+{len(overflow)} non-planar link(s) (wrap/express), "
+            "not drawn above:"
+        )
+        for router, direction in overflow:
+            value = loads[(router, direction)]
+            glyph = _heat_glyph(value, peak)
+            lines.append(
+                f"  {router:>{idw}d}->{direction.name:<13s} "
+                f"'{glyph}' ({value:.4g})"
+            )
     return "\n".join(lines)
 
 

@@ -38,7 +38,15 @@ from __future__ import annotations
 from typing import Iterable, Optional, TYPE_CHECKING
 
 from repro.noc.config import NoCConfig
-from repro.noc.topology import Direction, LinkKey, OPPOSITE, neighbor
+from repro.noc.topology import (
+    BASE_DIRECTIONS,
+    Direction,
+    EXPRESS_OF,
+    LinkKey,
+    OPPOSITE,
+    base_direction,
+    neighbor,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.noc.router import Router
@@ -51,19 +59,34 @@ def _sign_dir_y(ey: int) -> Direction:
 def west_first_candidates(
     cfg: NoCConfig, cur: int, dst: int
 ) -> list[Direction]:
-    """Admissible productive directions under the west-first turn model."""
+    """Admissible productive directions under the west-first turn model.
+
+    On an express mesh the span-k variants join the candidate set
+    whenever the remaining displacement covers a full span.  Express
+    channels move monotonically in their base direction, so every turn
+    the model forbids for a base channel is equally forbidden (and
+    equally absent) for its express variant — the deadlock argument is
+    unchanged.
+    """
     cx, cy = cfg.router_xy(cur)
     dx, dy = cfg.router_xy(dst)
     ex, ey = dx - cx, dy - cy
+    k = cfg.express_interval
     if ex == 0 and ey == 0:
         return []
     if ex < 0:
-        # all west moves first, deterministically
+        # all west moves first; express-west when a full span remains
+        if k and -ex >= k:
+            return [Direction.EXPRESS_WEST, Direction.WEST]
         return [Direction.WEST]
     candidates: list[Direction] = []
     if ex > 0:
+        if k and ex >= k:
+            candidates.append(Direction.EXPRESS_EAST)
         candidates.append(Direction.EAST)
     if ey != 0:
+        if k and abs(ey) >= k:
+            candidates.append(EXPRESS_OF[_sign_dir_y(ey)])
         candidates.append(_sign_dir_y(ey))
     return candidates
 
@@ -203,17 +226,23 @@ class AdaptiveRouting:
         into the non-minimal detour set (west-first only) — e.g. a
         packet that overshot its destination row while detouring may
         legally keep overshooting and come back around, but may not
-        turn straight back."""
+        turn straight back.
+
+        ``banned`` is a *base-direction class*: an express link
+        reversing its base direction is the same 180-degree turn (a
+        net-zero vertical cycle could otherwise mix span-1 and span-k
+        channels without any exact-member reversal), so express
+        variants of the banned class are filtered with it."""
         options = [
             d
             for d in self._strict_candidates(cur, dst, src)
-            if d is not banned
+            if base_direction(d) is not banned
         ]
         if not options and banned is not None and self.model == "west-first":
             options = [
                 d
                 for d in self._detour_candidates(cur, dst)
-                if d is not banned
+                if base_direction(d) is not banned
             ]
         return options
 
@@ -256,7 +285,11 @@ class AdaptiveRouting:
         cached = self._live.get(dst)
         if cached is not None:
             return cached
-        banned_values = (None, *Direction)
+        # ``banned`` is a base-direction class (express arrivals fold
+        # onto their base), so the state space — and, on a plain mesh,
+        # the whole fixpoint — is identical to the pre-topology-layer
+        # implementation
+        banned_values = (None, *BASE_DIRECTIONS)
         live: set = {(dst, b) for b in banned_values}
         changed = True
         while changed:
@@ -272,7 +305,7 @@ class AdaptiveRouting:
                         nxt = neighbor(self.cfg, cur, d)
                         if nxt is None:
                             continue
-                        if (nxt, OPPOSITE[d]) in live:
+                        if (nxt, base_direction(OPPOSITE[d])) in live:
                             live.add(state)
                             changed = True
                             break
@@ -311,14 +344,14 @@ class AdaptiveRouting:
                 live_next = [
                     (d, nxt)
                     for d, nxt in options
-                    if (nxt, OPPOSITE[d]) in live
+                    if (nxt, base_direction(OPPOSITE[d])) in live
                 ]
                 if live_next:
                     options = live_next
             for d, nxt in options:
                 if nxt == dst:
                     continue
-                nxt_state = (nxt, OPPOSITE[d])
+                nxt_state = (nxt, base_direction(OPPOSITE[d]))
                 if nxt_state not in seen:
                     seen.add(nxt_state)
                     frontier.append(nxt_state)
@@ -373,7 +406,7 @@ class AdaptiveRouting:
         if router is not None:
             arrival = getattr(router, "routing_input", None)
             if isinstance(arrival, Direction):
-                banned = arrival
+                banned = base_direction(arrival)
         if banned is not None:
             forward = self._state_candidates(cur, dst, banned, src=cur)
             if forward:
@@ -389,7 +422,7 @@ class AdaptiveRouting:
                 base = [
                     d
                     for d in self._base_candidates(cur, dst, src=cur)
-                    if d is not banned
+                    if base_direction(d) is not banned
                     and neighbor(self.cfg, cur, d) is not None
                 ]
                 return base if base else options
@@ -398,7 +431,8 @@ class AdaptiveRouting:
             filtered = [
                 d
                 for d in options
-                if (neighbor(self.cfg, cur, d), OPPOSITE[d]) in live
+                if (neighbor(self.cfg, cur, d), base_direction(OPPOSITE[d]))
+                in live
             ]
             # admission control guarantees a live candidate exists; keep
             # the unfiltered set as a defensive fallback because
@@ -407,6 +441,20 @@ class AdaptiveRouting:
             if filtered:
                 options = filtered
         return options
+
+
+def avoid_routing(cfg: NoCConfig, model: str, avoid: Iterable[LinkKey] = ()):
+    """Containment reroute function for ``model`` with ``avoid`` removed.
+
+    The topology-aware constructor the coordinator uses everywhere it
+    previously built :class:`AdaptiveRouting` directly: the turn models
+    cover meshes (express included), ``"torus-arc"`` covers tori.
+    """
+    if model == "torus-arc":
+        from repro.noc.torus import TorusArcRouting
+
+        return TorusArcRouting(cfg, avoid)
+    return AdaptiveRouting(cfg, model, avoid)
 
 
 def turn_model_connected(
@@ -418,8 +466,13 @@ def turn_model_connected(
     This is the containment coordinator's admission check: a
     condemnation whose avoid-set fails it would strand some src/dst
     pair, so the coordinator refuses it and falls back to
-    drop-with-notify instead.
+    drop-with-notify instead.  Dispatches per reroute model, so it is
+    the single admission predicate on every topology.
     """
+    if model == "torus-arc":
+        from repro.noc.torus import torus_connected
+
+        return torus_connected(cfg, avoid)
     routing = AdaptiveRouting(cfg, model, avoid)
     return all(
         routing.dst_reachable(dst) for dst in range(cfg.num_routers)

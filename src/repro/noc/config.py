@@ -44,10 +44,45 @@ class NoCConfig:
     max_packet_flits: int = 5
     #: root seed for all stochastic components
     seed: int = 0
+    #: network shape: "mesh" (planar) or "torus" (wrap-around rings)
+    topology: str = "mesh"
+    #: express-channel span in hops; 0 disables (mesh only)
+    express_interval: int = 0
 
     def __post_init__(self) -> None:
         if self.mesh_width < 1 or self.mesh_height < 1:
             raise ValueError("mesh dimensions must be at least 1x1")
+        if self.topology not in ("mesh", "torus"):
+            raise ValueError(f"unknown topology {self.topology!r}")
+        if self.topology == "torus":
+            if self.mesh_width < 3 or self.mesh_height < 3:
+                raise ValueError(
+                    "torus rings need at least 3 routers per dimension "
+                    "(a 2-ring wrap link duplicates the mesh link)"
+                )
+            if self.num_vcs % 2:
+                raise ValueError(
+                    "torus needs an even num_vcs: the dateline discipline "
+                    "splits each port's VCs into low/high halves"
+                )
+            if self.routing != "xy":
+                raise ValueError(
+                    "torus supports routing='xy' only (dateline VC classes "
+                    "are proven acyclic for dimension-order arcs)"
+                )
+            if self.express_interval:
+                raise ValueError("express channels require a mesh topology")
+        if self.express_interval:
+            if not 2 <= self.express_interval < max(
+                self.mesh_width, self.mesh_height
+            ):
+                raise ValueError(
+                    "express_interval must be in 2..max(mesh dimension)-1"
+                )
+            if self.routing == "odd-even":
+                raise ValueError(
+                    "odd-even routing does not model express channels"
+                )
         if self.num_routers > 16:
             # Beyond the paper's 16 routers the header layout widens
             # (flit.layout_for); router ids, vc and mem plus at least a
@@ -87,9 +122,18 @@ class NoCConfig:
     @property
     def num_links(self) -> int:
         """Unidirectional router-to-router links (48 for a 4x4 mesh)."""
+        if self.topology == "torus":
+            # every router drives all four directions (wrap included)
+            return 4 * self.num_routers
         horizontal = (self.mesh_width - 1) * self.mesh_height
         vertical = self.mesh_width * (self.mesh_height - 1)
-        return 2 * (horizontal + vertical)
+        base = 2 * (horizontal + vertical)
+        k = self.express_interval
+        if k:
+            express_h = max(self.mesh_width - k, 0) * self.mesh_height
+            express_v = max(self.mesh_height - k, 0) * self.mesh_width
+            base += 2 * (express_h + express_v)
+        return base
 
     # -- id mapping ----------------------------------------------------
     def router_xy(self, router: int) -> tuple[int, int]:
@@ -118,10 +162,23 @@ class NoCConfig:
         return router * self.concentration + local_index
 
     def hop_distance(self, router_a: int, router_b: int) -> int:
-        """Minimal mesh hop count between two routers."""
+        """Minimal hop count between two routers (wrap/express aware)."""
         ax, ay = self.router_xy(router_a)
         bx, by = self.router_xy(router_b)
-        return abs(ax - bx) + abs(ay - by)
+        return (
+            self._axis_hops(bx - ax, self.mesh_width)
+            + self._axis_hops(by - ay, self.mesh_height)
+        )
+
+    def _axis_hops(self, delta: int, size: int) -> int:
+        d = abs(delta)
+        if self.topology == "torus":
+            d = min(d, size - d)
+        k = self.express_interval
+        if k:
+            # greedy is optimal for span-k express hops (k >= 2)
+            d = d // k + d % k
+        return d
 
     # ------------------------------------------------------------------
     def _check_router(self, router: int) -> None:

@@ -23,7 +23,7 @@ from repro.noc.flit import Flit
 from repro.noc.link import Link, Transmission
 from repro.noc.receiver import EccReceiver
 from repro.noc.retrans import RetransBuffer
-from repro.noc.topology import Direction
+from repro.noc.topology import Direction, dateline_high
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.lob import LObEncoder
@@ -313,6 +313,8 @@ class Router:
                 buckets.setdefault(route, {})[
                     in_idx * num_vcs + vc_idx
                 ] = (key, vc_idx, vc)
+        torus = self.cfg.topology == "torus"
+        dateline_half = num_vcs // 2
         for direction, req_info in buckets.items():
             out = self.outputs[direction]
             holders = out.holders
@@ -327,6 +329,22 @@ class Router:
                     for v in self.policy.allowed_out_vcs(vc.buffer[0], num_vcs)
                     if v in free_set
                 ]
+                if torus:
+                    # dateline VC discipline: low half before the ring's
+                    # wrap edge, high half at/after it — the restriction
+                    # that makes torus dimension-order routing
+                    # deadlock-free (repro.noc.topology.dateline_high)
+                    high = dateline_high(
+                        self.cfg,
+                        self.id,
+                        vc.buffer[0].src_router,
+                        direction,
+                    )
+                    allowed = [
+                        v
+                        for v in allowed
+                        if (v >= dateline_half) == high
+                    ]
                 if allowed:
                     requesters.append(flat)
                     allowed_by_flat[flat] = allowed

@@ -15,24 +15,26 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.noc.config import NoCConfig
-from repro.noc.topology import Direction, neighbor
+from repro.noc.topology import Direction, neighbor, x_step, y_step
 
 #: route(cur_router, dst_router, src_router=None, router=None)
 RouteFn = Callable[..., Optional[Direction]]
 
 
 def xy_route(cfg: NoCConfig, cur: int, dst: int) -> Optional[Direction]:
-    """Dimension-order routing: correct x first, then y."""
+    """Dimension-order routing: correct x first, then y.
+
+    On a torus each dimension takes the shorter ring arc (ties break
+    east/north); on an express mesh it takes span-k express hops while
+    the remaining displacement allows.  Both are still strict
+    dimension order, so the deadlock arguments are per-dimension.
+    """
     cx, cy = cfg.router_xy(cur)
     dx, dy = cfg.router_xy(dst)
-    if cx < dx:
-        return Direction.EAST
-    if cx > dx:
-        return Direction.WEST
-    if cy < dy:
-        return Direction.NORTH
-    if cy > dy:
-        return Direction.SOUTH
+    if cx != dx:
+        return x_step(cfg, cx, dx)
+    if cy != dy:
+        return y_step(cfg, cy, dy)
     return None
 
 
@@ -40,14 +42,10 @@ def yx_route(cfg: NoCConfig, cur: int, dst: int) -> Optional[Direction]:
     """Dimension-order routing, y first."""
     cx, cy = cfg.router_xy(cur)
     dx, dy = cfg.router_xy(dst)
-    if cy < dy:
-        return Direction.NORTH
-    if cy > dy:
-        return Direction.SOUTH
-    if cx < dx:
-        return Direction.EAST
-    if cx > dx:
-        return Direction.WEST
+    if cy != dy:
+        return y_step(cfg, cy, dy)
+    if cx != dx:
+        return x_step(cfg, cx, dx)
     return None
 
 

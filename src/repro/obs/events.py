@@ -23,8 +23,13 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Optional
 
 #: bump on incompatible changes to Event layout or kind semantics
-#: (v2 adds the recovery loop: probe / reinstate / flap_damp / detect)
-EVENT_SCHEMA_VERSION = 2
+#: (v2 adds the recovery loop: probe / reinstate / flap_damp / detect;
+#: v3 adds attacker localization: localize)
+EVENT_SCHEMA_VERSION = 3
+
+#: older schema versions this build still reads (strict subsets of v3:
+#: every v2 kind keeps its exact key set, so v2 streams validate as-is)
+COMPATIBLE_SCHEMA_VERSIONS = (2, EVENT_SCHEMA_VERSION)
 
 #: event kind -> data keys it may carry (all optional per event)
 EVENT_KINDS: dict[str, tuple[str, ...]] = {
@@ -46,6 +51,8 @@ EVENT_KINDS: dict[str, tuple[str, ...]] = {
     "reinstate": ("link", "detail"),
     "flap_damp": ("link", "detail"),
     "detect": ("link", "router", "z", "detail"),
+    # attacker localization (fused footprint estimates)
+    "localize": ("link", "router", "score", "detail"),
     # engine lifecycle
     "checkpoint": ("checkpoint_cycle", "path"),
     "sentinel_trip": ("trip_kind", "message"),
@@ -88,10 +95,10 @@ def validate_event_dict(payload: dict) -> None:
     if not isinstance(payload, dict):
         raise EventSchemaError(f"event must be an object, got {payload!r}")
     version = payload.get("v")
-    if version != EVENT_SCHEMA_VERSION:
+    if version not in COMPATIBLE_SCHEMA_VERSIONS:
         raise EventSchemaError(
             f"event schema version {version!r} not supported (this "
-            f"build reads version {EVENT_SCHEMA_VERSION})"
+            f"build reads versions {COMPATIBLE_SCHEMA_VERSIONS})"
         )
     kind = payload.get("kind")
     allowed = EVENT_KINDS.get(kind)

@@ -259,6 +259,29 @@ class _DetectHook:
             )
 
 
+class _LocalizeHook:
+    """``localizer.event_hooks`` member: one attacker placed."""
+
+    def __init__(self, obs: "Observability", run: str):
+        self.obs = obs
+        self.run = run
+
+    def __call__(self, event) -> None:
+        from repro.obs.collectors import link_label
+
+        obs = self.obs
+        obs.registry.counter(
+            "localize_estimates", "attacker placements named",
+            run=self.run,
+        ).inc()
+        if obs.config.events and obs.bus.subscriptions:
+            obs.bus.emit(
+                "localize", event.cycle, self.run,
+                link=link_label(event.link), router=event.router,
+                score=event.score, detail=event.detail,
+            )
+
+
 class _WindowCollector:
     """``network.monitors`` member: the cycle-windowed scrape.
 
@@ -390,6 +413,8 @@ class Observability:
             sim.containment.event_hooks.append(_ContainHook(self, run))
         if getattr(sim, "detector", None) is not None:
             sim.detector.event_hooks.append(_DetectHook(self, run))
+        if getattr(sim, "localizer", None) is not None:
+            sim.localizer.event_hooks.append(_LocalizeHook(self, run))
         return self
 
     def attach_network(self, network: "Network", run: str = "") -> None:

@@ -73,9 +73,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-from repro.noc.adaptive import AdaptiveRouting, turn_model_connected
+from repro.noc.adaptive import avoid_routing, turn_model_connected
 from repro.noc.network import Network
-from repro.noc.topology import Direction, LinkKey, link_endpoints
+from repro.noc.topology import (
+    Direction,
+    LinkKey,
+    link_endpoints,
+    neighbor,
+)
 from repro.resilience.probe import LinkProber, ProbeConfig, ProbeVerdict
 from repro.resilience.watchdog import (
     EscalationStage,
@@ -87,12 +92,31 @@ from repro.util.rng import SeededStream
 #: base routings the coordinator may reroute, and the turn model whose
 #: legal turns are a superset of theirs (mid-flight switch adds no turn
 #: cycles).  yx and table routings have no such safe superset here, so
-#: containment on those networks is drop-only.
+#: containment on those networks is drop-only.  On a torus the safe
+#: model is "torus-arc" instead (resolved in :meth:`attach`): mesh turn
+#: models assume planar geometry, while clear-arc routing degenerates
+#: to the torus's own wrap-aware xy when the avoid-set is empty.
 SAFE_REROUTE_MODELS = {
     "xy": "west-first",
     "west-first": "west-first",
     "odd-even": "odd-even",
 }
+
+#: every explicitly configurable reroute model
+REROUTE_MODELS = (*SAFE_REROUTE_MODELS.values(), "torus-arc")
+
+
+def neighborhood_links(cfg, key: LinkKey) -> frozenset[LinkKey]:
+    """The 1-hop quarantine neighborhood of a link: every out-link of
+    its two endpoint routers (the link itself included).  Defined over
+    the topology graph, so wrap and express links participate."""
+    src, dst = link_endpoints(cfg, key)
+    region = set()
+    for router in (src, dst):
+        for direction in Direction:
+            if neighbor(cfg, router, direction) is not None:
+                region.add((router, direction))
+    return frozenset(region)
 
 
 @dataclass(frozen=True)
@@ -133,7 +157,7 @@ class ContainmentConfig:
             raise ValueError("retry delays must satisfy 1 <= base <= cap")
         if not 0.0 <= self.jitter <= 4.0:
             raise ValueError("jitter fraction out of range")
-        if self.reroute_model not in ("auto", "none", *SAFE_REROUTE_MODELS.values()):
+        if self.reroute_model not in ("auto", "none", *REROUTE_MODELS):
             raise ValueError(f"unknown reroute model {self.reroute_model!r}")
         if self.quarantine_threshold < 2:
             raise ValueError("quarantine needs at least 2 correlated links")
@@ -236,6 +260,9 @@ class ContainmentCoordinator:
         self.prober: Optional[LinkProber] = None
         self.network: Optional[Network] = None
         self.watchdog: Optional[RetransWatchdog] = None
+        #: attacker localization engine; when set, region quarantine is
+        #: replaced by *targeted* quarantine of localized neighborhoods
+        self.localizer = None
         self._base_route_fn = None
         #: resolved turn model, or None when rerouting is unsafe
         self.reroute_model: Optional[str] = None
@@ -258,6 +285,15 @@ class ContainmentCoordinator:
         # -- quarantine state ---------------------------------------------
         self._condemn_history: list[tuple[LinkKey, int]] = []
         self._quarantined_rects: list[tuple[int, int, int, int]] = []
+        #: localized estimates already acted on (targeted quarantine)
+        self._targeted_links: set[LinkKey] = set()
+        #: every link a targeted quarantine actually drained (the
+        #: quarantine-economy metric the largescale experiment compares
+        #: against flag-everything containment)
+        self.targeted_admitted: set[LinkKey] = set()
+        #: localizer version last consumed
+        self._localizer_version = 0
+        self.targeted_quarantines = 0
         # -- ladder onset tracking ----------------------------------------
         self._first_ladder_cycle: dict[LinkKey, int] = {}
         # -- probation state ----------------------------------------------
@@ -312,11 +348,28 @@ class ContainmentCoordinator:
             self.prober = LinkProber(
                 network.cfg, self.probation.probe_config()
             )
+        torus = network.cfg.topology == "torus"
         if self.config.reroute_model == "none":
             self.reroute_model = None
         elif self.config.reroute_model == "auto":
-            self.reroute_model = SAFE_REROUTE_MODELS.get(network.cfg.routing)
+            if torus:
+                # torus + "xy" is the only combination the config layer
+                # admits, and its safe reroute is the clear-arc model
+                self.reroute_model = "torus-arc"
+            else:
+                self.reroute_model = SAFE_REROUTE_MODELS.get(
+                    network.cfg.routing
+                )
         else:
+            if torus and self.config.reroute_model != "torus-arc":
+                raise ValueError(
+                    "mesh turn models are not deadlock-safe on a torus; "
+                    "use reroute_model='auto' or 'torus-arc'"
+                )
+            if not torus and self.config.reroute_model == "torus-arc":
+                raise ValueError(
+                    "reroute_model='torus-arc' requires a torus topology"
+                )
             self.reroute_model = self.config.reroute_model
         return self
 
@@ -342,6 +395,14 @@ class ContainmentCoordinator:
         """Watchdog event hook: remember when each link's ladder began
         (time-to-contain is measured from this onset)."""
         self._first_ladder_cycle.setdefault(event.link, event.cycle)
+
+    def set_localizer(self, localizer) -> "ContainmentCoordinator":
+        """Use a :class:`~repro.resilience.localize.TopologyLocalizer`
+        to drive quarantine: contain the 1-hop neighborhood of each
+        localized attacker instead of a bounding rectangle over every
+        correlated condemnation."""
+        self.localizer = localizer
+        return self
 
     # -- the action gate ----------------------------------------------------
     def _gate(self, stage: EscalationStage, key: LinkKey, cycle: int) -> bool:
@@ -418,8 +479,11 @@ class ContainmentCoordinator:
         fresh = self.watchdog.take_condemned()
         for key in fresh:
             self._handle_condemnation(network, key, cycle)
-        if fresh and self.config.quarantine:
-            self._maybe_quarantine(network, cycle)
+        if self.config.quarantine:
+            if self.localizer is not None:
+                self._advance_targeted(network, cycle)
+            elif fresh:
+                self._maybe_quarantine(network, cycle)
         if self.link_states:
             self._advance_draining(network, cycle)
         if self.probation is not None and self.link_states:
@@ -468,7 +532,7 @@ class ContainmentCoordinator:
         Only call after ``turn_model_connected`` has passed."""
         self.avoid = self.avoid | {key}
         network.set_route_fn(
-            AdaptiveRouting(
+            avoid_routing(
                 network.cfg, self.reroute_model, self.avoid
             ).route
         )
@@ -624,7 +688,7 @@ class ContainmentCoordinator:
                 self.avoid = remaining
                 if self.avoid:
                     network.set_route_fn(
-                        AdaptiveRouting(network.cfg, model, self.avoid).route
+                        avoid_routing(network.cfg, model, self.avoid).route
                     )
                 else:
                     network.set_route_fn(self._base_route_fn)
@@ -652,9 +716,77 @@ class ContainmentCoordinator:
             )
         )
 
+    # -- targeted quarantine (localization-driven) ---------------------------
+    def _advance_targeted(self, network: Network, cycle: int) -> None:
+        """Quarantine the 1-hop neighborhood of each localized attacker.
+
+        Strictly narrower than both the rectangle escalation and
+        flag-everything containment: only the out-links of the
+        localized link's two endpoints are candidates, each admitted
+        individually under the same connectivity predicate (greedy in
+        canonical order, so the admitted subset is deterministic).
+        Works identically on every topology — neighborhoods are graph
+        neighborhoods, not geometric rectangles.
+        """
+        localizer = self.localizer
+        if localizer.version == self._localizer_version:
+            return
+        self._localizer_version = localizer.version
+        model = self.reroute_model
+        if model is None:
+            return
+        cfg = network.cfg
+        for estimate in localizer.estimates():
+            if estimate.link in self._targeted_links:
+                continue
+            self._targeted_links.add(estimate.link)
+            region = sorted(neighborhood_links(cfg, estimate.link))
+            admitted: list[LinkKey] = []
+            for key in region:
+                if key in self.avoid:
+                    continue
+                if turn_model_connected(
+                    cfg, model, self.avoid | {*admitted, key}
+                ):
+                    admitted.append(key)
+            if not admitted:
+                self._log(
+                    ContainmentEvent(
+                        cycle, "refuse", estimate.link,
+                        detail="targeted quarantine would partition",
+                    )
+                )
+                continue
+            self.avoid = self.avoid | frozenset(admitted)
+            network.set_route_fn(
+                avoid_routing(cfg, model, self.avoid).route
+            )
+            network.wake_all()
+            self.targeted_admitted.update(admitted)
+            for key in admitted:
+                if key not in self.link_states:
+                    self.link_states[key] = "draining"
+                    self._contain_cycle[key] = cycle
+            self.quarantines += 1
+            self.targeted_quarantines += 1
+            self._log(
+                ContainmentEvent(
+                    cycle, "quarantine", estimate.link,
+                    detail=(
+                        f"targeted links={len(admitted)} "
+                        f"score={estimate.score:.2f}"
+                    ),
+                )
+            )
+
     # -- region quarantine ---------------------------------------------------
     def _maybe_quarantine(self, network: Network, cycle: int) -> None:
         cfg = network.cfg
+        if cfg.topology == "torus":
+            # wrap-around makes bounding rectangles ill-defined; torus
+            # networks escalate through localization-driven targeted
+            # quarantine (set_localizer) or stay per-link
+            return
         recent = [
             k for k, c in self._condemn_history
             if cycle - c <= self.config.quarantine_window
@@ -730,7 +862,7 @@ class ContainmentCoordinator:
                 return
         self.avoid = self.avoid | admitted
         network.set_route_fn(
-            AdaptiveRouting(cfg, model, self.avoid).route
+            avoid_routing(cfg, model, self.avoid).route
         )
         network.wake_all()
         for key in admitted:
@@ -765,6 +897,8 @@ class ContainmentCoordinator:
             "links_refused": self.links_refused,
             "links_sealed": self.links_sealed,
             "quarantines": self.quarantines,
+            "targeted_quarantines": self.targeted_quarantines,
+            "targeted_links": len(self.targeted_admitted),
             "actions_allowed": self.actions_allowed,
             "actions_denied": self.actions_denied,
             "partition_risks": len(self.partition_risks),

@@ -33,6 +33,7 @@ from repro.obs import profiler as obs_profiler
 from repro.obs.instrument import ObsConfig, Observability, ambient
 from repro.resilience.containment import ContainmentCoordinator
 from repro.resilience.detect import TrafficStatsDetector
+from repro.resilience.localize import TopologyLocalizer
 from repro.resilience.watchdog import RetransWatchdog
 from repro.sim.scenario import (
     AppTraffic,
@@ -241,6 +242,12 @@ class Simulation:
         if defense.e2e:
             kwargs["e2e"] = E2EObfuscator(layout=layout_for(cfg))
         if defense.tdm_domains:
+            if cfg.topology == "torus":
+                raise ValueError(
+                    "tdm_domains is not supported on a torus: the TDM "
+                    "VC partition intersected with the dateline halves "
+                    "can leave a packet no legal VC"
+                )
             kwargs["policy"] = TdmPolicy(
                 TdmConfig(num_domains=defense.tdm_domains), cfg.num_vcs
             )
@@ -319,6 +326,20 @@ class Simulation:
         if defense.detector is not None:
             self.detector = TrafficStatsDetector(defense.detector).attach(net)
 
+        #: attacker localization engine (None = not configured).  A
+        #: pure subscriber of the detector's flag stream — it is not a
+        #: network monitor, so it has no engine-timing footprint.
+        self.localizer: Optional[TopologyLocalizer] = None
+        if defense.localizer is not None:
+            if self.detector is None:
+                raise ValueError(
+                    "defense.localizer requires defense.detector: "
+                    "localization fuses the detector's footprints"
+                )
+            self.localizer = TopologyLocalizer(
+                cfg, defense.localizer
+            ).attach(self.detector)
+
         self.watchdog: Optional[RetransWatchdog] = None
         if defense.watchdog is not None:
             self.watchdog = RetransWatchdog(defense.watchdog).attach(net)
@@ -343,6 +364,8 @@ class Simulation:
             self.containment = ContainmentCoordinator(
                 defense.containment, probation=defense.probation
             ).attach(net, watchdog=self.watchdog)
+            if self.localizer is not None:
+                self.containment.set_localizer(self.localizer)
 
         #: online invariant/progress monitor (None = not configured)
         self.sentinel: Optional[Sentinel] = None

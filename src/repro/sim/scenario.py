@@ -38,6 +38,7 @@ from repro.noc.config import NoCConfig, PAPER_CONFIG
 from repro.noc.topology import Direction, LinkKey
 from repro.resilience.containment import ContainmentConfig, ProbationConfig
 from repro.resilience.detect import DetectConfig
+from repro.resilience.localize import LocalizeConfig
 from repro.resilience.watchdog import WatchdogConfig
 from repro.sim.sentinel import SentinelSpec
 
@@ -339,6 +340,10 @@ class DefenseSpec:
     #: early traffic-statistics detector feeding the watchdog ladder
     #: (requires ``watchdog`` to act on link flags)
     detector: Optional[DetectConfig] = None
+    #: topology-aware attacker localization over the detector's
+    #: footprints (requires ``detector``); with ``containment`` it
+    #: switches quarantine to localized neighborhoods
+    localizer: Optional[LocalizeConfig] = None
 
 
 # ---------------------------------------------------------------------------
@@ -384,10 +389,17 @@ class Scenario:
 
     # -- serialization ---------------------------------------------------
     def to_dict(self) -> dict:
+        cfg_fields = _plain_fields(self.cfg)
+        # topology keys are encoded only when set so every pre-topology
+        # scenario document (and its content hash) stays byte-identical
+        if cfg_fields["topology"] == "mesh":
+            del cfg_fields["topology"]
+        if not cfg_fields["express_interval"]:
+            del cfg_fields["express_interval"]
         out = {
             "format": SCENARIO_FORMAT,
             "name": self.name,
-            "cfg": _plain_fields(self.cfg),
+            "cfg": cfg_fields,
             "traffic": [_encode_traffic(t) for t in self.traffic],
             "trojans": [_encode_trojan(t) for t in self.trojans],
             "faults": [_encode_fault(f) for f in self.faults],
@@ -668,6 +680,8 @@ def _encode_defense(spec: DefenseSpec) -> dict:
         out["probation"] = _plain_fields(spec.probation)
     if spec.detector is not None:
         out["detector"] = _plain_fields(spec.detector)
+    if spec.localizer is not None:
+        out["localizer"] = _plain_fields(spec.localizer)
     return out
 
 
@@ -706,6 +720,13 @@ def _decode_defense(data: dict) -> DefenseSpec:
         if raw_detector is not None
         else None
     )
+    # tolerant .get: pre-localization scenario files stay decodable
+    raw_localizer = data.get("localizer")
+    localizer = (
+        _build_spec(LocalizeConfig, dict(raw_localizer), "localizer spec")
+        if raw_localizer is not None
+        else None
+    )
     return DefenseSpec(
         mitigated=data["mitigated"],
         mitigation=mitigation,
@@ -718,4 +739,5 @@ def _decode_defense(data: dict) -> DefenseSpec:
         containment=containment,
         probation=probation,
         detector=detector,
+        localizer=localizer,
     )

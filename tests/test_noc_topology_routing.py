@@ -6,9 +6,11 @@ from hypothesis import given, strategies as st
 from repro.noc import NoCConfig, PAPER_CONFIG
 from repro.noc.routing import TableRouting, xy_route, yx_route
 from repro.noc.topology import (
+    BASE_DIRECTIONS,
     Direction,
     OPPOSITE,
     all_links,
+    is_express,
     link_endpoints,
     links_on_xy_path,
     neighbor,
@@ -67,9 +69,15 @@ class TestTopology:
             15: {Direction.EAST, Direction.NORTH},
         }
         for router, off_mesh in corners.items():
-            for direction in Direction:
+            for direction in BASE_DIRECTIONS:
                 result = neighbor(CFG, router, direction)
                 assert (result is None) == (direction in off_mesh)
+
+    def test_express_directions_absent_on_plain_mesh(self):
+        for router in range(CFG.num_routers):
+            for direction in Direction:
+                if is_express(direction):
+                    assert neighbor(CFG, router, direction) is None
 
     def test_8x8_link_count(self):
         """2 directed links per interior edge: 2 * 2 * 7 * 8."""

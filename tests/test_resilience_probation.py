@@ -15,11 +15,17 @@ condemnation path already proves:
   damping converges to permanent condemnation.
 """
 
+import dataclasses
+
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import TargetSpec, TaspConfig, TaspTrojan
-from repro.noc.adaptive import AdaptiveRouting, turn_model_connected
+from repro.noc.adaptive import (
+    AdaptiveRouting,
+    avoid_routing,
+    turn_model_connected,
+)
 from repro.noc.config import PAPER_CONFIG
 from repro.noc.flit import layout_for
 from repro.noc.network import Network
@@ -368,6 +374,73 @@ class TestInterleavingsNeverStrand:
         routing = AdaptiveRouting(CFG, "west-first", co.avoid)
         for a in range(CFG.num_routers):
             for b in range(CFG.num_routers):
+                if a != b:
+                    walk(routing, a, b)
+
+
+#: the same no-stranding property beyond the plain mesh: every
+#: topology pairs its config with a condemnable pool (wrap links on
+#: the torus, an express channel on the express mesh)
+TOPOLOGY_POOLS = [
+    pytest.param(CFG, POOL, id="mesh"),
+    pytest.param(
+        dataclasses.replace(CFG, topology="torus"),
+        [(0, EAST), (5, EAST), (3, EAST), (1, WEST), (6, WEST),
+         (12, Direction.NORTH)],
+        id="torus",
+    ),
+    pytest.param(
+        dataclasses.replace(CFG, express_interval=2),
+        [(0, EAST), (5, EAST), (9, EAST), (1, WEST),
+         (0, Direction.EXPRESS_EAST), (4, Direction.EXPRESS_NORTH)],
+        id="express",
+    ),
+]
+
+
+class TestInterleavingsNeverStrandAnyTopology:
+    """Condemn/probe/reinstate interleavings keep every src/dst pair
+    routable on the torus (clear-arc reachability) and on the express
+    mesh (express channels folded into the avoid machinery), exactly
+    as on the plain mesh."""
+
+    @pytest.mark.parametrize("cfg,pool", TOPOLOGY_POOLS)
+    @settings(max_examples=15, deadline=None)
+    @given(data=st.data())
+    def test_condemn_probe_reinstate_interleavings(self, cfg, pool, data):
+        script = data.draw(
+            st.lists(
+                st.tuples(
+                    st.sampled_from(pool),
+                    st.sampled_from(["condemn", "wait", "wait-long"]),
+                ),
+                min_size=1,
+                max_size=10,
+            )
+        )
+        net = Network(cfg)
+        wd = RetransWatchdog(WatchdogConfig()).attach(net)
+        co = ContainmentCoordinator(
+            ContainmentConfig(), probation=PROBATION
+        ).attach(net, wd)
+        model = co.reroute_model
+        assert model == ("torus-arc" if cfg.topology == "torus"
+                         else "west-first")
+        cycle = 100
+        for key, op in script:
+            if op == "condemn":
+                if key not in co.link_states:
+                    _condemn(wd, key)
+                    co.on_cycle(net, cycle)
+            elif op == "wait":
+                cycle = _advance(net, co, cycle, cycle + 100)
+            else:
+                cycle = _advance(net, co, cycle, cycle + 1000)
+            cycle += 25
+            assert turn_model_connected(cfg, model, co.avoid)
+        routing = avoid_routing(cfg, model, co.avoid)
+        for a in range(cfg.num_routers):
+            for b in range(cfg.num_routers):
                 if a != b:
                     walk(routing, a, b)
 

@@ -16,6 +16,7 @@ from repro.noc.config import PAPER_CONFIG
 from repro.noc.topology import Direction
 from repro.resilience.containment import ContainmentConfig, ProbationConfig
 from repro.resilience.detect import DetectConfig
+from repro.resilience.localize import LocalizeConfig
 from repro.resilience.watchdog import WatchdogConfig
 from repro.sim import (
     AppTraffic,
@@ -77,6 +78,7 @@ def rich_scenario() -> Scenario:
             containment=ContainmentConfig(max_actions_per_cycle=2),
             probation=ProbationConfig(required_clean=4, max_flaps=2),
             detector=DetectConfig(window=32, consecutive=3),
+            localizer=LocalizeConfig(cluster_radius=3, min_score=5.0),
             tdm_domains=2,
             rerouted_links=((2, Direction.WEST),),
         ),
@@ -246,6 +248,101 @@ class TestRecoveryBackCompat:
             TrojanSpec(link=(0, Direction.EAST),
                        target=TargetSpec.for_dest(15),
                        enable_at=200, disable_at=100)
+
+
+class TestTopologyBackCompat:
+    """The topology-layer fields (``NoCConfig.topology`` /
+    ``.express_interval``, ``DefenseSpec.localizer``) are encoded only
+    when set, so every scenario from before the topology layer existed
+    serializes — and therefore content-hashes — byte-identically."""
+
+    def pr8_scenario(self) -> Scenario:
+        """A scenario using everything *except* the topology layer."""
+        return Scenario(
+            name="pre-topology",
+            trojans=trojan_specs([(0, Direction.EAST)],
+                                 TargetSpec.for_dest(15)),
+            defense=DefenseSpec(
+                mitigated=True,
+                watchdog=WatchdogConfig(),
+                containment=ContainmentConfig(),
+                detector=DetectConfig(),
+            ),
+            duration=400,
+            seed=11,
+        )
+
+    def test_unset_fields_never_reach_the_wire(self):
+        data = json.loads(self.pr8_scenario().to_json())
+        assert "topology" not in data["cfg"]
+        assert "express_interval" not in data["cfg"]
+        assert "localizer" not in data["defense"]
+
+    def test_pre_topology_documents_still_decode(self):
+        data = json.loads(self.pr8_scenario().to_json())
+        # a pre-PR9 encoder never wrote the new keys at all; decoding
+        # such a document must produce the mesh defaults
+        for key in ("topology", "express_interval"):
+            assert key not in data["cfg"]
+        s = Scenario.from_dict(data)
+        assert s.cfg.topology == "mesh"
+        assert s.cfg.express_interval == 0
+        assert s.defense.localizer is None
+
+    def test_hash_unchanged_by_the_new_fields_existing(self):
+        s = self.pr8_scenario()
+        assert Scenario.from_json(s.to_json()).content_hash() == \
+            s.content_hash()
+
+    def test_topology_fields_are_part_of_identity(self):
+        s = self.pr8_scenario()
+        torus = dataclasses.replace(
+            s, cfg=dataclasses.replace(s.cfg, topology="torus")
+        )
+        express = dataclasses.replace(
+            s, cfg=dataclasses.replace(s.cfg, express_interval=2)
+        )
+        localized = dataclasses.replace(
+            s, defense=dataclasses.replace(
+                s.defense, localizer=LocalizeConfig()
+            )
+        )
+        hashes = {s.content_hash(), torus.content_hash(),
+                  express.content_hash(), localized.content_hash()}
+        assert len(hashes) == 4
+
+    def test_torus_scenario_round_trips(self):
+        s = Scenario(
+            name="torus",
+            cfg=dataclasses.replace(PAPER_CONFIG, topology="torus"),
+            defense=DefenseSpec(
+                watchdog=WatchdogConfig(),
+                containment=ContainmentConfig(),
+                detector=DetectConfig(),
+                localizer=LocalizeConfig(cluster_radius=1),
+            ),
+            duration=300,
+            seed=5,
+        )
+        decoded = Scenario.from_json(s.to_json())
+        assert decoded == s
+        assert decoded.cfg.topology == "torus"
+        assert decoded.defense.localizer == LocalizeConfig(cluster_radius=1)
+
+    def test_localizer_requires_detector(self):
+        from repro.sim.engine import Simulation
+
+        bad = Scenario(
+            name="no-detector",
+            defense=DefenseSpec(
+                watchdog=WatchdogConfig(),
+                containment=ContainmentConfig(),
+                localizer=LocalizeConfig(),
+            ),
+            duration=100,
+        )
+        with pytest.raises(ValueError, match="detector"):
+            Simulation(bad)
 
 
 class TestDecodeErrors:

@@ -207,6 +207,64 @@ class TestEventVsSweepIdentity:
         sweep, event, _, _ = self.run_both(chaos_style())
         assert event.trojans[0].triggers == sweep.trojans[0].triggers > 0
 
+    def test_torus_defense_stack_identical(self):
+        # wrap routing, dateline VCs, and the detect->localize->
+        # targeted-quarantine pipeline under both engines
+        from repro.core import TargetSpec
+        from repro.noc.config import NoCConfig
+        from repro.noc.topology import Direction
+        from repro.resilience.containment import ContainmentConfig
+        from repro.resilience.detect import DetectConfig
+        from repro.resilience.localize import LocalizeConfig
+        from repro.resilience.watchdog import WatchdogConfig
+        from repro.sim import DefenseSpec, TrojanSpec
+
+        scenario = Scenario(
+            name="torus-oracle",
+            cfg=NoCConfig(mesh_width=4, mesh_height=4, topology="torus"),
+            traffic=(
+                SyntheticTraffic(injection_rate=0.03, duration=1400,
+                                 seed=7),
+            ),
+            trojans=(
+                TrojanSpec((5, Direction.EAST), TargetSpec.for_vc(0),
+                           enabled=False, enable_at=700),
+            ),
+            defense=DefenseSpec(
+                watchdog=WatchdogConfig(),
+                containment=ContainmentConfig(),
+                detector=DetectConfig(),
+                localizer=LocalizeConfig(),
+            ),
+            duration=1600,
+        )
+        sweep, event, rs, re_ = self.run_both(scenario)
+        assert rs == re_
+        assert canonical(rs, sweep.network) == canonical(re_, event.network)
+        assert (
+            sweep.localizer.summary() == event.localizer.summary()
+        )
+        assert (
+            sweep.containment.summary() == event.containment.summary()
+        )
+
+    def test_express_mesh_identical(self):
+        from repro.noc.config import NoCConfig
+
+        scenario = Scenario(
+            name="express-oracle",
+            cfg=NoCConfig(mesh_width=6, mesh_height=6,
+                          express_interval=2),
+            traffic=(
+                SyntheticTraffic(injection_rate=0.03, duration=800,
+                                 seed=5),
+            ),
+            duration=1000,
+        )
+        sweep, event, rs, re_ = self.run_both(scenario)
+        assert rs == re_
+        assert canonical(rs, sweep.network) == canonical(re_, event.network)
+
     def test_stall_abort_identical(self):
         # a flow that dies mid-run must abort at the same cycle: the
         # trojan drops everything and nothing is mitigated

@@ -56,6 +56,64 @@ class TestLinkHeatmap:
         assert out.count(HEAT_RAMP[-1]) >= 1
 
 
+class TestHeatmapBeyondSquareMesh:
+    def test_non_square_mesh_stays_aligned(self):
+        cfg = NoCConfig(mesh_width=6, mesh_height=2)
+        out = render_link_heatmap(cfg, {(0, Direction.EAST): 3.0})
+        lines = out.splitlines()
+        # two router rows with one vertical row between them
+        router_rows = [l for l in lines if l.startswith("[")]
+        assert len(router_rows) == 2
+        for rid in range(12):
+            assert f"[{rid:2d}]" in out
+
+    def test_three_digit_ids_widen_cells_uniformly(self):
+        cfg = NoCConfig(mesh_width=16, mesh_height=16)
+        out = render_link_heatmap(cfg, {})
+        assert "[255]" in out
+        assert "[  0]" in out
+        router_rows = [
+            l for l in out.splitlines() if l.startswith("[")
+        ]
+        # every full row renders to the same width: no drift
+        assert len({len(row) for row in router_rows}) == 1
+
+    def test_vertical_segments_sit_under_their_cells(self):
+        cfg = NoCConfig(mesh_width=16, mesh_height=16)
+        out = render_link_heatmap(
+            cfg, {(0, Direction.NORTH): 9.0}, title="t"
+        )
+        lines = out.splitlines()
+        bottom = lines[-1]
+        vrow = lines[-2]
+        # the hot northbound glyph column starts inside cell [0]'s span
+        assert vrow.index("^") < bottom.index("]")
+
+    def test_torus_wrap_links_go_to_the_overflow_legend(self):
+        cfg = NoCConfig(mesh_width=4, mesh_height=4, topology="torus")
+        loads = {
+            (3, Direction.EAST): 7.0,   # wrap link
+            (0, Direction.EAST): 2.0,   # planar link
+        }
+        out = render_link_heatmap(cfg, loads)
+        assert "+1 non-planar link(s)" in out
+        assert "3->EAST" in out
+        # the wrap load sets the peak even though it is not drawn
+        assert "peak=7" in out
+
+    def test_express_links_go_to_the_overflow_legend(self):
+        cfg = NoCConfig(mesh_width=6, mesh_height=6, express_interval=2)
+        out = render_link_heatmap(
+            cfg, {(0, Direction.EXPRESS_EAST): 4.0}
+        )
+        assert "+1 non-planar link(s)" in out
+        assert "0->EXPRESS_EAST" in out
+
+    def test_planar_only_loads_render_without_legend(self):
+        out = render_link_heatmap(CFG, {(0, Direction.EAST): 1.0})
+        assert "non-planar" not in out
+
+
 class TestRouterGrid:
     def test_classifier_applied_per_router(self):
         out = render_router_grid(CFG, lambda r: str(r % 10), legend="L")
