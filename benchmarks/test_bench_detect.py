@@ -104,3 +104,80 @@ def test_bench_detect_overhead(record_samples, bench_meta):
     record_samples(times["recovery"], variant="recovery")
 
     assert overhead < RECOVERY_OVERHEAD
+
+
+def test_bench_detect_profile_shares(record_samples, bench_meta):
+    """Wall-clock share of the detector and localizer hooks.
+
+    Profiles one attacked run with the full detect+localize stack
+    armed: the detector monitor gets its own ``detect`` lap in the
+    cycle loop and the localizer nets its nested share out into
+    ``localize`` (see ``PhaseProfiler.reattribute``), so the record
+    pins how much of the step loop the streaming-analytics inputs
+    cost.
+    """
+    from repro.core import TargetSpec
+    from repro.noc.topology import Direction
+    from repro.obs import profiler as obs_profiler
+    from repro.resilience.localize import LocalizeConfig
+    from repro.sim import TrojanSpec
+
+    warmup = DetectConfig().window * DetectConfig().warmup_windows
+    scenario = Scenario(
+        name="bench-detect-profile",
+        cfg=PAPER_CONFIG,
+        traffic=(
+            SyntheticTraffic(
+                pattern="uniform",
+                injection_rate=0.10,
+                duration=DURATION,
+                seed=11,
+            ),
+        ),
+        trojans=(
+            TrojanSpec(
+                (0, Direction.EAST),
+                TargetSpec.for_dest(11),
+                enable_at=warmup + 50,
+            ),
+        ),
+        defense=DefenseSpec(
+            watchdog=WatchdogConfig(),
+            containment=ContainmentConfig(),
+            detector=DetectConfig(),
+            localizer=LocalizeConfig(),
+        ),
+        max_cycles=DURATION + 6000,
+    )
+    prof = obs_profiler.enable()
+    try:
+        sim = Simulation(scenario)
+        started = time.perf_counter()
+        sim.run()
+        elapsed = time.perf_counter() - started
+    finally:
+        obs_profiler.disable()
+
+    total = prof.total()
+    assert total > 0
+    shares = {
+        phase: prof.seconds.get(phase, 0.0) / total
+        for phase in ("detect", "localize")
+    }
+    # the detector monitor laps every step; the localizer only runs
+    # on flags, so the attack must actually have been flagged
+    assert prof.seconds.get("detect", 0.0) > 0
+    assert sim.detector.summary()["suspect_links"]
+    assert prof.calls.get("localize", 0) > 0
+
+    print(
+        f"\ndetect/localize profile on {sim.network.cycle} cycles: "
+        f"detect {shares['detect'] * 100:.1f}%, "
+        f"localize {shares['localize'] * 100:.2f}% of {total:.3f}s"
+    )
+    bench_meta["cycles"] = sim.network.cycle
+    record_samples(
+        [elapsed],
+        detect_share=round(shares["detect"], 4),
+        localize_share=round(shares["localize"], 4),
+    )

@@ -125,7 +125,15 @@ def benign_traffic(duration: int) -> SyntheticTraffic:
     )
 
 
-def _scenario(n: int, duration: int, attacked: bool) -> Scenario:
+def build_scenario(
+    n: int = 3, duration: int = 4000, attacked: bool = True
+) -> Scenario:
+    """One campaign case as a first-class value.
+
+    The defaults pin the quick (CI smoke) case independently of the
+    ``REPRO_DISTRIBUTED_QUICK`` env var; the serving layer
+    (:mod:`repro.serve.scenarios`) registers exactly this run.
+    """
     traffic: tuple = (benign_traffic(duration - 200),)
     trojans = ()
     attacks = ()
@@ -169,11 +177,11 @@ def _scenario(n: int, duration: int, attacked: bool) -> Scenario:
 
 
 def run_case(n: int, duration: int) -> DistributedCase:
-    baseline = Simulation(_scenario(n, duration, attacked=False))
+    baseline = Simulation(build_scenario(n, duration, attacked=False))
     baseline.run()
     base_delivered = _benign_delivered(baseline)
 
-    sim = Simulation(_scenario(n, duration, attacked=True))
+    sim = Simulation(build_scenario(n, duration, attacked=True))
     sim.run()  # a sentinel trip raises: finishing proves zero trips
     delivered = _benign_delivered(sim)
 

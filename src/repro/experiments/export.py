@@ -50,11 +50,14 @@ def save_result(
     path: str | Path,
     experiment: str = "",
     metrics: Any = None,
+    verdict_stream: Any = None,
 ) -> Path:
     """Serialize a result to a JSON file; returns the path written.
 
     ``metrics`` (a ``repro.obs`` manifest dict) is embedded as the
-    payload's ``"metrics"`` section when given.
+    payload's ``"metrics"`` section when given; ``verdict_stream`` (a
+    list of ``repro.serve`` verdict dicts, the streaming classifiers'
+    output over the run's event bus) as ``"verdict_stream"``.
     """
     path = Path(path)
     payload = {
@@ -63,6 +66,8 @@ def save_result(
     }
     if metrics is not None:
         payload["metrics"] = metrics
+    if verdict_stream is not None:
+        payload["verdict_stream"] = verdict_stream
     path.write_text(json.dumps(payload, indent=2, sort_keys=True))
     return path
 

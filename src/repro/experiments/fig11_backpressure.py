@@ -75,16 +75,22 @@ def _hot_incoming_link(cfg: NoCConfig, app: str, seed: int) -> LinkKey:
     return max(candidates, key=candidates.get)
 
 
-def _run_one(
-    cfg: NoCConfig,
-    app: str,
-    warmup: int,
-    window: int,
-    rate_scale: float,
-    sample_every: int,
-    seed: int,
-    with_trojan: bool,
-) -> tuple[Fig11Series, Optional[TaspTrojan], LinkKey]:
+def build_scenario(
+    cfg: NoCConfig = PAPER_CONFIG,
+    app: str = "blackscholes",
+    warmup: int = 1500,
+    window: int = 1500,
+    rate_scale: float = 3.5,
+    sample_every: int = 25,
+    seed: int = 0,
+    with_trojan: bool = True,
+) -> Scenario:
+    """The fig11 scenario as a first-class value.
+
+    Public so the serving layer (:mod:`repro.serve.scenarios`) can
+    submit the exact run this experiment performs; :func:`run` builds
+    its attacked and clean cases through it.
+    """
     link = _hot_incoming_link(cfg, app, seed)
     trojans: tuple[TrojanSpec, ...] = ()
     if with_trojan:
@@ -98,25 +104,43 @@ def _run_one(
                 enable_at=warmup,
             ),
         )
-    sim = Simulation(
-        Scenario(
-            name=f"fig11-{app}-{'attacked' if with_trojan else 'clean'}",
-            cfg=cfg,
-            traffic=(
-                AppTraffic(
-                    profile=app,
-                    seed=seed,
-                    duration=warmup + window,
-                    rate_scale=rate_scale,
-                ),
+    return Scenario(
+        name=f"fig11-{app}-{'attacked' if with_trojan else 'clean'}",
+        cfg=cfg,
+        traffic=(
+            AppTraffic(
+                profile=app,
+                seed=seed,
+                duration=warmup + window,
+                rate_scale=rate_scale,
             ),
-            trojans=trojans,
-            defense=DefenseSpec(e2e=True),
-            duration=warmup + window,
-            sample_interval=sample_every,
-            seed=seed,
-        )
+        ),
+        trojans=trojans,
+        defense=DefenseSpec(e2e=True),
+        duration=warmup + window,
+        sample_interval=sample_every,
+        seed=seed,
     )
+
+
+def _run_one(
+    cfg: NoCConfig,
+    app: str,
+    warmup: int,
+    window: int,
+    rate_scale: float,
+    sample_every: int,
+    seed: int,
+    with_trojan: bool,
+) -> tuple[Fig11Series, Optional[TaspTrojan], LinkKey]:
+    scenario = build_scenario(
+        cfg, app, warmup, window, rate_scale, sample_every, seed,
+        with_trojan,
+    )
+    link = scenario.trojans[0].link if scenario.trojans else (
+        _hot_incoming_link(cfg, app, seed)
+    )
+    sim = Simulation(scenario)
     sim.run()
     trojan = sim.trojans[0] if sim.trojans else None
     label = "single active TASP (e2e failed)" if with_trojan else "no HT"

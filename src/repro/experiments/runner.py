@@ -160,18 +160,22 @@ def run_experiment(
     use_cache = cache is not None and obs_dir is None
     cached = cache.get(_cache_key(module, seed)) if use_cache else None
     metrics = disabled_manifest()
+    verdict_stream = None
     if cached is not None:
         report = cached["report"]
         jsonable = cached["result"]
         metrics = cached.get("metrics", metrics)
     else:
         obs = None
+        pipeline = None
         if obs_dir is not None:
             from repro.obs.instrument import (
                 ObsConfig,
                 disable_ambient,
                 enable_ambient,
             )
+            from repro.serve.classify import ZScoreClassifier
+            from repro.serve.pipeline import DetectionPipeline
 
             obs_root = Path(obs_dir) / name
             obs = enable_ambient(
@@ -181,6 +185,10 @@ def run_experiment(
                     prometheus=str(obs_root / "metrics.prom"),
                 )
             )
+            # streaming detection riding the same bus: the z-score
+            # classifier (topology not known here, channels first-seen)
+            # folds the event stream into the embedded verdict_stream
+            pipeline = DetectionPipeline([ZScoreClassifier()]).attach(obs)
         try:
             result = module.run(**_seed_kwargs(module, seed))
         finally:
@@ -188,6 +196,9 @@ def run_experiment(
                 disable_ambient()
         report = module.format_result(result)
         jsonable = to_jsonable(result)
+        if pipeline is not None:
+            pipeline.finish()
+            verdict_stream = pipeline.verdict_stream()
         if obs is not None:
             metrics = obs.export()
             report += f"\n[observability exported to {obs_root}]"
@@ -217,7 +228,13 @@ def run_experiment(
                 )
             )
         else:
-            save_result(result, json_path, experiment=name, metrics=metrics)
+            save_result(
+                result,
+                json_path,
+                experiment=name,
+                metrics=metrics,
+                verdict_stream=verdict_stream,
+            )
         report += f"\n[result saved to {json_path}]"
     note = " (cached)" if cached is not None else ""
     return f"{report}\n\n[{name} completed in {elapsed:.1f}s{note}]"

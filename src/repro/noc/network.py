@@ -526,9 +526,17 @@ class Network:
 
         # Per-cycle observers (resilience watchdog etc.) see the fully
         # settled cycle state.
-        for monitor in self.monitors:
-            monitor.on_cycle(self, cycle)
-        if prof is not None:
+        if prof is None:
+            for monitor in self.monitors:
+                monitor.on_cycle(self, cycle)
+        else:
+            # monitors declaring ``profile_phase`` (the detector) get
+            # their own lap; the rest stay pooled under "defense"
+            for monitor in self.monitors:
+                monitor.on_cycle(self, cycle)
+                _t = prof.lap(
+                    getattr(monitor, "profile_phase", "defense"), _t
+                )
             _t = prof.lap("defense", _t)
 
         interval = self._sample_interval

@@ -154,10 +154,21 @@ class Subscription:
         return len(self.queue)
 
     def drain(self) -> list[Event]:
-        """All queued events, removing them (oldest first)."""
-        out = list(self.queue)
-        self.queue.clear()
-        return out
+        """All queued events, removing them (oldest first).
+
+        Implemented as a popleft loop rather than ``list()`` + ``clear``
+        so a consumer on another thread (the serving layer pumps its
+        subscription from a worker) never loses events appended between
+        the copy and the clear — ``deque.popleft`` and ``append`` are
+        individually atomic.
+        """
+        out: list[Event] = []
+        queue = self.queue
+        while True:
+            try:
+                out.append(queue.popleft())
+            except IndexError:
+                return out
 
     def peek(self) -> Iterator[Event]:
         return iter(self.queue)

@@ -258,30 +258,32 @@ def export_all(obs: "Observability") -> dict:
 # ---------------------------------------------------------------------------
 # command line
 # ---------------------------------------------------------------------------
-def _validate_path(path: Path) -> list[str]:
-    """Validate one file or directory; returns human-readable lines."""
-    if path.is_dir():
-        lines = []
-        found = False
-        for candidate in sorted(path.iterdir()):
-            if candidate.suffix in (".jsonl", ".json"):
-                found = True
-                lines.extend(_validate_path(candidate))
-        if not found:
-            raise ObsExportError(
-                f"{path}: no .jsonl/.json export files found"
-            )
-        return lines
+def _export_files(path: Path) -> list[Path]:
+    """Every export file named by ``path``: itself when it is a file,
+    else every ``*.jsonl`` / ``*.json`` anywhere under the directory
+    (an ``--obs-dir`` tree holds one subdirectory per experiment)."""
+    if not path.is_dir():
+        return [path]
+    return sorted(
+        candidate
+        for candidate in path.rglob("*")
+        if candidate.is_file()
+        and candidate.suffix in (".jsonl", ".json")
+    )
+
+
+def _validate_file(path: Path) -> str:
+    """Validate one export file; returns its human-readable status."""
     if path.suffix == ".jsonl":
         count = validate_events_jsonl(path)
-        return [f"{path}: {count} events, schema v{EVENT_SCHEMA_VERSION}"]
+        return f"{path}: {count} events, schema v{EVENT_SCHEMA_VERSION}"
     manifest = validate_metrics_json(path)
     families = len(manifest.get("metrics", {}))
-    return [
+    return (
         f"{path}: metrics format {manifest['format']}, "
         f"{families} metric families, "
         f"enabled={manifest['enabled']}"
-    ]
+    )
 
 
 def main(argv=None) -> int:
@@ -295,20 +297,44 @@ def main(argv=None) -> int:
     validate = sub.add_parser(
         "validate",
         help="schema-check events.jsonl / metrics.json files "
-        "(or directories of them)",
+        "(or directories of them, recursively)",
     )
     validate.add_argument("paths", nargs="+", help="files or directories")
     args = parser.parse_args(argv)
 
-    status = 0
+    checked = 0
+    errors: list[tuple[Path, Exception]] = []
     for raw in args.paths:
-        try:
-            for line in _validate_path(Path(raw)):
-                print(line)
-        except (ObsExportError, OSError) as exc:
+        path = Path(raw)
+        if path.is_dir():
+            files = _export_files(path)
+            if not files:
+                errors.append(
+                    (
+                        path,
+                        ObsExportError(
+                            f"{path}: no .jsonl/.json export files found"
+                        ),
+                    )
+                )
+                continue
+        else:
+            files = [path]
+        # every file is validated — one bad export does not hide the
+        # state of the rest of the tree
+        for file in files:
+            checked += 1
+            try:
+                print(_validate_file(file))
+            except (ObsExportError, OSError) as exc:
+                errors.append((file, exc))
+    if errors:
+        print(f"\n{checked} files checked, {len(errors)} invalid:")
+        for file, exc in errors:
             print(f"INVALID: {exc}")
-            status = 1
-    return status
+        return 1
+    print(f"\n{checked} files checked, all valid")
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -34,6 +34,11 @@ PHASE_ORDER = (
     "route",
     "inject",
     "defense",
+    # monitor hooks that declare ``profile_phase`` get their own lap
+    # (Network.step); the detector's localizer moves its share out of
+    # "detect" via reattribute()
+    "detect",
+    "localize",
     "sample",
     "active",
     # event engine only: skip decisions + clock teleports (sim/sched.py)
@@ -61,6 +66,24 @@ class PhaseProfiler:
     def add(self, phase: str, seconds: float) -> None:
         self.seconds[phase] = self.seconds.get(phase, 0.0) + seconds
         self.calls[phase] = self.calls.get(phase, 0) + 1
+
+    def reattribute(
+        self, seconds: float, target: str, source: Optional[str] = None
+    ) -> None:
+        """Charge ``seconds`` to ``target``, debiting ``source``.
+
+        For work nested inside another phase's lap (the localizer runs
+        inside the detector's monitor slot): the enclosing lap will
+        charge the whole interval to ``source`` later, so the debit
+        here nets the nested share out without double-counting the
+        total.  With ``source=None`` the seconds are simply added
+        (nothing encloses the work — e.g. the serving pipeline driving
+        the localizer outside the cycle loop).
+        """
+        self.seconds[target] = self.seconds.get(target, 0.0) + seconds
+        self.calls[target] = self.calls.get(target, 0) + 1
+        if source is not None:
+            self.seconds[source] = self.seconds.get(source, 0.0) - seconds
 
     def total(self) -> float:
         return sum(self.seconds.values())

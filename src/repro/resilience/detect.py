@@ -90,8 +90,13 @@ class DetectionEvent:
     detail: str = ""
 
 
-class _Welford:
-    """Running mean/variance over one channel's windowed series."""
+class Welford:
+    """Running mean/variance over one channel's windowed series.
+
+    Public on purpose: the streaming classifier in
+    :mod:`repro.serve.classify` applies the same baseline/streak rules
+    to bus-derived feature frames, so the statistical core lives once.
+    """
 
     __slots__ = ("count", "mean", "_m2", "streak", "last")
 
@@ -124,9 +129,32 @@ class _Welford:
     def reset_streak(self) -> None:
         self.streak = 0
 
+    def observe(self, value: float, config: DetectConfig) -> bool:
+        """Fold one window into this channel under ``config``'s policy;
+        True when the anomaly streak just reached the flagging
+        threshold.  Anomalous windows are excluded from the baseline so
+        an ongoing attack cannot drag its own threshold up."""
+        if self.count < config.warmup_windows:
+            self.admit(value)
+            return False
+        z = self.z_score(value)
+        if z <= config.z_threshold:
+            self.reset_streak()
+            self.admit(value)
+            return False
+        self.streak += 1
+        return self.streak >= config.consecutive
+
+
+#: backwards-compatible private alias (pre-serve callers)
+_Welford = Welford
+
 
 class TrafficStatsDetector:
     """Window-boundary monitor feeding the watchdog ladder early."""
+
+    #: profiler phase this monitor's on_cycle time is charged to
+    profile_phase = "detect"
 
     def __init__(self, config: Optional[DetectConfig] = None):
         self.config = config or DetectConfig()
@@ -201,23 +229,14 @@ class TrafficStatsDetector:
             if self._observe(stats, value):
                 self._flag_router(rid, cycle, stats.z_score(value))
 
-    def _observe(self, stats: _Welford, value: float) -> bool:
+    def _observe(self, stats: Welford, value: float) -> bool:
         """Fold one window into a channel; True when its streak just
         reached the flagging threshold."""
-        cfg = self.config
-        if stats.count < cfg.warmup_windows:
-            stats.admit(value)
-            return False
-        z = stats.z_score(value)
-        if z <= cfg.z_threshold:
-            stats.reset_streak()
-            stats.admit(value)
-            return False
-        # Anomalous: excluded from the baseline so an attack cannot
-        # drag the threshold up under itself.
-        self.anomalous_windows += 1
-        stats.streak += 1
-        return stats.streak >= cfg.consecutive
+        before = stats.streak
+        flagged = stats.observe(value, self.config)
+        if stats.streak > before:
+            self.anomalous_windows += 1
+        return flagged
 
     def _flag_link(self, key: LinkKey, cycle: int, z: float) -> None:
         # clamp: a flat-baseline step scores inf, which strict JSON

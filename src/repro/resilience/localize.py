@@ -49,10 +49,12 @@ byte-identical across engines by construction.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable, Optional
 
 from repro.noc.config import NoCConfig
 from repro.noc.topology import LinkKey, link_endpoints
+from repro.obs import profiler as obs_profiler
 from repro.resilience.detect import DetectionEvent, TrafficStatsDetector
 
 
@@ -118,6 +120,12 @@ class _Footprint:
 class TopologyLocalizer:
     """Fuses detector footprints into ranked attacker placements."""
 
+    #: phase the enclosing lap charges this hook's time to — the
+    #: localizer runs inside the detector's monitor slot, so its share
+    #: is reattributed out of "detect" when profiling is armed.  The
+    #: serving pipeline (no enclosing lap) sets this to ``None``.
+    profile_source: Optional[str] = "detect"
+
     def __init__(
         self, cfg: NoCConfig, config: Optional[LocalizeConfig] = None
     ):
@@ -139,19 +147,27 @@ class TopologyLocalizer:
     def attach(self, detector: TrafficStatsDetector) -> "TopologyLocalizer":
         """Subscribe to the detector's flag stream."""
         self.detector = detector
-        detector.event_hooks.append(self._on_detect)
+        detector.event_hooks.append(self.ingest)
         return self
 
     def detach(self) -> None:
         if self.detector is not None:
             try:
-                self.detector.event_hooks.remove(self._on_detect)
+                self.detector.event_hooks.remove(self.ingest)
             except ValueError:
                 pass
         self.detector = None
 
     # -- footprint ingestion -------------------------------------------
-    def _on_detect(self, event: DetectionEvent) -> None:
+    def ingest(self, event: DetectionEvent) -> None:
+        """Fuse one detector flag into the footprint set.
+
+        The public entry point: ``attach`` wires it to a live
+        detector's hook list, and the serving pipeline
+        (:mod:`repro.serve.classify`) feeds it reconstructed events
+        from the bus stream — both paths re-derive identical estimates
+        from identical flag sequences.
+        """
         if event.kind == "suspect_link" and event.link is not None:
             anchor = event.link[0]
             fp_key = ("link", event.link)
@@ -170,8 +186,22 @@ class TopologyLocalizer:
         self.flags_fused += 1
         self._refresh(event.cycle)
 
+    #: backwards-compatible alias (pre-serve hook wiring)
+    _on_detect = ingest
+
     # -- clustering and scoring ----------------------------------------
     def _refresh(self, cycle: int) -> None:
+        prof = obs_profiler.current()
+        if prof is None:
+            self._refresh_inner(cycle)
+            return
+        t0 = perf_counter()
+        self._refresh_inner(cycle)
+        prof.reattribute(
+            perf_counter() - t0, "localize", self.profile_source
+        )
+
+    def _refresh_inner(self, cycle: int) -> None:
         footprints = list(self._footprints.values())
         parent = list(range(len(footprints)))
 

@@ -1,0 +1,59 @@
+"""Streaming detection service: live analytics on the obs event bus.
+
+The observability layer (:mod:`repro.obs`) publishes a typed event
+stream — injections, retransmissions, corruptions, escalations,
+detector flags — that until now was only exported post-run.  This
+package consumes it *while the simulation runs*:
+
+* :mod:`repro.serve.features` folds bus events into cycle-windowed
+  per-link / per-router feature frames (the streaming generalization
+  of :class:`repro.obs.series.WindowedSeries`);
+* :mod:`repro.serve.classify` defines the pluggable
+  :class:`~repro.serve.classify.Classifier` interface and ships two
+  implementations: the z-score rules of
+  :class:`~repro.resilience.detect.TrafficStatsDetector` re-applied to
+  bus frames, and :class:`~repro.resilience.localize.TopologyLocalizer`
+  wrapped as a frame consumer;
+* :mod:`repro.serve.pipeline` pumps subscription -> frames ->
+  classifiers between engine chunks (:func:`run_streaming`), or over a
+  recorded ``events.jsonl`` offline (:func:`replay_events`) — both
+  produce byte-identical verdict streams;
+* :mod:`repro.serve.api` is the asyncio service boundary: clients
+  submit scenarios over line-delimited JSON and receive incremental
+  verdicts and metric snapshots; concurrent submissions of the same
+  scenario coalesce onto one simulation and completed runs are served
+  from the :class:`~repro.sim.cache.ResultCache`.
+
+Everything here is a pure observer: a streamed run's
+:class:`~repro.sim.engine.RunResult` is byte-identical to a bare run
+of the same scenario.
+"""
+
+from repro.serve.classify import (
+    Classifier,
+    LocalizerClassifier,
+    Verdict,
+    ZScoreClassifier,
+    default_classifiers,
+)
+from repro.serve.features import FeatureExtractor, FeatureFrame
+from repro.serve.pipeline import (
+    DetectionPipeline,
+    StreamingRun,
+    replay_events,
+    run_streaming,
+)
+
+__all__ = [
+    "Classifier",
+    "DetectionPipeline",
+    "FeatureExtractor",
+    "FeatureFrame",
+    "LocalizerClassifier",
+    "StreamingRun",
+    "Verdict",
+    "ZScoreClassifier",
+    "default_classifiers",
+    "replay_events",
+    "run_streaming",
+]

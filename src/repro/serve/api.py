@@ -1,0 +1,436 @@
+"""Async scenario-serving boundary over line-delimited JSON.
+
+Clients connect over TCP and exchange newline-delimited JSON objects:
+
+    -> {"op": "submit", "named": "fig11"}
+    -> {"op": "submit", "scenario": {...Scenario.to_dict()...},
+        "engine": "event"}
+    -> {"op": "ping"}
+
+    <- {"type": "accepted", "hash": h, "name": ..., "cached": false}
+    <- {"type": "verdict",  "hash": h, ...Verdict.to_dict()...}
+    <- {"type": "snapshot", "hash": h, "cycle": ..., ...}
+    <- {"type": "result",   "hash": h, "cached": false,
+        "result": {...RunResult...}, "dropped": 0}
+    <- {"type": "error", "error": "..."}
+    <- {"type": "pong"}
+
+Design points, mirroring the obs layer's discipline:
+
+* **Coalescing** — submissions are keyed by
+  :meth:`~repro.sim.scenario.Scenario.content_hash`; concurrent
+  clients submitting the same scenario share ONE simulation.  A late
+  subscriber first replays the job's message log, then follows live —
+  every subscriber sees the identical verdict sequence.
+* **Caching** — completed runs are memoized in the
+  :class:`~repro.sim.cache.ResultCache` (same code-version
+  invalidation as the runner's result cache); a resubmission replays
+  the stored stream without simulating.
+* **Backpressure** — each client connection owns one bounded
+  :class:`asyncio.Queue`.  Stream messages (verdicts, snapshots) are
+  offered drop-new, exactly the bus's subscription discipline: a slow
+  reader loses intermediate messages (counted, reported on its final
+  message) but can never stall the simulation or other clients.
+  Terminal messages are delivered with an awaited put, so a result is
+  never dropped.
+* **Simulations run off-loop** — in ``asyncio.to_thread``, publishing
+  back via ``loop.call_soon_threadsafe``; a semaphore caps concurrent
+  jobs.  The streamed run itself is a pure observer (see
+  :mod:`repro.serve.pipeline`), so service results are byte-identical
+  to direct runs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.serve.pipeline import DEFAULT_CHUNK, run_streaming
+from repro.serve.scenarios import named_scenario
+from repro.sim.cache import ResultCache, spec_hash
+from repro.sim.scenario import Scenario
+
+#: bump on incompatible changes to the cached stream payload layout
+SERVE_CACHE_FORMAT = 1
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Service knobs."""
+
+    host: str = "127.0.0.1"
+    #: 0 lets the OS pick (the bound port is on the started server)
+    port: int = 7441
+    #: ResultCache root (None: REPRO_CACHE_DIR / .repro-cache default)
+    cache_dir: Optional[str] = None
+    #: concurrent simulations (further jobs queue on the semaphore)
+    max_jobs: int = 2
+    #: per-client stream buffer (messages); overflow drops-new
+    client_queue: int = 65536
+    #: engine cycles per pump round for served runs
+    chunk: int = DEFAULT_CHUNK
+
+
+class _ClientStream:
+    """One client's bounded outbox: drop-new for stream messages,
+    awaited delivery for messages that must arrive."""
+
+    __slots__ = ("queue", "dropped", "closed")
+
+    def __init__(self, maxsize: int):
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize)
+        self.dropped = 0
+        #: set when the connection is gone — delivery then discards,
+        #: so a job finishing late can never block on a dead client
+        self.closed = False
+
+    def offer(self, message: dict) -> None:
+        if self.closed:
+            return
+        try:
+            self.queue.put_nowait(message)
+        except asyncio.QueueFull:
+            self.dropped += 1
+
+    async def deliver(self, message: dict) -> None:
+        if self.closed:
+            return
+        await self.queue.put(message)
+
+
+class _Job:
+    """One in-flight simulation shared by its subscribers."""
+
+    __slots__ = ("hash", "scenario", "engine", "log", "streams", "done")
+
+    def __init__(
+        self, content_hash: str, scenario: Scenario, engine: Optional[str]
+    ):
+        self.hash = content_hash
+        self.scenario = scenario
+        self.engine = engine
+        #: every message published so far (late subscribers replay it)
+        self.log: list[dict] = []
+        self.streams: list[_ClientStream] = []
+        self.done = False
+
+    def publish(self, message: dict) -> None:
+        """Loop-thread only: log + fan out (drop-new per client)."""
+        self.log.append(message)
+        for stream in self.streams:
+            stream.offer(message)
+
+
+class DetectionServer:
+    """The serving state machine; see the module docstring."""
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        *,
+        cache: Optional[ResultCache] = None,
+    ):
+        self.config = config or ServeConfig()
+        self.cache = (
+            cache
+            if cache is not None
+            else ResultCache(self.config.cache_dir)
+        )
+        #: content hash -> in-flight job
+        self.jobs: dict[str, _Job] = {}
+        self._sem = asyncio.Semaphore(self.config.max_jobs)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._clients: set[asyncio.Task] = set()
+        self.stats = {
+            "submissions": 0,
+            "cache_hits": 0,
+            "coalesced": 0,
+            "jobs_run": 0,
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+    async def start(self) -> asyncio.AbstractServer:
+        self._server = await asyncio.start_server(
+            self._handle_client, self.config.host, self.config.port
+        )
+        return self._server
+
+    @property
+    def bound_port(self) -> int:
+        assert self._server is not None, "server not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._clients:
+            for task in list(self._clients):
+                task.cancel()
+            await asyncio.gather(
+                *list(self._clients), return_exceptions=True
+            )
+            self._clients.clear()
+
+    # -- cache keying ------------------------------------------------------
+    def _cache_key(self, content_hash: str) -> str:
+        # distinct from the plain-run key: the payload carries the
+        # verdict stream and frames, not just the RunResult
+        return spec_hash(
+            {"serve": content_hash, "format": SERVE_CACHE_FORMAT}
+        )
+
+    # -- connection handling ----------------------------------------------
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._clients.add(task)
+        outbox = _ClientStream(self.config.client_queue)
+        pump = asyncio.create_task(self._pump_out(outbox, writer))
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    request = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    await outbox.deliver(
+                        {"type": "error", "error": f"invalid JSON: {exc}"}
+                    )
+                    continue
+                await self._dispatch(request, outbox)
+        except asyncio.CancelledError:
+            pass  # server shutdown: fall through to the close below
+        finally:
+            if task is not None:
+                self._clients.discard(task)
+            # closed first: a job holding this stream must never block
+            # delivering to a connection that is gone
+            outbox.closed = True
+            pump.cancel()
+            try:
+                await pump
+            except asyncio.CancelledError:
+                pass
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _pump_out(
+        self, outbox: _ClientStream, writer: asyncio.StreamWriter
+    ) -> None:
+        while True:
+            message = await outbox.queue.get()
+            try:
+                writer.write(
+                    (json.dumps(message, sort_keys=True) + "\n").encode()
+                )
+                await writer.drain()
+            except (ConnectionError, OSError):
+                return  # reader side will see EOF and close us down
+
+    async def _dispatch(
+        self, request: dict, outbox: _ClientStream
+    ) -> None:
+        if not isinstance(request, dict):
+            await outbox.deliver(
+                {"type": "error", "error": "request must be an object"}
+            )
+            return
+        op = request.get("op")
+        if op == "ping":
+            await outbox.deliver({"type": "pong"})
+        elif op == "submit":
+            await self._submit(request, outbox)
+        else:
+            await outbox.deliver(
+                {"type": "error", "error": f"unknown op {op!r}"}
+            )
+
+    # -- submission --------------------------------------------------------
+    def _decode_scenario(self, request: dict) -> Scenario:
+        name = request.get("named")
+        if name is not None:
+            return named_scenario(name)
+        payload = request.get("scenario")
+        if payload is None:
+            raise ValueError(
+                "submit needs either 'named' or 'scenario'"
+            )
+        return Scenario.from_dict(payload)
+
+    async def _submit(
+        self, request: dict, outbox: _ClientStream
+    ) -> None:
+        try:
+            scenario = self._decode_scenario(request)
+            engine = request.get("engine")
+            if engine is not None and engine not in ("sweep", "event"):
+                raise ValueError(f"unknown engine {engine!r}")
+        except (ValueError, KeyError, TypeError) as exc:
+            await outbox.deliver({"type": "error", "error": str(exc)})
+            return
+        content_hash = scenario.content_hash()
+        self.stats["submissions"] += 1
+
+        stored = self.cache.get(self._cache_key(content_hash))
+        if stored is not None:
+            self.stats["cache_hits"] += 1
+            await self._replay_cached(
+                content_hash, scenario.name, stored, outbox
+            )
+            return
+
+        job = self.jobs.get(content_hash)
+        if job is None:
+            job = _Job(content_hash, scenario, engine)
+            self.jobs[content_hash] = job
+            self.stats["jobs_run"] += 1
+            asyncio.create_task(self._run_job(job))
+        else:
+            self.stats["coalesced"] += 1
+        await outbox.deliver(
+            {
+                "type": "accepted",
+                "hash": content_hash,
+                "name": scenario.name,
+                "cached": False,
+            }
+        )
+        if job.done:
+            # finished between our cache check and now: replay reliably
+            for message in job.log:
+                await outbox.deliver(message)
+        else:
+            # atomic with the subscribe (no await between): replay the
+            # backlog, then follow live — no gap, no duplicate
+            for message in job.log:
+                outbox.offer(message)
+            job.streams.append(outbox)
+
+    async def _replay_cached(
+        self,
+        content_hash: str,
+        name: str,
+        stored: dict,
+        outbox: _ClientStream,
+    ) -> None:
+        await outbox.deliver(
+            {
+                "type": "accepted",
+                "hash": content_hash,
+                "name": name,
+                "cached": True,
+            }
+        )
+        for verdict in stored.get("verdict_stream", ()):
+            await outbox.deliver(
+                {"type": "verdict", "hash": content_hash, **verdict}
+            )
+        await outbox.deliver(
+            {
+                "type": "result",
+                "hash": content_hash,
+                "cached": True,
+                "result": stored.get("result"),
+                "dropped": stored.get("dropped", 0),
+            }
+        )
+
+    # -- job execution -----------------------------------------------------
+    async def _run_job(self, job: _Job) -> None:
+        loop = asyncio.get_running_loop()
+
+        def on_verdict(verdict) -> None:
+            loop.call_soon_threadsafe(
+                job.publish,
+                {"type": "verdict", "hash": job.hash, **verdict.to_dict()},
+            )
+
+        def on_snapshot(snapshot: dict) -> None:
+            loop.call_soon_threadsafe(
+                job.publish,
+                {"type": "snapshot", "hash": job.hash, **snapshot},
+            )
+
+        try:
+            async with self._sem:
+                run = await asyncio.to_thread(
+                    run_streaming,
+                    job.scenario,
+                    engine=job.engine,
+                    chunk=self.config.chunk,
+                    on_verdict=on_verdict,
+                    on_snapshot=on_snapshot,
+                )
+        except Exception as exc:  # noqa: BLE001 - reported to clients
+            final = {
+                "type": "error",
+                "hash": job.hash,
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+        else:
+            payload = run.to_payload()
+            self.cache.put(self._cache_key(job.hash), payload)
+            final = {
+                "type": "result",
+                "hash": job.hash,
+                "cached": False,
+                "result": payload["result"],
+                "dropped": payload["dropped"],
+            }
+        job.done = True
+        job.log.append(final)
+        self.jobs.pop(job.hash, None)
+        streams, job.streams = job.streams, []
+        for stream in streams:
+            await stream.deliver(final)
+
+
+# ---------------------------------------------------------------------------
+# client helper (the submit CLI and tests share it)
+# ---------------------------------------------------------------------------
+async def submit_and_stream(
+    host: str,
+    port: int,
+    request: dict,
+    *,
+    on_message=None,
+) -> list[dict]:
+    """Submit one request and collect messages until its terminal
+    ``result``/``error``.  Returns every received message in order;
+    ``on_message`` (if given) additionally fires per message."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write((json.dumps(request) + "\n").encode())
+        await writer.drain()
+        messages: list[dict] = []
+        while True:
+            line = await reader.readline()
+            if not line:
+                raise ConnectionError(
+                    "server closed the stream before a terminal message"
+                )
+            message = json.loads(line)
+            messages.append(message)
+            if on_message is not None:
+                on_message(message)
+            if message.get("type") in ("result", "error"):
+                return messages
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass

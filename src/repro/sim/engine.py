@@ -601,10 +601,19 @@ class Simulation:
             )
         if self.obs is not None:
             self.obs.finalize(self)
+        return self.result(completed)
+
+    def result(self, completed: bool) -> RunResult:
+        """The :class:`RunResult` for the network's current state.
+
+        Factored out of :meth:`_run` so chunked drivers (the serving
+        layer steps the engine in slices and pumps verdicts between
+        them) build the byte-identical report the one-shot path does.
+        """
         net = self.network
         stats = net.stats
         return RunResult(
-            name=scenario.name,
+            name=self.scenario.name,
             completed=completed,
             cycles=net.cycle,
             packets_injected=stats.packets_injected,

@@ -170,6 +170,43 @@ class TestExportAll:
         assert exporters_main(["validate", str(tmp_path)]) == 1
         assert "no .jsonl/.json" in capsys.readouterr().out
 
+    def test_cli_recurses_into_per_experiment_subdirectories(
+        self, tmp_path, capsys
+    ):
+        for name in ("fig11", "table2"):
+            config = ObsConfig(
+                events_jsonl=str(tmp_path / name / "events.jsonl"),
+                metrics_json=str(tmp_path / name / "metrics.json"),
+            )
+            obs = Observability(config)
+            obs.bus.emit("inject", 0, name, pkt_id=1)
+            obs.export()
+        assert exporters_main(["validate", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("1 events") == 2
+        assert out.count("metrics format 1") == 2
+        assert "4 files checked, all valid" in out
+
+    def test_cli_reports_every_broken_file_not_just_the_first(
+        self, tmp_path, capsys
+    ):
+        (tmp_path / "a").mkdir()
+        (tmp_path / "a" / "events.jsonl").write_text("{broken\n")
+        (tmp_path / "b").mkdir()
+        (tmp_path / "b" / "metrics.json").write_text("[]")
+        config = ObsConfig(
+            events_jsonl=str(tmp_path / "c" / "events.jsonl")
+        )
+        obs = Observability(config)
+        obs.bus.emit("inject", 0, "r", pkt_id=1)
+        obs.export()
+        assert exporters_main(["validate", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        # both failures surfaced, the good file still validated
+        assert out.count("INVALID") == 2
+        assert "1 events" in out
+        assert "3 files checked, 2 invalid" in out
+
 
 class TestBenchRecords:
     def test_percentile_nearest_rank(self):

@@ -176,6 +176,45 @@ class TestEventCapture:
         assert sim.obs.registry.total("noc_flits_injected") > 0
 
 
+class TestSubscriberOverflow:
+    def test_slow_subscriber_drops_new_without_perturbing_the_run(self):
+        bare = Simulation(attacked_scenario())
+        bare_result = bare.run()
+        baseline = stats_snapshot(bare)
+
+        sim = Simulation(attacked_scenario(), obs=ObsConfig())
+        slow = sim.obs.bus.subscribe(capacity=8)  # never drained
+        result = sim.run()
+
+        # drop-new: the queue holds the oldest 8 events, the rest are
+        # counted off, and the accounting balances with the bus
+        assert slow.dropped > 0
+        assert len(slow) == slow.capacity == 8
+        assert slow.received == 8
+        assert slow.received + slow.dropped == sim.obs.bus.published
+        first_kept = next(iter(slow.peek()))
+        assert all(e.cycle >= first_kept.cycle for e in slow.peek())
+        # ...while the simulation itself never noticed
+        assert stats_snapshot(sim) == baseline
+        assert dataclasses.asdict(result) == dataclasses.asdict(
+            bare_result
+        )
+        # the healthy export subscription kept everything
+        assert sim.obs.export_sub.dropped == 0
+
+    def test_drops_are_reported_in_the_manifest(self):
+        from repro.obs.exporters import build_manifest
+
+        sim = Simulation(attacked_scenario(), obs=ObsConfig(
+            queue_capacity=8
+        ))
+        sim.run()
+        sim.obs.finalize(sim)
+        manifest = build_manifest(sim.obs)
+        assert manifest["events"]["dropped"] > 0
+        assert manifest["events"]["queued"] == 8
+
+
 class TestWatchdogEscalations:
     def test_event_hooks_fire_through_the_ladder_log(self):
         from repro.obs.instrument import _EscalateHook

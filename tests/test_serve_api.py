@@ -1,0 +1,222 @@
+"""The async serving boundary: submit, stream, coalesce, cache.
+
+Each test spins a real :class:`DetectionServer` on an ephemeral port
+inside one ``asyncio.run`` and talks to it over TCP with the same
+:func:`submit_and_stream` helper the CLI uses.  The service-level
+guarantees under test:
+
+* two concurrent clients submitting the same scenario share ONE
+  simulation and receive byte-identical message streams;
+* a resubmission after completion is served from the result cache
+  without simulating, with the identical verdict sequence;
+* malformed requests produce error messages, never broken connections.
+"""
+
+import asyncio
+import json
+
+from repro.serve.api import (
+    DetectionServer,
+    ServeConfig,
+    submit_and_stream,
+)
+from repro.sim.cache import ResultCache
+
+from tests.test_serve_pipeline import dos_scenario, timed_scenario
+
+
+def serve(test_body, tmp_path):
+    """Run ``test_body(server, port)`` against a live server."""
+
+    async def _main():
+        server = DetectionServer(
+            ServeConfig(port=0, max_jobs=2),
+            cache=ResultCache(tmp_path / "cache"),
+        )
+        await server.start()
+        try:
+            return await test_body(server, server.bound_port)
+        finally:
+            await server.stop()
+
+    return asyncio.run(_main())
+
+
+def submit_request(scenario) -> dict:
+    return {"op": "submit", "scenario": scenario.to_dict()}
+
+
+def stream_text(messages) -> str:
+    return json.dumps(
+        [m for m in messages if m["type"] == "verdict"], sort_keys=True
+    )
+
+
+class TestProtocol:
+    def test_ping_pong(self, tmp_path):
+        async def body(server, port):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", port
+            )
+            writer.write(b'{"op": "ping"}\n')
+            await writer.drain()
+            reply = json.loads(await reader.readline())
+            writer.close()
+            await writer.wait_closed()
+            return reply
+
+        assert serve(body, tmp_path) == {"type": "pong"}
+
+    def test_submit_streams_to_a_terminal_result(self, tmp_path):
+        async def body(server, port):
+            return await submit_and_stream(
+                "127.0.0.1", port, submit_request(dos_scenario())
+            )
+
+        messages = serve(body, tmp_path)
+        assert messages[0]["type"] == "accepted"
+        assert messages[0]["cached"] is False
+        kinds = [m["type"] for m in messages]
+        assert "verdict" in kinds and "snapshot" in kinds
+        final = messages[-1]
+        assert final["type"] == "result"
+        assert final["cached"] is False
+        assert final["result"]["name"] == "serve-dos"
+        assert final["dropped"] == 0
+        # every message names the job it belongs to
+        assert len({m["hash"] for m in messages if "hash" in m}) == 1
+
+    def test_streamed_verdicts_match_a_direct_run(self, tmp_path):
+        from repro.serve.pipeline import run_streaming
+
+        async def body(server, port):
+            return await submit_and_stream(
+                "127.0.0.1", port, submit_request(dos_scenario())
+            )
+
+        messages = serve(body, tmp_path)
+        direct = run_streaming(dos_scenario())
+        streamed = [
+            {k: v for k, v in m.items() if k not in ("type", "hash")}
+            for m in messages
+            if m["type"] == "verdict"
+        ]
+        assert streamed == direct.verdict_stream()
+        assert messages[-1]["result"]["cycles"] == direct.result.cycles
+
+
+class TestCoalescing:
+    def test_concurrent_clients_share_one_simulation(self, tmp_path):
+        async def body(server, port):
+            request = submit_request(dos_scenario())
+            first, second = await asyncio.gather(
+                submit_and_stream("127.0.0.1", port, request),
+                submit_and_stream("127.0.0.1", port, request),
+            )
+            return server.stats.copy(), first, second
+
+        stats, first, second = serve(body, tmp_path)
+        assert stats["submissions"] == 2
+        assert stats["jobs_run"] == 1
+        assert stats["coalesced"] + stats["cache_hits"] == 1
+        assert stream_text(first) == stream_text(second)
+        assert first[-1]["result"] == second[-1]["result"]
+
+    def test_different_scenarios_run_separately(self, tmp_path):
+        async def body(server, port):
+            first, second = await asyncio.gather(
+                submit_and_stream(
+                    "127.0.0.1", port, submit_request(dos_scenario())
+                ),
+                submit_and_stream(
+                    "127.0.0.1", port, submit_request(timed_scenario())
+                ),
+            )
+            return server.stats.copy(), first, second
+
+        stats, first, second = serve(body, tmp_path)
+        assert stats["jobs_run"] == 2
+        assert stats["coalesced"] == 0
+        assert first[-1]["hash"] != second[-1]["hash"]
+
+
+class TestCaching:
+    def test_resubmission_is_served_from_cache(self, tmp_path):
+        async def body(server, port):
+            request = submit_request(dos_scenario())
+            live = await submit_and_stream("127.0.0.1", port, request)
+            cached = await submit_and_stream("127.0.0.1", port, request)
+            return server.stats.copy(), live, cached
+
+        stats, live, cached = serve(body, tmp_path)
+        assert stats == {
+            "submissions": 2, "cache_hits": 1,
+            "coalesced": 0, "jobs_run": 1,
+        }
+        assert cached[0]["cached"] is True
+        assert cached[-1]["cached"] is True
+        assert stream_text(live) == stream_text(cached)
+        assert live[-1]["result"] == cached[-1]["result"]
+
+    def test_cache_survives_a_server_restart(self, tmp_path):
+        request = submit_request(dos_scenario())
+
+        async def first_body(server, port):
+            return await submit_and_stream("127.0.0.1", port, request)
+
+        async def second_body(server, port):
+            messages = await submit_and_stream("127.0.0.1", port, request)
+            return server.stats.copy(), messages
+
+        live = serve(first_body, tmp_path)
+        stats, cached = serve(second_body, tmp_path)
+        assert stats["cache_hits"] == 1 and stats["jobs_run"] == 0
+        assert stream_text(live) == stream_text(cached)
+
+
+class TestErrors:
+    def err(self, tmp_path, request):
+        async def body(server, port):
+            if isinstance(request, dict):
+                return await submit_and_stream(
+                    "127.0.0.1", port, request
+                )
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", port
+            )
+            writer.write(request + b"\n")
+            await writer.drain()
+            reply = json.loads(await reader.readline())
+            writer.close()
+            await writer.wait_closed()
+            return [reply]
+
+        return serve(body, tmp_path)
+
+    def test_unknown_op(self, tmp_path):
+        (reply,) = self.err(tmp_path, {"op": "frobnicate"})
+        assert reply["type"] == "error"
+        assert "unknown op" in reply["error"]
+
+    def test_submit_needs_a_scenario(self, tmp_path):
+        (reply,) = self.err(tmp_path, {"op": "submit"})
+        assert reply["type"] == "error"
+        assert "named" in reply["error"]
+
+    def test_unknown_named_scenario(self, tmp_path):
+        (reply,) = self.err(
+            tmp_path, {"op": "submit", "named": "not-a-scenario"}
+        )
+        assert reply["type"] == "error"
+
+    def test_unknown_engine(self, tmp_path):
+        request = submit_request(dos_scenario())
+        request["engine"] = "quantum"
+        (reply,) = self.err(tmp_path, request)
+        assert reply["type"] == "error"
+        assert "engine" in reply["error"]
+
+    def test_invalid_json_line(self, tmp_path):
+        (reply,) = self.err(tmp_path, b"{not json")
+        assert reply["type"] == "error"
+        assert "invalid JSON" in reply["error"]

@@ -1,0 +1,137 @@
+"""Feature extraction: event stream -> windowed frames, deterministically.
+
+The frame sequence must be a pure function of the event stream —
+window boundaries come from event cycles, never from how the stream
+was chunked into :meth:`FeatureExtractor.feed` calls.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.events import Event
+from repro.serve.features import FeatureExtractor, FeatureFrame
+
+
+def ev(kind: str, cycle: int, run: str = "r", **data) -> Event:
+    return Event(kind=kind, cycle=cycle, run=run, data=data)
+
+
+class TestWindowing:
+    def test_frame_closes_when_an_event_passes_its_end(self):
+        ex = FeatureExtractor(window=10)
+        assert ex.feed([ev("inject", 0), ev("inject", 9)]) == []
+        (frame,) = ex.feed([ev("inject", 10)])
+        assert (frame.start, frame.end) == (0, 10)
+        assert frame.injects == 2
+
+    def test_empty_intermediate_windows_are_emitted(self):
+        # a long quiet gap still produces zero-frames — the baseline
+        # must see the same quiet windows the live detector does
+        ex = FeatureExtractor(window=10)
+        frames = ex.feed([ev("inject", 0), ev("inject", 35)])
+        assert [f.start for f in frames] == [0, 10, 20]
+        assert [f.injects for f in frames] == [1, 0, 0]
+
+    def test_flush_closes_complete_windows_and_drops_the_partial(self):
+        ex = FeatureExtractor(window=10)
+        fed = ex.feed([ev("inject", 0), ev("inject", 12), ev("inject", 25)])
+        assert [f.start for f in fed] == [0, 10]
+        # [20,30) is incomplete at cycle 28: discarded, inject@25 too
+        assert ex.flush(up_to=28) == []
+        ex2 = FeatureExtractor(window=10)
+        ex2.feed([ev("inject", 25)])
+        (frame,) = ex2.flush(up_to=30)
+        assert (frame.start, frame.injects) == (20, 1)
+
+    def test_flush_without_up_to_closes_nothing_new(self):
+        ex = FeatureExtractor(window=10)
+        ex.feed([ev("inject", 3)])
+        assert ex.flush() == []
+
+    def test_runs_window_independently(self):
+        ex = FeatureExtractor(window=10)
+        frames = ex.feed(
+            [ev("inject", 0, run="a"), ev("inject", 15, run="b"),
+             ev("inject", 22, run="a")]
+        )
+        # every run's first frame opens at cycle 0, so b's event at 15
+        # immediately closes b's [0,10); a closes two windows
+        assert [(f.run, f.start) for f in frames] == [
+            ("b", 0), ("a", 0), ("a", 10),
+        ]
+        flushed = ex.flush(up_to=20)
+        assert [(f.run, f.start) for f in flushed] == [("b", 10)]
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError, match="window"):
+            FeatureExtractor(window=0)
+
+
+class TestFolding:
+    def test_link_and_core_channels_accumulate(self):
+        ex = FeatureExtractor(window=100)
+        ex.feed(
+            [
+                ev("inject", 1, core=3),
+                ev("deliver", 5, core=7),
+                ev("retransmit", 10, link="0->EAST", pkt_id=1, seq=0),
+                ev("retransmit", 11, link="0->EAST", pkt_id=1, seq=0),
+                ev("corrupt", 12, link="0->EAST", pkt_id=1, seq=0, bits=2),
+                ev("escalate", 20, link="1->WEST", stage="obfuscate"),
+                ev("detect", 30, link="0->EAST", router=None, z=9.5),
+                ev("localize", 40, link="0->EAST", router=0, score=3.0),
+            ]
+        )
+        (frame,) = ex.flush(up_to=100)
+        assert frame.links["0->EAST"] == {
+            "nacks": 2, "corrupts": 1, "escalates": 0,
+        }
+        assert frame.links["1->WEST"]["escalates"] == 1
+        assert frame.cores == {3: {"injects": 1, "delivers": 0},
+                               7: {"injects": 0, "delivers": 1}}
+        assert (frame.injects, frame.delivers) == (1, 1)
+        assert frame.detects[0]["cycle"] == 30
+        assert frame.localizes[0]["score"] == 3.0
+        assert ex.events_folded == 8
+
+    def test_unfeaturized_kinds_are_ignored_but_still_close_windows(self):
+        ex = FeatureExtractor(window=10)
+        (frame,) = ex.feed([ev("inject", 0), ev("verdict", 15)])
+        assert frame.injects == 1
+        assert ex.events_folded == 1  # the verdict was not folded
+
+    def test_inflight_is_cumulative_at_window_close(self):
+        ex = FeatureExtractor(window=10)
+        frames = ex.feed(
+            [ev("inject", 0), ev("inject", 1), ev("inject", 2),
+             ev("deliver", 11), ev("inject", 25)]
+        )
+        assert [f.inflight for f in frames] == [3, 2]
+
+
+class TestChunkIndependence:
+    EVENTS = [
+        ev("inject", c, core=c % 3) for c in range(0, 200, 7)
+    ] + [ev("retransmit", c, link="2->NORTH") for c in range(90, 130, 3)]
+
+    def stream(self, chunk: int) -> list[dict]:
+        events = sorted(self.EVENTS, key=lambda e: e.cycle)
+        ex = FeatureExtractor(window=16)
+        frames = []
+        for i in range(0, len(events), chunk):
+            frames.extend(ex.feed(events[i:i + chunk]))
+        frames.extend(ex.flush(up_to=220))
+        return [f.to_dict() for f in frames]
+
+    def test_frames_do_not_depend_on_feed_chunking(self):
+        whole = self.stream(chunk=len(self.EVENTS))
+        assert self.stream(chunk=1) == whole
+        assert self.stream(chunk=7) == whole
+
+    def test_to_dict_is_canonical_json(self):
+        frame = FeatureFrame(run="r", start=0, window=8)
+        frame.link("b->SOUTH")
+        frame.link("a->EAST")
+        text = json.dumps(frame.to_dict(), sort_keys=True)
+        assert text.index("a->EAST") < text.index("b->SOUTH")
